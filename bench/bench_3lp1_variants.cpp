@@ -1,0 +1,56 @@
+// bench_3lp1_variants — experiments E4 and E5: the five additional 3LP-1
+// implementations (SyclCPLX, CUDA, CUDA --maxrregcount=64, SYCLomatic,
+// SYCLomatic-optimized) across the paper's local sizes, in both index
+// orders where applicable.
+#include "bench_common.hpp"
+
+using namespace milc;
+using namespace milc::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  DslashProblem problem(opt.L, opt.seed);
+  DslashRunner runner;
+  print_header("3LP-1 implementation variants (paper IV-C / IV-D4..6)", opt, problem.sites());
+
+  const auto locals = paper_local_sizes(Strategy::LP3_1, IndexOrder::kMajor, problem.sites());
+
+  double sycl768 = 0.0, cuda768 = 0.0, cuda_rreg768 = 0.0, cplx768 = 0.0;
+  double somatic768 = 0.0, somatic_opt768 = 0.0;
+
+  for (Variant v : fig6_variants()) {
+    const VariantInfo& vi = variant_info(v);
+    std::printf("\n%s — %s\n", vi.name, vi.rationale);
+    for (int ls : locals) {
+      RunRequest req{.strategy = Strategy::LP3_1,
+                     .order = IndexOrder::kMajor,
+                     .local_size = ls,
+                     .variant = v};
+      const RunResult r = run_and_print(runner, problem, req);
+      if (ls == 768) {
+        switch (v) {
+          case Variant::SYCL: sycl768 = r.gflops; break;
+          case Variant::SyclCPLX: cplx768 = r.gflops; break;
+          case Variant::CUDA: cuda768 = r.gflops; break;
+          case Variant::CUDA_maxrreg64: cuda_rreg768 = r.gflops; break;
+          case Variant::SYCLomatic: somatic768 = r.gflops; break;
+          case Variant::SYCLomaticOpt: somatic_opt768 = r.gflops; break;
+          default: break;
+        }
+      }
+    }
+  }
+
+  std::printf("\nPairwise effects at local 768 (paper expectations in parentheses):\n");
+  std::printf("  CUDA maxrregcount=64 vs CUDA:      %+5.1f%%  (paper: up to +3.6%%)\n",
+              100.0 * (cuda_rreg768 / cuda768 - 1.0));
+  std::printf("  SyclCPLX vs double_complex:        %+5.1f%%  (paper: within +-3%%)\n",
+              100.0 * (cplx768 / sycl768 - 1.0));
+  std::printf("  SYCLomatic-opt vs SYCLomatic:      %+5.1f%%  (paper: +10.0..12.2%%)\n",
+              100.0 * (somatic_opt768 / somatic768 - 1.0));
+  std::printf("  SYCLomatic-opt vs baseline SYCL:   %+5.1f%%  (paper: +1.5..6.7%%)\n",
+              100.0 * (somatic_opt768 / sycl768 - 1.0));
+  std::printf("  SYCLomatic-opt vs CUDA:            %+5.1f%%  (paper: equivalent)\n",
+              100.0 * (somatic_opt768 / cuda768 - 1.0));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// bench_arch_sweep — ablation A3 (ours): how the strategy ranking responds
+// to the machine, something only a simulator can ask.  The paper closes by
+// noting its results "are subject to changes based on the architecture";
+// here we actually turn the knobs: DRAM bandwidth, register file size, SM
+// count and L2 capacity, and watch the 1LP / 3LP-1 / QUDA-style trade-offs
+// move.
+#include "bench_common.hpp"
+
+using namespace milc;
+using namespace milc::bench;
+
+namespace {
+
+struct MachineVariant {
+  const char* name;
+  gpusim::MachineModel model;
+};
+
+std::vector<MachineVariant> variants() {
+  std::vector<MachineVariant> v;
+  v.push_back({"A100 (baseline)", gpusim::a100()});
+
+  gpusim::MachineModel half_bw = gpusim::a100();
+  half_bw.dram_peak_gbs /= 2.0;
+  v.push_back({"half DRAM bandwidth", half_bw});
+
+  gpusim::MachineModel big_rf = gpusim::a100();
+  big_rf.registers_per_sm *= 2;
+  v.push_back({"2x register file", big_rf});
+
+  gpusim::MachineModel small_l2 = gpusim::a100();
+  small_l2.l2_bytes /= 8;  // 5 MB: source-field reuse no longer fits
+  v.push_back({"L2 / 8 (5 MB)", small_l2});
+
+  gpusim::MachineModel wide = gpusim::a100();
+  wide.num_sms = 216;
+  wide.dram_peak_gbs *= 1.0;  // same memory: compute-heavy scaling
+  v.push_back({"2x SMs, same DRAM", wide});
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  DslashProblem problem(opt.L, opt.seed);
+  print_header("Architecture sensitivity sweep (ablation A3)", opt, problem.sites());
+
+  std::printf("\n%-22s %12s %12s %12s %14s\n", "machine", "1LP /256", "3LP-1 /768",
+              "ratio", "1LP occupancy");
+  for (const MachineVariant& mv : variants()) {
+    DslashRunner runner(mv.model);
+    RunRequest r1{.strategy = Strategy::LP1, .order = IndexOrder::kMajor, .local_size = 256,
+                  .variant = Variant::SYCL};
+    RunRequest r3{.strategy = Strategy::LP3_1, .order = IndexOrder::kMajor,
+                  .local_size = 768, .variant = Variant::SYCL};
+    const RunResult lp1 = runner.run(problem, r1);
+    const RunResult lp31 = runner.run(problem, r3);
+    std::printf("%-22s %10.1f %12.1f %11.2fx %13.1f%%\n", mv.name, lp1.gflops, lp31.gflops,
+                lp31.gflops / lp1.gflops, 100.0 * lp1.stats.occupancy.achieved);
+  }
+
+  if (opt.L < 24) {
+    std::printf("\nNOTE: at L=%d the 1LP grid (%lld groups) cannot fill the device, so\n"
+                "its occupancy is grid-limited and the register-file knob has no bite;\n"
+                "run with --L 32 (paper scale) to see the register-pressure effect.\n",
+                opt.L, static_cast<long long>(problem.sites() / 256));
+  }
+  std::printf("\nexpected directions:\n"
+              "  - half bandwidth: both drop, ratio persists (both memory-bound)\n"
+              "  - 2x register file: 1LP's occupancy ceiling lifts, the gap narrows —\n"
+              "    the paper's 1LP penalty is a register-pressure artefact, not destiny\n"
+              "  - smaller L2: source-vector reuse misses, everyone pays more DRAM\n"
+              "  - more SMs on the same DRAM: occupancy matters less, bandwidth rules\n");
+  return 0;
+}

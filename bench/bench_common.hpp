@@ -1,0 +1,148 @@
+// bench_common.hpp — shared plumbing for the paper-reproduction benches:
+// command-line options, result tables and ASCII charts.
+//
+// Every bench accepts:
+//   --L <n>      lattice extent (default 16; the paper uses 32 — pass
+//                --L 32 to reproduce at paper scale, ~10-15x slower to
+//                simulate on one host core)
+//   --seed <n>   gauge/source RNG seed
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+
+namespace milc::bench {
+
+struct Options {
+  int L = 16;
+  std::uint64_t seed = 2024;
+  std::string csv_path;  ///< when set, run_and_print also appends CSV rows
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--L") == 0 && i + 1 < argc) {
+      o.L = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      o.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--L <extent>] [--seed <n>] [--csv <path>]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return o;
+}
+
+/// Machine-readable sink for bench rows (one file per bench run).
+class CsvSink {
+ public:
+  explicit CsvSink(const std::string& path) {
+    if (path.empty()) return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ != nullptr) {
+      std::fprintf(file_,
+                   "label,gflops,kernel_us,per_iter_us,occupancy,bound_by,"
+                   "l1_tag_requests,dram_sectors,shared_wavefronts,divergent_branches\n");
+    }
+  }
+  ~CsvSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  CsvSink(const CsvSink&) = delete;
+  CsvSink& operator=(const CsvSink&) = delete;
+
+  void row(const RunResult& r) {
+    if (file_ == nullptr) return;
+    const auto& c = r.stats.counters;
+    std::fprintf(file_, "\"%s\",%.3f,%.3f,%.3f,%.4f,%s,%llu,%llu,%llu,%llu\n",
+                 r.label.c_str(), r.gflops, r.kernel_us, r.per_iter_us,
+                 r.stats.occupancy.achieved, r.stats.timing.bound_by,
+                 static_cast<unsigned long long>(c.l1_tag_requests_global),
+                 static_cast<unsigned long long>(c.dram_sectors),
+                 static_cast<unsigned long long>(c.shared_wavefronts),
+                 static_cast<unsigned long long>(c.divergent_branches));
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+inline void print_header(const char* title, const Options& o, std::int64_t sites) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("lattice L=%d (%lld target sites), simulated NVIDIA A100-40GB\n", o.L,
+              static_cast<long long>(sites));
+  std::printf("theoretical FLOP per Dslash: %.1f MFLOP (paper: 600.8 at L=32)\n",
+              dslash_flops(sites) / 1e6);
+  std::printf("================================================================\n");
+}
+
+/// A labelled GFLOP/s series with an ASCII bar chart (Fig. 6 style).
+class ResultChart {
+ public:
+  void add(std::string label, double gflops, std::string note = {}) {
+    rows_.push_back({std::move(label), gflops, std::move(note)});
+  }
+
+  void set_reference(std::string label, double gflops) {
+    ref_label_ = std::move(label);
+    ref_ = gflops;
+  }
+
+  void print() const {
+    double maxv = ref_;
+    for (const auto& r : rows_) maxv = std::max(maxv, r.gflops);
+    const int width = 46;
+    for (const auto& r : rows_) {
+      const int bar = maxv > 0 ? static_cast<int>(r.gflops / maxv * width) : 0;
+      std::printf("  %-34s %8.1f |", r.label.c_str(), r.gflops);
+      for (int i = 0; i < bar; ++i) std::printf("#");
+      for (int i = bar; i < width; ++i) std::printf(" ");
+      std::printf("| %s\n", r.note.c_str());
+    }
+    if (ref_ > 0.0) {
+      const int pos = maxv > 0 ? static_cast<int>(ref_ / maxv * width) : 0;
+      std::printf("  %-34s %8.1f  ", ref_label_.c_str(), ref_);
+      for (int i = 0; i < pos; ++i) std::printf("-");
+      std::printf("^\n");
+    }
+  }
+
+  [[nodiscard]] double best() const {
+    double b = 0.0;
+    for (const auto& r : rows_) b = std::max(b, r.gflops);
+    return b;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    double gflops;
+    std::string note;
+  };
+  std::vector<Row> rows_;
+  std::string ref_label_;
+  double ref_ = 0.0;
+};
+
+/// Runs one (strategy, order, local, variant) configuration and prints a
+/// standard row; returns the result for further aggregation.
+inline RunResult run_and_print(const DslashRunner& runner, DslashProblem& problem,
+                               const RunRequest& req) {
+  RunResult r = runner.run(problem, req);
+  std::printf("  %-34s %8.1f GF/s  kernel=%9.1f us  occ=%4.1f%%  bound=%s\n", r.label.c_str(),
+              r.gflops, r.kernel_us, 100.0 * r.stats.occupancy.achieved,
+              r.stats.timing.bound_by);
+  return r;
+}
+
+}  // namespace milc::bench

@@ -1,0 +1,60 @@
+// bench_compressed_3lp — extension experiment X2: does QUDA-style gauge
+// compression pay off for the paper's 3LP-1 strategy?  The paper could not
+// ask this ("not a current feature of our SYCL implementation", §IV-D3);
+// with the cooperative-staging recon-12 kernel we can.  Compression removes
+// 1/3 of the gauge bytes but adds reconstruction FLOPs, local-memory traffic
+// and eight extra barriers per site-quartet.
+#include "bench_common.hpp"
+#include "core/compressed.hpp"
+#include "qudaref/staggered_test.hpp"
+
+using namespace milc;
+using namespace milc::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  DslashProblem problem(opt.L, opt.seed);
+  DslashRunner runner;
+  print_header("Gauge compression for 3LP-1 (extension X2)", opt, problem.sites());
+
+  CompressedDslash cd(problem.view(), problem.neighbors());
+  ColorField out(problem.geom(), problem.target_parity());
+
+  std::printf("\n%-26s %10s %12s %14s %14s %12s\n", "kernel", "GF/s", "kernel_us",
+              "DRAM sectors", "smem wavefr.", "barriers");
+  for (int ls : paper_local_sizes(Strategy::LP3_1, IndexOrder::kMajor, problem.sites())) {
+    RunRequest req{.strategy = Strategy::LP3_1,
+                   .order = IndexOrder::kMajor,
+                   .local_size = ls,
+                   .variant = Variant::SYCL};
+    const RunResult plain = runner.run(problem, req);
+    const auto comp = cd.profile(problem.b(), out, ls);
+    const double comp_gflops = problem.flops() / (comp.duration_us * 1e-6) / 1e9;
+    const double plain_gflops = problem.flops() / (plain.kernel_us * 1e-6) / 1e9;
+
+    std::printf("%-26s %10.1f %12.1f %13.1fM %13.1fM %11.0fK\n",
+                ("3LP-1 recon-18 /" + std::to_string(ls)).c_str(), plain_gflops,
+                plain.kernel_us,
+                static_cast<double>(plain.stats.counters.dram_sectors) / 1e6,
+                static_cast<double>(plain.stats.counters.shared_wavefronts) / 1e6,
+                static_cast<double>(plain.stats.counters.barrier_warp_events) / 1e3);
+    std::printf("%-26s %10.1f %12.1f %13.1fM %13.1fM %11.0fK   (x%.2f)\n",
+                ("3LP-1 recon-12 /" + std::to_string(ls)).c_str(), comp_gflops,
+                comp.duration_us, static_cast<double>(comp.counters.dram_sectors) / 1e6,
+                static_cast<double>(comp.counters.shared_wavefronts) / 1e6,
+                static_cast<double>(comp.counters.barrier_warp_events) / 1e3,
+                plain.kernel_us / comp.duration_us);
+  }
+
+  // Context: QUDA's recon-12 gain on its own site-per-thread kernel.
+  qudaref::StaggeredDslashTest quda(problem);
+  const auto q18 = quda.run(Reconstruct::k18);
+  const auto q12 = quda.run(Reconstruct::k12);
+  std::printf("\nQUDA for scale: recon-18 %.1f -> recon-12 %.1f GF/s (x%.2f)\n", q18.gflops,
+              q12.gflops, q12.gflops / q18.gflops);
+  std::printf("\nreading: compression couples awkwardly to row-parallelism — the row-2\n"
+              "work-item needs both stored rows, so the triplet must stage links through\n"
+              "local memory with extra synchronisation, eating part of the bandwidth win\n"
+              "that the site-per-thread QUDA kernel banks in full.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// bench_fig6 — reproduces the paper's Fig. 6 (experiment E1) and the
+// headline summary (E10): GFLOP/s of every SYCL MILC-Dslash implementation
+// (strategy x index order x local size), the five additional 3LP-1 variants
+// (gray-shaded block), and QUDA's staggered_dslash_test as the reference
+// line.
+#include <map>
+
+#include "bench_common.hpp"
+#include "qudaref/staggered_test.hpp"
+
+using namespace milc;
+using namespace milc::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  DslashProblem problem(opt.L, opt.seed);
+  DslashRunner runner;
+  print_header("Fig. 6 — performance of all MILC-Dslash implementations", opt,
+               problem.sites());
+
+  CsvSink csv(opt.csv_path);
+  ResultChart chart;
+  std::map<std::string, double> best_per_strategy;
+  double best_overall = 0.0, lp1_best = 0.0;
+
+  // -- the strategy ladder ----------------------------------------------------
+  for (Strategy s : all_strategies()) {
+    std::printf("\n%s\n", to_string(s));
+    for (IndexOrder o : orders_of(s)) {
+      for (int ls : paper_local_sizes(s, o, problem.sites())) {
+        RunRequest req{.strategy = s, .order = o, .local_size = ls, .variant = Variant::SYCL};
+        const RunResult r = run_and_print(runner, problem, req);
+        csv.row(r);
+        chart.add(r.label, r.gflops);
+        best_per_strategy[to_string(s)] = std::max(best_per_strategy[to_string(s)], r.gflops);
+        best_overall = std::max(best_overall, r.gflops);
+        if (s == Strategy::LP1) lp1_best = std::max(lp1_best, r.gflops);
+      }
+    }
+  }
+
+  // -- the gray-shaded 3LP-1 variant block -------------------------------------
+  std::printf("\n3LP-1 additional implementations (gray block of Fig. 6)\n");
+  for (Variant v : fig6_variants()) {
+    if (v == Variant::SYCL) continue;  // already above
+    for (int ls : paper_local_sizes(Strategy::LP3_1, IndexOrder::kMajor, problem.sites())) {
+      RunRequest req{.strategy = Strategy::LP3_1,
+                     .order = IndexOrder::kMajor,
+                     .local_size = ls,
+                     .variant = v};
+      const RunResult r = run_and_print(runner, problem, req);
+      csv.row(r);
+      chart.add(r.label, r.gflops);
+      best_overall = std::max(best_overall, r.gflops);
+      best_per_strategy["3LP-1"] = std::max(best_per_strategy["3LP-1"], r.gflops);
+    }
+  }
+
+  // -- QUDA reference line -------------------------------------------------------
+  std::printf("\nQUDA staggered_dslash_test (reference, recon-18)\n");
+  qudaref::StaggeredDslashTest quda(problem);
+  const auto q18 = quda.run(Reconstruct::k18);
+  std::printf("  %-34s %8.1f GF/s  kernel=%9.1f us  (tuned local=%d)\n",
+              "QUDA recon-18 (dashed line)", q18.gflops, q18.kernel_us, q18.local_size);
+  chart.set_reference("QUDA 633.7 GF/s line (paper)", q18.gflops);
+
+  std::printf("\n");
+  chart.print();
+
+  // -- headline summary (E10) -----------------------------------------------------
+  std::printf("\nSummary (paper §V):\n");
+  std::printf("  best 3LP-1 vs 1LP speed-up:        %.2fx   (paper: ~2x)\n",
+              best_per_strategy["3LP-1"] / lp1_best);
+  std::printf("  best 3LP-1 vs QUDA recon-18:      %+.1f%%   (paper: up to +10.2%%)\n",
+              100.0 * (best_per_strategy["3LP-1"] / q18.gflops - 1.0));
+  std::printf("  peak implementation:               %.1f GF/s\n", best_overall);
+  std::printf("  strategy ladder (best per strategy):\n");
+  for (Strategy s : all_strategies()) {
+    std::printf("    %-7s %8.1f GF/s\n", to_string(s), best_per_strategy[to_string(s)]);
+  }
+  return 0;
+}

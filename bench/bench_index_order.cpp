@@ -1,0 +1,46 @@
+// bench_index_order — experiment E7 (paper §IV-D7): k-major vs i-major work-
+// item index order across every strategy and local size.  The paper finds
+// k-major ahead in 31 of 36 cases, mostly within 3%, except 4LP-1 where it
+// wins by 7.2-8.5%, driven by memory coalescing (L1 tag requests) and shared
+// -memory bank conflicts.
+#include "bench_common.hpp"
+
+using namespace milc;
+using namespace milc::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  DslashProblem problem(opt.L, opt.seed);
+  DslashRunner runner;
+  print_header("Work-item index order: k-major vs i-major (IV-D7)", opt, problem.sites());
+
+  int k_wins = 0, total = 0;
+  std::printf("\n%-9s %6s %12s %12s %9s %14s %14s\n", "strategy", "local", "first GF/s",
+              "second GF/s", "delta%", "tags(1st)", "tags(2nd)");
+
+  for (Strategy s :
+       {Strategy::LP3_1, Strategy::LP3_2, Strategy::LP3_3, Strategy::LP4_1, Strategy::LP4_2}) {
+    const auto orders = orders_of(s);  // [preferred, i-major]
+    for (int ls : paper_local_sizes(s, orders[1], problem.sites())) {
+      if (!is_valid_local_size(s, orders[0], ls, problem.sites())) continue;
+      RunRequest a{.strategy = s, .order = orders[0], .local_size = ls, .variant = Variant::SYCL};
+      RunRequest b{.strategy = s, .order = orders[1], .local_size = ls, .variant = Variant::SYCL};
+      const RunResult ra = runner.run(problem, a);
+      const RunResult rb = runner.run(problem, b);
+      const double delta = 100.0 * (ra.gflops / rb.gflops - 1.0);
+      std::printf("%-9s %6d %12.1f %12.1f %+8.1f%% %13.1fM %13.1fM  (%s vs %s)\n",
+                  to_string(s), ls, ra.gflops, rb.gflops, delta,
+                  static_cast<double>(ra.stats.counters.l1_tag_requests_global) / 1e6,
+                  static_cast<double>(rb.stats.counters.l1_tag_requests_global) / 1e6,
+                  to_string(orders[0]), to_string(orders[1]));
+      ++total;
+      if (ra.gflops >= rb.gflops) ++k_wins;
+    }
+  }
+
+  std::printf("\npreferred order wins %d of %d cases (paper: k-major wins 31 of 36)\n", k_wins,
+              total);
+  std::printf("expected mechanism: i-major raises L1 tag requests (less localized\n"
+              "access) and, for local-memory kernels, shared bank conflicts.\n");
+  return 0;
+}

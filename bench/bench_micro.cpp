@@ -1,0 +1,138 @@
+// bench_micro — host-side microbenchmarks (experiment M1) of the building
+// blocks: complex arithmetic (both libraries), SU(3) kernels, gauge
+// pack/reconstruct, the serial reference Dslash, and the simulator's own
+// cache/coalescer throughput (which bounds how fast the benches run).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "complexlib/syclcplx.hpp"
+#include "core/dslash_ref.hpp"
+#include "core/problem.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/coalescer.hpp"
+#include "su3/random_su3.hpp"
+#include "su3/reconstruct.hpp"
+
+namespace {
+
+using milc::dcomplex;
+
+void BM_DComplexMac(benchmark::State& state) {
+  dcomplex acc{0.1, 0.2}, a{1.1, -0.3}, b{0.7, 0.9};
+  for (auto _ : state) {
+    milc::cmac(acc, a, b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_DComplexMac);
+
+void BM_SyclCplxMac(benchmark::State& state) {
+  syclcplx::complex<double> acc{0.1, 0.2}, a{1.1, -0.3}, b{0.7, 0.9};
+  for (auto _ : state) {
+    acc += a * b;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SyclCplxMac);
+
+void BM_SU3MatVec(benchmark::State& state) {
+  milc::Rng rng(1);
+  const auto u = milc::random_su3(rng);
+  const auto v = milc::random_vector(rng);
+  for (auto _ : state) {
+    auto y = milc::matvec(u, v);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SU3MatVec);
+
+void BM_SU3MatMul(benchmark::State& state) {
+  milc::Rng rng(2);
+  const auto a = milc::random_su3(rng);
+  const auto b = milc::random_su3(rng);
+  for (auto _ : state) {
+    auto c = milc::matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SU3MatMul);
+
+void BM_RandomSU3(benchmark::State& state) {
+  milc::Rng rng(3);
+  for (auto _ : state) {
+    auto u = milc::random_su3(rng);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_RandomSU3);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const auto scheme = static_cast<milc::Reconstruct>(state.range(0));
+  milc::Rng rng(4);
+  const auto u = milc::random_su3(rng);
+  std::array<double, 18> buf{};
+  for (auto _ : state) {
+    milc::pack_link(scheme, u, buf);
+    auto v = milc::unpack_link(scheme, buf);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PackUnpack)->Arg(0)->Arg(1)->Arg(2);  // k18, k12, k9
+
+void BM_ReferenceDslash(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  milc::DslashProblem p(L, 5);
+  milc::ColorField out(p.geom(), p.target_parity());
+  for (auto _ : state) {
+    milc::dslash_reference(p.view(), p.neighbors(), p.b(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.sites());
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * p.flops() * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceDslash)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  gpusim::SectoredCache cache(128 * 1024, 128, 32, 4);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    auto out = cache.access(addr, false);
+    benchmark::DoNotOptimize(out);
+    addr += 32;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_Coalescer(benchmark::State& state) {
+  std::vector<gpusim::LaneAccess> lanes;
+  for (int l = 0; l < 32; ++l) {
+    lanes.push_back({static_cast<std::uint64_t>(l) * 48, 16, static_cast<std::uint8_t>(l)});
+  }
+  std::vector<std::uint64_t> out;
+  for (auto _ : state) {
+    gpusim::coalesce_sectors(lanes, 32, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Coalescer);
+
+void BM_BankAnalysis(benchmark::State& state) {
+  std::vector<gpusim::LaneAccess> lanes;
+  for (int l = 0; l < 32; ++l) {
+    lanes.push_back({static_cast<std::uint64_t>(l) * 16, 16, static_cast<std::uint8_t>(l)});
+  }
+  for (auto _ : state) {
+    auto r = gpusim::analyze_shared(lanes, 32, 4);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BankAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

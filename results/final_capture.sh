@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt | tail -2
+echo CAPTURE_DONE

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Official paper-scale runs (L=32), sequential to respect the single core.
+cd /root/repo
+for b in bench_fig6 bench_table1 bench_quda_recon bench_3lp1_variants \
+         bench_queue_semantics bench_index_order bench_4lp_analysis \
+         bench_local_size bench_layout_ablation bench_precision \
+         bench_compressed_3lp bench_wilson; do
+  echo "=== running $b --L 32 ==="
+  ./build/bench/$b --L 32 > results/L32/$b.txt 2>&1
+  echo "=== done $b (exit $?) ==="
+done
+echo ALL_L32_DONE

@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+echo "=== running bench_table1 --L 32 (follow-up, cascade divergence counting) ==="
+./build/bench/bench_table1 --L 32 > results/L32/bench_table1.txt 2>&1
+echo "=== done bench_table1 (exit $?) ==="
+echo FOLLOWUP_DONE

@@ -1,0 +1,55 @@
+// complex_traits.hpp — uniform interface over milc::dcomplex and
+// syclcplx::complex<double>, so the Dslash kernels can be instantiated with
+// either type (paper §IV-C item 1: the SyclCPLX variant of 3LP-1 differs from
+// the baseline only in the complex type it manipulates).
+#pragma once
+
+#include <type_traits>
+
+#include "complexlib/dcomplex.hpp"
+#include "complexlib/syclcplx.hpp"
+
+namespace milc {
+
+template <typename C>
+struct complex_traits;
+
+template <>
+struct complex_traits<dcomplex> {
+  using value_type = double;
+  static constexpr dcomplex make(double re, double im) { return {re, im}; }
+  static constexpr double real(const dcomplex& z) { return z.re; }
+  static constexpr double imag(const dcomplex& z) { return z.im; }
+  static constexpr dcomplex conj(const dcomplex& z) { return cconj(z); }
+  /// acc += a * b
+  static constexpr void mac(dcomplex& acc, const dcomplex& a, const dcomplex& b) {
+    cmac(acc, a, b);
+  }
+  /// acc += conj(a) * b
+  static constexpr void conj_mac(dcomplex& acc, const dcomplex& a, const dcomplex& b) {
+    cmac_conj(acc, a, b);
+  }
+};
+
+template <>
+struct complex_traits<syclcplx::complex<double>> {
+  using value_type = double;
+  using C = syclcplx::complex<double>;
+  static constexpr C make(double re, double im) { return {re, im}; }
+  static constexpr double real(const C& z) { return z.real(); }
+  static constexpr double imag(const C& z) { return z.imag(); }
+  static constexpr C conj(const C& z) { return syclcplx::conj(z); }
+  static constexpr void mac(C& acc, const C& a, const C& b) { acc += a * b; }
+  static constexpr void conj_mac(C& acc, const C& a, const C& b) {
+    acc += syclcplx::conj(a) * b;
+  }
+};
+
+/// True for any type usable as the kernels' complex scalar.
+template <typename C>
+concept ComplexScalar = requires(C z, double d) {
+  { complex_traits<C>::make(d, d) } -> std::same_as<C>;
+  { complex_traits<C>::real(z) } -> std::same_as<double>;
+};
+
+}  // namespace milc

@@ -1,0 +1,11 @@
+#include "complexlib/dcomplex.hpp"
+
+#include <ostream>
+
+namespace milc {
+
+std::ostream& operator<<(std::ostream& os, const dcomplex& a) {
+  return os << '(' << a.re << (a.im < 0 ? "" : "+") << a.im << "i)";
+}
+
+}  // namespace milc

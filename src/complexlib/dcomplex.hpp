@@ -1,0 +1,122 @@
+// dcomplex.hpp — the paper's `double_complex` structure.
+//
+// Section III of the paper: "declare a structure data type named
+// double_complex. This structure internally defines two doubles to represent
+// complex numbers, along with arithmetic functions designed for manipulating
+// complex numbers."  This is the MILC-style hand-rolled complex type used by
+// every kernel variant except the SyclCPLX ones.  It is a trivially copyable
+// aggregate so it can live in (simulated) work-group local memory and be
+// treated as two packed 8-byte words by the memory model.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace milc {
+
+/// Hand-rolled double-precision complex number (the paper's `double_complex`).
+struct dcomplex {
+  double re = 0.0;
+  double im = 0.0;
+
+  constexpr dcomplex() = default;
+  constexpr dcomplex(double r, double i) : re(r), im(i) {}
+  explicit constexpr dcomplex(double r) : re(r), im(0.0) {}
+
+  constexpr dcomplex& operator+=(const dcomplex& o) {
+    re += o.re;
+    im += o.im;
+    return *this;
+  }
+  constexpr dcomplex& operator-=(const dcomplex& o) {
+    re -= o.re;
+    im -= o.im;
+    return *this;
+  }
+  constexpr dcomplex& operator*=(double s) {
+    re *= s;
+    im *= s;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const dcomplex& a, const dcomplex& b) {
+    return a.re == b.re && a.im == b.im;
+  }
+};
+
+static_assert(sizeof(dcomplex) == 16, "dcomplex must pack to two doubles");
+
+/// a + b
+[[nodiscard]] constexpr dcomplex cadd(const dcomplex& a, const dcomplex& b) {
+  return {a.re + b.re, a.im + b.im};
+}
+
+/// a - b
+[[nodiscard]] constexpr dcomplex csub(const dcomplex& a, const dcomplex& b) {
+  return {a.re - b.re, a.im - b.im};
+}
+
+/// a * b
+[[nodiscard]] constexpr dcomplex cmul(const dcomplex& a, const dcomplex& b) {
+  return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+/// conj(a) * b — the "adjoint multiply" used when applying U^dagger.
+[[nodiscard]] constexpr dcomplex cmul_conj(const dcomplex& a, const dcomplex& b) {
+  return {a.re * b.re + a.im * b.im, a.re * b.im - a.im * b.re};
+}
+
+/// acc += a * b (complex multiply-accumulate, the inner-loop workhorse).
+constexpr void cmac(dcomplex& acc, const dcomplex& a, const dcomplex& b) {
+  acc.re += a.re * b.re - a.im * b.im;
+  acc.im += a.re * b.im + a.im * b.re;
+}
+
+/// acc += conj(a) * b
+constexpr void cmac_conj(dcomplex& acc, const dcomplex& a, const dcomplex& b) {
+  acc.re += a.re * b.re + a.im * b.im;
+  acc.im += a.re * b.im - a.im * b.re;
+}
+
+/// complex conjugate
+[[nodiscard]] constexpr dcomplex cconj(const dcomplex& a) { return {a.re, -a.im}; }
+
+/// -a
+[[nodiscard]] constexpr dcomplex cneg(const dcomplex& a) { return {-a.re, -a.im}; }
+
+/// |a|^2
+[[nodiscard]] constexpr double cnorm2(const dcomplex& a) {
+  return a.re * a.re + a.im * a.im;
+}
+
+/// |a|
+[[nodiscard]] inline double cabs(const dcomplex& a) { return std::hypot(a.re, a.im); }
+
+/// scalar * a
+[[nodiscard]] constexpr dcomplex cscale(double s, const dcomplex& a) {
+  return {s * a.re, s * a.im};
+}
+
+/// a / b (robust complex division, Smith's algorithm)
+[[nodiscard]] inline dcomplex cdiv(const dcomplex& a, const dcomplex& b) {
+  if (std::fabs(b.re) >= std::fabs(b.im)) {
+    const double r = b.im / b.re;
+    const double d = b.re + b.im * r;
+    return {(a.re + a.im * r) / d, (a.im - a.re * r) / d};
+  }
+  const double r = b.re / b.im;
+  const double d = b.re * r + b.im;
+  return {(a.re * r + a.im) / d, (a.im * r - a.re) / d};
+}
+
+constexpr dcomplex operator+(const dcomplex& a, const dcomplex& b) { return cadd(a, b); }
+constexpr dcomplex operator-(const dcomplex& a, const dcomplex& b) { return csub(a, b); }
+constexpr dcomplex operator*(const dcomplex& a, const dcomplex& b) { return cmul(a, b); }
+constexpr dcomplex operator*(double s, const dcomplex& a) { return cscale(s, a); }
+constexpr dcomplex operator*(const dcomplex& a, double s) { return cscale(s, a); }
+constexpr dcomplex operator-(const dcomplex& a) { return cneg(a); }
+inline dcomplex operator/(const dcomplex& a, const dcomplex& b) { return cdiv(a, b); }
+
+std::ostream& operator<<(std::ostream& os, const dcomplex& a);
+
+}  // namespace milc

@@ -1,0 +1,69 @@
+// scomplex.hpp — single-precision complex number.
+//
+// QUDA's flagship optimisation for memory-bound operators is mixed
+// precision (paper §I: "QUDA supports ... mixed-precision solvers"): run the
+// inner solver in float (halving memory traffic) and correct in double.
+// This is the float counterpart of milc::dcomplex; complex_traits adapts it
+// to the kernels, so every strategy kernel can be instantiated at single
+// precision unchanged.
+#pragma once
+
+#include <cmath>
+
+#include "complexlib/complex_traits.hpp"
+
+namespace milc {
+
+/// Packed single-precision complex (8 bytes — half the traffic of dcomplex).
+struct scomplex {
+  float re = 0.0f;
+  float im = 0.0f;
+
+  constexpr scomplex() = default;
+  constexpr scomplex(float r, float i) : re(r), im(i) {}
+  explicit constexpr scomplex(const dcomplex& z)
+      : re(static_cast<float>(z.re)), im(static_cast<float>(z.im)) {}
+
+  [[nodiscard]] constexpr dcomplex to_double() const {
+    return {static_cast<double>(re), static_cast<double>(im)};
+  }
+
+  constexpr scomplex& operator+=(const scomplex& o) {
+    re += o.re;
+    im += o.im;
+    return *this;
+  }
+  constexpr scomplex& operator-=(const scomplex& o) {
+    re -= o.re;
+    im -= o.im;
+    return *this;
+  }
+  friend constexpr scomplex operator+(scomplex a, const scomplex& b) { return a += b; }
+  friend constexpr scomplex operator-(scomplex a, const scomplex& b) { return a -= b; }
+  friend constexpr bool operator==(const scomplex& a, const scomplex& b) {
+    return a.re == b.re && a.im == b.im;
+  }
+};
+
+static_assert(sizeof(scomplex) == 8, "scomplex must pack to two floats");
+
+template <>
+struct complex_traits<scomplex> {
+  using value_type = float;
+  static constexpr scomplex make(double re, double im) {
+    return {static_cast<float>(re), static_cast<float>(im)};
+  }
+  static constexpr double real(const scomplex& z) { return static_cast<double>(z.re); }
+  static constexpr double imag(const scomplex& z) { return static_cast<double>(z.im); }
+  static constexpr scomplex conj(const scomplex& z) { return {z.re, -z.im}; }
+  static constexpr void mac(scomplex& acc, const scomplex& a, const scomplex& b) {
+    acc.re += a.re * b.re - a.im * b.im;
+    acc.im += a.re * b.im + a.im * b.re;
+  }
+  static constexpr void conj_mac(scomplex& acc, const scomplex& a, const scomplex& b) {
+    acc.re += a.re * b.re + a.im * b.im;
+    acc.im += a.re * b.im - a.im * b.re;
+  }
+};
+
+}  // namespace milc

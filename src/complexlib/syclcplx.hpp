@@ -1,0 +1,327 @@
+// syclcplx.hpp — a SyclCPLX-style complex-number library.
+//
+// SyclCPLX (https://github.com/argonne-lcf/SyclCPLX, evaluated by the paper
+// as `sycl::ext::cplx::complex<T>`) provides a std::complex-compatible type
+// that is usable inside SYCL device code, where std::complex is not
+// guaranteed to work.  This header reproduces its public surface: a
+// trivially-copyable `complex<T>`, the full arithmetic operator set with
+// scalar mixing, the elementary accessors (real/imag/abs/arg/norm/conj/
+// proj/polar), exponential, logarithmic, power, trigonometric and hyperbolic
+// functions.  Everything is header-only and marked constexpr where the math
+// allows, exactly the properties that make such a library attractive in
+// device kernels.
+//
+// The 3LP-1 "SyclCPLX" variant of the Dslash kernel is templated on this
+// type instead of milc::dcomplex (paper §IV-C item 1, §IV-D5).
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <limits>
+#include <type_traits>
+
+namespace syclcplx {
+
+/// SyclCPLX-compatible complex number over a floating-point type T.
+template <typename T>
+class complex {
+  static_assert(std::is_floating_point_v<T>,
+                "syclcplx::complex requires a floating-point value type");
+
+ public:
+  using value_type = T;
+
+  constexpr complex() = default;
+  constexpr complex(T re, T im = T{}) : re_(re), im_(im) {}
+
+  /// Converting constructor from a complex of another precision.
+  template <typename U>
+  explicit constexpr complex(const complex<U>& o)
+      : re_(static_cast<T>(o.real())), im_(static_cast<T>(o.imag())) {}
+
+  [[nodiscard]] constexpr T real() const { return re_; }
+  [[nodiscard]] constexpr T imag() const { return im_; }
+  constexpr void real(T v) { re_ = v; }
+  constexpr void imag(T v) { im_ = v; }
+
+  constexpr complex& operator=(T v) {
+    re_ = v;
+    im_ = T{};
+    return *this;
+  }
+
+  constexpr complex& operator+=(const complex& o) {
+    re_ += o.re_;
+    im_ += o.im_;
+    return *this;
+  }
+  constexpr complex& operator-=(const complex& o) {
+    re_ -= o.re_;
+    im_ -= o.im_;
+    return *this;
+  }
+  constexpr complex& operator*=(const complex& o) {
+    const T r = re_ * o.re_ - im_ * o.im_;
+    im_ = re_ * o.im_ + im_ * o.re_;
+    re_ = r;
+    return *this;
+  }
+  complex& operator/=(const complex& o) {
+    *this = *this / o;
+    return *this;
+  }
+  constexpr complex& operator+=(T v) {
+    re_ += v;
+    return *this;
+  }
+  constexpr complex& operator-=(T v) {
+    re_ -= v;
+    return *this;
+  }
+  constexpr complex& operator*=(T v) {
+    re_ *= v;
+    im_ *= v;
+    return *this;
+  }
+  constexpr complex& operator/=(T v) {
+    re_ /= v;
+    im_ /= v;
+    return *this;
+  }
+
+  // -- binary operators ------------------------------------------------------
+  friend constexpr complex operator+(const complex& a, const complex& b) {
+    return {a.re_ + b.re_, a.im_ + b.im_};
+  }
+  friend constexpr complex operator+(const complex& a, T b) { return {a.re_ + b, a.im_}; }
+  friend constexpr complex operator+(T a, const complex& b) { return {a + b.re_, b.im_}; }
+
+  friend constexpr complex operator-(const complex& a, const complex& b) {
+    return {a.re_ - b.re_, a.im_ - b.im_};
+  }
+  friend constexpr complex operator-(const complex& a, T b) { return {a.re_ - b, a.im_}; }
+  friend constexpr complex operator-(T a, const complex& b) { return {a - b.re_, -b.im_}; }
+
+  friend constexpr complex operator*(const complex& a, const complex& b) {
+    return {a.re_ * b.re_ - a.im_ * b.im_, a.re_ * b.im_ + a.im_ * b.re_};
+  }
+  friend constexpr complex operator*(const complex& a, T b) { return {a.re_ * b, a.im_ * b}; }
+  friend constexpr complex operator*(T a, const complex& b) { return {a * b.re_, a * b.im_}; }
+
+  /// Smith's algorithm, as used by SyclCPLX / libstdc++, to avoid premature
+  /// overflow in |b|^2.
+  friend complex operator/(const complex& a, const complex& b) {
+    using std::fabs;
+    if (fabs(b.re_) >= fabs(b.im_)) {
+      const T r = b.im_ / b.re_;
+      const T d = b.re_ + b.im_ * r;
+      return {(a.re_ + a.im_ * r) / d, (a.im_ - a.re_ * r) / d};
+    }
+    const T r = b.re_ / b.im_;
+    const T d = b.re_ * r + b.im_;
+    return {(a.re_ * r + a.im_) / d, (a.im_ * r - a.re_) / d};
+  }
+  friend constexpr complex operator/(const complex& a, T b) { return {a.re_ / b, a.im_ / b}; }
+  friend complex operator/(T a, const complex& b) { return complex{a, T{}} / b; }
+
+  friend constexpr complex operator+(const complex& a) { return a; }
+  friend constexpr complex operator-(const complex& a) { return {-a.re_, -a.im_}; }
+
+  friend constexpr bool operator==(const complex& a, const complex& b) {
+    return a.re_ == b.re_ && a.im_ == b.im_;
+  }
+  friend constexpr bool operator==(const complex& a, T b) { return a.re_ == b && a.im_ == T{}; }
+  friend constexpr bool operator==(T a, const complex& b) { return b == a; }
+  friend constexpr bool operator!=(const complex& a, const complex& b) { return !(a == b); }
+
+ private:
+  T re_{};
+  T im_{};
+};
+
+static_assert(std::is_trivially_copyable_v<complex<double>>,
+              "device-usable complex must be trivially copyable");
+
+// -- accessors ---------------------------------------------------------------
+
+template <typename T>
+[[nodiscard]] constexpr T real(const complex<T>& z) {
+  return z.real();
+}
+template <typename T>
+[[nodiscard]] constexpr T imag(const complex<T>& z) {
+  return z.imag();
+}
+
+/// |z|^2
+template <typename T>
+[[nodiscard]] constexpr T norm(const complex<T>& z) {
+  return z.real() * z.real() + z.imag() * z.imag();
+}
+
+/// |z| without undue overflow/underflow.
+template <typename T>
+[[nodiscard]] T abs(const complex<T>& z) {
+  return std::hypot(z.real(), z.imag());
+}
+
+/// Phase angle in (-pi, pi].
+template <typename T>
+[[nodiscard]] T arg(const complex<T>& z) {
+  return std::atan2(z.imag(), z.real());
+}
+
+template <typename T>
+[[nodiscard]] constexpr complex<T> conj(const complex<T>& z) {
+  return {z.real(), -z.imag()};
+}
+
+/// Projection onto the Riemann sphere (maps all infinities to +inf).
+template <typename T>
+[[nodiscard]] complex<T> proj(const complex<T>& z) {
+  if (std::isinf(z.real()) || std::isinf(z.imag())) {
+    return {std::numeric_limits<T>::infinity(), std::copysign(T{}, z.imag())};
+  }
+  return z;
+}
+
+/// rho * exp(i * theta)
+template <typename T>
+[[nodiscard]] complex<T> polar(T rho, T theta = T{}) {
+  return {rho * std::cos(theta), rho * std::sin(theta)};
+}
+
+// -- exponential / logarithmic -----------------------------------------------
+
+template <typename T>
+[[nodiscard]] complex<T> exp(const complex<T>& z) {
+  const T e = std::exp(z.real());
+  return {e * std::cos(z.imag()), e * std::sin(z.imag())};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> log(const complex<T>& z) {
+  return {std::log(abs(z)), arg(z)};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> log10(const complex<T>& z) {
+  return log(z) / std::log(T{10});
+}
+
+/// Principal square root (right half-plane).
+template <typename T>
+[[nodiscard]] complex<T> sqrt(const complex<T>& z) {
+  const T r = abs(z);
+  if (r == T{}) return {T{}, T{}};
+  const T x = std::sqrt((r + z.real()) / T{2});
+  const T y = std::sqrt((r - z.real()) / T{2});
+  return {x, std::copysign(y, z.imag())};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> pow(const complex<T>& base, const complex<T>& e) {
+  if (base == complex<T>{} && e == complex<T>{}) return {T{1}, T{}};
+  if (base == complex<T>{}) return {T{}, T{}};
+  return exp(e * log(base));
+}
+
+template <typename T>
+[[nodiscard]] complex<T> pow(const complex<T>& base, T e) {
+  return pow(base, complex<T>{e, T{}});
+}
+
+template <typename T>
+[[nodiscard]] complex<T> pow(T base, const complex<T>& e) {
+  return pow(complex<T>{base, T{}}, e);
+}
+
+// -- trigonometric -----------------------------------------------------------
+
+template <typename T>
+[[nodiscard]] complex<T> sin(const complex<T>& z) {
+  return {std::sin(z.real()) * std::cosh(z.imag()),
+          std::cos(z.real()) * std::sinh(z.imag())};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> cos(const complex<T>& z) {
+  return {std::cos(z.real()) * std::cosh(z.imag()),
+          -std::sin(z.real()) * std::sinh(z.imag())};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> tan(const complex<T>& z) {
+  return sin(z) / cos(z);
+}
+
+// -- hyperbolic ----------------------------------------------------------------
+
+template <typename T>
+[[nodiscard]] complex<T> sinh(const complex<T>& z) {
+  return {std::sinh(z.real()) * std::cos(z.imag()),
+          std::cosh(z.real()) * std::sin(z.imag())};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> cosh(const complex<T>& z) {
+  return {std::cosh(z.real()) * std::cos(z.imag()),
+          std::sinh(z.real()) * std::sin(z.imag())};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> tanh(const complex<T>& z) {
+  return sinh(z) / cosh(z);
+}
+
+// -- inverse trigonometric / hyperbolic ---------------------------------------
+
+template <typename T>
+[[nodiscard]] complex<T> asinh(const complex<T>& z) {
+  return log(z + sqrt(z * z + complex<T>{T{1}, T{}}));
+}
+
+template <typename T>
+[[nodiscard]] complex<T> acosh(const complex<T>& z) {
+  return log(z + sqrt(z + complex<T>{T{1}, T{}}) * sqrt(z - complex<T>{T{1}, T{}}));
+}
+
+template <typename T>
+[[nodiscard]] complex<T> atanh(const complex<T>& z) {
+  const complex<T> one{T{1}, T{}};
+  return T{0.5} * (log(one + z) - log(one - z));
+}
+
+template <typename T>
+[[nodiscard]] complex<T> asin(const complex<T>& z) {
+  const complex<T> iz{-z.imag(), z.real()};  // i*z
+  const complex<T> w = asinh(iz);
+  return {w.imag(), -w.real()};  // -i*w
+}
+
+template <typename T>
+[[nodiscard]] complex<T> acos(const complex<T>& z) {
+  const complex<T> w = asin(z);
+  const T half_pi = std::acos(T{-1}) / T{2};
+  return {half_pi - w.real(), -w.imag()};
+}
+
+template <typename T>
+[[nodiscard]] complex<T> atan(const complex<T>& z) {
+  const complex<T> iz{-z.imag(), z.real()};
+  const complex<T> w = atanh(iz);
+  return {w.imag(), -w.real()};
+}
+
+// -- literals ------------------------------------------------------------------
+
+inline namespace literals {
+constexpr complex<double> operator""_i(long double v) {
+  return {0.0, static_cast<double>(v)};
+}
+constexpr complex<double> operator""_i(unsigned long long v) {
+  return {0.0, static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace syclcplx

@@ -1,0 +1,66 @@
+#include "core/compressed.hpp"
+
+namespace milc {
+
+CompressedGaugeDevice::CompressedGaugeDevice(const GaugeView& view) : sites_(view.sites()) {
+  for (int l = 0; l < kNlinks; ++l) {
+    auto& fam = data_[static_cast<std::size_t>(l)];
+    fam.resize(static_cast<std::size_t>(sites_ * kNdim * 6));
+    for (std::int64_t s = 0; s < sites_; ++s) {
+      for (int k = 0; k < kNdim; ++k) {
+        const SU3Matrix<dcomplex>& m = view.link(l, s, k);
+        for (int j = 0; j < kColors; ++j) {
+          for (int i = 0; i < 2; ++i) {
+            fam[static_cast<std::size_t>(((s * kNdim + k) * kColors + j) * 2 + i)] =
+                m.e[i][j];
+          }
+        }
+      }
+    }
+  }
+}
+
+CompressedDslash::CompressedDslash(const GaugeView& view, const NeighborTable& nbr)
+    : gauge_(view), nbr_(&nbr) {}
+
+CompressedArgs CompressedDslash::make_args(const ColorField& in, ColorField& out) const {
+  CompressedArgs args;
+  for (int l = 0; l < kNlinks; ++l) args.links[l] = gauge_.family(l);
+  args.b = in.data();
+  args.c_out = out.data();
+  args.neighbors = nbr_->data();
+  args.sites = gauge_.sites();
+  return args;
+}
+
+namespace {
+
+minisycl::LaunchSpec make_spec(std::int64_t sites, int local_size) {
+  minisycl::LaunchSpec spec;
+  spec.global_size = sites * 12;
+  spec.local_size = local_size;
+  spec.shared_bytes = Dslash3LP1Recon12Kernel::shared_bytes(local_size);
+  spec.num_phases = Dslash3LP1Recon12Kernel::kPhases;
+  spec.traits = Dslash3LP1Recon12Kernel::traits();
+  return spec;
+}
+
+}  // namespace
+
+void CompressedDslash::apply(const ColorField& in, ColorField& out, int local_size) const {
+  Dslash3LP1Recon12Kernel kernel{make_args(in, out)};
+  minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order);
+  q.submit(make_spec(sites(), local_size), kernel);
+}
+
+gpusim::KernelStats CompressedDslash::profile(const ColorField& in, ColorField& out,
+                                              int local_size, gpusim::MachineModel machine,
+                                              gpusim::Calibration cal) const {
+  Dslash3LP1Recon12Kernel kernel{make_args(in, out)};
+  minisycl::queue q(minisycl::ExecMode::profiled, minisycl::QueueOrder::in_order, machine,
+                    cal);
+  return q.submit(make_spec(sites(), local_size), kernel,
+                  "3LP-1 recon-12 /" + std::to_string(local_size));
+}
+
+}  // namespace milc

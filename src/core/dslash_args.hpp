@@ -1,0 +1,87 @@
+// dslash_args.hpp — kernel-facing argument block and the shared inner math
+// of the MILC-Dslash stencil (eq. (1) of the paper).
+//
+// All strategy kernels operate on the same raw pointers; the Lane policy
+// (FastLane/TraceLane) decides whether accesses are merely performed or also
+// traced.  FLOP accounting matches the paper's convention: 66 FLOP per
+// SU(3) matrix-vector product (22 per row) plus 6 FLOP per complex-triplet
+// accumulation, i.e. 1146 FLOP per target site and 600.8 MFLOP for L = 32.
+#pragma once
+
+#include <cstdint>
+
+#include "complexlib/complex_traits.hpp"
+#include "lattice/geometry.hpp"
+#include "su3/su3_matrix.hpp"
+#include "su3/su3_vector.hpp"
+
+namespace milc {
+
+/// FLOPs per target site under the paper's counting.
+inline constexpr double kFlopsPerSite = 16.0 * 66.0 + 15.0 * 6.0;  // = 1146
+
+/// Theoretical FLOPs of one Dslash application on a lattice with
+/// `half_volume` target sites (the paper's "600.8 million FLOP" for L = 32).
+[[nodiscard]] constexpr double dslash_flops(std::int64_t half_volume) {
+  return kFlopsPerSite * static_cast<double>(half_volume);
+}
+
+/// Raw device-pointer view of one Dslash application C = Dslash x B.
+///
+/// Gauge layout: links[l] is a flat complex array of [site][k][j][i] —
+/// matrices stored *column-major* so that work-items with consecutive row
+/// index i read adjacent 16-byte elements ("a constant gap of two 8-byte
+/// words between two adjacent work-items", paper §IV-D7).  This is the
+/// layout that makes the k-major index order coalesce.
+/// `neighbors` is [site*16 + k*4 + l].
+template <ComplexScalar C>
+struct DslashArgs {
+  const C* links[kNlinks] = {nullptr, nullptr, nullptr, nullptr};
+  const SU3Vector<C>* b = nullptr;
+  SU3Vector<C>* c_out = nullptr;
+  const std::int32_t* neighbors = nullptr;
+  std::int64_t sites = 0;
+
+  /// Element (row i, col j) of the link-family-l matrix at (site, k).
+  [[nodiscard]] const C* link_elem(int l, std::int64_t site, int k, int i, int j) const {
+    return links[l] + ((site * kNdim + k) * kColors + j) * kColors + i;
+  }
+};
+
+namespace device {
+
+/// One row of U * B: loads three matrix elements and three source components
+/// through the lane (the paper's j-loop) and returns the complex row sum.
+/// 22 FLOP per the paper's counting.
+template <typename Lane, ComplexScalar C>
+[[nodiscard]] inline C row_dot(Lane& lane, const DslashArgs<C>& args, int l,
+                               std::int64_t site, int k, int row, const SU3Vector<C>* bvec) {
+  using T = complex_traits<C>;
+  C acc = T::make(0.0, 0.0);
+  for (int j = 0; j < kColors; ++j) {
+    const C uij = lane.load(args.link_elem(l, site, k, row, j));
+    const C bj = lane.load(&bvec->c[j]);
+    T::mac(acc, uij, bj);
+  }
+  lane.flops(22);
+  return acc;
+}
+
+/// acc += sign * v (6 FLOP per the paper's counting: one complex-triplet
+/// accumulation contributes 2 FLOP per colour, emitted at the row level).
+template <typename Lane, ComplexScalar C>
+inline void accumulate_signed(Lane& lane, C& acc, double sign, const C& v) {
+  using T = complex_traits<C>;
+  acc += T::make(sign * T::real(v), sign * T::imag(v));
+  lane.flops(2);
+}
+
+/// Load the gather index for (site, dim k, link l).
+template <typename Lane>
+[[nodiscard]] inline std::int32_t load_neighbor(Lane& lane, const std::int32_t* neighbors,
+                                                std::int64_t site, int k, int l) {
+  return lane.load(&neighbors[site * kNeighbors + k * kNlinks + l]);
+}
+
+}  // namespace device
+}  // namespace milc

@@ -1,0 +1,83 @@
+// index_orders.hpp — the paper's work-item index orderings.
+//
+// Every 3LP/4LP kernel decodes (site, row i, dim k, link l) from the global
+// id; the paper studies how the decode order maps work-items onto the data
+// (§III-C/D, §IV-D7).  Each policy is a constexpr decode matching the code
+// snippets in the paper, plus the local-memory strides the reduction phases
+// need (distance between work-items that differ by one in k or l).
+#pragma once
+
+#include <cstdint>
+
+namespace milc {
+
+/// Decoded identity of a 3LP work-item.
+struct Idx3 {
+  std::int64_t s;
+  int i;
+  int k;
+  int delta_k;  ///< local-id distance between k and k+1 partials
+};
+
+/// Decoded identity of a 4LP work-item.
+struct Idx4 {
+  std::int64_t s;
+  int i;
+  int k;
+  int l;
+  int delta_k;
+  int delta_l;
+};
+
+enum class Order3 { kMajor, iMajor };
+enum class Order4 {
+  lp1_kMajor,  ///< 4LP-1: grouped by l, then k  (Fig. 5a)
+  lp1_iMajor,  ///< 4LP-1: grouped by l, then i  (Fig. 5b)
+  lp2_lMajor,  ///< 4LP-2: grouped by k, then l  (Fig. 4a)
+  lp2_iMajor,  ///< 4LP-2: grouped by k, then i  (Fig. 4b)
+};
+
+inline constexpr int kNrow = 3;
+inline constexpr int kNdimIdx = 4;
+inline constexpr int kNmat = 4;
+
+/// 3LP decode (12 work-items per site).
+template <Order3 O>
+[[nodiscard]] constexpr Idx3 decode3(std::int64_t gid) {
+  if constexpr (O == Order3::kMajor) {
+    // int s = gid / (ndim*nrow); int i = gid % nrow; int k = (gid/nrow) % ndim;
+    return {gid / (kNdimIdx * kNrow), static_cast<int>(gid % kNrow),
+            static_cast<int>((gid / kNrow) % kNdimIdx), kNrow};
+  } else {
+    // int i = (gid/ndim) % nrow; int k = gid % ndim;
+    return {gid / (kNdimIdx * kNrow), static_cast<int>((gid / kNdimIdx) % kNrow),
+            static_cast<int>(gid % kNdimIdx), 1};
+  }
+}
+
+/// 4LP decode (48 work-items per site).
+template <Order4 O>
+[[nodiscard]] constexpr Idx4 decode4(std::int64_t gid) {
+  const std::int64_t s = gid / (kNdimIdx * kNrow * kNmat);
+  if constexpr (O == Order4::lp1_kMajor) {
+    // i = gid % nrow; k = (gid/nrow) % ndim; l = (gid/(ndim*nrow)) % nmat;
+    return {s, static_cast<int>(gid % kNrow), static_cast<int>((gid / kNrow) % kNdimIdx),
+            static_cast<int>((gid / (kNdimIdx * kNrow)) % kNmat), kNrow, kNdimIdx * kNrow};
+  } else if constexpr (O == Order4::lp1_iMajor) {
+    // i = (gid/ndim) % nrow; k = gid % ndim; l = (gid/(ndim*nrow)) % nmat;
+    return {s, static_cast<int>((gid / kNdimIdx) % kNrow), static_cast<int>(gid % kNdimIdx),
+            static_cast<int>((gid / (kNdimIdx * kNrow)) % kNmat), 1, kNdimIdx * kNrow};
+  } else if constexpr (O == Order4::lp2_lMajor) {
+    // k = (gid/(nmat*nrow)) % ndim; l = (gid/nrow) % nmat; i = gid % nrow;
+    return {s, static_cast<int>(gid % kNrow),
+            static_cast<int>((gid / (kNmat * kNrow)) % kNdimIdx),
+            static_cast<int>((gid / kNrow) % kNmat), kNmat * kNrow, kNrow};
+  } else {
+    // i = (gid/nmat) % nrow; k = (gid/(nmat*nrow)) % ndim; l = gid % nmat;
+    return {s, static_cast<int>((gid / kNmat) % kNrow),
+            static_cast<int>((gid / (kNmat * kNrow)) % kNdimIdx),
+            static_cast<int>(gid % kNmat), kNmat * kNrow, 1};
+  }
+}
+
+}  // namespace milc

@@ -1,0 +1,44 @@
+// kernels_1lp.hpp — One-loop Parallelism (paper §III-A).
+//
+// One work-item per target site; each work-item performs the full
+// |l| x |k| x |i| x |j| loop nest (1146 FLOP) and holds a whole site's
+// accumulator in registers — hence the 64-register estimate and the reduced
+// occupancy the paper observes (Table I row 4: 47.6%).
+#pragma once
+
+#include "core/dslash_args.hpp"
+#include "minisycl/traits.hpp"
+
+namespace milc {
+
+template <ComplexScalar C = dcomplex>
+struct Dslash1LPKernel {
+  static constexpr int kPhases = 1;
+  DslashArgs<C> args;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = "1LP", .regs_per_thread = 64, .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int /*local_size*/) { return 0; }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int /*phase*/) const {
+    using T = complex_traits<C>;
+    const std::int64_t s = lane.global_id();
+
+    C acc[kColors] = {T::make(0.0, 0.0), T::make(0.0, 0.0), T::make(0.0, 0.0)};
+    for (int l = 0; l < kNlinks; ++l) {
+      for (int k = 0; k < kNdim; ++k) {
+        const std::int32_t n = device::load_neighbor(lane, args.neighbors, s, k, l);
+        const SU3Vector<C>* bv = &args.b[n];
+        for (int i = 0; i < kColors; ++i) {
+          const C v = device::row_dot(lane, args, l, s, k, i, bv);
+          device::accumulate_signed(lane, acc[i], kStencilSigns[static_cast<std::size_t>(l)], v);
+        }
+      }
+    }
+    for (int i = 0; i < kColors; ++i) lane.store(&args.c_out[s].c[i], acc[i]);
+  }
+};
+
+}  // namespace milc

@@ -1,0 +1,161 @@
+// kernels_3lp.hpp — Three-loop Parallelism (paper §III-C).
+//
+// Twelve work-items per target site (s, row i, dim k); the k-loop carries a
+// data dependence (four work-items accumulate into the same C(i,s)), so
+// each implementation resolves the race differently:
+//   * 3LP-1: work-group local memory + group barrier, collective update by
+//     the k==0 work-item.
+//   * 3LP-2: local memory + barrier, then every work-item atomically adds
+//     its partial to global C.
+//   * 3LP-3: no local memory; work-items atomically add each l-term of the
+//     row product straight to global C.
+//
+// Barriers are realised as phase boundaries (phase 0 before the barrier,
+// phase 1 after); indices are recomputed from the ids in each phase.
+#pragma once
+
+#include "core/dslash_args.hpp"
+#include "core/index_orders.hpp"
+#include "minisycl/traits.hpp"
+
+namespace milc {
+
+namespace detail3lp {
+
+/// The pre-barrier work shared by 3LP-1 and 3LP-2: one work-item's partial
+/// sum over the four link families for its (s, i, k).
+template <typename Lane, ComplexScalar C>
+[[nodiscard]] inline C partial_sum(Lane& lane, const DslashArgs<C>& args, std::int64_t s,
+                                   int i, int k) {
+  using T = complex_traits<C>;
+  C acc = T::make(0.0, 0.0);
+  for (int l = 0; l < kNlinks; ++l) {
+    const std::int32_t n = device::load_neighbor(lane, args.neighbors, s, k, l);
+    const C v = device::row_dot(lane, args, l, s, k, i, &args.b[n]);
+    device::accumulate_signed(lane, acc, kStencilSigns[static_cast<std::size_t>(l)], v);
+  }
+  return acc;
+}
+
+}  // namespace detail3lp
+
+/// 3LP-1: local accessor + group barrier (paper listing in §III-C).
+template <Order3 O, ComplexScalar C = dcomplex>
+struct Dslash3LP1Kernel {
+  static constexpr int kPhases = 2;
+  DslashArgs<C> args;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = O == Order3::kMajor ? "3LP-1(k)" : "3LP-1(i)",
+            .regs_per_thread = 40,
+            .codegen_slowdown = 1.0};
+  }
+  /// Local memory: one complex per work-item (the paper's 12.3 KB at 768).
+  static int shared_bytes(int local_size) { return local_size * static_cast<int>(sizeof(C)); }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int phase) const {
+    const Idx3 id = decode3<O>(lane.global_id());
+    const int lid = lane.local_id();
+
+    if (phase == 0) {
+      const C acc = detail3lp::partial_sum(lane, args, id.s, id.i, id.k);
+      lane.template shared_store<C>(lid, acc);
+      return;
+    }
+
+    // After group_barrier: the k == 0 work-item folds the four k-partials.
+    // The single-sided guard compiles to predication (no divergent branch —
+    // Table I row 13 reports zero for every 3LP variant); masked lanes
+    // execute the same predicated instructions against their quartet's base
+    // index so every address stays in bounds.
+    const bool head = id.k == 0;
+    const int base = lid - id.k * id.delta_k;
+    lane.set_masked(!head);
+    C sum = lane.template shared_load<C>(base);
+    for (int k = 1; k < kNdim; ++k) {
+      sum += lane.template shared_load<C>(base + k * id.delta_k);
+    }
+    lane.flops(6);
+    lane.store(&args.c_out[id.s].c[id.i], sum);
+    lane.set_masked(false);
+  }
+};
+
+/// 3LP-2: local accessor + barrier, atomic update of global C (paper §III-C
+/// second listing).
+template <Order3 O, ComplexScalar C = dcomplex>
+struct Dslash3LP2Kernel {
+  static constexpr int kPhases = 2;
+  DslashArgs<C> args;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = O == Order3::kMajor ? "3LP-2(k)" : "3LP-2(i)",
+            .regs_per_thread = 40,
+            .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int local_size) { return local_size * static_cast<int>(sizeof(C)); }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int phase) const {
+    using T = complex_traits<C>;
+    const Idx3 id = decode3<O>(lane.global_id());
+    const int lid = lane.local_id();
+
+    if (phase == 0) {
+      const C acc = detail3lp::partial_sum(lane, args, id.s, id.i, id.k);
+      lane.template shared_store<C>(lid, acc);
+      // if (k == 0) initialize C(i,s) — before the barrier (predicated).
+      lane.set_masked(id.k != 0);
+      lane.store(&args.c_out[id.s].c[id.i], T::make(0.0, 0.0));
+      lane.set_masked(false);
+      return;
+    }
+
+    // After the barrier every work-item atomically accumulates its partial.
+    const C v = lane.template shared_load<C>(lid);
+    double* target = reinterpret_cast<double*>(&args.c_out[id.s].c[id.i]);
+    lane.atomic_add(target, T::real(v));
+    lane.atomic_add(target + 1, T::imag(v));
+  }
+};
+
+/// 3LP-3: atomics only, no local memory (paper §III-C third listing).
+template <Order3 O, ComplexScalar C = dcomplex>
+struct Dslash3LP3Kernel {
+  static constexpr int kPhases = 2;
+  DslashArgs<C> args;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = O == Order3::kMajor ? "3LP-3(k)" : "3LP-3(i)",
+            .regs_per_thread = 40,
+            .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int /*local_size*/) { return 0; }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int phase) const {
+    using T = complex_traits<C>;
+    const Idx3 id = decode3<O>(lane.global_id());
+
+    if (phase == 0) {
+      // if (k == 0) initialize C(i,s); group_barrier(...)  (predicated)
+      lane.set_masked(id.k != 0);
+      lane.store(&args.c_out[id.s].c[id.i], T::make(0.0, 0.0));
+      lane.set_masked(false);
+      return;
+    }
+
+    double* target = reinterpret_cast<double*>(&args.c_out[id.s].c[id.i]);
+    for (int l = 0; l < kNlinks; ++l) {
+      const std::int32_t n = device::load_neighbor(lane, args.neighbors, id.s, id.k, l);
+      const C v = device::row_dot(lane, args, l, id.s, id.k, id.i, &args.b[n]);
+      const double sign = kStencilSigns[static_cast<std::size_t>(l)];
+      lane.flops(2);
+      lane.atomic_add(target, sign * T::real(v));
+      lane.atomic_add(target + 1, sign * T::imag(v));
+    }
+  }
+};
+
+}  // namespace milc

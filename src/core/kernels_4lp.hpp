@@ -1,0 +1,93 @@
+// kernels_4lp.hpp — Four-loop Parallelism (paper §III-D).
+//
+// Forty-eight work-items per target site (s, i, k, l): every work-item
+// computes exactly one row product of one link family.  The l-dispatch is a
+// divergent if/else chain ("all warp threads take the path through the
+// conditional branches, one branch at a time"), and two barriers separate the
+// compute, l-reduction and k-reduction stages.  4LP-1 and 4LP-2 differ only
+// in the work-item index order (Order4), which changes both memory
+// coalescing and the distribution of active work-items inside a warp
+// (§IV-D8).
+#pragma once
+
+#include "core/dslash_args.hpp"
+#include "core/index_orders.hpp"
+#include "minisycl/traits.hpp"
+
+namespace milc {
+
+template <Order4 O, ComplexScalar C = dcomplex>
+struct Dslash4LPKernel {
+  static constexpr int kPhases = 3;
+  DslashArgs<C> args;
+
+  static minisycl::KernelTraits traits() {
+    const char* name = "4LP";
+    if constexpr (O == Order4::lp1_kMajor) name = "4LP-1(k)";
+    if constexpr (O == Order4::lp1_iMajor) name = "4LP-1(i)";
+    if constexpr (O == Order4::lp2_lMajor) name = "4LP-2(l)";
+    if constexpr (O == Order4::lp2_iMajor) name = "4LP-2(i)";
+    return {.name = name, .regs_per_thread = 40, .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int local_size) { return local_size * static_cast<int>(sizeof(C)); }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int phase) const {
+    using T = complex_traits<C>;
+    const Idx4 id = decode4<O>(lane.global_id());
+    const int lid = lane.local_id();
+
+    if (phase == 0) {
+      // Divergent l-dispatch: the kernel tests the arms one by one
+      // ("if (l == 0) ... else if (l == 1) ...", paper §III-D), so every
+      // arm test is a branch instruction that diverges whenever the warp
+      // holds a mix of matching and non-matching work-items — this is what
+      // produces Table I's per-order divergence counts.  Each arm performs
+      // the same shaped work (one neighbour gather + one row product) on
+      // its own link family, so the event streams stay positionally
+      // aligned while the divergence paths split the warp into per-l
+      // instruction groups.
+      for (int arm = 0; arm < kNmat; ++arm) lane.branch_test(id.l == arm);
+      lane.set_path(id.l);
+      const std::int32_t n = device::load_neighbor(lane, args.neighbors, id.s, id.k, id.l);
+      const C v = device::row_dot(lane, args, id.l, id.s, id.k, id.i, &args.b[n]);
+      const double sign = kStencilSigns[static_cast<std::size_t>(id.l)];
+      const C w = T::make(sign * T::real(v), sign * T::imag(v));
+      lane.flops(2);
+      lane.template shared_store<C>(lid, w);
+      lane.converge();
+      return;
+    }
+
+    if (phase == 1) {
+      // First barrier passed: l == 0 work-items fold the four l-partials
+      // (single-sided guard: predicated, not a divergent branch).
+      const bool head = id.l == 0;
+      const int base = lid - id.l * id.delta_l;
+      lane.set_masked(!head);
+      C sum = lane.template shared_load<C>(base);
+      for (int l = 1; l < kNmat; ++l) {
+        sum += lane.template shared_load<C>(base + l * id.delta_l);
+      }
+      lane.flops(6);
+      lane.template shared_store<C>(base, sum);
+      lane.set_masked(false);
+      return;
+    }
+
+    // Second barrier passed: the l == 0 && k == 0 work-item folds the four
+    // k-partials and writes C(i, s).
+    const bool head = id.l == 0 && id.k == 0;
+    const int base = lid - id.l * id.delta_l - id.k * id.delta_k;
+    lane.set_masked(!head);
+    C sum = lane.template shared_load<C>(base);
+    for (int k = 1; k < kNdim; ++k) {
+      sum += lane.template shared_load<C>(base + k * id.delta_k);
+    }
+    lane.flops(6);
+    lane.store(&args.c_out[id.s].c[id.i], sum);
+    lane.set_masked(false);
+  }
+};
+
+}  // namespace milc

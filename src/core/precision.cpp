@@ -1,0 +1,136 @@
+#include "core/precision.hpp"
+
+#include "core/kernels_3lp.hpp"
+
+namespace milc {
+
+FloatColorField::FloatColorField(const ColorField& f)
+    : parity_(f.parity()), data_(static_cast<std::size_t>(f.size())) {
+  for (std::int64_t s = 0; s < f.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      data_[static_cast<std::size_t>(s)].c[i] = scomplex(f[s].c[i]);
+    }
+  }
+}
+
+void FloatColorField::zero() {
+  std::fill(data_.begin(), data_.end(), SU3Vector<scomplex>{});
+}
+
+ColorField FloatColorField::to_double(const LatticeGeom& geom) const {
+  ColorField f(geom, parity_);
+  for (std::int64_t s = 0; s < size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      f[s].c[i] = data_[static_cast<std::size_t>(s)].c[i].to_double();
+    }
+  }
+  return f;
+}
+
+double norm2(const FloatColorField& v) {
+  double acc = 0.0;
+  for (std::int64_t s = 0; s < v.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      const scomplex& z = v[s].c[i];
+      acc += static_cast<double>(z.re) * z.re + static_cast<double>(z.im) * z.im;
+    }
+  }
+  return acc;
+}
+
+dcomplex dot(const FloatColorField& a, const FloatColorField& b) {
+  dcomplex acc{0.0, 0.0};
+  for (std::int64_t s = 0; s < a.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      const dcomplex x = a[s].c[i].to_double();
+      const dcomplex y = b[s].c[i].to_double();
+      cmac_conj(acc, x, y);
+    }
+  }
+  return acc;
+}
+
+void axpy(double alpha, const FloatColorField& x, FloatColorField& y) {
+  const float a = static_cast<float>(alpha);
+  for (std::int64_t s = 0; s < x.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      y[s].c[i].re += a * x[s].c[i].re;
+      y[s].c[i].im += a * x[s].c[i].im;
+    }
+  }
+}
+
+void xpay(const FloatColorField& x, double alpha, FloatColorField& y) {
+  const float a = static_cast<float>(alpha);
+  for (std::int64_t s = 0; s < x.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      y[s].c[i].re = x[s].c[i].re + a * y[s].c[i].re;
+      y[s].c[i].im = x[s].c[i].im + a * y[s].c[i].im;
+    }
+  }
+}
+
+FloatGaugeDevice::FloatGaugeDevice(const DeviceGaugeLayout& g) : sites_(g.sites()) {
+  for (int l = 0; l < kNlinks; ++l) {
+    auto& fam = data_[static_cast<std::size_t>(l)];
+    fam.resize(static_cast<std::size_t>(sites_ * kNdim * kColors * kColors));
+    for (std::int64_t s = 0; s < sites_; ++s) {
+      for (int k = 0; k < kNdim; ++k) {
+        for (int j = 0; j < kColors; ++j) {
+          for (int i = 0; i < kColors; ++i) {
+            fam[static_cast<std::size_t>(((s * kNdim + k) * kColors + j) * kColors + i)] =
+                scomplex(g.at(l, s, k, i, j));
+          }
+        }
+      }
+    }
+  }
+}
+
+FloatDslash::FloatDslash(const DeviceGaugeLayout& gauge, const NeighborTable& nbr)
+    : gauge_(gauge), nbr_(&nbr) {}
+
+DslashArgs<scomplex> FloatDslash::make_args(const FloatColorField& in,
+                                            FloatColorField& out) const {
+  DslashArgs<scomplex> args;
+  for (int l = 0; l < kNlinks; ++l) args.links[l] = gauge_.family(l);
+  args.b = in.data();
+  args.c_out = out.data();
+  args.neighbors = nbr_->data();
+  args.sites = gauge_.sites();
+  return args;
+}
+
+void FloatDslash::apply(const FloatColorField& in, FloatColorField& out,
+                        int local_size) const {
+  using Kernel = Dslash3LP1Kernel<Order3::kMajor, scomplex>;
+  Kernel kernel{make_args(in, out)};
+  minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order);
+  minisycl::LaunchSpec spec;
+  spec.global_size = sites() * 12;
+  spec.local_size = local_size;
+  spec.shared_bytes = Kernel::shared_bytes(local_size);
+  spec.num_phases = Kernel::kPhases;
+  spec.traits = Kernel::traits();
+  spec.traits.name = "3LP-1 float";
+  q.submit(spec, kernel);
+}
+
+gpusim::KernelStats FloatDslash::profile(const FloatColorField& in, FloatColorField& out,
+                                         int local_size, gpusim::MachineModel machine,
+                                         gpusim::Calibration cal) const {
+  using Kernel = Dslash3LP1Kernel<Order3::kMajor, scomplex>;
+  Kernel kernel{make_args(in, out)};
+  minisycl::queue q(minisycl::ExecMode::profiled, minisycl::QueueOrder::in_order, machine,
+                    cal);
+  minisycl::LaunchSpec spec;
+  spec.global_size = sites() * 12;
+  spec.local_size = local_size;
+  spec.shared_bytes = Kernel::shared_bytes(local_size);
+  spec.num_phases = Kernel::kPhases;
+  spec.traits = Kernel::traits();
+  spec.traits.name = "3LP-1 float";
+  return q.submit(spec, kernel, "3LP-1 float /" + std::to_string(local_size));
+}
+
+}  // namespace milc

@@ -1,0 +1,152 @@
+#include "core/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/kernels_1lp.hpp"
+#include "core/kernels_2lp.hpp"
+#include "core/kernels_3lp.hpp"
+#include "core/kernels_4lp.hpp"
+
+namespace milc {
+
+namespace {
+
+using CplxC = syclcplx::complex<double>;
+
+static_assert(sizeof(CplxC) == sizeof(dcomplex) && alignof(CplxC) == alignof(dcomplex),
+              "SyclCPLX complex must be layout-compatible with dcomplex so fields can be "
+              "shared between variants");
+
+/// Reinterpret the argument block for the SyclCPLX-typed kernels.  Both
+/// complex types are trivially-copyable pairs of doubles and every kernel
+/// access goes through Lane::load/store (memcpy semantics), so this is
+/// well-defined.
+DslashArgs<CplxC> to_cplx(const DslashArgs<dcomplex>& a) {
+  DslashArgs<CplxC> r;
+  for (int l = 0; l < kNlinks; ++l) {
+    r.links[l] = reinterpret_cast<const CplxC*>(a.links[l]);
+  }
+  r.b = reinterpret_cast<const SU3Vector<CplxC>*>(a.b);
+  r.c_out = reinterpret_cast<SU3Vector<CplxC>*>(a.c_out);
+  r.neighbors = a.neighbors;
+  r.sites = a.sites;
+  return r;
+}
+
+template <typename Kernel>
+gpusim::KernelStats submit(minisycl::queue& q, const Kernel& kernel, std::int64_t sites,
+                           int items, int local_size, const VariantInfo* vi,
+                           std::string name) {
+  minisycl::LaunchSpec spec;
+  spec.global_size = sites * items;
+  spec.local_size = local_size;
+  spec.shared_bytes = Kernel::shared_bytes(local_size);
+  spec.num_phases = Kernel::kPhases;
+  spec.traits = Kernel::traits();
+  if (vi != nullptr) spec.traits.codegen_slowdown = vi->codegen_slowdown;
+  if (name.empty()) name = spec.traits.name;
+  return q.submit(spec, kernel, std::move(name));
+}
+
+/// Instantiate and submit the kernel selected by (strategy, order, complex
+/// type).  The SyclCPLX variant exists for 3LP-1 only, matching the paper.
+gpusim::KernelStats dispatch(minisycl::queue& q, DslashProblem& p, Strategy s, IndexOrder o,
+                             int local_size, bool use_syclcplx, const VariantInfo* vi,
+                             const std::string& name) {
+  if (!is_valid_local_size(s, o, local_size, p.sites())) {
+    throw std::invalid_argument("invalid local size " + std::to_string(local_size) + " for " +
+                                config_label(s, o, local_size));
+  }
+  const DslashArgs<dcomplex> a = p.args();
+  const std::int64_t n = p.sites();
+  const int items = items_per_site(s);
+
+  if (use_syclcplx) {
+    if (s != Strategy::LP3_1) {
+      throw std::invalid_argument("the SyclCPLX variant exists for 3LP-1 only (paper IV-C)");
+    }
+    const DslashArgs<CplxC> ac = to_cplx(a);
+    if (o == IndexOrder::kMajor) {
+      return submit(q, Dslash3LP1Kernel<Order3::kMajor, CplxC>{.args = ac}, n, items,
+                    local_size, vi, name);
+    }
+    return submit(q, Dslash3LP1Kernel<Order3::iMajor, CplxC>{.args = ac}, n, items, local_size,
+                  vi, name);
+  }
+
+  switch (s) {
+    case Strategy::LP1:
+      return submit(q, Dslash1LPKernel<dcomplex>{.args = a}, n, items, local_size, vi, name);
+    case Strategy::LP2:
+      return submit(q, Dslash2LPKernel<dcomplex>{.args = a}, n, items, local_size, vi, name);
+    case Strategy::LP3_1:
+      if (o == IndexOrder::kMajor) {
+        return submit(q, Dslash3LP1Kernel<Order3::kMajor>{.args = a}, n, items, local_size, vi,
+                      name);
+      }
+      return submit(q, Dslash3LP1Kernel<Order3::iMajor>{.args = a}, n, items, local_size, vi,
+                    name);
+    case Strategy::LP3_2:
+      if (o == IndexOrder::kMajor) {
+        return submit(q, Dslash3LP2Kernel<Order3::kMajor>{.args = a}, n, items, local_size, vi,
+                      name);
+      }
+      return submit(q, Dslash3LP2Kernel<Order3::iMajor>{.args = a}, n, items, local_size, vi,
+                    name);
+    case Strategy::LP3_3:
+      if (o == IndexOrder::kMajor) {
+        return submit(q, Dslash3LP3Kernel<Order3::kMajor>{.args = a}, n, items, local_size, vi,
+                      name);
+      }
+      return submit(q, Dslash3LP3Kernel<Order3::iMajor>{.args = a}, n, items, local_size, vi,
+                    name);
+    case Strategy::LP4_1:
+      if (o == IndexOrder::kMajor) {
+        return submit(q, Dslash4LPKernel<Order4::lp1_kMajor>{.args = a}, n, items, local_size,
+                      vi, name);
+      }
+      return submit(q, Dslash4LPKernel<Order4::lp1_iMajor>{.args = a}, n, items, local_size,
+                    vi, name);
+    case Strategy::LP4_2:
+      if (o == IndexOrder::lMajor) {
+        return submit(q, Dslash4LPKernel<Order4::lp2_lMajor>{.args = a}, n, items, local_size,
+                      vi, name);
+      }
+      return submit(q, Dslash4LPKernel<Order4::lp2_iMajor>{.args = a}, n, items, local_size,
+                    vi, name);
+  }
+  throw std::logic_error("unknown strategy");
+}
+
+}  // namespace
+
+RunResult DslashRunner::run(DslashProblem& problem, const RunRequest& req) const {
+  const VariantInfo& vi = variant_info(req.variant);
+  minisycl::queue q(minisycl::ExecMode::profiled, vi.queue_order, machine_, cal_);
+
+  std::string name = config_label(req.strategy, req.order, req.local_size);
+  if (req.variant != Variant::SYCL) {
+    name += " [";
+    name += vi.name;
+    name += ']';
+  }
+
+  RunResult res;
+  res.stats = dispatch(q, problem, req.strategy, req.order, req.local_size, vi.use_syclcplx,
+                       &vi, name);
+  res.label = std::move(name);
+  res.kernel_us = res.stats.duration_us;
+  res.per_iter_us = res.stats.duration_us + q.launch_overhead_us();
+  res.gflops = problem.flops() / (res.per_iter_us * 1e-6) / 1e9;
+  return res;
+}
+
+void DslashRunner::run_functional(DslashProblem& problem, Strategy s, IndexOrder o,
+                                  int local_size, bool use_syclcplx) const {
+  minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order, machine_,
+                    cal_);
+  dispatch(q, problem, s, o, local_size, use_syclcplx, nullptr, {});
+}
+
+}  // namespace milc

@@ -1,0 +1,62 @@
+// runner.hpp — executes Dslash strategy/variant configurations on the
+// simulated device and reports paper-convention results.
+//
+// The paper's methodology (§IV-B): mean kernel runtime over 10 runs x 100
+// iterations + 1 warm-up, GFLOP/s from the theoretical FLOP count.  Our
+// simulator is deterministic, so one profiled execution yields the exact
+// per-iteration kernel time; the runner adds the per-submission launch
+// overhead of the queue's ordering semantics, which is what distinguishes
+// in-order from out-of-order builds across the 100-iteration loop.
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/strategy.hpp"
+#include "core/variants.hpp"
+#include "gpusim/stats.hpp"
+#include "minisycl/queue.hpp"
+
+namespace milc {
+
+struct RunRequest {
+  Strategy strategy = Strategy::LP3_1;
+  IndexOrder order = IndexOrder::kMajor;
+  int local_size = 768;
+  Variant variant = Variant::SYCL;
+  int iterations = 100;  ///< kernel iterations per run (paper: 100)
+};
+
+struct RunResult {
+  std::string label;
+  gpusim::KernelStats stats;   ///< Nsight-style record of one kernel launch
+  double kernel_us = 0.0;      ///< simulated kernel duration
+  double per_iter_us = 0.0;    ///< kernel + launch overhead (what a host timer sees)
+  double gflops = 0.0;         ///< theoretical FLOPs / per_iter (paper convention)
+};
+
+class DslashRunner {
+ public:
+  explicit DslashRunner(gpusim::MachineModel machine = gpusim::a100(),
+                        gpusim::Calibration cal = gpusim::default_calibration())
+      : machine_(machine), cal_(cal) {}
+
+  [[nodiscard]] const gpusim::MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const gpusim::Calibration& calibration() const { return cal_; }
+
+  /// Profiled run: full simulation, Table-I statistics, paper-convention
+  /// GFLOP/s.  Throws std::invalid_argument for configurations that violate
+  /// the §III local-size rules.
+  [[nodiscard]] RunResult run(DslashProblem& problem, const RunRequest& req) const;
+
+  /// Functional run (no simulation): executes the chosen kernel once so its
+  /// output can be compared against dslash_reference.
+  void run_functional(DslashProblem& problem, Strategy s, IndexOrder o, int local_size,
+                      bool use_syclcplx = false) const;
+
+ private:
+  gpusim::MachineModel machine_;
+  gpusim::Calibration cal_;
+};
+
+}  // namespace milc

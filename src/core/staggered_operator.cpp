@@ -1,0 +1,65 @@
+#include "core/staggered_operator.hpp"
+
+#include <cassert>
+
+#include "core/dslash_ref.hpp"
+#include "core/kernels_3lp.hpp"
+#include "minisycl/queue.hpp"
+
+namespace milc {
+
+StaggeredOperator::StaggeredOperator(const LatticeGeom& geom, const GaugeConfiguration& cfg,
+                                     double mass)
+    : geom_(&geom),
+      mass_(mass),
+      view_e_(geom, cfg, Parity::Even),
+      view_o_(geom, cfg, Parity::Odd),
+      dev_e_(view_e_),
+      dev_o_(view_o_),
+      nbr_e_(geom, Parity::Even),
+      nbr_o_(geom, Parity::Odd),
+      tmp_odd_(geom, Parity::Odd) {}
+
+void StaggeredOperator::apply_half(Parity target, const ColorField& in, ColorField& out) const {
+  assert(out.parity() == target && in.parity() == opposite(target));
+  const DeviceGaugeLayout& dev = target == Parity::Even ? dev_e_ : dev_o_;
+  const NeighborTable& nbr = target == Parity::Even ? nbr_e_ : nbr_o_;
+  const DslashArgs<dcomplex> args = make_dslash_args(dev, nbr, in, out);
+  using Kernel = Dslash3LP1Kernel<Order3::kMajor>;
+  Kernel kernel{args};
+  minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order);
+  minisycl::LaunchSpec spec;
+  spec.global_size = args.sites * 12;
+  spec.local_size = 96;
+  spec.shared_bytes = Kernel::shared_bytes(96);
+  spec.num_phases = Kernel::kPhases;
+  spec.traits = Kernel::traits();
+  q.submit(spec, kernel);
+}
+
+void StaggeredOperator::dslash_eo(const ColorField& in, ColorField& out) const {
+  apply_half(Parity::Even, in, out);
+}
+
+void StaggeredOperator::dslash_oe(const ColorField& in, ColorField& out) const {
+  apply_half(Parity::Odd, in, out);
+}
+
+void StaggeredOperator::apply_normal(const ColorField& in, ColorField& out) const {
+  dslash_oe(in, tmp_odd_);
+  dslash_eo(tmp_odd_, out);
+  scale(-1.0, out);
+  axpy(mass_ * mass_, in, out);
+}
+
+void StaggeredOperator::apply_full(const ColorField& in_e, const ColorField& in_o,
+                                   ColorField& out_e, ColorField& out_o) const {
+  // out_e = m in_e + D_eo in_o
+  dslash_eo(in_o, out_e);
+  axpy(mass_, in_e, out_e);
+  // out_o = m in_o + D_oe in_e
+  dslash_oe(in_e, out_o);
+  axpy(mass_, in_o, out_o);
+}
+
+}  // namespace milc

@@ -1,0 +1,57 @@
+#include "core/variants.hpp"
+
+#include <array>
+
+namespace milc {
+
+namespace {
+
+using minisycl::QueueOrder;
+
+constexpr VariantInfo kInfos[] = {
+    {"SYCL", QueueOrder::out_of_order, 1.0, false,
+     "baseline: DPC++ default queue is out-of-order (paper section III)"},
+    {"SyclCPLX", QueueOrder::out_of_order, 1.01, true,
+     "general-purpose complex library; paper section IV-D5 reports +/-<3% vs the "
+     "hand-rolled double_complex, non-generalisable across compilers"},
+    {"CUDA", QueueOrder::in_order, 1.036, false,
+     "default nvcc register allocation; paper section IV-D4: capping registers with "
+     "--maxrregcount=64 improves up to 3.6%, so the uncapped build carries the penalty; "
+     "CUDA streams are in-order"},
+    {"CUDA-maxrreg64", QueueOrder::in_order, 1.0, false,
+     "nvcc with --maxrregcount=64: the best register allocation the paper measures"},
+    {"SYCLomatic", QueueOrder::in_order, 1.115, false,
+     "raw migration derives the global id as get_local_range(2)*get_group(2)+"
+     "get_local_id(2); paper section IV-D6 measures a 10.0-12.2% penalty; SYCLomatic "
+     "explicitly creates an in-order queue"},
+    {"SYCLomatic-opt", QueueOrder::in_order, 1.0, false,
+     "after replacing the derived expression with get_global_id(2); keeps the "
+     "in-order queue, hence the 1.5-6.7% advantage over baseline SYCL"},
+    {"SYCLomatic-1D", QueueOrder::in_order, 1.0, false,
+     "variation (i): 1-D instead of 3-D index space - no performance effect (IV-D6)"},
+    {"SYCLomatic-fence", QueueOrder::in_order, 1.0, false,
+     "variation (ii): explicit local_space fence argument - no performance effect"},
+    {"SYCLomatic-nochk", QueueOrder::in_order, 1.0, false,
+     "variation (iii): error-code processing removed - no performance effect"},
+};
+
+}  // namespace
+
+const VariantInfo& variant_info(Variant v) { return kInfos[static_cast<int>(v)]; }
+
+const std::vector<Variant>& fig6_variants() {
+  static const std::vector<Variant> k = {Variant::SYCL,          Variant::SyclCPLX,
+                                         Variant::CUDA,          Variant::CUDA_maxrreg64,
+                                         Variant::SYCLomatic,    Variant::SYCLomaticOpt};
+  return k;
+}
+
+const std::vector<Variant>& all_variants() {
+  static const std::vector<Variant> k = {
+      Variant::SYCL,         Variant::SyclCPLX,       Variant::CUDA,
+      Variant::CUDA_maxrreg64, Variant::SYCLomatic,   Variant::SYCLomaticOpt,
+      Variant::SYCLomatic1D, Variant::SYCLomaticFence, Variant::SYCLomaticNoChk};
+  return k;
+}
+
+}  // namespace milc

@@ -1,0 +1,44 @@
+// variants.hpp — the 3LP-1 implementation variants of paper §IV-C.
+//
+// Each variant differs from the baseline SYCL 3LP-1 kernel in toolchain or
+// library, not in algorithm.  Architectural consequences (queue semantics)
+// are simulated mechanically; code-generation consequences are the audited
+// coefficients discussed in DESIGN.md §2 item 2 and gpusim/calibration.hpp —
+// the `rationale` string cites the paper measurement each coefficient
+// reproduces.
+#pragma once
+
+#include "minisycl/queue.hpp"
+
+namespace milc {
+
+enum class Variant {
+  SYCL,             ///< baseline DPC++ build, out-of-order queue
+  SyclCPLX,         ///< complex type replaced by sycl::ext::cplx::complex<double>
+  CUDA,             ///< hand-ported CUDA, default nvcc register allocation
+  CUDA_maxrreg64,   ///< CUDA compiled with --maxrregcount=64
+  SYCLomatic,       ///< raw SYCLomatic migration (derived-index expression)
+  SYCLomaticOpt,    ///< SYCLomatic after the get_global_id() optimisation
+  SYCLomatic1D,     ///< variation (i): 1-D instead of 3-D parallel index space
+  SYCLomaticFence,  ///< variation (ii): explicit local fence argument
+  SYCLomaticNoChk,  ///< variation (iii): DPCT_CHECK_ERROR/CUCHECK removed
+};
+
+struct VariantInfo {
+  const char* name;
+  minisycl::QueueOrder queue_order;
+  double codegen_slowdown;
+  bool use_syclcplx;
+  const char* rationale;
+};
+
+[[nodiscard]] const VariantInfo& variant_info(Variant v);
+
+/// Variants shown in the gray-shaded 3LP-1 block of Fig. 6.
+[[nodiscard]] const std::vector<Variant>& fig6_variants();
+
+/// All variants (including the three null-effect SYCLomatic variations of
+/// §IV-D6).
+[[nodiscard]] const std::vector<Variant>& all_variants();
+
+}  // namespace milc

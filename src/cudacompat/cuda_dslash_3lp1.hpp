@@ -1,0 +1,107 @@
+// cuda_dslash_3lp1.hpp — the CUDA port of the 3LP-1 kernel (paper §IV-C
+// item 2) expressed against the mini-CUDA runtime, plus the literal CUDA
+// source text that serves as the SYCLomatic translator's input corpus.
+#pragma once
+
+#include "core/dslash_args.hpp"
+#include "core/index_orders.hpp"
+#include "cudacompat/cuda_api.hpp"
+
+namespace cudacompat {
+
+/// CUDA-style 3LP-1 (k-major): identical maths to the SYCL kernel, indices
+/// derived the CUDA way from threadIdx/blockIdx.
+struct CudaDslash3LP1 {
+  static constexpr int kPhases = 2;
+  milc::DslashArgs<milc::dcomplex> args;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = "3LP-1 CUDA", .regs_per_thread = 40, .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int local_size) {
+    return local_size * static_cast<int>(sizeof(milc::dcomplex));
+  }
+
+  template <typename Lane>
+  void operator()(ThreadCtx<Lane>& ctx, int phase) const {
+    using namespace milc;
+    const int gid = static_cast<int>(ctx.blockIdx.x * ctx.blockDim.x + ctx.threadIdx.x);
+    const int tid = static_cast<int>(ctx.threadIdx.x);
+    const std::int64_t s = gid / (kNdimIdx * kNrow);
+    const int i = gid % kNrow;
+    const int k = (gid / kNrow) % kNdimIdx;
+
+    if (phase == 0) {
+      using T = complex_traits<dcomplex>;
+      dcomplex acc = T::make(0.0, 0.0);
+      for (int l = 0; l < kNlinks; ++l) {
+        const std::int32_t n =
+            device::load_neighbor(ctx.lane(), args.neighbors, s, k, l);
+        const dcomplex v = device::row_dot(ctx.lane(), args, l, s, k, i, &args.b[n]);
+        device::accumulate_signed(ctx.lane(), acc, kStencilSigns[static_cast<std::size_t>(l)],
+                                  v);
+      }
+      ctx.template shared_store<dcomplex>(tid, acc);
+      return;  // __syncthreads()
+    }
+
+    // if (k == 0) fold the four k-partials and write C(i, s) — predicated.
+    const int base = tid - k * kNrow;
+    ctx.lane().set_masked(k != 0);
+    dcomplex sum = ctx.template shared_load<dcomplex>(base);
+    for (int kk = 1; kk < kNdimIdx; ++kk) {
+      sum += ctx.template shared_load<dcomplex>(base + kk * kNrow);
+    }
+    ctx.lane().flops(6);
+    ctx.store(&args.c_out[s].c[i], sum);
+    ctx.lane().set_masked(false);
+  }
+};
+
+/// The CUDA source of the kernel above, as it would appear in the
+/// benchmark's .cu file — the input the SYCLomatic translator is exercised
+/// and golden-tested on.
+inline constexpr const char* kCuda3LP1Source = R"cuda(
+__global__ void dslash_3lp1(const double2 *fat, const double2 *lng,
+                            const double2 *fatbck, const double2 *lngbck,
+                            const double2 *b, double2 *c_out,
+                            const int *neighbors, int nsites) {
+  __shared__ double2 c[LOCAL_SIZE];
+  int global_id = blockIdx.x * blockDim.x + threadIdx.x;
+  int local_id = threadIdx.x;
+  int s = global_id / (ndim * nrow);
+  int i = global_id % nrow;
+  int k = (global_id / nrow) % ndim;
+  double2 acc = make_double2(0.0, 0.0);
+  for (int l = 0; l < nmat; l++) {
+    int n = neighbors[s * 16 + k * 4 + l];
+    for (int j = 0; j < ncol; j++) {
+      acc = cmac(acc, link_elem(l, s, k, i, j), b[n * ncol + j]);
+    }
+  }
+  c[local_id] = acc;
+  __syncthreads();
+  if (k == 0) {
+    double2 sum = c[local_id];
+    for (int kk = 1; kk < ndim; kk++) {
+      sum = cadd(sum, c[local_id + kk * nrow]);
+    }
+    c_out[s * nrow + i] = sum;
+  }
+}
+
+void run(int iterations) {
+  double2 *fat, *b, *c;
+  CUCHECK(cudaMalloc(&fat, nbytes_gauge));
+  CUCHECK(cudaMalloc(&b, nbytes_vec));
+  CUCHECK(cudaMalloc(&c, nbytes_vec));
+  CUCHECK(cudaMemcpy(fat, host_fat, nbytes_gauge, cudaMemcpyHostToDevice));
+  for (int it = 0; it < iterations; it++) {
+    dslash_3lp1<<<grid, block>>>(fat, lng, fatbck, lngbck, b, c, neighbors, nsites);
+  }
+  CUCHECK(cudaMemcpy(host_c, c, nbytes_vec, cudaMemcpyDeviceToHost));
+  CUCHECK(cudaFree(fat));
+}
+)cuda";
+
+}  // namespace cudacompat

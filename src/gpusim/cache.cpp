@@ -1,0 +1,80 @@
+#include "gpusim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace gpusim {
+
+SectoredCache::SectoredCache(std::int64_t total_bytes, int line_bytes, int sector_bytes,
+                             int ways)
+    : line_bytes_(line_bytes),
+      sector_bytes_(sector_bytes),
+      ways_(ways),
+      sectors_per_line_(line_bytes / sector_bytes) {
+  assert(line_bytes % sector_bytes == 0);
+  assert(total_bytes % (static_cast<std::int64_t>(line_bytes) * ways) == 0);
+  sets_ = static_cast<std::size_t>(total_bytes / (static_cast<std::int64_t>(line_bytes) * ways));
+  lines_.resize(sets_ * static_cast<std::size_t>(ways_));
+}
+
+SectoredCache::Outcome SectoredCache::access(std::uint64_t byte_addr, bool write,
+                                             bool allocate) {
+  const std::uint64_t line_addr = byte_addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::uint32_t sector =
+      static_cast<std::uint32_t>((byte_addr / static_cast<std::uint64_t>(sector_bytes_)) %
+                                 static_cast<std::uint64_t>(sectors_per_line_));
+  const std::uint32_t sector_bit = 1u << sector;
+  const std::size_t set = static_cast<std::size_t>(line_addr % sets_);
+  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  ++tick_;
+
+  // Look for the line.
+  for (int w = 0; w < ways_; ++w) {
+    Line& ln = base[w];
+    if (ln.tag == line_addr && ln.valid_mask != 0) {
+      ln.lru = tick_;
+      Outcome out;
+      out.hit = (ln.valid_mask & sector_bit) != 0;
+      if (!out.hit && allocate) ln.valid_mask |= sector_bit;
+      if (write && (out.hit || allocate)) ln.dirty_mask |= sector_bit;
+      return out;
+    }
+  }
+
+  // Miss: no matching line.
+  if (!allocate) return {};
+
+  // Choose victim: invalid way first, else LRU.
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid_mask == 0) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  Outcome out;
+  out.writeback_sectors = std::popcount(victim->dirty_mask);
+  victim->tag = line_addr;
+  victim->valid_mask = sector_bit;
+  victim->dirty_mask = write ? sector_bit : 0u;
+  victim->lru = tick_;
+  return out;
+}
+
+std::int64_t SectoredCache::flush() {
+  std::int64_t dirty = 0;
+  for (auto& ln : lines_) {
+    dirty += std::popcount(ln.dirty_mask);
+    ln = Line{};
+  }
+  return dirty;
+}
+
+void SectoredCache::reset() {
+  for (auto& ln : lines_) ln = Line{};
+  tick_ = 0;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,55 @@
+// cache.hpp — sectored, set-associative cache model.
+//
+// NVIDIA GPUs tag cache lines at 128 B but fill and transfer at 32 B sector
+// granularity; a "tag request" that finds the line but not the sector still
+// costs a fill.  Both the per-SM L1 and the device-wide L2 are instances of
+// this model (with different size/associativity and write policies decided
+// by the pipeline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpusim {
+
+class SectoredCache {
+ public:
+  /// total_bytes must be a multiple of line_bytes * ways.
+  SectoredCache(std::int64_t total_bytes, int line_bytes, int sector_bytes, int ways);
+
+  struct Outcome {
+    bool hit = false;            ///< requested sector present
+    int writeback_sectors = 0;   ///< dirty sectors evicted by this access
+  };
+
+  /// Access one sector.  `write` marks the sector dirty (write-back policy);
+  /// `allocate` controls whether a miss installs the line/sector (false for
+  /// write-through-no-allocate policies).
+  Outcome access(std::uint64_t byte_addr, bool write, bool allocate = true);
+
+  /// Evict everything, returning the number of dirty sectors flushed.
+  std::int64_t flush();
+
+  void reset();
+
+  [[nodiscard]] int sectors_per_line() const { return sectors_per_line_; }
+  [[nodiscard]] std::int64_t sets() const { return static_cast<std::int64_t>(sets_); }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint32_t valid_mask = 0;
+    std::uint32_t dirty_mask = 0;
+    std::uint64_t lru = 0;
+  };
+
+  int line_bytes_;
+  int sector_bytes_;
+  int ways_;
+  int sectors_per_line_;
+  std::size_t sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+};
+
+}  // namespace gpusim

@@ -1,0 +1,48 @@
+#include "gpusim/coalescer.hpp"
+
+#include <algorithm>
+
+namespace gpusim {
+
+void coalesce_sectors(std::span<const LaneAccess> lanes, int sector_bytes,
+                      std::vector<std::uint64_t>& out) {
+  out.clear();
+  const std::uint64_t sb = static_cast<std::uint64_t>(sector_bytes);
+  for (const LaneAccess& a : lanes) {
+    const std::uint64_t first = a.addr / sb;
+    const std::uint64_t last = (a.addr + a.size - 1) / sb;
+    for (std::uint64_t s = first; s <= last; ++s) out.push_back(s * sb);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+BankAnalysis analyze_shared(std::span<const LaneAccess> lanes, int banks, int bank_bytes) {
+  // Collect the distinct words each access touches, then count per-bank
+  // distinct words; the warp needs max-over-banks wavefronts.
+  thread_local std::vector<std::uint64_t> words;
+  words.clear();
+  const std::uint64_t bb = static_cast<std::uint64_t>(bank_bytes);
+  for (const LaneAccess& a : lanes) {
+    const std::uint64_t first = a.addr / bb;
+    const std::uint64_t last = (a.addr + a.size - 1) / bb;
+    for (std::uint64_t w = first; w <= last; ++w) words.push_back(w);
+  }
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+
+  BankAnalysis res;
+  if (words.empty()) return res;
+
+  thread_local std::vector<std::uint32_t> per_bank;
+  per_bank.assign(static_cast<std::size_t>(banks), 0);
+  for (std::uint64_t w : words) {
+    ++per_bank[static_cast<std::size_t>(w % static_cast<std::uint64_t>(banks))];
+  }
+  res.wavefronts = *std::max_element(per_bank.begin(), per_bank.end());
+  res.ideal = static_cast<std::uint32_t>((words.size() + static_cast<std::size_t>(banks) - 1) /
+                                         static_cast<std::size_t>(banks));
+  return res;
+}
+
+}  // namespace gpusim

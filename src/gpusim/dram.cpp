@@ -1,0 +1,40 @@
+#include "gpusim/dram.hpp"
+
+namespace gpusim {
+
+DramModel::DramModel(const MachineModel& m, const Calibration& cal)
+    : interleave_(static_cast<std::uint64_t>(m.dram_interleave_bytes)),
+      row_bytes_(static_cast<std::uint64_t>(m.dram_row_bytes)),
+      channels_(static_cast<std::uint64_t>(m.dram_channels)),
+      banks_(static_cast<std::uint64_t>(m.dram_banks_per_channel)),
+      penalty_(cal.dram_row_miss_penalty),
+      open_row_(static_cast<std::size_t>(m.dram_channels * m.dram_banks_per_channel),
+                ~0ull) {}
+
+bool DramModel::access(std::uint64_t byte_addr) {
+  const std::uint64_t chunk = byte_addr / interleave_;
+  const std::size_t channel = static_cast<std::size_t>(chunk % channels_);
+  // Row addressing is channel-local: dropping the interleave bits makes a
+  // linear stream occupy one row per (channel, bank) for row_bytes/interleave
+  // chunks; rows interleave across the channel's banks, so several concurrent
+  // streams can keep their rows open simultaneously.
+  const std::uint64_t local = (chunk / channels_) * interleave_ + byte_addr % interleave_;
+  const std::uint64_t row = local / row_bytes_;
+  const std::size_t bank = static_cast<std::size_t>(row % banks_);
+  const std::size_t slot = channel * static_cast<std::size_t>(banks_) + bank;
+  ++sectors_;
+  if (open_row_[slot] == row) {
+    ++row_hits_;
+    return true;
+  }
+  open_row_[slot] = row;
+  return false;
+}
+
+void DramModel::reset() {
+  sectors_ = 0;
+  row_hits_ = 0;
+  for (auto& r : open_row_) r = ~0ull;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,116 @@
+#include "gpusim/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gpusim {
+
+PerfPipeline::PerfPipeline(const MachineModel& m, const Calibration& cal)
+    : machine_(m),
+      cal_(cal),
+      l2_(m.l2_bytes, m.line_bytes, m.sector_bytes, m.l2_ways),
+      dram_(m, cal) {
+  l1_.reserve(static_cast<std::size_t>(m.num_sms));
+  for (int s = 0; s < m.num_sms; ++s) {
+    l1_.emplace_back(m.l1_bytes, m.line_bytes, m.sector_bytes, m.l1_ways);
+  }
+}
+
+void PerfPipeline::l2_fill_path(std::uint64_t sector_addr, bool write, bool count_dram_fill) {
+  ++ctr_.l2_sector_requests;
+  const SectoredCache::Outcome out = l2_.access(sector_addr, write, /*allocate=*/true);
+  if (out.hit) {
+    ++ctr_.l2_sector_hits;
+  } else {
+    ++ctr_.l2_sector_misses;
+    if (count_dram_fill) {
+      const bool row_hit = dram_.access(sector_addr);
+      ++ctr_.dram_sectors;
+      row_hit ? ++ctr_.dram_row_hits : ++ctr_.dram_row_misses;
+    }
+  }
+  if (out.writeback_sectors > 0) {
+    dram_.access_opaque(static_cast<std::uint64_t>(out.writeback_sectors));
+    ctr_.dram_sectors += static_cast<std::uint64_t>(out.writeback_sectors);
+    ctr_.dram_row_misses += static_cast<std::uint64_t>(out.writeback_sectors);
+  }
+}
+
+void PerfPipeline::global_load(int sm, std::span<const LaneAccess> lanes) {
+  ++ctr_.global_load_ops;
+  coalesce_sectors(lanes, machine_.sector_bytes, sectors_);
+  SectoredCache& l1 = l1_[static_cast<std::size_t>(sm)];
+  for (std::uint64_t s : sectors_) {
+    ++ctr_.l1_tag_requests_global;
+    const SectoredCache::Outcome out = l1.access(s, /*write=*/false, /*allocate=*/true);
+    if (out.hit) {
+      ++ctr_.l1_sector_hits;
+    } else {
+      ++ctr_.l1_sector_misses;
+      l2_fill_path(s, /*write=*/false, /*count_dram_fill=*/true);
+    }
+  }
+}
+
+void PerfPipeline::global_store(int sm, std::span<const LaneAccess> lanes) {
+  ++ctr_.global_store_ops;
+  coalesce_sectors(lanes, machine_.sector_bytes, sectors_);
+  SectoredCache& l1 = l1_[static_cast<std::size_t>(sm)];
+  for (std::uint64_t s : sectors_) {
+    // Write-through / no-allocate at L1: the access still consumes an L1 tag
+    // lookup (and updates the sector if present), then writes into L2.
+    ++ctr_.l1_tag_requests_global;
+    l1.access(s, /*write=*/false, /*allocate=*/false);
+    // Write-allocate in L2 without a DRAM fetch (write-combined sectors).
+    l2_fill_path(s, /*write=*/true, /*count_dram_fill=*/false);
+  }
+}
+
+void PerfPipeline::global_atomic(int /*sm*/, std::span<const LaneAccess> lanes) {
+  ++ctr_.atomic_ops;
+  ctr_.atomic_lane_updates += lanes.size();
+
+  // Same-address lane updates within one instruction serialise at the L2
+  // atomic unit; distinct addresses proceed in parallel across slices.
+  thread_local std::vector<std::uint64_t> addrs;
+  addrs.clear();
+  for (const LaneAccess& a : lanes) addrs.push_back(a.addr);
+  std::sort(addrs.begin(), addrs.end());
+  std::size_t i = 0;
+  while (i < addrs.size()) {
+    std::size_t j = i + 1;
+    while (j < addrs.size() && addrs[j] == addrs[i]) ++j;
+    ctr_.atomic_serial_replays += static_cast<std::uint64_t>(j - i - 1);
+    i = j;
+  }
+
+  // Each distinct sector is a read-modify-write in L2 (bypasses L1).
+  coalesce_sectors(lanes, machine_.sector_bytes, sectors_);
+  for (std::uint64_t s : sectors_) l2_fill_path(s, /*write=*/true, /*count_dram_fill=*/true);
+}
+
+void PerfPipeline::shared_access(std::span<const LaneAccess> lanes, bool /*write*/) {
+  ++ctr_.shared_ops;
+  const BankAnalysis res =
+      analyze_shared(lanes, machine_.shared_banks, machine_.shared_bank_bytes);
+  ctr_.shared_wavefronts += res.wavefronts;
+  ctr_.shared_wavefronts_ideal += res.ideal;
+}
+
+void PerfPipeline::finalize() {
+  const std::int64_t dirty = l2_.flush();
+  if (dirty > 0) {
+    dram_.access_opaque(static_cast<std::uint64_t>(dirty));
+    ctr_.dram_sectors += static_cast<std::uint64_t>(dirty);
+    ctr_.dram_row_misses += static_cast<std::uint64_t>(dirty);
+  }
+}
+
+void PerfPipeline::reset() {
+  for (auto& c : l1_) c.reset();
+  l2_.reset();
+  dram_.reset();
+  ctr_ = TraceCounters{};
+}
+
+}  // namespace gpusim

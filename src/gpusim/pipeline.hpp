@@ -1,0 +1,60 @@
+// pipeline.hpp — replays merged warp instructions through the simulated
+// memory hierarchy (per-SM L1 caches → shared L2 → DRAM channel model) and
+// accumulates the raw trace counters.
+//
+// Write policies mirror the A100: L1 is write-through/no-allocate for global
+// stores, L2 is write-back/write-allocate; atomics bypass L1 and
+// read-modify-write in L2.  Loads allocate in both levels.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/calibration.hpp"
+#include "gpusim/coalescer.hpp"
+#include "gpusim/dram.hpp"
+#include "gpusim/machine.hpp"
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+class PerfPipeline {
+ public:
+  PerfPipeline(const MachineModel& m, const Calibration& cal);
+
+  /// One warp-level global load instruction (one divergence path group).
+  void global_load(int sm, std::span<const LaneAccess> lanes);
+
+  /// One warp-level global store instruction.
+  void global_store(int sm, std::span<const LaneAccess> lanes);
+
+  /// One warp-level global atomic read-modify-write (relaxed add).
+  void global_atomic(int sm, std::span<const LaneAccess> lanes);
+
+  /// One warp-level shared (work-group local) memory instruction.
+  void shared_access(std::span<const LaneAccess> lanes, bool write);
+
+  /// Flush dirty L2 sectors to DRAM (end of kernel).
+  void finalize();
+
+  [[nodiscard]] TraceCounters& counters() { return ctr_; }
+  [[nodiscard]] const TraceCounters& counters() const { return ctr_; }
+  [[nodiscard]] const DramModel& dram() const { return dram_; }
+
+  void reset();
+
+ private:
+  void l2_fill_path(std::uint64_t sector_addr, bool write, bool count_dram_fill);
+
+  MachineModel machine_;
+  Calibration cal_;
+  std::vector<SectoredCache> l1_;  // one per SM
+  SectoredCache l2_;
+  DramModel dram_;
+  TraceCounters ctr_;
+  std::vector<std::uint64_t> sectors_;  // scratch
+};
+
+}  // namespace gpusim

@@ -1,0 +1,135 @@
+#include "gpusim/profiler.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+namespace gpusim {
+
+std::string format_count(double v) {
+  char buf[32];
+  if (v >= 100e6) {
+    std::snprintf(buf, sizeof(buf), "%.0fM", v / 1e6);
+  } else if (v >= 0.45e6) {  // the paper writes "0.5M" for half a million
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  // Trim a trailing ".0" like Table I does ("86M", not "86.0M").
+  std::string s = buf;
+  const auto pos = s.find(".0");
+  if (pos != std::string::npos) s.erase(pos, 2);
+  return s;
+}
+
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace
+
+void print_table1(std::ostream& os, std::span<const KernelStats> cols) {
+  struct Row {
+    const char* label;
+    std::function<std::string(const KernelStats&)> cell;
+  };
+  const std::vector<Row> rows = {
+      {"1  - Duration (us)", [](const KernelStats& s) { return fmt("%.1f", s.duration_us); }},
+      {"2  - Work-items (global size)",
+       [](const KernelStats& s) { return format_count(static_cast<double>(s.launch.global_size)); }},
+      {"3  - Compute (SM) throughput (%)",
+       [](const KernelStats& s) { return fmt("%.1f", s.sm_throughput_pct); }},
+      {"4  - Achieved occupancy (%)",
+       [](const KernelStats& s) { return fmt("%.1f", 100.0 * s.occupancy.achieved); }},
+      {"5  - Peak performance (%)",
+       [](const KernelStats& s) { return fmt("%.0f", s.peak_pct); }},
+      {"6  - L1/TEX cache throughput (%)",
+       [](const KernelStats& s) { return fmt("%.1f", s.l1_throughput_pct); }},
+      {"7  - L1/TEX miss rate (%)",
+       [](const KernelStats& s) { return fmt("%.1f", s.l1_miss_pct); }},
+      {"8  - L2 miss rate (%)", [](const KernelStats& s) { return fmt("%.1f", s.l2_miss_pct); }},
+      {"9  - Dyn. shared mem per WG (KB)",
+       [](const KernelStats& s) { return fmt("%.1f", s.shared_kb_per_group); }},
+      {"10 - L1 tag requests global (sectors)",
+       [](const KernelStats& s) {
+         return format_count(static_cast<double>(s.counters.l1_tag_requests_global));
+       }},
+      {"11 - L1 wavefronts shared (sectors)",
+       [](const KernelStats& s) {
+         return format_count(static_cast<double>(s.counters.shared_wavefronts));
+       }},
+      {"12 - Excessive L1 wavefronts shared",
+       [](const KernelStats& s) {
+         return format_count(static_cast<double>(s.counters.shared_wavefronts -
+                                                  std::min(s.counters.shared_wavefronts,
+                                                           s.counters.shared_wavefronts_ideal)));
+       }},
+      {"13 - Avg. divergent branches",
+       [](const KernelStats& s) { return fmt("%.0f", s.avg_divergent_branches); }},
+  };
+
+  // Header
+  os << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-40s", "Metric");
+  os << buf;
+  for (const KernelStats& s : cols) {
+    std::snprintf(buf, sizeof(buf), "%14s", s.name.c_str());
+    os << buf;
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < 40 + cols.size() * 14; ++i) os << '-';
+  os << "\n";
+  for (const Row& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%-40s", r.label);
+    os << buf;
+    for (const KernelStats& s : cols) {
+      std::snprintf(buf, sizeof(buf), "%14s", r.cell(s).c_str());
+      os << buf;
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void print_kernel_report(std::ostream& os, const KernelStats& st) {
+  const TraceCounters& c = st.counters;
+  os << "kernel: " << st.name << "\n"
+     << "  launch: global=" << st.launch.global_size << " local=" << st.launch.local_size
+     << " shared=" << st.launch.shared_bytes_per_group << "B regs=" << st.launch.regs_per_thread
+     << " phases=" << st.launch.num_phases << "\n"
+     << "  occupancy: " << fmt("%.1f", 100.0 * st.occupancy.achieved) << "% achieved ("
+     << fmt("%.1f", 100.0 * st.occupancy.theoretical) << "% theoretical, limited by "
+     << st.occupancy.limiter << ", " << st.occupancy.groups_per_sm << " groups/SM, "
+     << st.occupancy.waves << " waves)\n"
+     << "  timing: total=" << fmt("%.2f", st.timing.total_s * 1e6) << "us bound_by="
+     << st.timing.bound_by << " [dram=" << fmt("%.2f", st.timing.dram_s * 1e6)
+     << " l1=" << fmt("%.2f", st.timing.l1_s * 1e6)
+     << " shared=" << fmt("%.2f", st.timing.shared_s * 1e6)
+     << " issue=" << fmt("%.2f", st.timing.issue_s * 1e6)
+     << " atomic=" << fmt("%.2f", st.timing.atomic_s * 1e6)
+     << " barrier=" << fmt("%.2f", st.timing.barrier_s * 1e6) << " us]\n"
+     << "  perf: " << fmt("%.1f", st.gflops) << " GFLOP/s (" << fmt("%.1f", st.peak_pct)
+     << "% of empirical peak)\n"
+     << "  mem: l1_tag=" << format_count(static_cast<double>(c.l1_tag_requests_global))
+     << " l1_miss=" << fmt("%.1f", st.l1_miss_pct)
+     << "% l2_miss=" << fmt("%.1f", st.l2_miss_pct)
+     << "% dram_sectors=" << format_count(static_cast<double>(c.dram_sectors))
+     << " row_hit=" << format_count(static_cast<double>(c.dram_row_hits)) << "\n"
+     << "  smem: wavefronts=" << format_count(static_cast<double>(c.shared_wavefronts))
+     << " ideal=" << format_count(static_cast<double>(c.shared_wavefronts_ideal)) << "\n"
+     << "  issue: slots=" << format_count(static_cast<double>(c.warp_issue_slots))
+     << " fp64=" << format_count(static_cast<double>(c.fp64_warp_slots))
+     << " divergent=" << format_count(static_cast<double>(c.divergent_branches))
+     << " atomics=" << format_count(static_cast<double>(c.atomic_lane_updates)) << "\n";
+}
+
+}  // namespace gpusim

@@ -1,0 +1,22 @@
+// profiler.hpp — Nsight-Compute-style report formatting (paper Table I).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+/// Format a large count the way the paper's Table I does ("0.5M", "86M", "4.7M").
+[[nodiscard]] std::string format_count(double v);
+
+/// Print the 13 rows of the paper's Table I, one column per kernel.
+void print_table1(std::ostream& os, std::span<const KernelStats> columns);
+
+/// Print a one-kernel deep-dive: occupancy analysis, timing breakdown and all
+/// raw counters (our extension beyond Table I, useful for the ablations).
+void print_kernel_report(std::ostream& os, const KernelStats& st);
+
+}  // namespace gpusim

@@ -1,0 +1,25 @@
+#include "gpusim/roofline.hpp"
+
+#include <algorithm>
+
+namespace gpusim {
+
+RooflinePoint roofline_analyze(const MachineModel& m, const KernelStats& st) {
+  RooflinePoint p;
+  p.flops = static_cast<double>(st.counters.flops);
+  p.dram_bytes =
+      static_cast<double>(st.counters.dram_sectors) * static_cast<double>(m.sector_bytes);
+  if (p.dram_bytes <= 0.0 || st.duration_us <= 0.0) return p;
+
+  const double peak_gflops = m.empirical_peak_tflops * 1e3;
+  const double bw_gbs = m.dram_peak_gbs;
+  p.intensity = p.flops / p.dram_bytes;
+  p.ridge_intensity = peak_gflops / bw_gbs;
+  p.attainable_gflops = std::min(peak_gflops, p.intensity * bw_gbs);
+  p.achieved_gflops = p.flops / (st.duration_us * 1e-6) / 1e9;
+  p.roof_fraction = p.achieved_gflops / p.attainable_gflops;
+  p.memory_bound = p.intensity < p.ridge_intensity;
+  return p;
+}
+
+}  // namespace gpusim

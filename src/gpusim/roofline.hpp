@@ -1,0 +1,31 @@
+// roofline.hpp — roofline placement of a profiled kernel.
+//
+// The paper's central premise is that MILC-Dslash "is memory-bound and
+// therefore did not benefit from the increased concurrency provided by 4LP"
+// (§V).  This module makes the premise quantitative: from a kernel's
+// measured FLOPs and DRAM traffic it computes the arithmetic intensity, the
+// attainable roofline ceiling min(peak, intensity x bandwidth), and how
+// much of that ceiling the kernel achieved.
+#pragma once
+
+#include "gpusim/machine.hpp"
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+struct RooflinePoint {
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+  double intensity = 0.0;          ///< FLOP / DRAM byte
+  double ridge_intensity = 0.0;    ///< where the roof bends (peak / BW)
+  double attainable_gflops = 0.0;  ///< min(peak, intensity * BW)
+  double achieved_gflops = 0.0;
+  double roof_fraction = 0.0;      ///< achieved / attainable
+  bool memory_bound = false;       ///< intensity below the ridge
+};
+
+/// Analyse a profiled kernel against the machine's empirical roofline
+/// (the paper's 7.6 TFLOP/s empirical FP64 peak and the HBM peak).
+[[nodiscard]] RooflinePoint roofline_analyze(const MachineModel& m, const KernelStats& st);
+
+}  // namespace gpusim

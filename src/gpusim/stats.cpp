@@ -1,0 +1,35 @@
+#include "gpusim/stats.hpp"
+
+namespace gpusim {
+
+void TraceCounters::add(const TraceCounters& o) {
+  work_items += o.work_items;
+  warps += o.warps;
+  warp_issue_slots += o.warp_issue_slots;
+  fp64_warp_slots += o.fp64_warp_slots;
+  flops += o.flops;
+  active_lane_ops += o.active_lane_ops;
+  possible_lane_ops += o.possible_lane_ops;
+  branch_events += o.branch_events;
+  divergent_branches += o.divergent_branches;
+  global_load_ops += o.global_load_ops;
+  global_store_ops += o.global_store_ops;
+  l1_tag_requests_global += o.l1_tag_requests_global;
+  l1_sector_hits += o.l1_sector_hits;
+  l1_sector_misses += o.l1_sector_misses;
+  l2_sector_requests += o.l2_sector_requests;
+  l2_sector_hits += o.l2_sector_hits;
+  l2_sector_misses += o.l2_sector_misses;
+  dram_sectors += o.dram_sectors;
+  dram_row_hits += o.dram_row_hits;
+  dram_row_misses += o.dram_row_misses;
+  shared_ops += o.shared_ops;
+  shared_wavefronts += o.shared_wavefronts;
+  shared_wavefronts_ideal += o.shared_wavefronts_ideal;
+  atomic_ops += o.atomic_ops;
+  atomic_lane_updates += o.atomic_lane_updates;
+  atomic_serial_replays += o.atomic_serial_replays;
+  barrier_warp_events += o.barrier_warp_events;
+}
+
+}  // namespace gpusim

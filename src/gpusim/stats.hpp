@@ -1,0 +1,110 @@
+// stats.hpp — raw trace counters and the Nsight-style kernel statistics the
+// benches report (every row of the paper's Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpusim {
+
+/// Launch configuration of a kernel (the SYCL nd_range plus static traits
+/// the "compiler" decided).
+struct LaunchConfig {
+  std::int64_t global_size = 0;
+  int local_size = 1;
+  int shared_bytes_per_group = 0;
+  int regs_per_thread = 40;
+  int num_phases = 1;  ///< barrier-separated phases (barriers = phases - 1)
+};
+
+/// Raw event counters accumulated while replaying a kernel's warps through
+/// the memory/issue pipelines.
+struct TraceCounters {
+  std::uint64_t work_items = 0;
+  std::uint64_t warps = 0;
+
+  // Issue
+  std::uint64_t warp_issue_slots = 0;   ///< warp instructions incl. divergence replays
+  std::uint64_t fp64_warp_slots = 0;    ///< FP64 FMA warp instructions
+  std::uint64_t flops = 0;              ///< per-lane FLOPs (sum over lanes)
+  std::uint64_t active_lane_ops = 0;    ///< lanes active across all slots
+  std::uint64_t possible_lane_ops = 0;  ///< slots * warp_size
+
+  // Branching
+  std::uint64_t branch_events = 0;      ///< warp-level branch evaluations
+  std::uint64_t divergent_branches = 0; ///< branches with >1 distinct path
+
+  // Global memory
+  std::uint64_t global_load_ops = 0;   ///< warp-level load instructions
+  std::uint64_t global_store_ops = 0;
+  std::uint64_t l1_tag_requests_global = 0;  ///< sectors requested at L1
+  std::uint64_t l1_sector_hits = 0;
+  std::uint64_t l1_sector_misses = 0;
+  std::uint64_t l2_sector_requests = 0;
+  std::uint64_t l2_sector_hits = 0;
+  std::uint64_t l2_sector_misses = 0;
+  std::uint64_t dram_sectors = 0;       ///< fills + write-backs
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t dram_row_misses = 0;
+
+  // Shared (work-group local) memory
+  std::uint64_t shared_ops = 0;              ///< warp-level shared accesses
+  std::uint64_t shared_wavefronts = 0;       ///< actual wavefronts incl. conflicts
+  std::uint64_t shared_wavefronts_ideal = 0; ///< conflict-free lower bound
+
+  // Atomics
+  std::uint64_t atomic_ops = 0;          ///< warp-level atomic instructions
+  std::uint64_t atomic_lane_updates = 0; ///< individual lane updates
+  std::uint64_t atomic_serial_replays = 0;  ///< same-address serialisation
+
+  // Synchronisation
+  std::uint64_t barrier_warp_events = 0;
+
+  void add(const TraceCounters& o);
+};
+
+/// Occupancy analysis for a launch.
+struct OccupancyInfo {
+  int groups_per_sm = 0;
+  int warps_per_group = 0;
+  int warps_per_sm = 0;
+  double theoretical = 0.0;  ///< warps_per_sm / max warps
+  double achieved = 0.0;     ///< includes tail-wave and ramp effects
+  int waves = 0;             ///< number of full waves over the device
+  const char* limiter = "";  ///< which resource bounds residency
+};
+
+/// Timing decomposition produced by the analytical model.
+struct TimingBreakdown {
+  double dram_s = 0.0;
+  double latency_s = 0.0;  ///< MSHR/LSU sector-pressure (latency-bound) term
+  double l1_s = 0.0;
+  double shared_s = 0.0;
+  double issue_s = 0.0;
+  double atomic_s = 0.0;
+  double barrier_s = 0.0;
+  double total_s = 0.0;
+  const char* bound_by = "";
+};
+
+/// Everything the paper's Table I reports for one kernel launch, plus the
+/// derived GFLOP/s used in Fig. 6.
+struct KernelStats {
+  std::string name;
+  LaunchConfig launch;
+  OccupancyInfo occupancy;
+  TraceCounters counters;
+  TimingBreakdown timing;
+
+  double duration_us = 0.0;
+  double gflops = 0.0;            ///< achieved GFLOP/s
+  double sm_throughput_pct = 0.0;
+  double peak_pct = 0.0;          ///< vs the paper's 7.6 TFLOP/s empirical peak
+  double l1_throughput_pct = 0.0;
+  double l1_miss_pct = 0.0;
+  double l2_miss_pct = 0.0;
+  double shared_kb_per_group = 0.0;
+  double avg_divergent_branches = 0.0;  ///< per SM scheduler, as Nsight reports
+};
+
+}  // namespace gpusim

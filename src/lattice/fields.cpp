@@ -1,0 +1,100 @@
+#include "lattice/fields.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace milc {
+
+void ColorField::zero() { std::fill(data_.begin(), data_.end(), SU3Vector<dcomplex>{}); }
+
+void ColorField::fill_random(std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& v : data_) v = random_vector(rng);
+}
+
+double norm2(const ColorField& v) {
+  double acc = 0.0;
+  for (std::int64_t s = 0; s < v.size(); ++s) acc += norm2(v[s]);
+  return acc;
+}
+
+dcomplex dot(const ColorField& a, const ColorField& b) {
+  assert(a.size() == b.size());
+  dcomplex acc{0.0, 0.0};
+  for (std::int64_t s = 0; s < a.size(); ++s) acc += dot(a[s], b[s]);
+  return acc;
+}
+
+void axpy(double alpha, const ColorField& x, ColorField& y) {
+  assert(x.size() == y.size());
+  for (std::int64_t s = 0; s < x.size(); ++s) y[s] += alpha * x[s];
+}
+
+void xpay(const ColorField& x, double alpha, ColorField& y) {
+  assert(x.size() == y.size());
+  for (std::int64_t s = 0; s < x.size(); ++s) y[s] = x[s] + alpha * y[s];
+}
+
+void scale(double alpha, ColorField& y) {
+  for (std::int64_t s = 0; s < y.size(); ++s) y[s] = alpha * y[s];
+}
+
+double max_abs_diff(const ColorField& a, const ColorField& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::int64_t s = 0; s < a.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) {
+      m = std::max(m, std::fabs(a[s].c[i].re - b[s].c[i].re));
+      m = std::max(m, std::fabs(a[s].c[i].im - b[s].c[i].im));
+    }
+  }
+  return m;
+}
+
+GaugeConfiguration::GaugeConfiguration(const LatticeGeom& geom)
+    : fat_(static_cast<std::size_t>(geom.volume() * kNdim)),
+      lng_(static_cast<std::size_t>(geom.volume() * kNdim)) {}
+
+void GaugeConfiguration::fill_random(std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& m : fat_) m = random_su3(rng);
+  for (auto& m : lng_) m = random_su3(rng);
+}
+
+DeviceGaugeLayout::DeviceGaugeLayout(const GaugeView& view) : sites_(view.sites()) {
+  for (int l = 0; l < kNlinks; ++l) {
+    auto& fam = data_[static_cast<std::size_t>(l)];
+    fam.resize(static_cast<std::size_t>(sites_ * kNdim * kColors * kColors));
+    for (std::int64_t s = 0; s < sites_; ++s) {
+      for (int k = 0; k < kNdim; ++k) {
+        const SU3Matrix<dcomplex>& m = view.link(l, s, k);
+        for (int j = 0; j < kColors; ++j) {
+          for (int i = 0; i < kColors; ++i) {
+            fam[static_cast<std::size_t>(((s * kNdim + k) * kColors + j) * kColors + i)] =
+                m.e[i][j];
+          }
+        }
+      }
+    }
+  }
+}
+
+GaugeView::GaugeView(const LatticeGeom& geom, const GaugeConfiguration& cfg, Parity target)
+    : target_(target), sites_(geom.half_volume()) {
+  for (auto& fam : links_) fam.resize(static_cast<std::size_t>(sites_ * kNdim));
+  for (std::int64_t s = 0; s < sites_; ++s) {
+    const std::int64_t f = geom.full_index_of(target, s);
+    const Coords c = geom.coords(f);
+    for (int k = 0; k < kNdim; ++k) {
+      const std::int64_t back1 = geom.full_index(geom.displace(c, k, -1));
+      const std::int64_t back3 = geom.full_index(geom.displace(c, k, -3));
+      const std::size_t at = static_cast<std::size_t>(s * kNdim + k);
+      links_[0][at] = cfg.fat(f, k);
+      links_[1][at] = cfg.lng(f, k);
+      links_[2][at] = adjoint(cfg.fat(back1, k));
+      links_[3][at] = adjoint(cfg.lng(back3, k));
+    }
+  }
+}
+
+}  // namespace milc

@@ -1,0 +1,39 @@
+#include "lattice/gauge_transform.hpp"
+
+#include "su3/random_su3.hpp"
+
+namespace milc {
+
+GaugeTransform::GaugeTransform(const LatticeGeom& geom)
+    : omega_(static_cast<std::size_t>(geom.volume()), SU3Matrix<dcomplex>::identity()) {}
+
+void GaugeTransform::fill_random(std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& m : omega_) m = random_su3(rng);
+}
+
+GaugeConfiguration GaugeTransform::apply(const LatticeGeom& geom,
+                                         const GaugeConfiguration& cfg) const {
+  GaugeConfiguration out(geom);
+  for (std::int64_t x = 0; x < geom.volume(); ++x) {
+    const Coords c = geom.coords(x);
+    for (int mu = 0; mu < kNdim; ++mu) {
+      const std::int64_t x1 = geom.full_index(geom.displace(c, mu, +1));
+      const std::int64_t x3 = geom.full_index(geom.displace(c, mu, +3));
+      out.fat(x, mu) = matmul(matmul(at(x), cfg.fat(x, mu)), adjoint(at(x1)));
+      out.lng(x, mu) = matmul(matmul(at(x), cfg.lng(x, mu)), adjoint(at(x3)));
+    }
+  }
+  return out;
+}
+
+ColorField GaugeTransform::apply(const LatticeGeom& geom, const ColorField& f) const {
+  ColorField out(geom, f.parity());
+  for (std::int64_t s = 0; s < f.size(); ++s) {
+    const std::int64_t x = geom.full_index_of(f.parity(), s);
+    out[s] = matvec(at(x), f[s]);
+  }
+  return out;
+}
+
+}  // namespace milc

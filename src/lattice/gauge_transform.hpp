@@ -1,0 +1,45 @@
+// gauge_transform.hpp — local SU(3) gauge transformations.
+//
+// A gauge transformation Omega(x) acts as
+//
+//     U_mu(x)      -> Omega(x) U_mu(x) Omega(x+mu)^dagger       (1-link)
+//     U_mu^(3)(x)  -> Omega(x) U_mu^(3)(x) Omega(x+3mu)^dagger  (3-link/Naik)
+//     psi(x)       -> Omega(x) psi(x)
+//
+// Physics is gauge invariant, which gives the test suite its sharpest
+// integration checks: the plaquette is invariant, HISQ smearing commutes
+// with the transformation, and Dslash is covariant
+// (D[U^Omega](Omega b) = Omega (D[U] b)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/fields.hpp"
+
+namespace milc {
+
+class GaugeTransform {
+ public:
+  explicit GaugeTransform(const LatticeGeom& geom);
+
+  /// Independent Haar-random Omega(x) on every site.
+  void fill_random(std::uint64_t seed);
+
+  [[nodiscard]] const SU3Matrix<dcomplex>& at(std::int64_t full_site) const {
+    return omega_[static_cast<std::size_t>(full_site)];
+  }
+
+  /// Transform a configuration: the `fat` family as 1-link connectors, the
+  /// `lng` family as 3-link connectors.
+  [[nodiscard]] GaugeConfiguration apply(const LatticeGeom& geom,
+                                         const GaugeConfiguration& cfg) const;
+
+  /// Transform a parity-resident colour field: b(x) -> Omega(x) b(x).
+  [[nodiscard]] ColorField apply(const LatticeGeom& geom, const ColorField& f) const;
+
+ private:
+  std::vector<SU3Matrix<dcomplex>> omega_;
+};
+
+}  // namespace milc

@@ -1,0 +1,78 @@
+#include "lattice/hisq.hpp"
+
+#include <cmath>
+
+namespace milc {
+
+namespace {
+
+SU3Matrix<dcomplex> scaled(const SU3Matrix<dcomplex>& m, double s) {
+  SU3Matrix<dcomplex> r;
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) r.e[i][j] = cscale(s, m.e[i][j]);
+  }
+  return r;
+}
+
+void add_into(SU3Matrix<dcomplex>& acc, const SU3Matrix<dcomplex>& m, double w) {
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) acc.e[i][j] += cscale(w, m.e[i][j]);
+  }
+}
+
+}  // namespace
+
+SU3Matrix<dcomplex> polar_project(const SU3Matrix<dcomplex>& m, int iterations) {
+  // Newton–Schulz polar iteration  X <- 1/2 X (3 I - X^dag X), which
+  // converges to the unitary polar factor m (m^dag m)^{-1/2} whenever the
+  // singular values of X0 lie in (0, sqrt(3)).  Normalising by the
+  // Frobenius norm puts sigma_max <= 1.
+  const double n = std::sqrt(frobenius_norm2(m));
+  SU3Matrix<dcomplex> x = scaled(m, 1.0 / n);
+
+  for (int it = 0; it < iterations; ++it) {
+    SU3Matrix<dcomplex> w = matmul(adjoint(x), x);  // X^dag X
+    for (int i = 0; i < kColors; ++i) {
+      for (int j = 0; j < kColors; ++j) w.e[i][j] = cneg(w.e[i][j]);
+      w.e[i][i] += dcomplex{3.0, 0.0};
+    }
+    x = scaled(matmul(x, w), 0.5);
+  }
+  return x;
+}
+
+GaugeConfiguration build_hisq_links(const LatticeGeom& geom, const GaugeConfiguration& thin,
+                                    const HisqOptions& opts) {
+  GaugeConfiguration out(geom);
+  const double w = opts.fat_weight;
+  for (std::int64_t x = 0; x < geom.volume(); ++x) {
+    const Coords cx = geom.coords(x);
+    for (int mu = 0; mu < kNdim; ++mu) {
+      // -- Naik (3-link) long link ------------------------------------------
+      const std::int64_t x1 = geom.full_index(geom.displace(cx, mu, +1));
+      const std::int64_t x2 = geom.full_index(geom.displace(cx, mu, +2));
+      out.lng(x, mu) = matmul(matmul(thin.fat(x, mu), thin.fat(x1, mu)), thin.fat(x2, mu));
+
+      // -- fat link: thin link plus six staples, covariantly projected ------
+      SU3Matrix<dcomplex> acc = scaled(thin.fat(x, mu), 1.0 - 6.0 * w);
+      for (int nu = 0; nu < kNdim; ++nu) {
+        if (nu == mu) continue;
+        const std::int64_t x_nu = geom.full_index(geom.displace(cx, nu, +1));
+        SU3Matrix<dcomplex> fwd = matmul(thin.fat(x, nu), thin.fat(x_nu, mu));
+        fwd = matmul(fwd, adjoint(thin.fat(x1, nu)));
+        add_into(acc, fwd, w);
+
+        const Coords c_dn = geom.displace(cx, nu, -1);
+        const std::int64_t x_dn = geom.full_index(c_dn);
+        const std::int64_t x1_dn = geom.full_index(geom.displace(c_dn, mu, +1));
+        SU3Matrix<dcomplex> bwd = matmul(adjoint(thin.fat(x_dn, nu)), thin.fat(x_dn, mu));
+        bwd = matmul(bwd, thin.fat(x1_dn, nu));
+        add_into(acc, bwd, w);
+      }
+      out.fat(x, mu) = polar_project(acc, opts.polar_iterations);
+    }
+  }
+  return out;
+}
+
+}  // namespace milc

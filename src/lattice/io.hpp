@@ -1,0 +1,36 @@
+// io.hpp — binary checkpointing of lattice fields.
+//
+// Production lattice codes spend weeks generating gauge configurations
+// (paper §I: su3_rhmd_hisq "has been used in production for many years"),
+// so durable, validated field I/O is part of the substrate.  Format: a
+// fixed header (magic, payload kind, lattice extents, parity), the raw
+// little-endian doubles, and an FNV-1a checksum over the payload.  Loads
+// verify magic, kind, geometry and checksum and throw std::runtime_error on
+// any mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lattice/fields.hpp"
+
+namespace milc::io {
+
+/// Payload kinds stored in the header.
+enum class FieldKind : std::uint32_t {
+  GaugeConfiguration = 1,
+  ColorField = 2,
+};
+
+/// FNV-1a over a byte range (the checksum used by the format).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes);
+
+void save_gauge(const std::string& path, const LatticeGeom& geom,
+                const GaugeConfiguration& cfg);
+/// Loads into a configuration for `geom`; throws on any validation failure.
+[[nodiscard]] GaugeConfiguration load_gauge(const std::string& path, const LatticeGeom& geom);
+
+void save_color_field(const std::string& path, const LatticeGeom& geom, const ColorField& f);
+[[nodiscard]] ColorField load_color_field(const std::string& path, const LatticeGeom& geom);
+
+}  // namespace milc::io

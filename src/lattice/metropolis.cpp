@@ -1,0 +1,138 @@
+#include "lattice/metropolis.hpp"
+
+#include <cmath>
+
+#include "su3/random_su3.hpp"
+
+namespace milc {
+
+namespace {
+
+/// Sum of the six staples around link U_mu(x): the environment the link's
+/// action depends on.  dS = -(beta/3) Re tr[(U' - U) StapleSum].
+SU3Matrix<dcomplex> staple_sum(const LatticeGeom& geom, const GaugeConfiguration& cfg,
+                               std::int64_t x, int mu) {
+  SU3Matrix<dcomplex> sum{};
+  const Coords cx = geom.coords(x);
+  const std::int64_t x_mu = geom.full_index(geom.displace(cx, mu, +1));
+  for (int nu = 0; nu < kNdim; ++nu) {
+    if (nu == mu) continue;
+    // Forward staple: U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+
+    const std::int64_t x_nu = geom.full_index(geom.displace(cx, nu, +1));
+    SU3Matrix<dcomplex> fwd = matmul(cfg.fat(x_mu, nu), adjoint(cfg.fat(x_nu, mu)));
+    fwd = matmul(fwd, adjoint(cfg.fat(x, nu)));
+    // Backward staple: U_nu(x+mu-nu)^+ U_mu(x-nu)^+ U_nu(x-nu)
+    const Coords c_dn = geom.displace(cx, nu, -1);
+    const std::int64_t x_dn = geom.full_index(c_dn);
+    const std::int64_t x_mu_dn = geom.full_index(geom.displace(c_dn, mu, +1));
+    SU3Matrix<dcomplex> bwd = matmul(adjoint(cfg.fat(x_mu_dn, nu)), adjoint(cfg.fat(x_dn, mu)));
+    bwd = matmul(bwd, cfg.fat(x_dn, nu));
+    for (int i = 0; i < kColors; ++i) {
+      for (int j = 0; j < kColors; ++j) {
+        sum.e[i][j] += fwd.e[i][j];
+        sum.e[i][j] += bwd.e[i][j];
+      }
+    }
+  }
+  return sum;
+}
+
+/// Random SU(3) rotation near the identity: reunitarise(I + step * A) with A
+/// a random anti-Hermitian traceless matrix.
+SU3Matrix<dcomplex> small_rotation(Rng& rng, double step) {
+  SU3Matrix<dcomplex> a{};
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = i + 1; j < kColors; ++j) {
+      const dcomplex z{step * rng.next_signed(), step * rng.next_signed()};
+      a.e[i][j] = z;
+      a.e[j][i] = {-z.re, z.im};  // -conj(z): anti-Hermitian
+    }
+  }
+  // Traceless imaginary diagonal.
+  double d0 = step * rng.next_signed(), d1 = step * rng.next_signed();
+  a.e[0][0] = {0.0, d0};
+  a.e[1][1] = {0.0, d1};
+  a.e[2][2] = {0.0, -(d0 + d1)};
+  SU3Matrix<dcomplex> r = SU3Matrix<dcomplex>::identity();
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) r.e[i][j] += a.e[i][j];
+  }
+  return reunitarize(r);
+}
+
+/// Re tr(A B) — the plaquette containing link U is tr(U * staple), so the
+/// link's local action is -(beta/3) Re tr(U * StapleSum).
+double re_tr_mul(const SU3Matrix<dcomplex>& a, const SU3Matrix<dcomplex>& b) {
+  double acc = 0.0;
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      acc += a.e[i][j].re * b.e[j][i].re - a.e[i][j].im * b.e[j][i].im;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+double average_plaquette(const LatticeGeom& geom, const GaugeConfiguration& cfg) {
+  double sum = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t f = 0; f < geom.volume(); ++f) {
+    const Coords x = geom.coords(f);
+    for (int mu = 0; mu < kNdim; ++mu) {
+      for (int nu = mu + 1; nu < kNdim; ++nu) {
+        const std::int64_t x_mu = geom.full_index(geom.displace(x, mu, +1));
+        const std::int64_t x_nu = geom.full_index(geom.displace(x, nu, +1));
+        SU3Matrix<dcomplex> p = matmul(cfg.fat(f, mu), cfg.fat(x_mu, nu));
+        p = matmul(p, adjoint(cfg.fat(x_nu, mu)));
+        p = matmul(p, adjoint(cfg.fat(f, nu)));
+        sum += trace(p).re / kColors;
+        ++count;
+      }
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+SweepStats metropolisSweepImpl(const LatticeGeom& geom, GaugeConfiguration& cfg,
+                               const MetropolisOptions& opts, Rng& rng) {
+  std::int64_t proposed = 0, accepted = 0;
+  for (std::int64_t x = 0; x < geom.volume(); ++x) {
+    for (int mu = 0; mu < kNdim; ++mu) {
+      const SU3Matrix<dcomplex> staples = staple_sum(geom, cfg, x, mu);
+      for (int hit = 0; hit < opts.hits_per_link; ++hit) {
+        const SU3Matrix<dcomplex> r = small_rotation(rng, opts.step);
+        const SU3Matrix<dcomplex> u_new = matmul(r, cfg.fat(x, mu));
+        const double dS = -(opts.beta / kColors) *
+                          (re_tr_mul(u_new, staples) -
+                           re_tr_mul(cfg.fat(x, mu), staples));
+        ++proposed;
+        if (dS <= 0.0 || rng.next_double() < std::exp(-dS)) {
+          cfg.fat(x, mu) = u_new;
+          ++accepted;
+        }
+      }
+    }
+  }
+  SweepStats st;
+  st.acceptance = static_cast<double>(accepted) / static_cast<double>(proposed);
+  st.avg_plaquette = average_plaquette(geom, cfg);
+  return st;
+}
+
+SweepStats metropolis_sweep(const LatticeGeom& geom, GaugeConfiguration& cfg,
+                            const MetropolisOptions& opts, std::uint64_t sweep_index) {
+  Rng rng(opts.seed * 0x9e3779b97f4a7c15ull + sweep_index);
+  return metropolisSweepImpl(geom, cfg, opts, rng);
+}
+
+SweepStats thermalize(const LatticeGeom& geom, GaugeConfiguration& cfg,
+                      const MetropolisOptions& opts, int n_sweeps) {
+  SweepStats last;
+  for (int s = 0; s < n_sweeps; ++s) {
+    last = metropolis_sweep(geom, cfg, opts, static_cast<std::uint64_t>(s));
+  }
+  return last;
+}
+
+}  // namespace milc

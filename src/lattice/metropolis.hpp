@@ -1,0 +1,48 @@
+// metropolis.hpp — quenched SU(3) gauge-field generation.
+//
+// The paper's context is MILC's su3_rhmd_hisq, "one of the main applications
+// used to generate gauge configurations" (§I).  This module provides the
+// simplest member of that family: a Metropolis sweep for the Wilson
+// plaquette action
+//
+//     S[U] = -(beta/3) sum_p Re tr U_p ,
+//
+// updating each link with small random SU(3) rotations.  It turns the
+// benchmark's random links into *physical* configurations whose average
+// plaquette interpolates between the disordered (~0) and ordered (1) limits
+// as beta grows — and gives the examples and tests gauge fields with
+// realistic correlations rather than white noise.
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/fields.hpp"
+
+namespace milc {
+
+struct MetropolisOptions {
+  double beta = 6.0;       ///< gauge coupling
+  double step = 0.2;       ///< size of the random rotation
+  int hits_per_link = 5;   ///< Metropolis hits before moving on
+  std::uint64_t seed = 1;
+};
+
+struct SweepStats {
+  double acceptance = 0.0;     ///< accepted / proposed
+  double avg_plaquette = 0.0;  ///< after the sweep
+};
+
+/// Average plaquette (1/3) Re tr U_p over all sites and planes of the
+/// `fat` link family.
+[[nodiscard]] double average_plaquette(const LatticeGeom& geom, const GaugeConfiguration& cfg);
+
+/// One full Metropolis sweep over every link of the `fat` family (the
+/// benchmark's gauge field).  Returns acceptance and the new plaquette.
+SweepStats metropolis_sweep(const LatticeGeom& geom, GaugeConfiguration& cfg,
+                            const MetropolisOptions& opts, std::uint64_t sweep_index);
+
+/// Run `n_sweeps` sweeps (thermalisation); returns the final sweep's stats.
+SweepStats thermalize(const LatticeGeom& geom, GaugeConfiguration& cfg,
+                      const MetropolisOptions& opts, int n_sweeps);
+
+}  // namespace milc

@@ -1,0 +1,66 @@
+#include "lattice/soa.hpp"
+
+#include <array>
+
+namespace milc {
+
+SoAGauge::SoAGauge(const GaugeView& view, Reconstruct scheme)
+    : scheme_(scheme),
+      reals_(reals_per_link(scheme)),
+      pairs_((reals_per_link(scheme) + 1) / 2),
+      sites_(view.sites()) {
+  data_.resize(static_cast<std::size_t>(kNlinks * kNdim * pairs_) *
+               static_cast<std::size_t>(sites_));
+  std::array<double, 18> tmp{};
+  for (int l = 0; l < kNlinks; ++l) {
+    for (std::int64_t s = 0; s < sites_; ++s) {
+      for (int k = 0; k < kNdim; ++k) {
+        pack_link(scheme_, view.link(l, s, k), tmp);
+        for (int p = 0; p < pairs_; ++p) {
+          const double re = tmp[static_cast<std::size_t>(2 * p)];
+          const double im =
+              2 * p + 1 < reals_ ? tmp[static_cast<std::size_t>(2 * p + 1)] : 0.0;
+          const std::size_t off =
+              static_cast<std::size_t>((l * kNdim + k) * pairs_ + p) *
+                  static_cast<std::size_t>(sites_) +
+              static_cast<std::size_t>(s);
+          data_[off] = {re, im};
+        }
+      }
+    }
+  }
+}
+
+SU3Matrix<dcomplex> SoAGauge::unpack(int l, std::int64_t s, int k) const {
+  std::array<double, 18> tmp{};
+  for (int r = 0; r < reals_; ++r) tmp[static_cast<std::size_t>(r)] = at(l, k, r, s);
+  return unpack_link(scheme_, std::span<const double>(tmp.data(), static_cast<std::size_t>(reals_)));
+}
+
+SoAColor::SoAColor(const LatticeGeom& geom, Parity /*p*/)
+    : sites_(geom.half_volume()),
+      data_(static_cast<std::size_t>(kColors) * static_cast<std::size_t>(sites_)) {}
+
+SoAColor::SoAColor(const ColorField& f)
+    : sites_(f.size()),
+      data_(static_cast<std::size_t>(kColors) * static_cast<std::size_t>(sites_)) {
+  for (std::int64_t s = 0; s < sites_; ++s) set(s, f[s]);
+}
+
+SU3Vector<dcomplex> SoAColor::get(std::int64_t s) const {
+  SU3Vector<dcomplex> v;
+  for (int c = 0; c < kColors; ++c) v.c[c] = plane(c)[s];
+  return v;
+}
+
+void SoAColor::set(std::int64_t s, const SU3Vector<dcomplex>& v) {
+  for (int c = 0; c < kColors; ++c) plane(c)[s] = v.c[c];
+}
+
+ColorField SoAColor::to_aos(const LatticeGeom& geom, Parity p) const {
+  ColorField f(geom, p);
+  for (std::int64_t s = 0; s < sites_; ++s) f[s] = get(s);
+  return f;
+}
+
+}  // namespace milc

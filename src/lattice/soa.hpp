@@ -1,0 +1,97 @@
+// soa.hpp — structure-of-arrays field layouts (QUDA-style).
+//
+// QUDA's performance on site-per-thread kernels comes from storing fields
+// component-major as double2 (complex) planes: for each (link family,
+// dimension, complex-pair) there is one contiguous array over sites, so 32
+// consecutive threads reading the same component touch 32 consecutive
+// 16-byte elements — fully-utilised cache lines and long DRAM bursts.  This
+// module provides SoA gauge storage (optionally compressed with
+// recon-18/12/9; odd real counts are padded to a whole pair, as QUDA pads
+// its recon-9/13 fields) and SoA colour-vector storage, used by the
+// `qudaref` baseline and the layout ablation (experiment A1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/fields.hpp"
+#include "su3/reconstruct.hpp"
+
+namespace milc {
+
+/// Gauge links packed component-major with a reconstruction scheme, as
+/// complex-pair (double2) planes: plane index p holds reals (2p, 2p+1).
+class SoAGauge {
+ public:
+  SoAGauge() = default;
+
+  /// Pack a gathered gauge view with the given compression scheme.
+  SoAGauge(const GaugeView& view, Reconstruct scheme);
+
+  [[nodiscard]] Reconstruct scheme() const { return scheme_; }
+  [[nodiscard]] int reals() const { return reals_; }
+  /// double2 planes per link = ceil(reals / 2).
+  [[nodiscard]] int pairs() const { return pairs_; }
+  [[nodiscard]] std::int64_t sites() const { return sites_; }
+
+  /// Base of the double2 plane p of link (l, k).
+  [[nodiscard]] const dcomplex* pair_plane(int l, int k, int p) const {
+    return data_.data() +
+           (static_cast<std::size_t>((l * kNdim + k) * pairs_ + p)) *
+               static_cast<std::size_t>(sites_);
+  }
+
+  /// Scalar accessor (tests): real component r of link (l, k) at site s.
+  [[nodiscard]] double at(int l, int k, int r, std::int64_t s) const {
+    const dcomplex& pr = pair_plane(l, k, r / 2)[s];
+    return (r % 2 == 0) ? pr.re : pr.im;
+  }
+
+  /// Reconstruct the full matrix for (l, s, k) — the host-side reference for
+  /// what the kernel recomputes per thread.
+  [[nodiscard]] SU3Matrix<dcomplex> unpack(int l, std::int64_t s, int k) const;
+
+  [[nodiscard]] const dcomplex* data() const { return data_.data(); }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(dcomplex); }
+
+ private:
+  Reconstruct scheme_ = Reconstruct::k18;
+  int reals_ = 18;
+  int pairs_ = 9;
+  std::int64_t sites_ = 0;
+  std::vector<dcomplex> data_;
+};
+
+/// Colour vectors packed component-major: three complex planes over sites.
+class SoAColor {
+ public:
+  SoAColor() = default;
+  SoAColor(const LatticeGeom& geom, Parity p);
+  /// Pack an AoS field.
+  explicit SoAColor(const ColorField& f);
+
+  [[nodiscard]] std::int64_t sites() const { return sites_; }
+
+  [[nodiscard]] const dcomplex* plane(int c) const {
+    return data_.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(sites_);
+  }
+  [[nodiscard]] dcomplex* plane(int c) {
+    return data_.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(sites_);
+  }
+
+  [[nodiscard]] SU3Vector<dcomplex> get(std::int64_t s) const;
+  void set(std::int64_t s, const SU3Vector<dcomplex>& v);
+
+  /// Unpack back to AoS.
+  [[nodiscard]] ColorField to_aos(const LatticeGeom& geom, Parity p) const;
+
+  [[nodiscard]] const dcomplex* data() const { return data_.data(); }
+  [[nodiscard]] dcomplex* data() { return data_.data(); }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(dcomplex); }
+
+ private:
+  std::int64_t sites_ = 0;
+  std::vector<dcomplex> data_;
+};
+
+}  // namespace milc

@@ -1,0 +1,48 @@
+// milc.hpp — umbrella header: the whole public API in one include.
+//
+//   #include "milc.hpp"
+//
+// Pulls in the lattice substrate, the Dslash strategies and runner, the
+// operator/solver layer, the QUDA-like baseline, the Wilson extension and
+// the simulation/profiling surface.  Individual headers remain the
+// fine-grained way in; this exists for quick starts and downstream
+// prototypes.
+#pragma once
+
+// complex numbers
+#include "complexlib/dcomplex.hpp"
+#include "complexlib/scomplex.hpp"
+#include "complexlib/syclcplx.hpp"
+
+// SU(3) algebra and compression
+#include "su3/random_su3.hpp"
+#include "su3/reconstruct.hpp"
+#include "su3/su3_matrix.hpp"
+#include "su3/su3_vector.hpp"
+
+// lattice substrate
+#include "lattice/fields.hpp"
+#include "lattice/gauge_transform.hpp"
+#include "lattice/geometry.hpp"
+#include "lattice/hisq.hpp"
+#include "lattice/io.hpp"
+#include "lattice/metropolis.hpp"
+#include "lattice/soa.hpp"
+
+// execution model and device simulation
+#include "gpusim/profiler.hpp"
+#include "gpusim/roofline.hpp"
+#include "minisycl/device.hpp"
+#include "minisycl/queue.hpp"
+#include "minisycl/usm.hpp"
+
+// the paper's core: strategies, variants, runner, solver
+#include "core/compressed.hpp"
+#include "core/precision.hpp"
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+#include "core/solver.hpp"
+
+// baselines and extensions
+#include "qudaref/staggered_test.hpp"
+#include "wilson/wilson_solver.hpp"

@@ -1,0 +1,30 @@
+// device.hpp — SYCL-style device introspection over the machine model.
+#pragma once
+
+#include <string>
+
+#include "gpusim/machine.hpp"
+
+namespace minisycl {
+
+/// Device descriptor, mirroring the subset of sycl::device::get_info the
+/// benchmark and examples query.
+class device {
+ public:
+  explicit device(const gpusim::MachineModel& m = gpusim::a100()) : m_(m) {}
+
+  [[nodiscard]] std::string name() const { return "Simulated NVIDIA A100-SXM4-40GB"; }
+  [[nodiscard]] std::string vendor() const { return "gpusim"; }
+  [[nodiscard]] int max_compute_units() const { return m_.num_sms; }
+  [[nodiscard]] int max_work_group_size() const { return m_.max_group_size; }
+  [[nodiscard]] int sub_group_size() const { return m_.warp_size; }
+  [[nodiscard]] std::int64_t local_mem_size() const { return m_.shared_bytes_per_sm; }
+  [[nodiscard]] std::int64_t global_mem_cache_size() const { return m_.l2_bytes; }
+  [[nodiscard]] double clock_ghz() const { return m_.clock_ghz; }
+  [[nodiscard]] const gpusim::MachineModel& machine() const { return m_; }
+
+ private:
+  gpusim::MachineModel m_;
+};
+
+}  // namespace minisycl

@@ -1,0 +1,24 @@
+// event.hpp — SYCL-style events with profiling information on the simulated
+// timeline.
+//
+// Mirrors sycl::event::get_profiling_info<command_submit/start/end>: every
+// submission records when it was submitted, when the (serialised) device
+// started it, and when it finished.  Dependencies (`depends_on`) push the
+// start time; the device executes one kernel at a time (these kernels
+// saturate the whole GPU — the paper's out-of-order penalty is scheduling
+// overhead precisely because there is "no opportunity for overlapping
+// tasks", §IV-D6 / SYCL-Bench 2020).
+#pragma once
+
+namespace minisycl {
+
+struct event {
+  double submit_us = 0.0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+
+  [[nodiscard]] double queue_latency_us() const { return start_us - submit_us; }
+  [[nodiscard]] double duration_us() const { return end_us - start_us; }
+};
+
+}  // namespace minisycl

@@ -1,0 +1,276 @@
+// executor.hpp — runs a phased kernel over an nd_range.
+//
+// Two modes:
+//  * execute_functional: plain host loops, FastLane, no simulation — used by
+//    correctness tests and the examples.
+//  * execute_profiled: wave-scheduled, warp-granular execution with
+//    TraceLane.  Work-groups are assigned round-robin to the machine's SMs
+//    (per-SM L1), resident groups of a wave interleave their warps
+//    round-robin (shared L2/DRAM), and each warp's 32 event streams are
+//    merged position-by-position into warp instructions for the performance
+//    pipeline.
+//
+// Barrier semantics: a kernel declares `num_phases`; the executor runs phase
+// p for every work-item of a group before phase p+1 — precisely what
+// group_barrier guarantees (DESIGN.md §5 "phase-split barriers").
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/machine.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/pipeline.hpp"
+#include "gpusim/timing.hpp"
+#include "minisycl/lane.hpp"
+#include "minisycl/traits.hpp"
+
+namespace minisycl {
+
+/// A kernel launch: the SYCL nd_range plus local-memory request and phase
+/// count (barriers = num_phases - 1).
+struct LaunchSpec {
+  std::int64_t global_size = 0;
+  int local_size = 1;
+  int shared_bytes = 0;
+  int num_phases = 1;
+  KernelTraits traits{};
+};
+
+/// Kernel concept: callable as kernel(lane, phase) for both lane types.
+template <typename K>
+concept PhasedKernel = requires(const K& k, FastLane& f, TraceLane& t) {
+  k(f, 0);
+  k(t, 0);
+};
+
+/// Correctness-only execution.
+template <PhasedKernel Kernel>
+void execute_functional(const LaunchSpec& spec, const Kernel& kernel) {
+  assert(spec.global_size % spec.local_size == 0);
+  const std::int64_t groups = spec.global_size / spec.local_size;
+  std::vector<std::byte> local(static_cast<std::size_t>(spec.shared_bytes));
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (int phase = 0; phase < spec.num_phases; ++phase) {
+      for (int t = 0; t < spec.local_size; ++t) {
+        ItemIds ids{g * spec.local_size + t, t, g, spec.local_size};
+        FastLane lane(ids, local.data());
+        kernel(lane, phase);
+      }
+    }
+  }
+}
+
+namespace detail {
+
+/// Merge one event position of a warp into warp instructions and feed the
+/// pipeline.  Returns issue slots consumed at this position.
+inline int merge_position(gpusim::PerfPipeline& pipe, const gpusim::Calibration& cal, int sm,
+                          const std::array<std::vector<LaneEvent>, 32>& ev, int lanes,
+                          std::size_t pos, double& control_slots) {
+  gpusim::TraceCounters& ctr = pipe.counters();
+  const EventKind kind = ev[0][pos].kind;
+
+  // Partition unmasked lanes by divergence path.
+  std::array<std::uint8_t, 32> paths{};
+  std::array<bool, 32> active{};
+  int n_active = 0;
+  for (int l = 0; l < lanes; ++l) {
+    const LaneEvent& e = ev[static_cast<std::size_t>(l)][pos];
+    assert(e.kind == kind && "lane event streams diverged structurally");
+    active[static_cast<std::size_t>(l)] = e.masked == 0;
+    paths[static_cast<std::size_t>(l)] = e.path;
+    if (e.masked == 0) ++n_active;
+  }
+
+  // Distinct paths among active lanes.
+  std::array<std::uint8_t, 32> distinct{};
+  int n_paths = 0;
+  for (int l = 0; l < lanes; ++l) {
+    if (!active[static_cast<std::size_t>(l)]) continue;
+    bool seen = false;
+    for (int d = 0; d < n_paths; ++d) {
+      if (distinct[static_cast<std::size_t>(d)] == paths[static_cast<std::size_t>(l)]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) distinct[static_cast<std::size_t>(n_paths++)] = paths[static_cast<std::size_t>(l)];
+  }
+
+  int slots = 0;
+  switch (kind) {
+    case EventKind::Flops: {
+      for (int d = 0; d < n_paths; ++d) {
+        std::uint32_t max_n = 0;
+        std::uint64_t sum_n = 0;
+        for (int l = 0; l < lanes; ++l) {
+          if (!active[static_cast<std::size_t>(l)] ||
+              paths[static_cast<std::size_t>(l)] != distinct[static_cast<std::size_t>(d)]) {
+            continue;
+          }
+          const std::uint32_t n = ev[static_cast<std::size_t>(l)][pos].value;
+          max_n = std::max(max_n, n);
+          sum_n += n;
+        }
+        const int group_slots = static_cast<int>((max_n + 1) / 2);  // FP64 FMA = 2 FLOP
+        slots += group_slots;
+        ctr.fp64_warp_slots += static_cast<std::uint64_t>(group_slots);
+        ctr.flops += sum_n;
+      }
+      break;
+    }
+    case EventKind::Branch: {
+      slots = 1;
+      ++ctr.branch_events;
+      // Divergent when the active lanes chose more than one target.
+      std::array<std::uint32_t, 32> targets{};
+      int n_targets = 0;
+      for (int l = 0; l < lanes; ++l) {
+        if (!active[static_cast<std::size_t>(l)]) continue;
+        const std::uint32_t v = ev[static_cast<std::size_t>(l)][pos].value;
+        bool seen = false;
+        for (int d = 0; d < n_targets; ++d) {
+          if (targets[static_cast<std::size_t>(d)] == v) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) targets[static_cast<std::size_t>(n_targets++)] = v;
+      }
+      if (n_targets > 1) ++ctr.divergent_branches;
+      break;
+    }
+    default: {
+      // Memory instruction: one warp instruction per divergence path.
+      std::array<gpusim::LaneAccess, 32> acc{};
+      for (int d = 0; d < std::max(1, n_paths); ++d) {
+        int n = 0;
+        for (int l = 0; l < lanes; ++l) {
+          if (!active[static_cast<std::size_t>(l)] ||
+              (n_paths > 0 &&
+               paths[static_cast<std::size_t>(l)] != distinct[static_cast<std::size_t>(d)])) {
+            continue;
+          }
+          const LaneEvent& e = ev[static_cast<std::size_t>(l)][pos];
+          acc[static_cast<std::size_t>(n++)] =
+              gpusim::LaneAccess{e.addr, e.size, static_cast<std::uint8_t>(l)};
+        }
+        if (n == 0) continue;
+        const std::span<const gpusim::LaneAccess> span(acc.data(), static_cast<std::size_t>(n));
+        switch (kind) {
+          case EventKind::LoadGlobal: pipe.global_load(sm, span); break;
+          case EventKind::StoreGlobal: pipe.global_store(sm, span); break;
+          case EventKind::AtomicGlobal: pipe.global_atomic(sm, span); break;
+          case EventKind::LoadShared: pipe.shared_access(span, false); break;
+          case EventKind::StoreShared: pipe.shared_access(span, true); break;
+          default: break;
+        }
+        slots += 1;
+        control_slots += cal.control_slots_per_mem_op;
+      }
+      break;
+    }
+  }
+
+  slots = std::max(slots, 1);
+  ctr.warp_issue_slots += static_cast<std::uint64_t>(slots);
+  ctr.active_lane_ops += static_cast<std::uint64_t>(n_active);
+  ctr.possible_lane_ops += static_cast<std::uint64_t>(slots) * 32u;
+  return slots;
+}
+
+}  // namespace detail
+
+/// Profiled execution: returns the full Nsight-style statistics record.
+template <PhasedKernel Kernel>
+gpusim::KernelStats execute_profiled(const gpusim::MachineModel& m,
+                                     const gpusim::Calibration& cal, const LaunchSpec& spec,
+                                     const Kernel& kernel, std::string stats_name) {
+  gpusim::LaunchConfig cfg;
+  cfg.global_size = spec.global_size;
+  cfg.local_size = spec.local_size;
+  cfg.shared_bytes_per_group = spec.shared_bytes;
+  cfg.regs_per_thread = spec.traits.regs_per_thread;
+  cfg.num_phases = spec.num_phases;
+
+  const gpusim::OccupancyInfo occ = gpusim::compute_occupancy(m, cal, cfg);
+  gpusim::PerfPipeline pipe(m, cal);
+  gpusim::TraceCounters& ctr = pipe.counters();
+  ctr.work_items = static_cast<std::uint64_t>(spec.global_size);
+
+  const int warp = m.warp_size;
+  const int warps_per_group = (spec.local_size + warp - 1) / warp;
+  const std::int64_t groups = spec.global_size / spec.local_size;
+  const std::int64_t wave_cap = static_cast<std::int64_t>(occ.groups_per_sm) * m.num_sms;
+
+  std::array<std::vector<LaneEvent>, 32> ev;
+  for (auto& v : ev) v.reserve(512);
+  double control_slots = 0.0;
+
+  struct GroupState {
+    int phase = 0;
+    int next_warp = 0;
+  };
+  std::vector<GroupState> states;
+  std::vector<std::vector<std::byte>> local_mem;
+
+  for (std::int64_t wave_start = 0; wave_start < groups; wave_start += wave_cap) {
+    const std::int64_t wave_n = std::min<std::int64_t>(wave_cap, groups - wave_start);
+    states.assign(static_cast<std::size_t>(wave_n), GroupState{});
+    local_mem.assign(static_cast<std::size_t>(wave_n),
+                     std::vector<std::byte>(static_cast<std::size_t>(spec.shared_bytes)));
+
+    std::int64_t done = 0;
+    while (done < wave_n) {
+      for (std::int64_t gi = 0; gi < wave_n; ++gi) {
+        GroupState& st = states[static_cast<std::size_t>(gi)];
+        if (st.phase >= spec.num_phases) continue;
+        const std::int64_t g = wave_start + gi;
+        const int sm = static_cast<int>(gi % m.num_sms);
+
+        // Execute one warp of this group's current phase.
+        const int w = st.next_warp;
+        const int lanes = std::min(warp, spec.local_size - w * warp);
+        for (int l = 0; l < lanes; ++l) {
+          ev[static_cast<std::size_t>(l)].clear();
+          const int lid = w * warp + l;
+          ItemIds ids{g * spec.local_size + lid, lid, g, spec.local_size};
+          TraceLane lane(ids, local_mem[static_cast<std::size_t>(gi)].data(),
+                         &ev[static_cast<std::size_t>(l)]);
+          kernel(lane, st.phase);
+        }
+        const std::size_t n_events = ev[0].size();
+        for (int l = 1; l < lanes; ++l) {
+          assert(ev[static_cast<std::size_t>(l)].size() == n_events &&
+                 "kernel lanes must record positionally aligned event streams");
+        }
+        for (std::size_t pos = 0; pos < n_events; ++pos) {
+          detail::merge_position(pipe, cal, sm, ev, lanes, pos, control_slots);
+        }
+        if (st.phase == 0) ++ctr.warps;
+
+        // Advance the cursor; charge barrier events at phase boundaries.
+        if (++st.next_warp == warps_per_group) {
+          st.next_warp = 0;
+          ++st.phase;
+          if (st.phase < spec.num_phases) {
+            ctr.barrier_warp_events += static_cast<std::uint64_t>(warps_per_group);
+          }
+          if (st.phase >= spec.num_phases) ++done;
+        }
+      }
+    }
+  }
+
+  pipe.finalize();
+  ctr.warp_issue_slots += static_cast<std::uint64_t>(control_slots);
+  return gpusim::make_stats(m, cal, std::move(stats_name), cfg, occ, ctr,
+                            pipe.dram().cost_units(), spec.traits.codegen_slowdown);
+}
+
+}  // namespace minisycl

@@ -1,0 +1,25 @@
+// traits.hpp — per-kernel-variant static properties.
+//
+// `regs_per_thread` is an architectural estimate (site-per-thread kernels
+// keep a whole site's accumulators live; row-per-thread kernels need far
+// fewer registers) and feeds the occupancy calculator.  `codegen_slowdown`
+// is the documented stand-in for real-compiler effects the paper measures
+// (DESIGN.md §2 item 2); 1.0 means "no compiler effect modelled".
+#pragma once
+
+namespace minisycl {
+
+struct KernelTraits {
+  const char* name = "kernel";
+  /// Registers per work-item the "compiler" allocates.  Site-per-thread
+  /// kernels (1LP, QUDA-style) hold 6 accumulator doubles per colour row plus
+  /// addresses for 16 matrices: ~64 registers.  Row-per-thread kernels
+  /// (2LP..4LP) hold one row: ~40.
+  int regs_per_thread = 40;
+  /// Multiplier on the final kernel duration representing code-generation
+  /// quality differences between toolchains (see calibration.hpp for the
+  /// rationale; every non-1.0 value is documented at its point of use).
+  double codegen_slowdown = 1.0;
+};
+
+}  // namespace minisycl

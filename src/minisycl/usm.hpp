@@ -1,0 +1,121 @@
+// usm.hpp — SYCL Unified Shared Memory style allocation.
+//
+// The paper's implementations "opted for Unified Shared Memory (USM) device
+// allocations, ensuring explicit control over data movement" (§III).  In
+// the simulator host memory doubles as device memory, but the API surface —
+// malloc_device / memcpy / free — is preserved, with an allocation registry
+// that catches the classic USM bugs (double free, freeing unknown pointers,
+// leaks at scope exit).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace minisycl {
+
+class queue;
+
+namespace usm {
+
+/// Registry of live device allocations (thread-safe; the simulator may run
+/// groups on worker threads in future).
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  void on_alloc(void* p, std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_[p] = bytes;
+    total_bytes_ += bytes;
+    ++total_allocs_;
+  }
+
+  /// Returns the allocation size; throws on unknown pointer (double free /
+  /// never allocated).
+  std::size_t on_free(void* p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(p);
+    if (it == live_.end()) {
+      throw std::invalid_argument("usm::free: pointer was not allocated with malloc_device "
+                                  "(or was already freed)");
+    }
+    const std::size_t bytes = it->second;
+    total_bytes_ -= bytes;
+    live_.erase(it);
+    return bytes;
+  }
+
+  [[nodiscard]] std::size_t live_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  [[nodiscard]] std::size_t live_allocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+  }
+  [[nodiscard]] std::uint64_t total_allocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_allocs_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<void*, std::size_t> live_;
+  std::size_t total_bytes_ = 0;
+  std::uint64_t total_allocs_ = 0;
+};
+
+}  // namespace usm
+
+/// sycl::malloc_device<T>(count, q) equivalent.
+template <typename T>
+[[nodiscard]] T* malloc_device(std::size_t count, const queue& /*q*/) {
+  T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+  usm::Registry::instance().on_alloc(p, count * sizeof(T));
+  return p;
+}
+
+/// sycl::free(ptr, q) equivalent; validates the pointer.
+template <typename T>
+void free(T* p, const queue& /*q*/) {
+  if (p == nullptr) return;
+  usm::Registry::instance().on_free(p);
+  ::operator delete(p, std::align_val_t{64});
+}
+
+/// q.memcpy(...) equivalent (synchronous, like q.memcpy(...).wait()).
+inline void memcpy(const queue& /*q*/, void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+
+/// RAII wrapper so examples do not leak on exceptions.
+template <typename T>
+class device_ptr {
+ public:
+  device_ptr(std::size_t count, const queue& q) : q_(&q), p_(malloc_device<T>(count, q)) {}
+  ~device_ptr() {
+    try {
+      minisycl::free(p_, *q_);
+    } catch (...) {
+    }
+  }
+  device_ptr(const device_ptr&) = delete;
+  device_ptr& operator=(const device_ptr&) = delete;
+
+  [[nodiscard]] T* get() const { return p_; }
+  [[nodiscard]] T& operator[](std::size_t i) const { return p_[i]; }
+
+ private:
+  const queue* q_;
+  T* p_;
+};
+
+}  // namespace minisycl

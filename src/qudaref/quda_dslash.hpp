@@ -1,0 +1,110 @@
+// quda_dslash.hpp — QUDA-like staggered Dslash baseline.
+//
+// Reproduces the role of QUDA's `staggered_dslash_test` (paper §IV-D3): a
+// site-per-thread kernel over structure-of-arrays fields with optional gauge
+// compression (recon-18/12/9).  The SoA layout gives near-ideal coalescing
+// (consecutive threads read consecutive doubles); compression trades memory
+// traffic for reconstruction FLOPs exactly as in QUDA.  Like all QUDA
+// kernels it launches on an in-order stream and is autotuned over launch
+// configurations (quda_autotune).
+//
+// The structural performance profile mirrors the real library: a whole
+// site's accumulators live in registers (~64 regs/thread, capping occupancy
+// at 50%), which is precisely the "parallelism" axis on which the paper's
+// 3LP-1 wins by ~10%.
+#pragma once
+
+#include <array>
+
+#include "core/dslash_args.hpp"
+#include "lattice/soa.hpp"
+#include "minisycl/traits.hpp"
+
+namespace milc::qudaref {
+
+/// Raw pointers for the SoA kernel (double2 / complex-pair planes).
+struct QudaArgs {
+  const dcomplex* gauge = nullptr;  ///< SoAGauge::data()
+  int reals = 18;                   ///< reals per link (scheme)
+  int pairs = 9;                    ///< double2 planes per link
+  Reconstruct scheme = Reconstruct::k18;
+  const dcomplex* b = nullptr;      ///< SoAColor::data() (3 complex planes)
+  dcomplex* c_out = nullptr;        ///< SoAColor::data()
+  const std::int32_t* neighbors = nullptr;
+  std::int64_t sites = 0;
+
+  [[nodiscard]] const dcomplex* gauge_pair(int l, int k, int p) const {
+    return gauge + (static_cast<std::size_t>((l * kNdim + k) * pairs + p)) *
+                       static_cast<std::size_t>(sites);
+  }
+  [[nodiscard]] const dcomplex* b_plane(int c) const {
+    return b + static_cast<std::size_t>(c) * static_cast<std::size_t>(sites);
+  }
+  [[nodiscard]] dcomplex* c_plane(int c) const {
+    return c_out + static_cast<std::size_t>(c) * static_cast<std::size_t>(sites);
+  }
+};
+
+struct QudaStaggeredKernel {
+  static constexpr int kPhases = 1;
+  QudaArgs args;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = "quda-staggered", .regs_per_thread = 64, .codegen_slowdown = 1.0};
+  }
+  /// Compressed links need reconstruction temporaries: QUDA's tuner reports
+  /// higher register counts for recon-12/9 kernels than for recon-18.
+  static int regs_for(Reconstruct scheme) {
+    switch (scheme) {
+      case Reconstruct::k18: return 64;
+      case Reconstruct::k12: return 68;
+      case Reconstruct::k9: return 76;
+    }
+    return 64;
+  }
+  static int shared_bytes(int /*local_size*/) { return 0; }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int /*phase*/) const {
+    const std::int64_t s = lane.global_id();
+    dcomplex acc[kColors];
+
+    std::array<double, 18> buf{};
+    for (int l = 0; l < kNlinks; ++l) {
+      for (int k = 0; k < kNdim; ++k) {
+        const std::int32_t n = device::load_neighbor(lane, args.neighbors, s, k, l);
+
+        // Gather the neighbour colour vector (3 coalesced complex planes).
+        SU3Vector<dcomplex> bv;
+        for (int c = 0; c < kColors; ++c) {
+          bv.c[c] = lane.load(&args.b_plane(c)[n]);
+        }
+
+        // Load the compressed link (double2 planes) and reconstruct.
+        for (int p = 0; p < args.pairs; ++p) {
+          const dcomplex pr = lane.load(&args.gauge_pair(l, k, p)[s]);
+          buf[static_cast<std::size_t>(2 * p)] = pr.re;
+          if (2 * p + 1 < args.reals) buf[static_cast<std::size_t>(2 * p + 1)] = pr.im;
+        }
+        const SU3Matrix<dcomplex> u = unpack_link(
+            args.scheme,
+            std::span<const double>(buf.data(), static_cast<std::size_t>(args.reals)));
+        lane.flops(static_cast<int>(reconstruct_flops(args.scheme)));
+
+        const SU3Vector<dcomplex> v = matvec(u, bv);
+        lane.flops(3 * 22);
+        const double sign = kStencilSigns[static_cast<std::size_t>(l)];
+        for (int i = 0; i < kColors; ++i) {
+          acc[i] += dcomplex{sign * v.c[i].re, sign * v.c[i].im};
+        }
+        lane.flops(6);
+      }
+    }
+
+    for (int c = 0; c < kColors; ++c) {
+      lane.store(&args.c_plane(c)[s], acc[c]);
+    }
+  }
+};
+
+}  // namespace milc::qudaref

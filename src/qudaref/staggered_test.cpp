@@ -1,0 +1,94 @@
+#include "qudaref/staggered_test.hpp"
+
+#include "minisycl/queue.hpp"
+
+namespace milc::qudaref {
+
+StaggeredDslashTest::StaggeredDslashTest(DslashProblem& problem, gpusim::MachineModel machine,
+                                         gpusim::Calibration cal)
+    : problem_(problem),
+      machine_(machine),
+      cal_(cal),
+      b_soa_(problem.b()),
+      c_soa_(problem.geom(), problem.target_parity()) {}
+
+QudaArgs StaggeredDslashTest::make_args(Reconstruct scheme) {
+  if (!gauge_ || gauge_->scheme() != scheme) {
+    gauge_.emplace(problem_.view(), scheme);
+  }
+  QudaArgs a;
+  a.gauge = gauge_->data();
+  a.reals = gauge_->reals();
+  a.pairs = gauge_->pairs();
+  a.scheme = scheme;
+  a.b = b_soa_.data();
+  a.c_out = c_soa_.data();
+  a.neighbors = problem_.neighbors().data();
+  a.sites = problem_.sites();
+  return a;
+}
+
+std::vector<int> StaggeredDslashTest::tuning_candidates() const {
+  std::vector<int> out;
+  for (int ls : {64, 128, 256, 512, 1024}) {
+    if (problem_.sites() % ls == 0) out.push_back(ls);
+  }
+  return out;
+}
+
+StaggeredResult StaggeredDslashTest::run_at(Reconstruct scheme, int local_size) {
+  QudaStaggeredKernel kernel{make_args(scheme)};
+  minisycl::queue q(minisycl::ExecMode::profiled, minisycl::QueueOrder::in_order, machine_,
+                    cal_);
+  minisycl::LaunchSpec spec;
+  spec.global_size = problem_.sites();
+  spec.local_size = local_size;
+  spec.shared_bytes = 0;
+  spec.num_phases = 1;
+  spec.traits = QudaStaggeredKernel::traits();
+  spec.traits.regs_per_thread = QudaStaggeredKernel::regs_for(scheme);
+
+  StaggeredResult res;
+  res.scheme = scheme;
+  res.local_size = local_size;
+  res.stats = q.submit(spec, kernel,
+                       std::string("staggered_dslash_test ") + to_string(scheme) + " /" +
+                           std::to_string(local_size));
+  res.kernel_us = res.stats.duration_us;
+  res.per_iter_us = res.kernel_us + q.launch_overhead_us();
+  res.gflops = problem_.flops() / (res.per_iter_us * 1e-6) / 1e9;
+
+  // Publish the SoA output back to the problem's C field so callers can
+  // verify it.
+  problem_.c() = c_soa_.to_aos(problem_.geom(), problem_.target_parity());
+  return res;
+}
+
+StaggeredResult StaggeredDslashTest::run(Reconstruct scheme) {
+  StaggeredResult best;
+  for (int ls : tuning_candidates()) {
+    StaggeredResult r;
+    try {
+      r = run_at(scheme, ls);
+    } catch (const std::invalid_argument&) {
+      continue;  // configuration does not fit on an SM — the tuner skips it
+    }
+    if (best.local_size == 0 || r.kernel_us < best.kernel_us) best = r;
+  }
+  return best;
+}
+
+void StaggeredDslashTest::run_functional(Reconstruct scheme) {
+  QudaStaggeredKernel kernel{make_args(scheme)};
+  minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order, machine_,
+                    cal_);
+  minisycl::LaunchSpec spec;
+  spec.global_size = problem_.sites();
+  spec.local_size = 128;
+  spec.num_phases = 1;
+  spec.traits = QudaStaggeredKernel::traits();
+  q.submit(spec, kernel);
+  problem_.c() = c_soa_.to_aos(problem_.geom(), problem_.target_parity());
+}
+
+}  // namespace milc::qudaref

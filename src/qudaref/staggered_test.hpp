@@ -1,0 +1,60 @@
+// staggered_test.hpp — the `staggered_dslash_test`-style harness.
+//
+// Owns the SoA copies of a Dslash problem, runs the QUDA-like kernel for a
+// chosen reconstruction scheme, autotunes the launch configuration (QUDA's
+// tuner sweeps block sizes and caches the best), and reports GFLOP/s in
+// QUDA's convention: the *nominal* operator FLOPs over wall time, so
+// compression raises the reported rate (634 -> 728 -> 825 in the paper).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "gpusim/calibration.hpp"
+#include "gpusim/machine.hpp"
+#include "gpusim/stats.hpp"
+#include "qudaref/quda_dslash.hpp"
+
+namespace milc::qudaref {
+
+struct StaggeredResult {
+  Reconstruct scheme = Reconstruct::k18;
+  int local_size = 0;           ///< tuned work-group size
+  double kernel_us = 0.0;
+  double per_iter_us = 0.0;     ///< kernel + in-order launch overhead
+  double gflops = 0.0;          ///< nominal-FLOP convention (QUDA-style)
+  gpusim::KernelStats stats;
+};
+
+class StaggeredDslashTest {
+ public:
+  explicit StaggeredDslashTest(DslashProblem& problem,
+                               gpusim::MachineModel machine = gpusim::a100(),
+                               gpusim::Calibration cal = gpusim::default_calibration());
+
+  /// Profiled, autotuned run for one reconstruction scheme.
+  [[nodiscard]] StaggeredResult run(Reconstruct scheme);
+
+  /// Profiled run at a fixed local size (no tuning).
+  [[nodiscard]] StaggeredResult run_at(Reconstruct scheme, int local_size);
+
+  /// Functional run (recon-18) whose output lands in `problem.c()` —
+  /// for correctness tests against dslash_reference.
+  void run_functional(Reconstruct scheme);
+
+  /// Launch configurations the tuner sweeps.
+  [[nodiscard]] std::vector<int> tuning_candidates() const;
+
+ private:
+  QudaArgs make_args(Reconstruct scheme);
+
+  DslashProblem& problem_;
+  gpusim::MachineModel machine_;
+  gpusim::Calibration cal_;
+  std::optional<SoAGauge> gauge_;  ///< cached per scheme
+  SoAColor b_soa_;
+  SoAColor c_soa_;
+};
+
+}  // namespace milc::qudaref

@@ -1,0 +1,57 @@
+#include "su3/random_su3.hpp"
+
+#include <cmath>
+
+namespace milc {
+
+double Rng::next_gaussian() {
+  // Box–Muller; discard the second deviate to stay stateless.
+  double u1 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+namespace {
+
+/// Gram–Schmidt orthonormalisation of the rows of u, then fix det(u) = 1 by
+/// rotating the last row by the conjugate determinant phase.
+SU3Matrix<dcomplex> project_su3(SU3Matrix<dcomplex> u) {
+  for (int r = 0; r < kColors; ++r) {
+    // Remove components along previous rows.
+    for (int p = 0; p < r; ++p) {
+      dcomplex overlap{0.0, 0.0};  // <row_p, row_r>
+      for (int j = 0; j < kColors; ++j) cmac_conj(overlap, u.e[p][j], u.e[r][j]);
+      for (int j = 0; j < kColors; ++j) u.e[r][j] -= cmul(overlap, u.e[p][j]);
+    }
+    // Normalise.
+    double n2 = 0.0;
+    for (int j = 0; j < kColors; ++j) n2 += cnorm2(u.e[r][j]);
+    const double inv = 1.0 / std::sqrt(n2);
+    for (int j = 0; j < kColors; ++j) u.e[r][j] *= inv;
+  }
+  // After orthonormalisation |det| = 1; rotate the last row so det = 1.
+  const dcomplex d = det(u);
+  const dcomplex phase = cconj(d);  // |d| = 1 -> conj is the inverse phase
+  for (int j = 0; j < kColors; ++j) u.e[2][j] = cmul(phase, u.e[2][j]);
+  return u;
+}
+
+}  // namespace
+
+SU3Matrix<dcomplex> random_su3(Rng& rng) {
+  SU3Matrix<dcomplex> u;
+  for (int i = 0; i < kColors; ++i)
+    for (int j = 0; j < kColors; ++j) u.e[i][j] = {rng.next_gaussian(), rng.next_gaussian()};
+  return project_su3(u);
+}
+
+SU3Vector<dcomplex> random_vector(Rng& rng) {
+  SU3Vector<dcomplex> v;
+  for (int i = 0; i < kColors; ++i) v.c[i] = {rng.next_signed(), rng.next_signed()};
+  return v;
+}
+
+SU3Matrix<dcomplex> reunitarize(const SU3Matrix<dcomplex>& u) { return project_su3(u); }
+
+}  // namespace milc

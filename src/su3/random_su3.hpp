@@ -1,0 +1,53 @@
+// random_su3.hpp — generation of Haar-ish random SU(3) matrices and random
+// colour vectors, used to fill the benchmark's gauge and quark fields (the
+// MILC-Dslash benchmark initialises its fields with random data; only the
+// stencil structure matters for performance).
+#pragma once
+
+#include <cstdint>
+
+#include "su3/su3_matrix.hpp"
+
+namespace milc {
+
+/// Small, fast, seedable counter-based generator (SplitMix64).  Deterministic
+/// across platforms so tests and benches are reproducible.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [-1, 1).
+  constexpr double next_signed() { return 2.0 * next_double() - 1.0; }
+
+  /// Standard normal via Box–Muller (uses two uniforms per call pair).
+  double next_gaussian();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Random SU(3) matrix: Gaussian entries, Gram–Schmidt orthonormalised rows,
+/// then the third row is rotated so that det = 1 exactly (up to rounding).
+[[nodiscard]] SU3Matrix<dcomplex> random_su3(Rng& rng);
+
+/// Random colour vector with components uniform in [-1, 1)^2.
+[[nodiscard]] SU3Vector<dcomplex> random_vector(Rng& rng);
+
+/// Project an approximately-unitary matrix back onto SU(3)
+/// (Gram–Schmidt + det fix); used after reconstruction-error studies.
+[[nodiscard]] SU3Matrix<dcomplex> reunitarize(const SU3Matrix<dcomplex>& u);
+
+}  // namespace milc

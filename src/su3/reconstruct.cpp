@@ -1,0 +1,170 @@
+#include "su3/reconstruct.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace milc {
+
+namespace {
+
+constexpr double kReconEps = 1e-12;
+
+void pack18(const SU3Matrix<dcomplex>& u, std::span<double> out) {
+  std::size_t n = 0;
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      out[n++] = u.e[i][j].re;
+      out[n++] = u.e[i][j].im;
+    }
+  }
+}
+
+SU3Matrix<dcomplex> unpack18(std::span<const double> in) {
+  SU3Matrix<dcomplex> u;
+  std::size_t n = 0;
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      u.e[i][j] = {in[n], in[n + 1]};
+      n += 2;
+    }
+  }
+  return u;
+}
+
+void pack12(const SU3Matrix<dcomplex>& u, std::span<double> out) {
+  std::size_t n = 0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      out[n++] = u.e[i][j].re;
+      out[n++] = u.e[i][j].im;
+    }
+  }
+}
+
+SU3Matrix<dcomplex> unpack12(std::span<const double> in) {
+  SU3Matrix<dcomplex> u;
+  std::size_t n = 0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      u.e[i][j] = {in[n], in[n + 1]};
+      n += 2;
+    }
+  }
+  // For det(U) = 1: row2 = conj(row0 x row1).
+  const auto& a = u.e[0];
+  const auto& b = u.e[1];
+  u.e[2][0] = cconj(cmul(a[1], b[2]) - cmul(a[2], b[1]));
+  u.e[2][1] = cconj(cmul(a[2], b[0]) - cmul(a[0], b[2]));
+  u.e[2][2] = cconj(cmul(a[0], b[1]) - cmul(a[1], b[0]));
+  return u;
+}
+
+// 8-parameter SU(3) packing: [Re a2, Im a2, Re a3, Im a3, Re b1, Im b1,
+// theta(a1), theta(c1)].
+void pack8(const SU3Matrix<dcomplex>& u, std::span<double> out) {
+  out[0] = u.e[0][1].re;
+  out[1] = u.e[0][1].im;
+  out[2] = u.e[0][2].re;
+  out[3] = u.e[0][2].im;
+  out[4] = u.e[1][0].re;
+  out[5] = u.e[1][0].im;
+  out[6] = std::atan2(u.e[0][0].im, u.e[0][0].re);
+  out[7] = std::atan2(u.e[2][0].im, u.e[2][0].re);
+}
+
+SU3Matrix<dcomplex> unpack8(std::span<const double> in) {
+  SU3Matrix<dcomplex> u;
+  const dcomplex a2{in[0], in[1]};
+  const dcomplex a3{in[2], in[3]};
+  const dcomplex b1{in[4], in[5]};
+  const double th_a1 = in[6];
+  const double th_c1 = in[7];
+
+  const double a1_abs2 = std::max(0.0, 1.0 - cnorm2(a2) - cnorm2(a3));
+  const double a1_abs = std::sqrt(a1_abs2);
+  const dcomplex a1{a1_abs * std::cos(th_a1), a1_abs * std::sin(th_a1)};
+
+  const double c1_abs = std::sqrt(std::max(0.0, 1.0 - a1_abs2 - cnorm2(b1)));
+  const dcomplex c1{c1_abs * std::cos(th_c1), c1_abs * std::sin(th_c1)};
+
+  const double d = cnorm2(a2) + cnorm2(a3);  // = 1 - |a1|^2
+  assert(d > kReconEps && "recon-8 degenerate first row; caller must guard");
+  const double inv_d = 1.0 / d;
+
+  const dcomplex a1c_b1 = cmul(cconj(a1), b1);  // conj(a1)*b1
+  const dcomplex a1c_c1 = cmul(cconj(a1), c1);  // conj(a1)*c1
+
+  // From row-orthogonality and the cofactor identities (see header):
+  const dcomplex b2 = cscale(-inv_d, cmul(a1c_b1, a2) + cmul(cconj(a3), cconj(c1)));
+  const dcomplex b3 = cscale(inv_d, cmul(cconj(a2), cconj(c1)) - cmul(a1c_b1, a3));
+  const dcomplex c2 = cscale(inv_d, cmul(cconj(a3), cconj(b1)) - cmul(a1c_c1, a2));
+  const dcomplex c3 = cscale(-inv_d, cmul(cconj(a2), cconj(b1)) + cmul(a1c_c1, a3));
+
+  u.e[0][0] = a1;
+  u.e[0][1] = a2;
+  u.e[0][2] = a3;
+  u.e[1][0] = b1;
+  u.e[1][1] = b2;
+  u.e[1][2] = b3;
+  u.e[2][0] = c1;
+  u.e[2][1] = c2;
+  u.e[2][2] = c3;
+  return u;
+}
+
+// recon-9 = global U(3) phase + 8-parameter SU(3) body.
+void pack9(const SU3Matrix<dcomplex>& u, std::span<double> out) {
+  const dcomplex d = det(u);
+  const double phi = std::atan2(d.im, d.re) / 3.0;
+  const dcomplex unphase{std::cos(-phi), std::sin(-phi)};
+  SU3Matrix<dcomplex> v;
+  for (int i = 0; i < kColors; ++i)
+    for (int j = 0; j < kColors; ++j) v.e[i][j] = cmul(unphase, u.e[i][j]);
+  pack8(v, out.subspan(0, 8));
+  out[8] = phi;
+}
+
+SU3Matrix<dcomplex> unpack9(std::span<const double> in) {
+  SU3Matrix<dcomplex> v = unpack8(in.subspan(0, 8));
+  const double phi = in[8];
+  const dcomplex phase{std::cos(phi), std::sin(phi)};
+  for (int i = 0; i < kColors; ++i)
+    for (int j = 0; j < kColors; ++j) v.e[i][j] = cmul(phase, v.e[i][j]);
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(Reconstruct r) {
+  switch (r) {
+    case Reconstruct::k18: return "recon-18";
+    case Reconstruct::k12: return "recon-12";
+    case Reconstruct::k9: return "recon-9";
+  }
+  return "?";
+}
+
+bool is_recon9_safe(const SU3Matrix<dcomplex>& u) {
+  return cnorm2(u.e[0][1]) + cnorm2(u.e[0][2]) > 1e3 * kReconEps;
+}
+
+void pack_link(Reconstruct scheme, const SU3Matrix<dcomplex>& u, std::span<double> out) {
+  assert(out.size() >= static_cast<std::size_t>(reals_per_link(scheme)));
+  switch (scheme) {
+    case Reconstruct::k18: pack18(u, out); break;
+    case Reconstruct::k12: pack12(u, out); break;
+    case Reconstruct::k9: pack9(u, out); break;
+  }
+}
+
+SU3Matrix<dcomplex> unpack_link(Reconstruct scheme, std::span<const double> in) {
+  assert(in.size() >= static_cast<std::size_t>(reals_per_link(scheme)));
+  switch (scheme) {
+    case Reconstruct::k18: return unpack18(in);
+    case Reconstruct::k12: return unpack12(in);
+    case Reconstruct::k9: return unpack9(in);
+  }
+  return {};
+}
+
+}  // namespace milc

@@ -1,0 +1,71 @@
+// reconstruct.hpp — QUDA-style gauge-link compression.
+//
+// QUDA reduces memory traffic by storing fewer than 18 real numbers per SU(3)
+// link and reconstructing the rest on the fly (paper §IV-D3: recon 18 / 12 /
+// 9 run at 634 / 728 / 825 GFLOP/s).  We implement the three schemes used by
+// `staggered_dslash_test`:
+//
+//  * recon-18: all 9 complex entries (no compression).
+//  * recon-12: first two rows; the third row of an SU(3) matrix is
+//    row2 = conj(row0 x row1).
+//  * recon-9:  a U(3) scheme (QUDA uses it for HISQ long links, which are
+//    unit-determinant-magnitude but not special-unitary): a global phase
+//    phi = arg(det W)/3 plus the 8-parameter SU(3) reconstruction of
+//    V = e^{-i phi} W.  The 8-parameter scheme stores a2, a3, b1 and the
+//    phases of a1 and c1; the remaining entries follow from unitarity and
+//    the SU(3) cofactor identity conj(U_ij) = cofactor_ij.
+//
+// The row-1 degenerate case |a1| -> 1 (so |a2|^2 + |a3|^2 -> 0) makes the
+// 8-parameter linear system singular; pack9() reports it via
+// is_recon9_safe() and callers fall back to recon-12.  Random gauge fields
+// never hit it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "su3/su3_matrix.hpp"
+
+namespace milc {
+
+/// Gauge-field compression scheme (named after reals stored per link).
+enum class Reconstruct { k18, k12, k9 };
+
+/// Reals stored per link for a scheme.
+[[nodiscard]] constexpr int reals_per_link(Reconstruct r) {
+  switch (r) {
+    case Reconstruct::k18: return 18;
+    case Reconstruct::k12: return 12;
+    case Reconstruct::k9: return 9;
+  }
+  return 18;
+}
+
+[[nodiscard]] const char* to_string(Reconstruct r);
+
+/// True when the 8-parameter subsystem of recon-9 is numerically safe for u.
+[[nodiscard]] bool is_recon9_safe(const SU3Matrix<dcomplex>& u);
+
+/// Pack u into exactly reals_per_link(scheme) doubles at out[0..n).
+void pack_link(Reconstruct scheme, const SU3Matrix<dcomplex>& u, std::span<double> out);
+
+/// Inverse of pack_link.  The reconstruction maths performs the extra FLOPs a
+/// real GPU kernel would pay, so compression trades bandwidth for compute in
+/// the performance model exactly as it does on hardware.
+[[nodiscard]] SU3Matrix<dcomplex> unpack_link(Reconstruct scheme, std::span<const double> in);
+
+/// FLOPs the reconstruction adds per link (counted once, used by the
+/// performance model of the QUDA-like kernel).
+[[nodiscard]] constexpr double reconstruct_flops(Reconstruct r) {
+  switch (r) {
+    case Reconstruct::k18: return 0.0;
+    // row2 = conj(row0 x row1): 3 entries, each 2 cmul + 1 sub = 14 FLOP.
+    case Reconstruct::k12: return 3 * 14.0;
+    // recon-9: two square roots + 4 reconstructed entries, each ~3 cmul and
+    // a real division, plus the global-phase rotation of all 9 entries.
+    case Reconstruct::k9: return 2 * 8.0 + 4 * 24.0 + 9 * 6.0;
+  }
+  return 0.0;
+}
+
+}  // namespace milc

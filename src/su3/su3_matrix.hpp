@@ -1,0 +1,147 @@
+// su3_matrix.hpp — 3x3 complex matrices parametrising the gluon field.
+//
+// The U matrices of eq. (1) are "square complex matrices of order three".
+// Row-major storage: element (i,j) lives at e[i][j]; a matrix is 9 complex
+// numbers = 144 bytes, matching the layout the paper's coalescing analysis
+// (§IV-D7) assumes.
+#pragma once
+
+#include <cmath>
+
+#include "su3/su3_vector.hpp"
+
+namespace milc {
+
+template <ComplexScalar C = dcomplex>
+struct SU3Matrix {
+  C e[kColors][kColors]{};
+
+  constexpr C* operator[](int row) { return e[row]; }
+  constexpr const C* operator[](int row) const { return e[row]; }
+
+  /// The 3x3 identity.
+  [[nodiscard]] static constexpr SU3Matrix identity() {
+    using T = complex_traits<C>;
+    SU3Matrix m;
+    for (int i = 0; i < kColors; ++i) m.e[i][i] = T::make(1.0, 0.0);
+    return m;
+  }
+
+  friend constexpr bool operator==(const SU3Matrix& a, const SU3Matrix& b) {
+    for (int i = 0; i < kColors; ++i)
+      for (int j = 0; j < kColors; ++j)
+        if (!(a.e[i][j] == b.e[i][j])) return false;
+    return true;
+  }
+};
+
+/// y = U * x  (the inner product of eq. (1): 66 FLOP).
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Vector<C> matvec(const SU3Matrix<C>& u, const SU3Vector<C>& x) {
+  using T = complex_traits<C>;
+  SU3Vector<C> y;
+  for (int i = 0; i < kColors; ++i) {
+    C acc = T::make(0.0, 0.0);
+    for (int j = 0; j < kColors; ++j) T::mac(acc, u.e[i][j], x.c[j]);
+    y.c[i] = acc;
+  }
+  return y;
+}
+
+/// y = U^dagger * x without materialising the adjoint.
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Vector<C> adj_matvec(const SU3Matrix<C>& u, const SU3Vector<C>& x) {
+  using T = complex_traits<C>;
+  SU3Vector<C> y;
+  for (int i = 0; i < kColors; ++i) {
+    C acc = T::make(0.0, 0.0);
+    for (int j = 0; j < kColors; ++j) T::conj_mac(acc, u.e[j][i], x.c[j]);
+    y.c[i] = acc;
+  }
+  return y;
+}
+
+/// C = A * B
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Matrix<C> matmul(const SU3Matrix<C>& a, const SU3Matrix<C>& b) {
+  using T = complex_traits<C>;
+  SU3Matrix<C> r;
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      C acc = T::make(0.0, 0.0);
+      for (int k = 0; k < kColors; ++k) T::mac(acc, a.e[i][k], b.e[k][j]);
+      r.e[i][j] = acc;
+    }
+  }
+  return r;
+}
+
+/// U^dagger (conjugate transpose).
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Matrix<C> adjoint(const SU3Matrix<C>& u) {
+  using T = complex_traits<C>;
+  SU3Matrix<C> r;
+  for (int i = 0; i < kColors; ++i)
+    for (int j = 0; j < kColors; ++j) r.e[i][j] = T::conj(u.e[j][i]);
+  return r;
+}
+
+/// tr(U)
+template <ComplexScalar C>
+[[nodiscard]] constexpr C trace(const SU3Matrix<C>& u) {
+  using T = complex_traits<C>;
+  C acc = T::make(0.0, 0.0);
+  for (int i = 0; i < kColors; ++i) acc += u.e[i][i];
+  return acc;
+}
+
+/// det(U) by cofactor expansion along the first row.
+template <ComplexScalar C>
+[[nodiscard]] constexpr C det(const SU3Matrix<C>& u) {
+  const C m00 = u.e[1][1] * u.e[2][2] - u.e[1][2] * u.e[2][1];
+  const C m01 = u.e[1][0] * u.e[2][2] - u.e[1][2] * u.e[2][0];
+  const C m02 = u.e[1][0] * u.e[2][1] - u.e[1][1] * u.e[2][0];
+  return u.e[0][0] * m00 - u.e[0][1] * m01 + u.e[0][2] * m02;
+}
+
+/// Squared Frobenius norm, sum |e_ij|^2.
+template <ComplexScalar C>
+[[nodiscard]] constexpr double frobenius_norm2(const SU3Matrix<C>& u) {
+  using T = complex_traits<C>;
+  double acc = 0.0;
+  for (int i = 0; i < kColors; ++i)
+    for (int j = 0; j < kColors; ++j)
+      acc += T::real(u.e[i][j]) * T::real(u.e[i][j]) +
+             T::imag(u.e[i][j]) * T::imag(u.e[i][j]);
+  return acc;
+}
+
+/// Max |e_ij - f_ij| over all entries — used by tests and reconstruction
+/// round-trip checks.
+template <ComplexScalar C>
+[[nodiscard]] inline double max_abs_diff(const SU3Matrix<C>& a, const SU3Matrix<C>& b) {
+  using T = complex_traits<C>;
+  double m = 0.0;
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      const double dr = T::real(a.e[i][j]) - T::real(b.e[i][j]);
+      const double di = T::imag(a.e[i][j]) - T::imag(b.e[i][j]);
+      m = std::max(m, std::sqrt(dr * dr + di * di));
+    }
+  }
+  return m;
+}
+
+/// How far U is from unitarity: ||U U^dagger - I||_F.
+template <ComplexScalar C>
+[[nodiscard]] inline double unitarity_defect(const SU3Matrix<C>& u) {
+  const SU3Matrix<C> p = matmul(u, adjoint(u));
+  return std::sqrt(frobenius_norm2<C>([&] {
+    SU3Matrix<C> d = p;
+    using T = complex_traits<C>;
+    for (int i = 0; i < kColors; ++i) d.e[i][i] -= T::make(1.0, 0.0);
+    return d;
+  }()));
+}
+
+}  // namespace milc

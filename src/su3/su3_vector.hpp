@@ -1,0 +1,84 @@
+// su3_vector.hpp — three-component complex colour vector.
+//
+// In staggered lattice QCD every site carries one SU(3) colour vector
+// (paper §I: "It requires only one SU(3) color vector at each site").
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "complexlib/complex_traits.hpp"
+
+namespace milc {
+
+inline constexpr int kColors = 3;  ///< SU(3): three colour components.
+
+/// A colour vector: 3 complex numbers.  Trivially copyable; the memory model
+/// treats it as 6 packed doubles (48 bytes).
+template <ComplexScalar C = dcomplex>
+struct SU3Vector {
+  C c[kColors]{};
+
+  constexpr C& operator[](int i) { return c[i]; }
+  constexpr const C& operator[](int i) const { return c[i]; }
+
+  constexpr SU3Vector& operator+=(const SU3Vector& o) {
+    for (int i = 0; i < kColors; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  constexpr SU3Vector& operator-=(const SU3Vector& o) {
+    for (int i = 0; i < kColors; ++i) c[i] -= o.c[i];
+    return *this;
+  }
+
+  friend constexpr bool operator==(const SU3Vector& a, const SU3Vector& b) {
+    for (int i = 0; i < kColors; ++i)
+      if (!(a.c[i] == b.c[i])) return false;
+    return true;
+  }
+};
+
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Vector<C> operator+(SU3Vector<C> a, const SU3Vector<C>& b) {
+  a += b;
+  return a;
+}
+
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Vector<C> operator-(SU3Vector<C> a, const SU3Vector<C>& b) {
+  a -= b;
+  return a;
+}
+
+/// Scalar multiple s*v (real scalar).
+template <ComplexScalar C>
+[[nodiscard]] constexpr SU3Vector<C> operator*(double s, const SU3Vector<C>& v) {
+  SU3Vector<C> r;
+  for (int i = 0; i < kColors; ++i) {
+    using T = complex_traits<C>;
+    r.c[i] = T::make(s * T::real(v.c[i]), s * T::imag(v.c[i]));
+  }
+  return r;
+}
+
+/// Hermitian inner product <a, b> = sum_i conj(a_i) * b_i.
+template <ComplexScalar C>
+[[nodiscard]] constexpr C dot(const SU3Vector<C>& a, const SU3Vector<C>& b) {
+  using T = complex_traits<C>;
+  C acc = T::make(0.0, 0.0);
+  for (int i = 0; i < kColors; ++i) T::conj_mac(acc, a.c[i], b.c[i]);
+  return acc;
+}
+
+/// Squared 2-norm |v|^2 (real).
+template <ComplexScalar C>
+[[nodiscard]] constexpr double norm2(const SU3Vector<C>& v) {
+  using T = complex_traits<C>;
+  double acc = 0.0;
+  for (int i = 0; i < kColors; ++i) {
+    acc += T::real(v.c[i]) * T::real(v.c[i]) + T::imag(v.c[i]) * T::imag(v.c[i]);
+  }
+  return acc;
+}
+
+}  // namespace milc

@@ -1,0 +1,144 @@
+#include "syclomatic/translator.hpp"
+
+#include <regex>
+
+namespace syclomatic {
+
+namespace {
+
+void replace_all(std::string& s, const std::string& from, const std::string& to) {
+  if (from.empty()) return;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+int count_occurrences(const std::string& s, const std::string& needle) {
+  int n = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+Translation translate(const std::string& cuda_source, const Options& opts) {
+  Translation out;
+  std::string s = cuda_source;
+
+  // -- thread/block built-ins (x maps to dimension 2 of the 3-D space) -------
+  replace_all(s, "threadIdx.x", "item_ct1.get_local_id(2)");
+  replace_all(s, "threadIdx.y", "item_ct1.get_local_id(1)");
+  replace_all(s, "threadIdx.z", "item_ct1.get_local_id(0)");
+  replace_all(s, "blockDim.x", "item_ct1.get_local_range(2)");
+  replace_all(s, "blockDim.y", "item_ct1.get_local_range(1)");
+  replace_all(s, "blockDim.z", "item_ct1.get_local_range(0)");
+  replace_all(s, "gridDim.x", "item_ct1.get_group_range(2)");
+
+  // SYCLomatic emits the *derived* product form: blockIdx.x * blockDim.x
+  // became get_group(2) * get_local_range(2), so normalise the common
+  // `blockIdx.x * blockDim.x + threadIdx.x` ordering into the canonical
+  // migrated expression before the lone blockIdx rewrite.
+  replace_all(s,
+              "item_ct1.get_group(2) * item_ct1.get_local_range(2) + "
+              "item_ct1.get_local_id(2)",
+              "item_ct1.get_local_range(2) * item_ct1.get_group(2) + "
+              "item_ct1.get_local_id(2)");
+  replace_all(s, "blockIdx.x", "item_ct1.get_group(2)");
+  replace_all(s,
+              "item_ct1.get_group(2) * item_ct1.get_local_range(2) + "
+              "item_ct1.get_local_id(2)",
+              "item_ct1.get_local_range(2) * item_ct1.get_group(2) + "
+              "item_ct1.get_local_id(2)");
+
+  // -- synchronisation ---------------------------------------------------------
+  const char* barrier = opts.use_explicit_local_fence
+                            ? "item_ct1.barrier(sycl::access::fence_space::local_space)"
+                            : "item_ct1.barrier()";
+  replace_all(s, "__syncthreads()", barrier);
+
+  // -- __shared__ arrays hoist to local_accessors -------------------------------
+  {
+    const std::regex shared_re(R"(__shared__\s+(\w+)\s+(\w+)\s*\[([^\]]+)\]\s*;)");
+    std::smatch m;
+    std::string rest = s;
+    std::string rebuilt;
+    while (std::regex_search(rest, m, shared_re)) {
+      out.local_arrays.push_back("sycl::local_accessor<" + m[1].str() + ", 1> " +
+                                 m[2].str() + "_acc_ct1(sycl::range<1>(" + m[3].str() +
+                                 "), cgh);");
+      out.warnings.push_back(
+          "DPCT1059: __shared__ variable '" + m[2].str() +
+          "' was hoisted to a sycl::local_accessor in the enclosing command group.");
+      rebuilt += m.prefix();
+      rebuilt += "auto " + m[2].str() + " = " + m[2].str() + "_acc_ct1.get_pointer();";
+      rest = m.suffix();
+    }
+    rebuilt += rest;
+    s = rebuilt;
+  }
+
+  // -- kernel signature gains the item parameter --------------------------------
+  {
+    const std::regex global_re(R"(__global__\s+void\s+(\w+)\s*\(([^)]*)\))");
+    s = std::regex_replace(
+        s, global_re, "void $1($2,\n                 const sycl::nd_item<3> &item_ct1)");
+  }
+
+  // -- runtime API ---------------------------------------------------------------
+  const std::string chk_open = opts.emit_error_checks ? "DPCT_CHECK_ERROR(" : "";
+  const std::string chk_close = opts.emit_error_checks ? ")" : "";
+  {
+    const std::regex malloc_re(R"(CUCHECK\(\s*cudaMalloc\(\s*&(\w+)\s*,\s*([^)]+)\)\s*\))");
+    s = std::regex_replace(s, malloc_re,
+                           chk_open + "$1 = (decltype($1))sycl::malloc_device($2, q_ct1)" +
+                               chk_close);
+    const std::regex memcpy_re(
+        R"(CUCHECK\(\s*cudaMemcpy\(\s*([^,]+),\s*([^,]+),\s*([^,]+),\s*cudaMemcpy\w+\)\s*\))");
+    s = std::regex_replace(s, memcpy_re,
+                           chk_open + "q_ct1.memcpy($1, $2, $3).wait()" + chk_close);
+    const std::regex free_re(R"(CUCHECK\(\s*cudaFree\(\s*(\w+)\s*\)\s*\))");
+    s = std::regex_replace(s, free_re, chk_open + "sycl::free($1, q_ct1)" + chk_close);
+  }
+  replace_all(s, "atomicAdd(",
+              "dpct::atomic_fetch_add<sycl::access::address_space::generic_space>(");
+
+  // -- kernel launches -----------------------------------------------------------
+  {
+    const std::regex launch_re(R"((\w+)<<<\s*(\w+)\s*,\s*(\w+)\s*>>>\(([^;]*)\);)");
+    s = std::regex_replace(
+        s, launch_re,
+        "q_ct1.submit([&](sycl::handler &cgh) {\n"
+        "      cgh.parallel_for(\n"
+        "          sycl::nd_range<3>(sycl::range<3>(1, 1, $2) * sycl::range<3>(1, 1, $3),\n"
+        "                            sycl::range<3>(1, 1, $3)),\n"
+        "          [=](sycl::nd_item<3> item_ct1) { $1($4, item_ct1); });\n"
+        "    });");
+  }
+
+  // SYCLomatic creates an explicit in-order default queue.
+  s = "// Migrated by syclomatic-lite.\n"
+      "#include <sycl/sycl.hpp>\n"
+      "static sycl::queue q_ct1{sycl::property::queue::in_order()};\n" +
+      s;
+
+  out.source = std::move(s);
+  return out;
+}
+
+OptimizeResult optimize_global_id(const std::string& sycl_source) {
+  OptimizeResult res;
+  res.source = sycl_source;
+  const std::string derived =
+      "item_ct1.get_local_range(2) * item_ct1.get_group(2) + item_ct1.get_local_id(2)";
+  res.replacements = count_occurrences(res.source, derived);
+  replace_all(res.source, derived, "item_ct1.get_global_id(2)");
+  return res;
+}
+
+}  // namespace syclomatic

@@ -1,0 +1,141 @@
+#include "wilson/gamma.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace milc::wilson {
+
+namespace {
+
+constexpr dcomplex O{0.0, 0.0};
+constexpr dcomplex P1{1.0, 0.0};
+constexpr dcomplex M1{-1.0, 0.0};
+constexpr dcomplex PI{0.0, 1.0};
+constexpr dcomplex MI{0.0, -1.0};
+
+// DeGrand–Rossi basis (the one QUDA and QDP++ use).
+constexpr SpinMatrix kGammaX = {{{O, O, O, PI}, {O, O, PI, O}, {O, MI, O, O}, {MI, O, O, O}}};
+constexpr SpinMatrix kGammaY = {{{O, O, O, M1}, {O, O, P1, O}, {O, P1, O, O}, {M1, O, O, O}}};
+constexpr SpinMatrix kGammaZ = {{{O, O, PI, O}, {O, O, O, MI}, {MI, O, O, O}, {O, PI, O, O}}};
+constexpr SpinMatrix kGammaT = {{{O, O, P1, O}, {O, O, O, P1}, {P1, O, O, O}, {O, P1, O, O}}};
+
+SpinMatrix spin_mul(const SpinMatrix& a, const SpinMatrix& b) {
+  SpinMatrix r{};
+  for (int i = 0; i < kSpins; ++i) {
+    for (int j = 0; j < kSpins; ++j) {
+      dcomplex acc{0.0, 0.0};
+      for (int k = 0; k < kSpins; ++k) cmac(acc, a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)], b[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      r[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = acc;
+    }
+  }
+  return r;
+}
+
+bool nearly(const dcomplex& a, const dcomplex& b) {
+  return std::abs(a.re - b.re) < 1e-12 && std::abs(a.im - b.im) < 1e-12;
+}
+
+Projector derive(int mu, int sign) {
+  const SpinMatrix m = one_minus_gamma(mu, static_cast<double>(sign));
+  Projector p;
+
+  // Upper rows: h_s = psi_s + phase * psi[perm]; the off-diagonal entry of
+  // row s lives in the lower half (columns 2..3) for every gamma in this
+  // basis.
+  for (int s = 0; s < 2; ++s) {
+    bool found = false;
+    for (int c = 0; c < kSpins; ++c) {
+      if (c == s) continue;
+      const dcomplex v = m[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+      if (!(v == O)) {
+        p.perm[static_cast<std::size_t>(s)] = c;
+        p.phase[static_cast<std::size_t>(s)] = v;
+        found = true;
+      }
+    }
+    if (!found || !nearly(m[static_cast<std::size_t>(s)][static_cast<std::size_t>(s)], P1)) {
+      throw std::logic_error("gamma basis does not have the expected projector shape");
+    }
+  }
+
+  // Lower rows are multiples of an upper row: row_{2+s} = c * row_t.
+  for (int s = 0; s < 2; ++s) {
+    const int r = 2 + s;
+    bool matched = false;
+    for (int t = 0; t < 2 && !matched; ++t) {
+      // Candidate factor from the diagonal-ish entry of row t.
+      for (int c = 0; c < kSpins; ++c) {
+        const dcomplex denom = m[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+        if (denom == O) continue;
+        const dcomplex factor =
+            cdiv(m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)], denom);
+        if (factor == O) continue;
+        bool all = true;
+        for (int cc = 0; cc < kSpins; ++cc) {
+          if (!nearly(m[static_cast<std::size_t>(r)][static_cast<std::size_t>(cc)],
+                      cmul(factor, m[static_cast<std::size_t>(t)][static_cast<std::size_t>(cc)]))) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          p.rperm[static_cast<std::size_t>(s)] = t;
+          p.rphase[static_cast<std::size_t>(s)] = factor;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      throw std::logic_error("(1 -+ gamma_mu) is not rank-2 in the expected pattern");
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+const SpinMatrix& gamma(int mu) {
+  switch (mu) {
+    case 0: return kGammaX;
+    case 1: return kGammaY;
+    case 2: return kGammaZ;
+    case 3: return kGammaT;
+    default: throw std::out_of_range("gamma: mu must be 0..3");
+  }
+}
+
+const SpinMatrix& gamma5() {
+  static const SpinMatrix g5 =
+      spin_mul(spin_mul(kGammaX, kGammaY), spin_mul(kGammaZ, kGammaT));
+  return g5;
+}
+
+SpinMatrix one_minus_gamma(int mu, double sign) {
+  SpinMatrix m{};
+  const SpinMatrix& g = gamma(mu);
+  for (int i = 0; i < kSpins; ++i) {
+    for (int j = 0; j < kSpins; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          cscale(-sign, g[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+    m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] += P1;
+  }
+  return m;
+}
+
+const Projector& projector(int mu, int sign) {
+  static const std::array<std::array<Projector, 2>, 4> cache = [] {
+    std::array<std::array<Projector, 2>, 4> c{};
+    for (int m = 0; m < 4; ++m) {
+      c[static_cast<std::size_t>(m)][0] = derive(m, +1);
+      c[static_cast<std::size_t>(m)][1] = derive(m, -1);
+    }
+    return c;
+  }();
+  assert(sign == 1 || sign == -1);
+  return cache[static_cast<std::size_t>(mu)][sign == 1 ? 0 : 1];
+}
+
+}  // namespace milc::wilson

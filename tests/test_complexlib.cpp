@@ -1,0 +1,316 @@
+// Unit and property tests for the two complex-number libraries: the paper's
+// hand-rolled double_complex (milc::dcomplex) and the SyclCPLX-style
+// syclcplx::complex<double>.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "complexlib/complex_traits.hpp"
+#include "complexlib/dcomplex.hpp"
+#include "complexlib/syclcplx.hpp"
+#include "su3/random_su3.hpp"
+
+namespace {
+
+using milc::dcomplex;
+using Z = syclcplx::complex<double>;
+
+constexpr double kEps = 1e-13;
+
+void expect_near(const dcomplex& a, const dcomplex& b, double tol = kEps) {
+  EXPECT_NEAR(a.re, b.re, tol);
+  EXPECT_NEAR(a.im, b.im, tol);
+}
+void expect_near(const Z& a, const Z& b, double tol = kEps) {
+  EXPECT_NEAR(a.real(), b.real(), tol);
+  EXPECT_NEAR(a.imag(), b.imag(), tol);
+}
+
+// ---------------------------------------------------------------- dcomplex --
+
+TEST(DComplex, BasicArithmetic) {
+  const dcomplex a{1.0, 2.0}, b{-3.0, 0.5};
+  expect_near(cadd(a, b), {-2.0, 2.5});
+  expect_near(csub(a, b), {4.0, 1.5});
+  expect_near(cmul(a, b), {1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0});
+  expect_near(a + b, cadd(a, b));
+  expect_near(a - b, csub(a, b));
+  expect_near(a * b, cmul(a, b));
+}
+
+TEST(DComplex, ConjAndNorm) {
+  const dcomplex a{3.0, -4.0};
+  expect_near(cconj(a), {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cnorm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(cabs(a), 5.0);
+  expect_near(cmul(a, cconj(a)), {25.0, 0.0});
+}
+
+TEST(DComplex, MulConjMatchesConjThenMul) {
+  const dcomplex a{1.5, -0.25}, b{0.75, 2.0};
+  expect_near(cmul_conj(a, b), cmul(cconj(a), b));
+}
+
+TEST(DComplex, MacAccumulates) {
+  dcomplex acc{1.0, 1.0};
+  const dcomplex a{2.0, -1.0}, b{0.5, 3.0};
+  cmac(acc, a, b);
+  expect_near(acc, cadd({1.0, 1.0}, cmul(a, b)));
+  dcomplex acc2{0.0, 0.0};
+  cmac_conj(acc2, a, b);
+  expect_near(acc2, cmul(cconj(a), b));
+}
+
+TEST(DComplex, DivisionInverse) {
+  const dcomplex a{1.0, 2.0}, b{-3.0, 0.5};
+  expect_near(cmul(cdiv(a, b), b), a, 1e-12);
+}
+
+TEST(DComplex, DivisionRobustToLargeMagnitudes) {
+  // Naive (ac+bd)/(c^2+d^2) overflows at ~1e154; Smith's algorithm handles
+  // magnitudes near the top of the double range.
+  const dcomplex a{1e300, 1e300}, b{2e300, 2e300};
+  const dcomplex q = cdiv(a, b);
+  expect_near(q, {0.5, 0.0}, 1e-12);
+}
+
+TEST(DComplex, ScaleAndNegate) {
+  const dcomplex a{2.0, -6.0};
+  expect_near(cscale(0.5, a), {1.0, -3.0});
+  expect_near(-a, {-2.0, 6.0});
+  expect_near(2.0 * a, a * 2.0);
+}
+
+TEST(DComplex, StreamOutput) {
+  std::ostringstream os;
+  os << dcomplex{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5-2i)");
+}
+
+TEST(DComplex, PacksToTwoDoubles) {
+  static_assert(sizeof(dcomplex) == 16);
+  static_assert(std::is_trivially_copyable_v<dcomplex>);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- syclcplx --
+
+TEST(SyclCplx, ConstructionAndAccessors) {
+  Z z{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(z.real(), 3.0);
+  EXPECT_DOUBLE_EQ(z.imag(), -4.0);
+  z.real(1.0);
+  z.imag(2.0);
+  expect_near(z, Z{1.0, 2.0});
+  Z w;
+  w = 5.0;
+  expect_near(w, Z{5.0, 0.0});
+}
+
+TEST(SyclCplx, MixedScalarArithmetic) {
+  const Z z{1.0, 2.0};
+  expect_near(z + 1.0, Z{2.0, 2.0});
+  expect_near(1.0 + z, Z{2.0, 2.0});
+  expect_near(z - 1.0, Z{0.0, 2.0});
+  expect_near(1.0 - z, Z{0.0, -2.0});
+  expect_near(z * 2.0, Z{2.0, 4.0});
+  expect_near(2.0 * z, Z{2.0, 4.0});
+  expect_near(z / 2.0, Z{0.5, 1.0});
+  expect_near(2.0 / Z{0.0, 2.0}, Z{0.0, -1.0});
+}
+
+TEST(SyclCplx, CompoundAssignment) {
+  Z z{1.0, 1.0};
+  z += Z{1.0, -1.0};
+  expect_near(z, Z{2.0, 0.0});
+  z *= Z{0.0, 1.0};
+  expect_near(z, Z{0.0, 2.0});
+  z -= 1.0;
+  expect_near(z, Z{-1.0, 2.0});
+  z /= Z{-1.0, 2.0};
+  expect_near(z, Z{1.0, 0.0}, 1e-12);
+}
+
+TEST(SyclCplx, AbsArgNormConj) {
+  const Z z{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(syclcplx::abs(z), 5.0);
+  EXPECT_DOUBLE_EQ(syclcplx::norm(z), 25.0);
+  expect_near(syclcplx::conj(z), Z{3.0, -4.0});
+  EXPECT_NEAR(syclcplx::arg(Z{0.0, 1.0}), M_PI / 2, kEps);
+  EXPECT_NEAR(syclcplx::arg(Z{-1.0, 0.0}), M_PI, kEps);
+}
+
+TEST(SyclCplx, PolarRoundTrip) {
+  const Z z = syclcplx::polar(2.0, 0.7);
+  EXPECT_NEAR(syclcplx::abs(z), 2.0, kEps);
+  EXPECT_NEAR(syclcplx::arg(z), 0.7, kEps);
+}
+
+TEST(SyclCplx, ExpLogRoundTrip) {
+  const Z z{0.3, -1.2};
+  expect_near(syclcplx::log(syclcplx::exp(z)), z, 1e-12);
+  expect_near(syclcplx::exp(Z{0.0, M_PI}), Z{-1.0, 0.0}, 1e-12);
+}
+
+TEST(SyclCplx, SqrtSquares) {
+  const Z z{-5.0, 12.0};
+  const Z r = syclcplx::sqrt(z);
+  expect_near(r * r, z, 1e-12);
+  EXPECT_GE(r.real(), 0.0);  // principal branch
+  expect_near(syclcplx::sqrt(Z{-1.0, 0.0}), Z{0.0, 1.0}, 1e-12);
+}
+
+TEST(SyclCplx, PowIdentities) {
+  const Z z{1.3, -0.4};
+  expect_near(syclcplx::pow(z, 2.0), z * z, 1e-12);
+  expect_near(syclcplx::pow(z, Z{0.0, 0.0}), Z{1.0, 0.0});
+  expect_near(syclcplx::pow(2.0, Z{3.0, 0.0}), Z{8.0, 0.0}, 1e-12);
+}
+
+TEST(SyclCplx, TrigPythagorean) {
+  const Z z{0.5, 0.25};
+  const Z s = syclcplx::sin(z), c = syclcplx::cos(z);
+  expect_near(s * s + c * c, Z{1.0, 0.0}, 1e-12);
+  expect_near(syclcplx::tan(z), s / c, 1e-12);
+}
+
+TEST(SyclCplx, HyperbolicIdentity) {
+  const Z z{0.3, -0.8};
+  const Z s = syclcplx::sinh(z), c = syclcplx::cosh(z);
+  expect_near(c * c - s * s, Z{1.0, 0.0}, 1e-12);
+  expect_near(syclcplx::tanh(z), s / c, 1e-12);
+}
+
+TEST(SyclCplx, InverseFunctionsRoundTrip) {
+  const Z z{0.4, 0.2};
+  expect_near(syclcplx::sin(syclcplx::asin(z)), z, 1e-11);
+  expect_near(syclcplx::cos(syclcplx::acos(z)), z, 1e-11);
+  expect_near(syclcplx::tan(syclcplx::atan(z)), z, 1e-11);
+  expect_near(syclcplx::sinh(syclcplx::asinh(z)), z, 1e-11);
+  expect_near(syclcplx::tanh(syclcplx::atanh(z)), z, 1e-11);
+}
+
+TEST(SyclCplx, ProjHandlesInfinities) {
+  const Z inf{std::numeric_limits<double>::infinity(), -1.0};
+  const Z p = syclcplx::proj(inf);
+  EXPECT_TRUE(std::isinf(p.real()));
+  EXPECT_DOUBLE_EQ(p.imag(), -0.0);
+  expect_near(syclcplx::proj(Z{1.0, 2.0}), Z{1.0, 2.0});
+}
+
+TEST(SyclCplx, Literals) {
+  using namespace syclcplx::literals;
+  const Z z = 2.0 + 3.0_i;
+  expect_near(z, Z{2.0, 3.0});
+  const Z w = 1.0 - 1_i;
+  expect_near(w, Z{1.0, -1.0});
+}
+
+TEST(SyclCplx, Comparisons) {
+  EXPECT_TRUE((Z{1.0, 0.0} == 1.0));
+  EXPECT_TRUE((1.0 == Z{1.0, 0.0}));
+  EXPECT_TRUE((Z{1.0, 2.0} != Z{1.0, 3.0}));
+}
+
+// -------------------------------------------------------------- the traits --
+
+template <typename C>
+class ComplexTraitsTest : public ::testing::Test {};
+
+using BothComplexTypes = ::testing::Types<dcomplex, Z>;
+TYPED_TEST_SUITE(ComplexTraitsTest, BothComplexTypes);
+
+TYPED_TEST(ComplexTraitsTest, MakeRealImag) {
+  using T = milc::complex_traits<TypeParam>;
+  const TypeParam z = T::make(1.25, -2.5);
+  EXPECT_DOUBLE_EQ(T::real(z), 1.25);
+  EXPECT_DOUBLE_EQ(T::imag(z), -2.5);
+}
+
+TYPED_TEST(ComplexTraitsTest, MacMatchesManualExpansion) {
+  using T = milc::complex_traits<TypeParam>;
+  TypeParam acc = T::make(0.5, 0.5);
+  const TypeParam a = T::make(2.0, -1.0);
+  const TypeParam b = T::make(-0.5, 3.0);
+  T::mac(acc, a, b);
+  // acc = 0.5+0.5i + (2-i)(-0.5+3i) = 0.5+0.5i + (-1+6i +0.5i +3) = 2.5 + 7i
+  EXPECT_NEAR(T::real(acc), 2.5, kEps);
+  EXPECT_NEAR(T::imag(acc), 7.0, kEps);
+}
+
+TYPED_TEST(ComplexTraitsTest, ConjMacMatchesConjugatedMac) {
+  using T = milc::complex_traits<TypeParam>;
+  TypeParam acc1 = T::make(0.0, 0.0);
+  TypeParam acc2 = T::make(0.0, 0.0);
+  const TypeParam a = T::make(1.5, 2.5);
+  const TypeParam b = T::make(-2.0, 0.75);
+  T::conj_mac(acc1, a, b);
+  T::mac(acc2, T::conj(a), b);
+  EXPECT_NEAR(T::real(acc1), T::real(acc2), kEps);
+  EXPECT_NEAR(T::imag(acc1), T::imag(acc2), kEps);
+}
+
+}  // namespace
+
+// ------------------------------------------------ property-test sweeps -----
+
+namespace property_sweep {
+
+using milc::dcomplex;
+using Z = syclcplx::complex<double>;
+
+struct RandomPairs : public ::testing::TestWithParam<int> {
+  milc::Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 1};
+  dcomplex rand_d() { return {rng.next_signed() * 3.0, rng.next_signed() * 3.0}; }
+};
+
+TEST_P(RandomPairs, FieldAxiomsDComplex) {
+  const dcomplex a = rand_d(), b = rand_d(), c = rand_d();
+  // commutativity
+  expect_near(a + b, b + a);
+  expect_near(a * b, b * a);
+  // associativity (floating point: tolerant)
+  expect_near((a + b) + c, a + (b + c), 1e-12);
+  expect_near((a * b) * c, a * (b * c), 1e-12);
+  // distributivity
+  expect_near(a * (b + c), a * b + a * c, 1e-12);
+  // additive/multiplicative identities
+  expect_near(a + dcomplex{0.0, 0.0}, a);
+  expect_near(a * dcomplex{1.0, 0.0}, a);
+}
+
+TEST_P(RandomPairs, ConjIsAntiAutomorphismAndNormMultiplicative) {
+  const dcomplex a = rand_d(), b = rand_d();
+  expect_near(milc::cconj(a * b), milc::cconj(a) * milc::cconj(b), 1e-12);
+  expect_near(milc::cconj(a + b), milc::cconj(a) + milc::cconj(b), 1e-12);
+  EXPECT_NEAR(milc::cabs(a * b), milc::cabs(a) * milc::cabs(b), 1e-11);
+  // |a|^2 == a * conj(a)
+  expect_near(a * milc::cconj(a), {milc::cnorm2(a), 0.0}, 1e-12);
+}
+
+TEST_P(RandomPairs, DivisionInvertsMultiplication) {
+  const dcomplex a = rand_d();
+  dcomplex b = rand_d();
+  if (milc::cnorm2(b) < 1e-6) b = {1.0, 1.0};
+  expect_near(milc::cdiv(a * b, b), a, 1e-10);
+}
+
+TEST_P(RandomPairs, TheTwoLibrariesAgree) {
+  const dcomplex a = rand_d(), b = rand_d();
+  const Z za{a.re, a.im}, zb{b.re, b.im};
+  const dcomplex dm = a * b;
+  const Z zm = za * zb;
+  EXPECT_NEAR(dm.re, zm.real(), 1e-13);
+  EXPECT_NEAR(dm.im, zm.imag(), 1e-13);
+  if (milc::cnorm2(b) > 1e-6) {
+    const dcomplex dd = milc::cdiv(a, b);
+    const Z zd = za / zb;
+    EXPECT_NEAR(dd.re, zd.real(), 1e-12);
+    EXPECT_NEAR(dd.im, zd.imag(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPairs, ::testing::Range(1, 26));
+
+}  // namespace property_sweep

@@ -1,0 +1,85 @@
+// recon-12 compression for the 3LP-1 strategy (extension X2): correctness of
+// the cooperative-staging kernel and its traffic signature.
+#include <gtest/gtest.h>
+
+#include "core/compressed.hpp"
+#include "core/dslash_ref.hpp"
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+
+namespace milc {
+namespace {
+
+TEST(CompressedGauge, StoresFirstTwoRowsColumnMajor) {
+  DslashProblem p(4, 81);
+  CompressedGaugeDevice g(p.view());
+  for (std::int64_t s = 0; s < g.sites(); s += 17) {
+    for (int l = 0; l < kNlinks; ++l) {
+      for (int k = 0; k < kNdim; ++k) {
+        for (int i = 0; i < 2; ++i) {
+          for (int j = 0; j < kColors; ++j) {
+            EXPECT_EQ(g.at(l, s, k, i, j), p.view().link(l, s, k).e[i][j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+class CompressedCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressedCorrectness, MatchesReference) {
+  DslashProblem p(4, 82);
+  CompressedDslash cd(p.view(), p.neighbors());
+  ColorField out(p.geom(), p.target_parity());
+  cd.apply(p.b(), out, GetParam());
+  ColorField ref(p.geom(), p.target_parity());
+  dslash_reference(p.view(), p.neighbors(), p.b(), ref);
+  EXPECT_LT(max_abs_diff(out, ref), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LocalSizes, CompressedCorrectness, ::testing::Values(96, 192, 384));
+
+TEST(Compressed, ProfiledIsAlsoCorrectAndCheaperOnGauge) {
+  DslashProblem p(8, 83);
+  CompressedDslash cd(p.view(), p.neighbors());
+  ColorField out(p.geom(), p.target_parity());
+  const auto cstats = cd.profile(p.b(), out, 96);
+
+  ColorField ref(p.geom(), p.target_parity());
+  dslash_reference(p.view(), p.neighbors(), p.b(), ref);
+  EXPECT_LT(max_abs_diff(out, ref), 1e-9);
+
+  DslashRunner runner;
+  RunRequest req{.strategy = Strategy::LP3_1,
+                 .order = IndexOrder::kMajor,
+                 .local_size = 96,
+                 .variant = Variant::SYCL};
+  const RunResult plain = runner.run(p, req);
+
+  // Gauge traffic drops by ~1/3; unique DRAM bytes must shrink.
+  EXPECT_LT(cstats.counters.dram_sectors, plain.stats.counters.dram_sectors);
+  // The cooperative staging adds local-memory traffic and barriers.
+  EXPECT_GT(cstats.counters.shared_wavefronts, plain.stats.counters.shared_wavefronts);
+  EXPECT_GT(cstats.counters.barrier_warp_events, plain.stats.counters.barrier_warp_events);
+  // FLOPs grow by the reconstruction work.
+  EXPECT_GT(cstats.counters.flops, plain.stats.counters.flops);
+}
+
+TEST(Compressed, SharedMemoryBudgetKeepsOccupancy) {
+  DslashProblem p(8, 84);
+  CompressedDslash cd(p.view(), p.neighbors());
+  ColorField out(p.geom(), p.target_parity());
+  const auto st = cd.profile(p.b(), out, 768);
+  // 48 B/work-item = 36.9 KB/WG still allows the thread-limited 2 groups/SM.
+  EXPECT_EQ(st.occupancy.groups_per_sm, 2);
+  EXPECT_DOUBLE_EQ(st.occupancy.theoretical, 0.75);
+}
+
+TEST(Compressed, NinePhaseStructure) {
+  EXPECT_EQ(Dslash3LP1Recon12Kernel::kPhases, 9);
+  EXPECT_EQ(Dslash3LP1Recon12Kernel::shared_bytes(768), 768 * 48);
+}
+
+}  // namespace
+}  // namespace milc

@@ -1,0 +1,120 @@
+// Mathematical properties of the Dslash operator — these pin down the
+// physics, independent of any parallel strategy.
+#include <gtest/gtest.h>
+
+#include "core/dslash_ref.hpp"
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+
+namespace milc {
+namespace {
+
+TEST(DslashProperties, Linearity) {
+  DslashProblem p(4, 21);
+  const LatticeGeom& g = p.geom();
+
+  ColorField x(g, Parity::Odd), y(g, Parity::Odd);
+  x.fill_random(1);
+  y.fill_random(2);
+
+  // z = 2.5 x + (-1.25) y
+  ColorField z = x;
+  scale(2.5, z);
+  axpy(-1.25, y, z);
+
+  ColorField dx(g, Parity::Even), dy(g, Parity::Even), dz(g, Parity::Even);
+  dslash_reference(p.view(), p.neighbors(), x, dx);
+  dslash_reference(p.view(), p.neighbors(), y, dy);
+  dslash_reference(p.view(), p.neighbors(), z, dz);
+
+  ColorField expect = dx;
+  scale(2.5, expect);
+  axpy(-1.25, dy, expect);
+  EXPECT_LT(max_abs_diff(dz, expect), 1e-9);
+}
+
+TEST(DslashProperties, ZeroInZeroOut) {
+  DslashProblem p(4, 22);
+  ColorField zero(p.geom(), Parity::Odd);
+  zero.zero();
+  ColorField out(p.geom(), Parity::Even);
+  dslash_reference(p.view(), p.neighbors(), zero, out);
+  EXPECT_EQ(norm2(out), 0.0);
+}
+
+TEST(DslashProperties, AntiHermiticity) {
+  // The staggered operator satisfies (D_eo)^dagger = -D_oe: for any fields
+  // v (even) and w (odd),  <v, D_eo w> = -conj(<w, D_oe v>).
+  const int L = 4;
+  LatticeGeom g(L);
+  GaugeConfiguration cfg(g);
+  cfg.fill_random(99);
+  GaugeView view_e(g, cfg, Parity::Even);
+  GaugeView view_o(g, cfg, Parity::Odd);
+  NeighborTable nbr_e(g, Parity::Even);
+  NeighborTable nbr_o(g, Parity::Odd);
+
+  ColorField v(g, Parity::Even), w(g, Parity::Odd);
+  v.fill_random(5);
+  w.fill_random(6);
+
+  ColorField Dw(g, Parity::Even), Dv(g, Parity::Odd);
+  dslash_reference(view_e, nbr_e, w, Dw);
+  dslash_reference(view_o, nbr_o, v, Dv);
+
+  const dcomplex lhs = dot(v, Dw);
+  const dcomplex rhs = dot(w, Dv);
+  EXPECT_NEAR(lhs.re, -rhs.re, 1e-8);
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-8);  // -conj flips the real part only
+}
+
+TEST(DslashProperties, GaugeCovarianceUnderGlobalPhase) {
+  // Multiplying B by a global phase multiplies C by the same phase.
+  DslashProblem p(4, 23);
+  ColorField b2 = p.b();
+  const dcomplex phase{std::cos(0.7), std::sin(0.7)};
+  for (std::int64_t s = 0; s < b2.size(); ++s) {
+    for (int i = 0; i < kColors; ++i) b2[s].c[i] = cmul(phase, b2[s].c[i]);
+  }
+  ColorField c1(p.geom(), Parity::Even), c2(p.geom(), Parity::Even);
+  dslash_reference(p.view(), p.neighbors(), p.b(), c1);
+  dslash_reference(p.view(), p.neighbors(), b2, c2);
+  for (std::int64_t s = 0; s < c1.size(); s += 9) {
+    for (int i = 0; i < kColors; ++i) {
+      const dcomplex expect = cmul(phase, c1[s].c[i]);
+      EXPECT_NEAR(c2[s].c[i].re, expect.re, 1e-9);
+      EXPECT_NEAR(c2[s].c[i].im, expect.im, 1e-9);
+    }
+  }
+}
+
+TEST(DslashProperties, FlopFormulaMatchesPaper) {
+  // L = 32: the paper's "theoretical value of 600.8 million FLOP".
+  const std::int64_t half = 32LL * 32 * 32 * 32 / 2;
+  EXPECT_NEAR(dslash_flops(half), 600.8e6, 1e6);
+}
+
+TEST(DslashProperties, CountedFlopsTrackTheoretical) {
+  // The traced kernels count 1152 FLOP/site (they charge the first
+  // accumulate of each row, the paper's 1146 does not) — within 1%.
+  DslashProblem p(4, 24);
+  DslashRunner runner;
+  RunRequest req{.strategy = Strategy::LP2,
+                 .order = IndexOrder::kMajor,
+                 .local_size = 96,
+                 .variant = Variant::SYCL};
+  const RunResult r = runner.run(p, req);
+  const double counted = static_cast<double>(r.stats.counters.flops);
+  EXPECT_NEAR(counted / p.flops(), 1.0, 0.01);
+}
+
+TEST(DslashProperties, RepeatApplicationIsDeterministic) {
+  DslashProblem p(4, 25);
+  ColorField c1(p.geom(), Parity::Even), c2(p.geom(), Parity::Even);
+  dslash_reference(p.view(), p.neighbors(), p.b(), c1);
+  dslash_reference(p.view(), p.neighbors(), p.b(), c2);
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+}
+
+}  // namespace
+}  // namespace milc

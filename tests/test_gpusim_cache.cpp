@@ -1,0 +1,134 @@
+// Sectored-cache and DRAM row-buffer model tests.
+#include <gtest/gtest.h>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/dram.hpp"
+
+namespace gpusim {
+namespace {
+
+// A tiny cache: 4 sets x 2 ways x 128 B lines = 1 KiB, 32 B sectors.
+SectoredCache tiny() { return SectoredCache(1024, 128, 32, 2); }
+
+TEST(SectoredCache, ColdMissThenHit) {
+  auto c = tiny();
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x101f, false).hit);  // same sector
+}
+
+TEST(SectoredCache, SectorGranularity) {
+  auto c = tiny();
+  EXPECT_FALSE(c.access(0x0, false).hit);
+  // Same 128 B line, different 32 B sector: line present, sector missing.
+  EXPECT_FALSE(c.access(0x20, false).hit);
+  EXPECT_TRUE(c.access(0x20, false).hit);
+  EXPECT_TRUE(c.access(0x0, false).hit);  // first sector still resident
+}
+
+TEST(SectoredCache, LruEviction) {
+  auto c = tiny();
+  // Three lines mapping to the same set (set stride = 4 lines = 512 B).
+  EXPECT_FALSE(c.access(0 * 512, false).hit);
+  EXPECT_FALSE(c.access(1 * 512, false).hit);
+  EXPECT_TRUE(c.access(0 * 512, false).hit);   // touch line 0 -> line 1 is LRU
+  EXPECT_FALSE(c.access(2 * 512, false).hit);  // evicts line 1
+  EXPECT_TRUE(c.access(0 * 512, false).hit);
+  EXPECT_FALSE(c.access(1 * 512, false).hit);  // line 1 was evicted
+}
+
+TEST(SectoredCache, DirtyWritebackOnEviction) {
+  auto c = tiny();
+  c.access(0 * 512, true);   // dirty sector
+  c.access(0 * 512 + 32, true);  // second dirty sector, same line
+  c.access(1 * 512, false);
+  const auto out = c.access(2 * 512, false);  // evicts the dirty line (LRU)
+  EXPECT_EQ(out.writeback_sectors, 2);
+}
+
+TEST(SectoredCache, NoAllocateLeavesCacheCold) {
+  auto c = tiny();
+  EXPECT_FALSE(c.access(0x40, false, /*allocate=*/false).hit);
+  EXPECT_FALSE(c.access(0x40, false).hit);  // still a miss: nothing was installed
+}
+
+TEST(SectoredCache, FlushReturnsDirtySectors) {
+  auto c = tiny();
+  c.access(0, true);     // set 0, dirty
+  c.access(128, true);   // set 1, dirty
+  c.access(256, false);  // set 2, clean
+  EXPECT_EQ(c.flush(), 2);
+  EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(SectoredCache, ResetClears) {
+  auto c = tiny();
+  c.access(0, false);
+  c.reset();
+  EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(SectoredCache, CapacityHoldsWorkingSet) {
+  // 1 KiB cache must keep a 1 KiB working set resident (no conflict misses
+  // with perfect alignment: 8 lines over 4 sets x 2 ways).
+  auto c = tiny();
+  for (int rep = 0; rep < 3; ++rep) {
+    int misses = 0;
+    for (std::uint64_t a = 0; a < 1024; a += 32) {
+      if (!c.access(a, false).hit) ++misses;
+    }
+    if (rep == 0) {
+      EXPECT_EQ(misses, 32);  // cold
+    } else {
+      EXPECT_EQ(misses, 0);  // fully resident
+    }
+  }
+}
+
+// -------------------------------------------------------------------- DRAM --
+
+TEST(DramModel, StreamingHitsOpenRows) {
+  MachineModel m = a100();
+  Calibration cal;
+  DramModel d(m, cal);
+  // A long consecutive-sector stream: within each 256 B channel interleave
+  // chunk, 7 of 8 sectors hit the open row.
+  for (std::uint64_t a = 0; a < 1 << 20; a += 32) d.access(a);
+  EXPECT_GT(d.burst_efficiency(), 0.85);
+}
+
+TEST(DramModel, ScatteredMissesRows) {
+  MachineModel m = a100();
+  Calibration cal;
+  DramModel d(m, cal);
+  // Jump by a prime number of rows every access: almost every access misses.
+  std::uint64_t a = 0;
+  for (int i = 0; i < 10000; ++i) {
+    d.access(a);
+    a += 8192 * 7 + 256;
+  }
+  EXPECT_LT(d.burst_efficiency(), 0.55);
+}
+
+TEST(DramModel, OpaqueWritebacksArePessimistic) {
+  MachineModel m = a100();
+  Calibration cal;
+  DramModel d(m, cal);
+  d.access_opaque(10);
+  EXPECT_EQ(d.sectors(), 10u);
+  EXPECT_EQ(d.row_hits(), 0u);
+}
+
+TEST(DramModel, CostUnitsCombineHitsAndMisses) {
+  MachineModel m = a100();
+  Calibration cal;
+  cal.dram_row_miss_penalty = 3.0;
+  DramModel d(m, cal);
+  d.access(0);      // row miss
+  d.access(32);     // row hit
+  EXPECT_DOUBLE_EQ(d.cost_units(), 3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(d.burst_efficiency(), 2.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace gpusim

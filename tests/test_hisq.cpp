@@ -1,0 +1,203 @@
+// HISQ link construction, polar projection, and gauge covariance — the
+// sharpest integration tests in the suite: physics must be blind to local
+// SU(3) rotations of everything.
+#include <gtest/gtest.h>
+
+#include "core/dslash_ref.hpp"
+#include "lattice/gauge_transform.hpp"
+#include "lattice/hisq.hpp"
+#include "lattice/metropolis.hpp"
+#include "su3/random_su3.hpp"
+
+namespace milc {
+namespace {
+
+TEST(PolarProject, FixesUnitaryMatrices) {
+  Rng rng(1);
+  for (int t = 0; t < 5; ++t) {
+    const auto u = random_su3(rng);
+    EXPECT_LT(max_abs_diff(polar_project(u), u), 1e-10);
+  }
+}
+
+TEST(PolarProject, ProducesUnitaryFactor) {
+  Rng rng(2);
+  for (int t = 0; t < 5; ++t) {
+    // A generic nonsingular matrix: sum of two random SU(3).
+    auto m = random_su3(rng);
+    const auto b = random_su3(rng);
+    for (int i = 0; i < kColors; ++i) {
+      for (int j = 0; j < kColors; ++j) m.e[i][j] += cscale(0.7, b.e[i][j]);
+    }
+    const auto p = polar_project(m);
+    EXPECT_LT(unitarity_defect(p), 1e-9);
+  }
+}
+
+TEST(PolarProject, HermitianPositivePolarPart) {
+  // M = P H with H = P^dag M Hermitian positive definite.
+  Rng rng(3);
+  auto m = random_su3(rng);
+  const auto b = random_su3(rng);
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) m.e[i][j] += cscale(0.5, b.e[i][j]);
+  }
+  const auto p = polar_project(m);
+  const auto h = matmul(adjoint(p), m);
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) {
+      // Hermitian: h_ij == conj(h_ji)
+      EXPECT_NEAR(h.e[i][j].re, h.e[j][i].re, 1e-9);
+      EXPECT_NEAR(h.e[i][j].im, -h.e[j][i].im, 1e-9);
+    }
+    EXPECT_GT(h.e[i][i].re, 0.0);  // positive diagonal
+  }
+}
+
+TEST(PolarProject, IsGaugeCovariant) {
+  // polar(A M B^dag) == A polar(M) B^dag for unitary A, B — the property a
+  // Gram–Schmidt projection would violate.
+  Rng rng(4);
+  auto m = random_su3(rng);
+  const auto pert = random_su3(rng);
+  for (int i = 0; i < kColors; ++i) {
+    for (int j = 0; j < kColors; ++j) m.e[i][j] += cscale(0.6, pert.e[i][j]);
+  }
+  const auto a = random_su3(rng);
+  const auto b = random_su3(rng);
+  const auto lhs = polar_project(matmul(matmul(a, m), adjoint(b)));
+  const auto rhs = matmul(matmul(a, polar_project(m)), adjoint(b));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-9);
+}
+
+TEST(Hisq, UnitThinLinksGiveUnitFatAndLong) {
+  LatticeGeom geom(4);
+  GaugeConfiguration thin(geom);
+  for (std::int64_t x = 0; x < geom.volume(); ++x) {
+    for (int mu = 0; mu < kNdim; ++mu) thin.fat(x, mu) = SU3Matrix<dcomplex>::identity();
+  }
+  const GaugeConfiguration hisq = build_hisq_links(geom, thin);
+  for (std::int64_t x = 0; x < geom.volume(); x += 11) {
+    for (int mu = 0; mu < kNdim; ++mu) {
+      EXPECT_LT(max_abs_diff(hisq.fat(x, mu), SU3Matrix<dcomplex>::identity()), 1e-10);
+      EXPECT_LT(max_abs_diff(hisq.lng(x, mu), SU3Matrix<dcomplex>::identity()), 1e-12);
+    }
+  }
+}
+
+TEST(Hisq, NaikLinkIsThreeLinkProduct) {
+  LatticeGeom geom(4);
+  GaugeConfiguration thin(geom);
+  thin.fill_random(7);
+  const GaugeConfiguration hisq = build_hisq_links(geom, thin);
+  const std::int64_t x = 5;
+  const Coords c = geom.coords(x);
+  for (int mu = 0; mu < kNdim; ++mu) {
+    const std::int64_t x1 = geom.full_index(geom.displace(c, mu, 1));
+    const std::int64_t x2 = geom.full_index(geom.displace(c, mu, 2));
+    const auto expect = matmul(matmul(thin.fat(x, mu), thin.fat(x1, mu)), thin.fat(x2, mu));
+    EXPECT_LT(max_abs_diff(hisq.lng(x, mu), expect), 1e-12);
+  }
+}
+
+TEST(Hisq, FatLinksAreUnitary) {
+  LatticeGeom geom(4);
+  GaugeConfiguration thin(geom);
+  thin.fill_random(8);
+  const GaugeConfiguration hisq = build_hisq_links(geom, thin);
+  for (std::int64_t x = 0; x < geom.volume(); x += 13) {
+    for (int mu = 0; mu < kNdim; ++mu) {
+      EXPECT_LT(unitarity_defect(hisq.fat(x, mu)), 1e-8);
+    }
+  }
+}
+
+TEST(Hisq, SmearingCommutesWithGaugeTransformation) {
+  LatticeGeom geom(4);
+  GaugeConfiguration thin(geom);
+  thin.fill_random(9);
+  GaugeTransform omega(geom);
+  omega.fill_random(10);
+
+  // Transform then smear …
+  const GaugeConfiguration thin_t = omega.apply(geom, thin);
+  const GaugeConfiguration smeared_after = build_hisq_links(geom, thin_t);
+  // … versus smear then transform.
+  const GaugeConfiguration smeared_before = omega.apply(geom, build_hisq_links(geom, thin));
+
+  double max_diff = 0.0;
+  for (std::int64_t x = 0; x < geom.volume(); x += 7) {
+    for (int mu = 0; mu < kNdim; ++mu) {
+      max_diff = std::max(max_diff,
+                          max_abs_diff(smeared_after.fat(x, mu), smeared_before.fat(x, mu)));
+      max_diff = std::max(max_diff,
+                          max_abs_diff(smeared_after.lng(x, mu), smeared_before.lng(x, mu)));
+    }
+  }
+  EXPECT_LT(max_diff, 1e-8);
+}
+
+TEST(GaugeCovariance, PlaquetteIsInvariant) {
+  LatticeGeom geom(4);
+  GaugeConfiguration cfg(geom);
+  cfg.fill_random(11);
+  GaugeTransform omega(geom);
+  omega.fill_random(12);
+  const double before = average_plaquette(geom, cfg);
+  const GaugeConfiguration t = omega.apply(geom, cfg);
+  EXPECT_NEAR(average_plaquette(geom, t), before, 1e-10);
+}
+
+TEST(GaugeCovariance, DslashIsCovariant) {
+  // D[U^Omega](Omega b) == Omega (D[U] b): exercises the gather, adjoints,
+  // neighbour tables and the operator in one identity.
+  LatticeGeom geom(4);
+  GaugeConfiguration cfg(geom);
+  cfg.fill_random(13);
+  GaugeTransform omega(geom);
+  omega.fill_random(14);
+
+  ColorField b(geom, Parity::Odd);
+  b.fill_random(15);
+
+  // Left side: transformed gauge + source.
+  const GaugeConfiguration cfg_t = omega.apply(geom, cfg);
+  const ColorField b_t = omega.apply(geom, b);
+  GaugeView view_t(geom, cfg_t, Parity::Even);
+  NeighborTable nbr(geom, Parity::Even);
+  ColorField lhs(geom, Parity::Even);
+  dslash_reference(view_t, nbr, b_t, lhs);
+
+  // Right side: transform the untransformed result.
+  GaugeView view(geom, cfg, Parity::Even);
+  ColorField out(geom, Parity::Even);
+  dslash_reference(view, nbr, b, out);
+  const ColorField rhs = omega.apply(geom, out);
+
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-9);
+}
+
+TEST(Integration, MetropolisHisqDslashChain) {
+  // Thermalise thin links, build HISQ fat/long links, apply Dslash: the full
+  // production pipeline in miniature.
+  LatticeGeom geom(4);
+  GaugeConfiguration thin(geom);
+  thin.fill_random(16);
+  MetropolisOptions mopts;
+  mopts.beta = 6.0;
+  thermalize(geom, thin, mopts, 2);
+
+  const GaugeConfiguration hisq = build_hisq_links(geom, thin);
+  GaugeView view(geom, hisq, Parity::Even);
+  NeighborTable nbr(geom, Parity::Even);
+  ColorField b(geom, Parity::Odd), c(geom, Parity::Even);
+  b.fill_random(17);
+  dslash_reference(view, nbr, b, c);
+  EXPECT_GT(norm2(c), 1.0);
+
+  // Norm preservation bound: |D b|^2 <= (16)^2 |b|^2 for unitary links.
+  EXPECT_LT(norm2(c), 256.0 * norm2(b) + 1.0);
+}
+
+}  // namespace
+}  // namespace milc

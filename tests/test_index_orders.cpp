@@ -1,0 +1,136 @@
+// The work-item index decodes are load-bearing: every kernel's correctness
+// and every coalescing conclusion depends on them.  These tests pin the
+// bijection, the paper's published formulas, and the local-memory strides.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/index_orders.hpp"
+
+namespace milc {
+namespace {
+
+TEST(Decode3, MatchesPaperFormulas) {
+  for (std::int64_t gid = 0; gid < 4 * 12; ++gid) {
+    const Idx3 k = decode3<Order3::kMajor>(gid);
+    EXPECT_EQ(k.s, gid / 12);
+    EXPECT_EQ(k.i, static_cast<int>(gid % 3));
+    EXPECT_EQ(k.k, static_cast<int>((gid / 3) % 4));
+    const Idx3 i = decode3<Order3::iMajor>(gid);
+    EXPECT_EQ(i.s, gid / 12);
+    EXPECT_EQ(i.i, static_cast<int>((gid / 4) % 3));
+    EXPECT_EQ(i.k, static_cast<int>(gid % 4));
+  }
+}
+
+template <Order3 O>
+void check_bijection3(std::int64_t sites) {
+  std::set<std::tuple<std::int64_t, int, int>> seen;
+  for (std::int64_t gid = 0; gid < sites * 12; ++gid) {
+    const Idx3 d = decode3<O>(gid);
+    EXPECT_GE(d.s, 0);
+    EXPECT_LT(d.s, sites);
+    EXPECT_GE(d.i, 0);
+    EXPECT_LT(d.i, 3);
+    EXPECT_GE(d.k, 0);
+    EXPECT_LT(d.k, 4);
+    EXPECT_TRUE(seen.insert({d.s, d.i, d.k}).second) << "duplicate at gid " << gid;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(sites * 12));
+}
+
+TEST(Decode3, IsABijection) {
+  check_bijection3<Order3::kMajor>(16);
+  check_bijection3<Order3::iMajor>(16);
+}
+
+template <Order4 O>
+void check_bijection4(std::int64_t sites) {
+  std::set<std::tuple<std::int64_t, int, int, int>> seen;
+  for (std::int64_t gid = 0; gid < sites * 48; ++gid) {
+    const Idx4 d = decode4<O>(gid);
+    EXPECT_GE(d.s, 0);
+    EXPECT_LT(d.s, sites);
+    EXPECT_TRUE(seen.insert({d.s, d.i, d.k, d.l}).second) << "duplicate at gid " << gid;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(sites * 48));
+}
+
+TEST(Decode4, IsABijectionInAllOrders) {
+  check_bijection4<Order4::lp1_kMajor>(8);
+  check_bijection4<Order4::lp1_iMajor>(8);
+  check_bijection4<Order4::lp2_lMajor>(8);
+  check_bijection4<Order4::lp2_iMajor>(8);
+}
+
+/// The delta fields must be the local-id distance between work-items that
+/// differ by exactly one in k (or l) — the reduction phases depend on it.
+template <Order3 O>
+void check_delta3() {
+  for (std::int64_t gid = 0; gid < 240; ++gid) {
+    const Idx3 a = decode3<O>(gid);
+    if (a.k >= 3) continue;
+    const Idx3 b = decode3<O>(gid + a.delta_k);
+    EXPECT_EQ(b.s, a.s);
+    EXPECT_EQ(b.i, a.i);
+    EXPECT_EQ(b.k, a.k + 1);
+  }
+}
+
+TEST(Decode3, DeltaKIsTheKStride) {
+  check_delta3<Order3::kMajor>();
+  check_delta3<Order3::iMajor>();
+}
+
+template <Order4 O>
+void check_delta4() {
+  for (std::int64_t gid = 0; gid < 480; ++gid) {
+    const Idx4 a = decode4<O>(gid);
+    if (a.k < 3) {
+      const Idx4 b = decode4<O>(gid + a.delta_k);
+      EXPECT_EQ(b.s, a.s);
+      EXPECT_EQ(b.i, a.i);
+      EXPECT_EQ(b.l, a.l);
+      EXPECT_EQ(b.k, a.k + 1);
+    }
+    if (a.l < 3) {
+      const Idx4 c = decode4<O>(gid + a.delta_l);
+      EXPECT_EQ(c.s, a.s);
+      EXPECT_EQ(c.i, a.i);
+      EXPECT_EQ(c.k, a.k);
+      EXPECT_EQ(c.l, a.l + 1);
+    }
+  }
+}
+
+TEST(Decode4, DeltasAreTheStrides) {
+  check_delta4<Order4::lp1_kMajor>();
+  check_delta4<Order4::lp1_iMajor>();
+  check_delta4<Order4::lp2_lMajor>();
+  check_delta4<Order4::lp2_iMajor>();
+}
+
+TEST(Decode4, ActiveLaneClustering) {
+  // §IV-D8: within a 32-lane warp, the work-items sharing one l value sit in
+  // runs whose length depends on the order: 12 consecutive for 4LP-1, 3 for
+  // 4LP-2 l-major, 1 for 4LP-2 i-major.
+  auto max_run_of_same_l = [](auto decode) {
+    int best = 0, run = 0, prev = -1;
+    for (std::int64_t gid = 0; gid < 32; ++gid) {
+      const Idx4 d = decode(gid);
+      run = (d.l == prev) ? run + 1 : 1;
+      prev = d.l;
+      best = std::max(best, run);
+    }
+    return best;
+  };
+  EXPECT_EQ(max_run_of_same_l([](std::int64_t g) { return decode4<Order4::lp1_kMajor>(g); }),
+            12);
+  EXPECT_EQ(max_run_of_same_l([](std::int64_t g) { return decode4<Order4::lp2_lMajor>(g); }),
+            3);
+  EXPECT_EQ(max_run_of_same_l([](std::int64_t g) { return decode4<Order4::lp2_iMajor>(g); }),
+            1);
+}
+
+}  // namespace
+}  // namespace milc

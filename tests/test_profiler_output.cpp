@@ -1,0 +1,76 @@
+// Profiler report formatting (the Table-I printer) and the umbrella header.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "milc.hpp"  // the umbrella must compile and expose everything below
+
+namespace {
+
+TEST(FormatCount, MatchesTableOneStyle) {
+  EXPECT_EQ(gpusim::format_count(0.5e6), "0.5M");
+  EXPECT_EQ(gpusim::format_count(6.3e6), "6.3M");
+  EXPECT_EQ(gpusim::format_count(190e6), "190M");
+  EXPECT_EQ(gpusim::format_count(5461), "5.5K");
+  EXPECT_EQ(gpusim::format_count(42), "42");
+}
+
+gpusim::KernelStats sample_stats(const char* name) {
+  gpusim::KernelStats st;
+  st.name = name;
+  st.duration_us = 929.2;
+  st.launch.global_size = 6291456;
+  st.launch.local_size = 768;
+  st.launch.shared_bytes_per_group = 12288;
+  st.occupancy.achieved = 0.74;
+  st.counters.l1_tag_requests_global = 86'000'000;
+  st.counters.shared_wavefronts = 4'700'000;
+  st.counters.shared_wavefronts_ideal = 2'300'000;
+  st.shared_kb_per_group = 12.288;
+  st.avg_divergent_branches = 0.0;
+  return st;
+}
+
+TEST(PrintTable1, ContainsEveryRowAndColumn) {
+  std::ostringstream os;
+  const std::vector<gpusim::KernelStats> cols = {sample_stats("3LP-1 k"),
+                                                 sample_stats("3LP-1 i")};
+  gpusim::print_table1(os, cols);
+  const std::string out = os.str();
+  for (const char* needle :
+       {"Duration (us)", "Work-items", "Achieved occupancy", "Peak performance",
+        "L1/TEX cache throughput", "L1/TEX miss rate", "L2 miss rate",
+        "Dyn. shared mem per WG", "L1 tag requests global", "L1 wavefronts shared",
+        "Excessive L1 wavefronts shared", "Avg. divergent branches", "3LP-1 k", "3LP-1 i",
+        "929.2", "6.3M", "86M", "12.3"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(PrintKernelReport, ContainsTimingDecomposition) {
+  std::ostringstream os;
+  gpusim::KernelStats st = sample_stats("probe");
+  st.timing.total_s = 929.2e-6;
+  st.timing.dram_s = 900e-6;
+  st.timing.bound_by = "dram";
+  gpusim::print_kernel_report(os, st);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("kernel: probe"), std::string::npos);
+  EXPECT_NE(out.find("bound_by=dram"), std::string::npos);
+  EXPECT_NE(out.find("occupancy:"), std::string::npos);
+  EXPECT_NE(out.find("timing:"), std::string::npos);
+}
+
+TEST(UmbrellaHeader, ExposesTheMainEntryPoints) {
+  // Compile-time proof that milc.hpp covers the advertised surface.
+  milc::LatticeGeom geom(4);
+  milc::DslashProblem problem(4, 1);
+  milc::DslashRunner runner;
+  minisycl::device dev;
+  (void)geom;
+  (void)dev;
+  EXPECT_EQ(problem.sites(), 128);
+  EXPECT_EQ(runner.machine().num_sms, 108);
+}
+
+}  // namespace

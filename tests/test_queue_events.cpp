@@ -1,0 +1,90 @@
+// Simulated-timeline events: profiling info, dependency ordering, and the
+// in-order/out-of-order launch-overhead difference at event granularity.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "minisycl/queue.hpp"
+
+namespace minisycl {
+namespace {
+
+struct TinyKernel {
+  static constexpr int kPhases = 1;
+  double* out;
+  template <typename Lane>
+  void operator()(Lane& lane, int) const {
+    const double v = lane.load(&out[lane.global_id()]);
+    lane.flops(2);
+    lane.store(&out[lane.global_id()], v + 1.0);
+  }
+};
+
+LaunchSpec tiny_spec() { return LaunchSpec{1024, 128, 0, 1, {}}; }
+
+TEST(QueueEvents, ProfilingFieldsAreOrdered) {
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  const event ev = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  EXPECT_GE(ev.start_us, ev.submit_us);
+  EXPECT_GT(ev.end_us, ev.start_us);
+  EXPECT_NEAR(ev.queue_latency_us(), q.launch_overhead_us(), 1e-9);
+  EXPECT_GT(ev.duration_us(), 0.0);
+}
+
+TEST(QueueEvents, InOrderSerialisesSubmissions) {
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  const event a = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  const event b = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  EXPECT_GE(b.start_us, a.end_us);
+}
+
+TEST(QueueEvents, DependenciesPushTheStart) {
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::out_of_order);
+  const event a = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  const std::array<event, 1> deps = {a};
+  const event b = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()}, deps);
+  EXPECT_GE(b.start_us, a.end_us + q.launch_overhead_us() - 1e-9);
+}
+
+TEST(QueueEvents, OutOfOrderPaysMoreLatencyPerSubmission) {
+  std::vector<double> buf(1024, 0.0);
+  queue in_q(ExecMode::profiled, QueueOrder::in_order);
+  queue out_q(ExecMode::profiled, QueueOrder::out_of_order);
+  const event a = in_q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  const event b = out_q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  EXPECT_LT(a.queue_latency_us(), b.queue_latency_us());
+  // Kernel duration itself is identical.
+  EXPECT_NEAR(a.duration_us(), b.duration_us(), 1e-9);
+}
+
+TEST(QueueEvents, HostAdvanceDelaysSubmission) {
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  const event a = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  q.host_advance_us(10'000.0);
+  const event b = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+  EXPECT_GE(b.submit_us, a.submit_us + 10'000.0 - 1e-9);
+  // Device was idle by then: latency is just the launch overhead.
+  EXPECT_NEAR(b.queue_latency_us(), q.launch_overhead_us(), 1e-9);
+}
+
+TEST(QueueEvents, HundredIterationLoopMatchesPaperMethodology) {
+  // The paper times 100 kernel iterations back-to-back; the event timeline
+  // must equal 100 * (kernel + launch overhead).
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  event last;
+  double kernel_us = 0.0;
+  for (int it = 0; it < 100; ++it) {
+    last = q.submit_with_event(tiny_spec(), TinyKernel{buf.data()});
+    kernel_us = last.duration_us();
+  }
+  EXPECT_NEAR(last.end_us, 100.0 * (kernel_us + q.launch_overhead_us()), 1e-6);
+  EXPECT_DOUBLE_EQ(buf[7], 100.0);  // and the work really happened
+}
+
+}  // namespace
+}  // namespace minisycl

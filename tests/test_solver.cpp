@@ -1,0 +1,145 @@
+// StaggeredOperator and the CG solver — the library surface a downstream
+// user consumes.
+#include <gtest/gtest.h>
+
+#include "core/dslash_ref.hpp"
+#include "core/solver.hpp"
+
+namespace milc {
+namespace {
+
+struct Fixture {
+  LatticeGeom geom{4};
+  GaugeConfiguration cfg{geom};
+  Fixture() { cfg.fill_random(111); }
+};
+
+TEST(StaggeredOperator, HalvesMatchReference) {
+  Fixture s;
+  StaggeredOperator op(s.geom, s.cfg, 0.25);
+  ColorField in(s.geom, Parity::Odd), out(s.geom, Parity::Even);
+  in.fill_random(1);
+  op.dslash_eo(in, out);
+
+  GaugeView ve(s.geom, s.cfg, Parity::Even);
+  NeighborTable ne(s.geom, Parity::Even);
+  ColorField ref(s.geom, Parity::Even);
+  dslash_reference(ve, ne, in, ref);
+  EXPECT_LT(max_abs_diff(out, ref), 1e-10);
+}
+
+TEST(StaggeredOperator, NormalOperatorIsHermitianPositiveDefinite) {
+  Fixture s;
+  StaggeredOperator op(s.geom, s.cfg, 0.3);
+  ColorField x(s.geom, Parity::Even), y(s.geom, Parity::Even);
+  x.fill_random(2);
+  y.fill_random(3);
+  ColorField Ax(s.geom, Parity::Even), Ay(s.geom, Parity::Even);
+  op.apply_normal(x, Ax);
+  op.apply_normal(y, Ay);
+  // Hermitian: <y, A x> == conj(<x, A y>)
+  const dcomplex yAx = dot(y, Ax), xAy = dot(x, Ay);
+  EXPECT_NEAR(yAx.re, xAy.re, 1e-8);
+  EXPECT_NEAR(yAx.im, -xAy.im, 1e-8);
+  // Positive definite: <x, A x> >= m^2 |x|^2 > 0.
+  const double xAx = dot(x, Ax).re;
+  EXPECT_GE(xAx, 0.3 * 0.3 * norm2(x) - 1e-8);
+}
+
+TEST(StaggeredOperator, FullOperatorConsistentWithHalves) {
+  Fixture s;
+  const double m = 0.4;
+  StaggeredOperator op(s.geom, s.cfg, m);
+  ColorField xe(s.geom, Parity::Even), xo(s.geom, Parity::Odd);
+  xe.fill_random(4);
+  xo.fill_random(5);
+  ColorField oe(s.geom, Parity::Even), oo(s.geom, Parity::Odd);
+  op.apply_full(xe, xo, oe, oo);
+
+  ColorField t(s.geom, Parity::Even);
+  op.dslash_eo(xo, t);
+  axpy(m, xe, t);
+  EXPECT_LT(max_abs_diff(oe, t), 1e-12);
+}
+
+TEST(CgSolver, ConvergesAndVerifies) {
+  Fixture s;
+  StaggeredOperator op(s.geom, s.cfg, 0.2);
+  ColorField b(s.geom, Parity::Even), x(s.geom, Parity::Even);
+  b.fill_random(6);
+  x.zero();
+  CgOptions opts;
+  opts.rel_tol = 1e-9;
+  const CgResult r = cg_solve(op, b, x, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.relative_residual, 1e-9);
+  EXPECT_LE(r.true_relative_residual, 1e-8);  // recursion drift bounded
+  EXPECT_GT(r.iterations, 5);
+  EXPECT_LT(r.iterations, 2000);
+}
+
+TEST(CgSolver, WarmStartConvergesFaster) {
+  Fixture s;
+  StaggeredOperator op(s.geom, s.cfg, 0.2);
+  ColorField b(s.geom, Parity::Even), x_cold(s.geom, Parity::Even);
+  b.fill_random(7);
+  x_cold.zero();
+  CgOptions opts;
+  opts.rel_tol = 1e-8;
+  const CgResult cold = cg_solve(op, b, x_cold, opts);
+  ASSERT_TRUE(cold.converged);
+
+  // Restart from the solution: should converge (almost) immediately.
+  ColorField x_warm = x_cold;
+  const CgResult warm = cg_solve(op, b, x_warm, opts);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 2);
+}
+
+TEST(CgSolver, ZeroRhsGivesZeroSolution) {
+  Fixture s;
+  StaggeredOperator op(s.geom, s.cfg, 0.5);
+  ColorField b(s.geom, Parity::Even), x(s.geom, Parity::Even);
+  b.zero();
+  x.fill_random(8);
+  const CgResult r = cg_solve(op, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(norm2(x), 0.0);
+}
+
+TEST(CgSolver, HeavierMassConvergesFaster) {
+  // Condition number ~ (lambda_max + m^2)/m^2: heavier quarks are easier.
+  Fixture s;
+  ColorField b(s.geom, Parity::Even);
+  b.fill_random(9);
+  CgOptions opts;
+  opts.rel_tol = 1e-8;
+
+  StaggeredOperator light(s.geom, s.cfg, 0.05);
+  StaggeredOperator heavy(s.geom, s.cfg, 1.0);
+  ColorField x1(s.geom, Parity::Even), x2(s.geom, Parity::Even);
+  x1.zero();
+  x2.zero();
+  const CgResult rl = cg_solve(light, b, x1, opts);
+  const CgResult rh = cg_solve(heavy, b, x2, opts);
+  ASSERT_TRUE(rl.converged);
+  ASSERT_TRUE(rh.converged);
+  EXPECT_LT(rh.iterations, rl.iterations);
+}
+
+TEST(CgSolver, RespectsIterationCap) {
+  Fixture s;
+  StaggeredOperator op(s.geom, s.cfg, 0.01);
+  ColorField b(s.geom, Parity::Even), x(s.geom, Parity::Even);
+  b.fill_random(10);
+  x.zero();
+  CgOptions opts;
+  opts.rel_tol = 1e-14;
+  opts.max_iterations = 3;
+  const CgResult r = cg_solve(op, b, x, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace milc

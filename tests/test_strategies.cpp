@@ -1,0 +1,182 @@
+// Strategy metadata, variant table, and structural invariants of the
+// profiled strategy kernels (the qualitative signatures Table I rests on).
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+
+namespace milc {
+namespace {
+
+TEST(StrategyMeta, ItemsPerSite) {
+  EXPECT_EQ(items_per_site(Strategy::LP1), 1);
+  EXPECT_EQ(items_per_site(Strategy::LP2), 3);
+  EXPECT_EQ(items_per_site(Strategy::LP3_1), 12);
+  EXPECT_EQ(items_per_site(Strategy::LP3_2), 12);
+  EXPECT_EQ(items_per_site(Strategy::LP3_3), 12);
+  EXPECT_EQ(items_per_site(Strategy::LP4_1), 48);
+  EXPECT_EQ(items_per_site(Strategy::LP4_2), 48);
+}
+
+TEST(StrategyMeta, Phases) {
+  EXPECT_EQ(phases_of(Strategy::LP1), 1);
+  EXPECT_EQ(phases_of(Strategy::LP2), 1);
+  EXPECT_EQ(phases_of(Strategy::LP3_1), 2);
+  EXPECT_EQ(phases_of(Strategy::LP4_1), 3);
+}
+
+TEST(StrategyMeta, LocalSizeMultiples) {
+  // §III: k-major 3LP needs multiples of 12, i-major of 4; 4LP of 48 — all
+  // additionally warp multiples (§IV-B).
+  EXPECT_EQ(local_size_multiple(Strategy::LP3_1, IndexOrder::kMajor), 96);  // lcm(12,32)
+  EXPECT_EQ(local_size_multiple(Strategy::LP3_1, IndexOrder::iMajor), 32);  // lcm(4,32)
+  EXPECT_EQ(local_size_multiple(Strategy::LP4_1, IndexOrder::kMajor), 96);  // lcm(48,32)
+  EXPECT_EQ(local_size_multiple(Strategy::LP1, IndexOrder::kMajor), 32);
+  EXPECT_EQ(local_size_multiple(Strategy::LP2, IndexOrder::kMajor), 96);  // lcm(3,32)
+}
+
+TEST(StrategyMeta, PaperLocalSizes) {
+  // At L = 32 (paper) and L = 16 (bench default) the valid sweep is
+  // {96, 192, 384, 768} for 3LP/4LP.
+  for (std::int64_t sites : {32768LL, 524288LL}) {
+    const auto ls = paper_local_sizes(Strategy::LP3_1, IndexOrder::kMajor, sites);
+    EXPECT_EQ(ls, (std::vector<int>{96, 192, 384, 768}));
+    const auto l1 = paper_local_sizes(Strategy::LP1, IndexOrder::kMajor, sites);
+    EXPECT_EQ(l1, (std::vector<int>{64, 128, 256, 512}));
+  }
+}
+
+TEST(StrategyMeta, Validity) {
+  EXPECT_TRUE(is_valid_local_size(Strategy::LP3_1, IndexOrder::kMajor, 768, 32768));
+  EXPECT_FALSE(is_valid_local_size(Strategy::LP3_1, IndexOrder::kMajor, 100, 32768));
+  EXPECT_FALSE(is_valid_local_size(Strategy::LP3_1, IndexOrder::kMajor, 1056, 32768));
+  // i-major accepts multiples of 32 that are not multiples of 96 …
+  EXPECT_TRUE(is_valid_local_size(Strategy::LP3_1, IndexOrder::iMajor, 128, 32768));
+  // … but k-major does not.
+  EXPECT_FALSE(is_valid_local_size(Strategy::LP3_1, IndexOrder::kMajor, 128, 32768));
+  // Global divisibility.
+  EXPECT_FALSE(is_valid_local_size(Strategy::LP1, IndexOrder::kMajor, 96, 32768));
+}
+
+TEST(StrategyMeta, Labels) {
+  EXPECT_EQ(config_label(Strategy::LP3_1, IndexOrder::kMajor, 768), "3LP-1 k-major /768");
+  EXPECT_EQ(config_label(Strategy::LP1, IndexOrder::kMajor, 256), "1LP /256");
+  EXPECT_EQ(config_label(Strategy::LP4_2, IndexOrder::lMajor, 96), "4LP-2 l-major /96");
+}
+
+TEST(StrategyMeta, OrdersMatchPaperFig6) {
+  EXPECT_EQ(orders_of(Strategy::LP1).size(), 1u);
+  EXPECT_EQ(orders_of(Strategy::LP2).size(), 1u);
+  EXPECT_EQ(orders_of(Strategy::LP3_1),
+            (std::vector<IndexOrder>{IndexOrder::kMajor, IndexOrder::iMajor}));
+  EXPECT_EQ(orders_of(Strategy::LP4_2),
+            (std::vector<IndexOrder>{IndexOrder::lMajor, IndexOrder::iMajor}));
+}
+
+TEST(Variants, TableIsConsistentWithPaper) {
+  EXPECT_EQ(variant_info(Variant::SYCL).queue_order, minisycl::QueueOrder::out_of_order);
+  EXPECT_EQ(variant_info(Variant::CUDA).queue_order, minisycl::QueueOrder::in_order);
+  EXPECT_EQ(variant_info(Variant::SYCLomatic).queue_order, minisycl::QueueOrder::in_order);
+  // The derived-index penalty is 10.0–12.2% (paper §IV-D6).
+  EXPECT_GE(variant_info(Variant::SYCLomatic).codegen_slowdown, 1.10);
+  EXPECT_LE(variant_info(Variant::SYCLomatic).codegen_slowdown, 1.122);
+  // maxrregcount=64 improves up to 3.6% (§IV-D4).
+  const double cuda_gain = variant_info(Variant::CUDA).codegen_slowdown /
+                           variant_info(Variant::CUDA_maxrreg64).codegen_slowdown;
+  EXPECT_GE(cuda_gain, 1.0);
+  EXPECT_LE(cuda_gain, 1.036 + 1e-12);
+  // SyclCPLX within +-3% (§IV-D5).
+  EXPECT_NEAR(variant_info(Variant::SyclCPLX).codegen_slowdown, 1.0, 0.03);
+  // The three SYCLomatic variations have no effect (§IV-D6).
+  EXPECT_EQ(variant_info(Variant::SYCLomatic1D).codegen_slowdown, 1.0);
+  EXPECT_EQ(variant_info(Variant::SYCLomaticFence).codegen_slowdown, 1.0);
+  EXPECT_EQ(variant_info(Variant::SYCLomaticNoChk).codegen_slowdown, 1.0);
+  EXPECT_TRUE(variant_info(Variant::SyclCPLX).use_syclcplx);
+  EXPECT_FALSE(variant_info(Variant::SYCL).use_syclcplx);
+}
+
+// ------------------------------------------------- structural signatures ---
+
+struct Signature {
+  gpusim::KernelStats stats;
+};
+
+Signature run_at_l8(Strategy s, IndexOrder o, int local) {
+  static DslashProblem p(8, 31);
+  DslashRunner runner;
+  RunRequest req{.strategy = s, .order = o, .local_size = local, .variant = Variant::SYCL};
+  return {runner.run(p, req).stats};
+}
+
+TEST(StrategySignatures, SharedMemoryUsage) {
+  // Table I row 9: 12.3 KB/WG at local 768 for 3LP-1/2 and 4LP; zero for
+  // 1LP, 2LP and 3LP-3.
+  EXPECT_NEAR(run_at_l8(Strategy::LP3_1, IndexOrder::kMajor, 768).stats.shared_kb_per_group,
+              12.3, 0.05);  // Table I row 9: 12.3 KB (decimal)
+  EXPECT_EQ(run_at_l8(Strategy::LP1, IndexOrder::kMajor, 256).stats.shared_kb_per_group, 0.0);
+  EXPECT_EQ(run_at_l8(Strategy::LP3_3, IndexOrder::kMajor, 768).stats.shared_kb_per_group,
+            0.0);
+}
+
+TEST(StrategySignatures, SharedWavefrontsOnlyWhereLocalMemoryIsUsed) {
+  EXPECT_GT(run_at_l8(Strategy::LP3_1, IndexOrder::kMajor, 768).stats.counters.shared_wavefronts,
+            0u);
+  EXPECT_EQ(run_at_l8(Strategy::LP3_3, IndexOrder::kMajor, 768).stats.counters.shared_wavefronts,
+            0u);
+  EXPECT_EQ(run_at_l8(Strategy::LP2, IndexOrder::kMajor, 768).stats.counters.shared_wavefronts,
+            0u);
+}
+
+TEST(StrategySignatures, DivergenceOnlyIn4LP) {
+  // Table I row 13: zero divergent branches for 1LP..3LP, thousands for 4LP.
+  EXPECT_EQ(run_at_l8(Strategy::LP3_1, IndexOrder::kMajor, 768)
+                .stats.counters.divergent_branches,
+            0u);
+  const auto lp41 = run_at_l8(Strategy::LP4_1, IndexOrder::kMajor, 768);
+  const auto lp42 = run_at_l8(Strategy::LP4_2, IndexOrder::iMajor, 768);
+  EXPECT_GT(lp41.stats.counters.divergent_branches, 0u);
+  // 4LP-2 i-major interleaves l within every warp: at least as divergent.
+  EXPECT_GE(lp42.stats.counters.divergent_branches,
+            lp41.stats.counters.divergent_branches);
+}
+
+TEST(StrategySignatures, AtomicsOnlyIn3LP2And3LP3) {
+  EXPECT_EQ(run_at_l8(Strategy::LP3_1, IndexOrder::kMajor, 768).stats.counters.atomic_lane_updates,
+            0u);
+  const auto lp32 = run_at_l8(Strategy::LP3_2, IndexOrder::kMajor, 768);
+  const auto lp33 = run_at_l8(Strategy::LP3_3, IndexOrder::kMajor, 768);
+  // 3LP-2: one complex add per work-item (2 doubles); 3LP-3: one per l-term.
+  EXPECT_EQ(lp32.stats.counters.atomic_lane_updates, 2u * 12u * 2048u);
+  EXPECT_EQ(lp33.stats.counters.atomic_lane_updates, 4u * 2u * 12u * 2048u);
+}
+
+TEST(StrategySignatures, OccupancyOrdering) {
+  // 1LP (register-limited, 50% ceiling) must sit below 3LP-1 (75% ceiling).
+  const auto lp1 = run_at_l8(Strategy::LP1, IndexOrder::kMajor, 256);
+  const auto lp31 = run_at_l8(Strategy::LP3_1, IndexOrder::kMajor, 768);
+  EXPECT_LT(lp1.stats.occupancy.theoretical, lp31.stats.occupancy.theoretical);
+}
+
+TEST(StrategySignatures, WorkItemCounts) {
+  // Table I row 2.
+  const std::int64_t sites = 2048;  // L=8
+  EXPECT_EQ(run_at_l8(Strategy::LP1, IndexOrder::kMajor, 256).stats.launch.global_size, sites);
+  EXPECT_EQ(run_at_l8(Strategy::LP2, IndexOrder::kMajor, 96).stats.launch.global_size,
+            3 * sites);
+  EXPECT_EQ(run_at_l8(Strategy::LP3_2, IndexOrder::iMajor, 96).stats.launch.global_size,
+            12 * sites);
+  EXPECT_EQ(run_at_l8(Strategy::LP4_1, IndexOrder::iMajor, 96).stats.launch.global_size,
+            48 * sites);
+}
+
+TEST(StrategySignatures, BarrierEventsMatchPhases) {
+  const auto lp31 = run_at_l8(Strategy::LP3_1, IndexOrder::kMajor, 96);
+  const auto lp41 = run_at_l8(Strategy::LP4_1, IndexOrder::kMajor, 96);
+  const std::uint64_t warps31 = 12u * 2048u / 32u;
+  const std::uint64_t warps41 = 48u * 2048u / 32u;
+  EXPECT_EQ(lp31.stats.counters.barrier_warp_events, warps31);      // 1 barrier
+  EXPECT_EQ(lp41.stats.counters.barrier_warp_events, 2 * warps41);  // 2 barriers
+}
+
+}  // namespace
+}  // namespace milc

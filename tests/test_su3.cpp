@@ -1,0 +1,253 @@
+// SU(3) algebra, random generation and gauge-compression tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "su3/random_su3.hpp"
+#include "su3/reconstruct.hpp"
+#include "su3/su3_matrix.hpp"
+
+namespace milc {
+namespace {
+
+SU3Matrix<dcomplex> rand_mat(std::uint64_t seed) {
+  Rng rng(seed);
+  return random_su3(rng);
+}
+
+SU3Vector<dcomplex> rand_vec(std::uint64_t seed) {
+  Rng rng(seed);
+  return random_vector(rng);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+class RandomSU3 : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSU3, IsSpecialUnitary) {
+  const auto u = rand_mat(static_cast<std::uint64_t>(GetParam()));
+  EXPECT_LT(unitarity_defect(u), 1e-12);
+  const dcomplex d = det(u);
+  EXPECT_NEAR(d.re, 1.0, 1e-12);
+  EXPECT_NEAR(d.im, 0.0, 1e-12);
+}
+
+TEST_P(RandomSU3, AdjointIsInverse) {
+  const auto u = rand_mat(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const auto p = matmul(u, adjoint(u));
+  EXPECT_LT(max_abs_diff(p, SU3Matrix<dcomplex>::identity()), 1e-12);
+}
+
+TEST_P(RandomSU3, MatvecPreservesNorm) {
+  const auto u = rand_mat(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const auto v = rand_vec(static_cast<std::uint64_t>(GetParam()) + 3000);
+  EXPECT_NEAR(norm2(matvec(u, v)), norm2(v), 1e-10);
+}
+
+TEST_P(RandomSU3, AdjMatvecMatchesAdjointThenMatvec) {
+  const auto u = rand_mat(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const auto v = rand_vec(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const auto a = adj_matvec(u, v);
+  const auto b = matvec(adjoint(u), v);
+  for (int i = 0; i < kColors; ++i) {
+    EXPECT_NEAR(a.c[i].re, b.c[i].re, 1e-12);
+    EXPECT_NEAR(a.c[i].im, b.c[i].im, 1e-12);
+  }
+}
+
+TEST_P(RandomSU3, InnerProductAdjointIdentity) {
+  // <U x, y> == <x, U^dag y>
+  const auto u = rand_mat(static_cast<std::uint64_t>(GetParam()) + 6000);
+  const auto x = rand_vec(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const auto y = rand_vec(static_cast<std::uint64_t>(GetParam()) + 8000);
+  const dcomplex lhs = dot(matvec(u, x), y);
+  const dcomplex rhs = dot(x, adj_matvec(u, y));
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-12);
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSU3, ::testing::Range(1, 21));
+
+TEST(SU3Matrix, TraceCyclicity) {
+  const auto a = rand_mat(101), b = rand_mat(102);
+  const dcomplex t1 = trace(matmul(a, b));
+  const dcomplex t2 = trace(matmul(b, a));
+  EXPECT_NEAR(t1.re, t2.re, 1e-12);
+  EXPECT_NEAR(t1.im, t2.im, 1e-12);
+}
+
+TEST(SU3Matrix, MatmulAssociativity) {
+  const auto a = rand_mat(201), b = rand_mat(202), c = rand_mat(203);
+  const auto lhs = matmul(matmul(a, b), c);
+  const auto rhs = matmul(a, matmul(b, c));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-12);
+}
+
+TEST(SU3Matrix, FrobeniusNormOfUnitaryIsThree) {
+  EXPECT_NEAR(frobenius_norm2(rand_mat(301)), 3.0, 1e-12);
+}
+
+TEST(SU3Matrix, Reunitarize) {
+  auto u = rand_mat(401);
+  // Perturb.
+  u.e[0][0] += dcomplex{1e-3, -2e-3};
+  u.e[2][1] += dcomplex{-5e-4, 1e-3};
+  EXPECT_GT(unitarity_defect(u), 1e-4);
+  const auto v = reunitarize(u);
+  EXPECT_LT(unitarity_defect(v), 1e-12);
+  EXPECT_LT(max_abs_diff(u, v), 0.02);  // projection stays close
+}
+
+// ------------------------------------------------------------ compression --
+
+class ReconRoundTrip : public ::testing::TestWithParam<std::tuple<Reconstruct, int>> {};
+
+TEST_P(ReconRoundTrip, ExactForSU3) {
+  const auto [scheme, seed] = GetParam();
+  const auto u = rand_mat(static_cast<std::uint64_t>(seed) + 9000);
+  std::array<double, 18> buf{};
+  pack_link(scheme, u, buf);
+  const auto v = unpack_link(scheme, std::span<const double>(buf.data(), 18));
+  EXPECT_LT(max_abs_diff(u, v), 1e-10) << to_string(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ReconRoundTrip,
+    ::testing::Combine(::testing::Values(Reconstruct::k18, Reconstruct::k12, Reconstruct::k9),
+                       ::testing::Range(1, 11)));
+
+TEST(Recon, RealsPerLink) {
+  EXPECT_EQ(reals_per_link(Reconstruct::k18), 18);
+  EXPECT_EQ(reals_per_link(Reconstruct::k12), 12);
+  EXPECT_EQ(reals_per_link(Reconstruct::k9), 9);
+}
+
+TEST(Recon, Names) {
+  EXPECT_STREQ(to_string(Reconstruct::k18), "recon-18");
+  EXPECT_STREQ(to_string(Reconstruct::k12), "recon-12");
+  EXPECT_STREQ(to_string(Reconstruct::k9), "recon-9");
+}
+
+TEST(Recon, Recon9HandlesU3Phase) {
+  // recon-9 must be exact for e^{i phi} * SU(3) (HISQ long-link shape).
+  auto u = rand_mat(777);
+  const double phi = 0.3;
+  const dcomplex ph{std::cos(phi), std::sin(phi)};
+  for (int i = 0; i < kColors; ++i)
+    for (int j = 0; j < kColors; ++j) u.e[i][j] = cmul(ph, u.e[i][j]);
+  std::array<double, 9> buf{};
+  pack_link(Reconstruct::k9, u, buf);
+  const auto v = unpack_link(Reconstruct::k9, std::span<const double>(buf.data(), 9));
+  EXPECT_LT(max_abs_diff(u, v), 1e-10);
+}
+
+TEST(Recon, Recon12ThirdRowIsCrossProduct) {
+  const auto u = rand_mat(888);
+  std::array<double, 12> buf{};
+  pack_link(Reconstruct::k12, u, buf);
+  const auto v = unpack_link(Reconstruct::k12, std::span<const double>(buf.data(), 12));
+  // Rows 0 and 1 are stored verbatim.
+  for (int j = 0; j < kColors; ++j) {
+    EXPECT_EQ(u.e[0][j], v.e[0][j]);
+    EXPECT_EQ(u.e[1][j], v.e[1][j]);
+  }
+}
+
+TEST(Recon, SafetyPredicate) {
+  EXPECT_TRUE(is_recon9_safe(rand_mat(999)));
+  // A matrix with first row (1,0,0) is the degenerate case.
+  SU3Matrix<dcomplex> id = SU3Matrix<dcomplex>::identity();
+  EXPECT_FALSE(is_recon9_safe(id));
+}
+
+TEST(Recon, FlopEstimatesAreOrdered) {
+  EXPECT_EQ(reconstruct_flops(Reconstruct::k18), 0.0);
+  EXPECT_GT(reconstruct_flops(Reconstruct::k12), 0.0);
+  EXPECT_GT(reconstruct_flops(Reconstruct::k9), reconstruct_flops(Reconstruct::k12));
+}
+
+
+TEST(SU3Vector, DotIsSesquilinear) {
+  const auto x = rand_vec(501), y = rand_vec(502), z = rand_vec(503);
+  // <x, y+z> = <x,y> + <x,z>
+  const auto sum = y + z;
+  const dcomplex lhs = dot(x, sum);
+  const dcomplex rhs = dot(x, y) + dot(x, z);
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-12);
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-12);
+  // <x, y> = conj(<y, x>)
+  const dcomplex xy = dot(x, y), yx = dot(y, x);
+  EXPECT_NEAR(xy.re, yx.re, 1e-12);
+  EXPECT_NEAR(xy.im, -yx.im, 1e-12);
+  // <x, x> = |x|^2 real and positive
+  const dcomplex xx = dot(x, x);
+  EXPECT_NEAR(xx.re, norm2(x), 1e-12);
+  EXPECT_NEAR(xx.im, 0.0, 1e-14);
+}
+
+TEST(SU3Vector, ScalarArithmetic) {
+  const auto x = rand_vec(504), y = rand_vec(505);
+  auto s = x + y;
+  s -= y;
+  for (int i = 0; i < kColors; ++i) {
+    EXPECT_NEAR(s.c[i].re, x.c[i].re, 1e-13);
+    EXPECT_NEAR(s.c[i].im, x.c[i].im, 1e-13);
+  }
+  const auto d = 2.0 * x;
+  EXPECT_NEAR(norm2(d), 4.0 * norm2(x), 1e-10);
+}
+
+TEST(Recon, PackIsDeterministicAndUnpackIdempotent) {
+  const auto u = rand_mat(601);
+  std::array<double, 18> b1{}, b2{};
+  pack_link(Reconstruct::k12, u, b1);
+  pack_link(Reconstruct::k12, u, b2);
+  EXPECT_EQ(b1, b2);
+  // pack(unpack(pack(u))) == pack(u)
+  const auto v = unpack_link(Reconstruct::k12, std::span<const double>(b1.data(), 12));
+  std::array<double, 18> b3{};
+  pack_link(Reconstruct::k12, v, b3);
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_NEAR(b1[static_cast<std::size_t>(r)], b3[static_cast<std::size_t>(r)], 1e-14);
+  }
+}
+
+TEST(Recon, AdjointLinksAlsoRoundTrip) {
+  // The gauge view stores adjoints of SU(3) links — still SU(3), so every
+  // scheme must reconstruct them exactly (qudaref depends on this).
+  const auto u = adjoint(rand_mat(602));
+  for (auto scheme : {Reconstruct::k18, Reconstruct::k12, Reconstruct::k9}) {
+    std::array<double, 18> buf{};
+    pack_link(scheme, u, buf);
+    const auto v = unpack_link(scheme, std::span<const double>(buf.data(), 18));
+    EXPECT_LT(max_abs_diff(u, v), 1e-10) << to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace milc

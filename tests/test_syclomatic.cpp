@@ -1,0 +1,136 @@
+// syclomatic-lite translator: rewrite rules, the derived-index signature and
+// the optimiser pass, exercised on snippets and on the real 3LP-1 CUDA
+// corpus.
+#include <gtest/gtest.h>
+
+#include "cudacompat/cuda_dslash_3lp1.hpp"
+#include "syclomatic/translator.hpp"
+
+namespace syclomatic {
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Translator, ThreadBuiltinsMapXToDim2) {
+  const auto t = translate("int a = threadIdx.x; int b = threadIdx.y; int c = threadIdx.z;");
+  EXPECT_TRUE(contains(t.source, "item_ct1.get_local_id(2)"));
+  EXPECT_TRUE(contains(t.source, "item_ct1.get_local_id(1)"));
+  EXPECT_TRUE(contains(t.source, "item_ct1.get_local_id(0)"));
+  EXPECT_FALSE(contains(t.source, "threadIdx"));
+}
+
+TEST(Translator, EmitsTheDerivedGlobalIdExpression) {
+  // This is the exact expression §IV-D6 measures at a 10.0-12.2% penalty.
+  const auto t = translate("int global_id = blockIdx.x * blockDim.x + threadIdx.x;");
+  EXPECT_TRUE(contains(t.source,
+                       "item_ct1.get_local_range(2) * item_ct1.get_group(2) + "
+                       "item_ct1.get_local_id(2)"));
+}
+
+TEST(Translator, OptimizerRewritesToGetGlobalId) {
+  const auto t = translate("int global_id = blockIdx.x * blockDim.x + threadIdx.x;");
+  const auto o = optimize_global_id(t.source);
+  EXPECT_EQ(o.replacements, 1);
+  EXPECT_TRUE(contains(o.source, "item_ct1.get_global_id(2)"));
+  EXPECT_FALSE(contains(o.source, "get_local_range(2) * item_ct1.get_group(2)"));
+  // Idempotent.
+  const auto o2 = optimize_global_id(o.source);
+  EXPECT_EQ(o2.replacements, 0);
+  EXPECT_EQ(o2.source, o.source);
+}
+
+TEST(Translator, SyncthreadsBecomesBarrier) {
+  EXPECT_TRUE(contains(translate("__syncthreads();").source, "item_ct1.barrier();"));
+  Options opts;
+  opts.use_explicit_local_fence = true;  // variation (ii)
+  EXPECT_TRUE(contains(translate("__syncthreads();", opts).source,
+                       "item_ct1.barrier(sycl::access::fence_space::local_space);"));
+}
+
+TEST(Translator, SharedArraysHoistToLocalAccessors) {
+  const auto t = translate("__shared__ double2 c[LOCAL_SIZE];");
+  ASSERT_EQ(t.local_arrays.size(), 1u);
+  EXPECT_EQ(t.local_arrays[0],
+            "sycl::local_accessor<double2, 1> c_acc_ct1(sycl::range<1>(LOCAL_SIZE), cgh);");
+  EXPECT_TRUE(contains(t.source, "auto c = c_acc_ct1.get_pointer();"));
+  ASSERT_EQ(t.warnings.size(), 1u);
+  EXPECT_TRUE(contains(t.warnings[0], "DPCT1059"));
+}
+
+TEST(Translator, KernelSignatureGainsItemParameter) {
+  const auto t = translate("__global__ void k(int *p, int n) { }");
+  EXPECT_TRUE(contains(t.source, "void k(int *p, int n,"));
+  EXPECT_TRUE(contains(t.source, "const sycl::nd_item<3> &item_ct1)"));
+  EXPECT_FALSE(contains(t.source, "__global__"));
+}
+
+TEST(Translator, RuntimeApiBecomesUsm) {
+  const auto t = translate(
+      "CUCHECK(cudaMalloc(&buf, nbytes));\n"
+      "CUCHECK(cudaMemcpy(buf, host, nbytes, cudaMemcpyHostToDevice));\n"
+      "CUCHECK(cudaFree(buf));");
+  EXPECT_TRUE(contains(t.source, "DPCT_CHECK_ERROR(buf = (decltype(buf))sycl::malloc_device("
+                                 "nbytes, q_ct1))"));
+  EXPECT_TRUE(contains(t.source, "DPCT_CHECK_ERROR(q_ct1.memcpy(buf, host, nbytes).wait())"));
+  EXPECT_TRUE(contains(t.source, "DPCT_CHECK_ERROR(sycl::free(buf, q_ct1))"));
+}
+
+TEST(Translator, ErrorChecksRemovable) {
+  Options opts;
+  opts.emit_error_checks = false;  // variation (iii)
+  const auto t = translate("CUCHECK(cudaFree(buf));", opts);
+  EXPECT_TRUE(contains(t.source, "sycl::free(buf, q_ct1);"));
+  EXPECT_FALSE(contains(t.source, "DPCT_CHECK_ERROR"));
+}
+
+TEST(Translator, AtomicAddBecomesDpctAtomic) {
+  const auto t = translate("atomicAdd(&c[i], v);");
+  EXPECT_TRUE(contains(
+      t.source,
+      "dpct::atomic_fetch_add<sycl::access::address_space::generic_space>(&c[i], v);"));
+}
+
+TEST(Translator, LaunchBecomesNdRangeParallelFor) {
+  const auto t = translate("kern<<<grid, block>>>(a, b);");
+  EXPECT_TRUE(contains(t.source, "q_ct1.submit([&](sycl::handler &cgh)"));
+  EXPECT_TRUE(contains(t.source,
+                       "sycl::nd_range<3>(sycl::range<3>(1, 1, grid) * "
+                       "sycl::range<3>(1, 1, block)"));
+  EXPECT_TRUE(contains(t.source, "[=](sycl::nd_item<3> item_ct1) { kern(a, b, item_ct1); }"));
+}
+
+TEST(Translator, CreatesInOrderQueue) {
+  // The property the paper credits for the 1.5-6.7% advantage (§IV-D6).
+  const auto t = translate("int x;");
+  EXPECT_TRUE(contains(t.source, "sycl::property::queue::in_order()"));
+}
+
+// --------------------------------------------------- the 3LP-1 corpus ------
+
+TEST(TranslatorCorpus, MigratesTheFullCudaDslash) {
+  const auto t = translate(cudacompat::kCuda3LP1Source);
+  // No CUDA-isms survive.
+  for (const char* cuda_ism : {"__global__", "__shared__", "__syncthreads", "threadIdx",
+                               "blockIdx", "blockDim", "cudaMalloc", "cudaMemcpy", "cudaFree",
+                               "<<<"}) {
+    EXPECT_FALSE(contains(t.source, cuda_ism)) << cuda_ism;
+  }
+  // The derived-index signature is present exactly once (the global_id line).
+  const auto o = optimize_global_id(t.source);
+  EXPECT_EQ(o.replacements, 1);
+  // Local array hoisted, launch migrated, queue in-order.
+  EXPECT_EQ(t.local_arrays.size(), 1u);
+  EXPECT_TRUE(contains(t.source, "cgh.parallel_for"));
+  EXPECT_TRUE(contains(t.source, "in_order"));
+}
+
+TEST(TranslatorCorpus, OptimizedCorpusUsesDirectIndexing) {
+  const auto t = translate(cudacompat::kCuda3LP1Source);
+  const auto o = optimize_global_id(t.source);
+  EXPECT_TRUE(contains(o.source, "int global_id = item_ct1.get_global_id(2);"));
+}
+
+}  // namespace
+}  // namespace syclomatic

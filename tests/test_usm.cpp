@@ -1,0 +1,78 @@
+// USM-style allocation API: registry accounting and misuse detection.
+#include <gtest/gtest.h>
+
+#include "minisycl/queue.hpp"
+#include "minisycl/usm.hpp"
+
+namespace minisycl {
+namespace {
+
+TEST(Usm, AllocFreeAccounting) {
+  queue q(ExecMode::functional);
+  auto& reg = usm::Registry::instance();
+  const std::size_t live0 = reg.live_bytes();
+  const std::size_t n0 = reg.live_allocations();
+
+  double* a = malloc_device<double>(1024, q);
+  float* b = malloc_device<float>(256, q);
+  EXPECT_EQ(reg.live_bytes(), live0 + 1024 * sizeof(double) + 256 * sizeof(float));
+  EXPECT_EQ(reg.live_allocations(), n0 + 2);
+
+  minisycl::free(a, q);
+  minisycl::free(b, q);
+  EXPECT_EQ(reg.live_bytes(), live0);
+  EXPECT_EQ(reg.live_allocations(), n0);
+}
+
+TEST(Usm, MemcpyMovesBytes) {
+  queue q(ExecMode::functional);
+  double* d = malloc_device<double>(8, q);
+  const double src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  minisycl::memcpy(q, d, src, sizeof(src));
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[7], 8.0);
+  minisycl::free(d, q);
+}
+
+TEST(Usm, DoubleFreeThrows) {
+  queue q(ExecMode::functional);
+  int* p = malloc_device<int>(4, q);
+  minisycl::free(p, q);
+  int* dangling = p;
+  EXPECT_THROW(minisycl::free(dangling, q), std::invalid_argument);
+}
+
+TEST(Usm, FreeingForeignPointerThrows) {
+  queue q(ExecMode::functional);
+  int host_var = 0;
+  EXPECT_THROW(minisycl::free(&host_var, q), std::invalid_argument);
+}
+
+TEST(Usm, FreeNullIsNoop) {
+  queue q(ExecMode::functional);
+  double* p = nullptr;
+  EXPECT_NO_THROW(minisycl::free(p, q));
+}
+
+TEST(Usm, DevicePtrRaii) {
+  queue q(ExecMode::functional);
+  auto& reg = usm::Registry::instance();
+  const std::size_t n0 = reg.live_allocations();
+  {
+    device_ptr<double> buf(64, q);
+    buf[0] = 3.5;
+    EXPECT_DOUBLE_EQ(buf[0], 3.5);
+    EXPECT_EQ(reg.live_allocations(), n0 + 1);
+  }
+  EXPECT_EQ(reg.live_allocations(), n0);
+}
+
+TEST(Usm, AlignmentIsCacheFriendly) {
+  queue q(ExecMode::functional);
+  double* p = malloc_device<double>(3, q);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  minisycl::free(p, q);
+}
+
+}  // namespace
+}  // namespace minisycl
