@@ -23,6 +23,7 @@ struct Options {
   int L = 16;
   std::uint64_t seed = 2024;
   std::string csv_path;  ///< when set, run_and_print also appends CSV rows
+  bool sanitize = false; ///< replay kernels under ksan instead of profiling
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -34,12 +35,27 @@ inline Options parse_options(int argc, char** argv) {
       o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       o.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sanitize") == 0) {
+      o.sanitize = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--L <extent>] [--seed <n>] [--csv <path>]\n", argv[0]);
+      std::printf("usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--sanitize]\n",
+                  argv[0]);
       std::exit(0);
     }
   }
   return o;
+}
+
+/// Print one sanitized-launch verdict row; returns true when error-free.
+inline bool print_sanitize_row(const ksan::SanitizerReport& rep) {
+  std::printf("  %-34s %s  errors=%llu lints=%llu  (%llu global / %llu shared accesses)\n",
+              rep.kernel.c_str(), rep.clean() ? "clean" : "FAIL ",
+              static_cast<unsigned long long>(rep.error_count()),
+              static_cast<unsigned long long>(rep.lint_count()),
+              static_cast<unsigned long long>(rep.checked_global),
+              static_cast<unsigned long long>(rep.checked_shared));
+  if (!rep.clean()) std::printf("%s", rep.summary().c_str());
+  return rep.clean();
 }
 
 /// Machine-readable sink for bench rows (one file per bench run).

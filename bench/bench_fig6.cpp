@@ -15,6 +15,32 @@ int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
   DslashProblem problem(opt.L, opt.seed);
   DslashRunner runner;
+
+  if (opt.sanitize) {
+    // --sanitize: replay every Fig. 6 configuration under ksan instead of
+    // profiling it.  Any race/memcheck/init error fails the run (lints are
+    // reported but advisory) — the kernel-zoo smoke test.
+    print_header("Fig. 6 ladder under ksan (sanitized replay)", opt, problem.sites());
+    bool all_clean = true;
+    for (Strategy s : all_strategies()) {
+      std::printf("\n%s\n", to_string(s));
+      for (IndexOrder o : orders_of(s)) {
+        for (int ls : paper_local_sizes(s, o, problem.sites())) {
+          all_clean &= print_sanitize_row(runner.sanitize(problem, s, o, ls));
+        }
+      }
+    }
+    std::printf("\n3LP-1 SyclCPLX variant\n");
+    all_clean &= print_sanitize_row(
+        runner.sanitize(problem, Strategy::LP3_1, IndexOrder::kMajor, 96, true));
+    std::printf("\nQUDA staggered_dslash_test (recon-18)\n");
+    qudaref::StaggeredDslashTest quda(problem);
+    all_clean &= print_sanitize_row(quda.sanitize(Reconstruct::k18));
+    std::printf("\nksan verdict: %s\n", all_clean ? "all configurations clean"
+                                                  : "ERRORS DETECTED");
+    return all_clean ? 0 : 1;
+  }
+
   print_header("Fig. 6 — performance of all MILC-Dslash implementations", opt,
                problem.sites());
 

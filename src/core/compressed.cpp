@@ -63,4 +63,19 @@ gpusim::KernelStats CompressedDslash::profile(const ColorField& in, ColorField& 
                   "3LP-1 recon-12 /" + std::to_string(local_size));
 }
 
+ksan::SanitizerReport CompressedDslash::sanitize(const ColorField& in, ColorField& out,
+                                                 int local_size,
+                                                 ksan::SanitizeConfig cfg) const {
+  Dslash3LP1Recon12Kernel kernel{make_args(in, out)};
+  const auto n = static_cast<std::size_t>(sites());
+  for (int l = 0; l < kNlinks; ++l) {
+    cfg.regions.push_back(ksan::region_of(kernel.args.links[l], n * kNdim * 6));
+  }
+  cfg.regions.push_back(ksan::region_of(kernel.args.b, n));
+  cfg.regions.push_back(ksan::region_of(kernel.args.c_out, n));
+  cfg.regions.push_back(ksan::region_of(kernel.args.neighbors, n * kNeighbors));
+  return ksan::sanitize_launch(make_spec(sites(), local_size), kernel, std::move(cfg),
+                               "3LP-1 recon-12 /" + std::to_string(local_size));
+}
+
 }  // namespace milc

@@ -19,6 +19,7 @@
 #include "core/dslash_args.hpp"
 #include "core/index_orders.hpp"
 #include "gpusim/stats.hpp"
+#include "ksan/sanitizer.hpp"
 #include "lattice/fields.hpp"
 #include "minisycl/queue.hpp"
 #include "su3/reconstruct.hpp"
@@ -90,6 +91,11 @@ class CompressedDslash {
                                             gpusim::MachineModel machine = gpusim::a100(),
                                             gpusim::Calibration cal =
                                                 gpusim::default_calibration()) const;
+
+  /// Replay the kernel under ksan with the compressed gauge extents declared.
+  [[nodiscard]] ksan::SanitizerReport sanitize(const ColorField& in, ColorField& out,
+                                               int local_size = 96,
+                                               ksan::SanitizeConfig cfg = {}) const;
 
   [[nodiscard]] std::int64_t sites() const { return gauge_.sites(); }
 

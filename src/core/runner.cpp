@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "core/kernels_1lp.hpp"
@@ -49,18 +50,18 @@ gpusim::KernelStats submit(minisycl::queue& q, const Kernel& kernel, std::int64_
   return q.submit(spec, kernel, std::move(name));
 }
 
-/// Instantiate and submit the kernel selected by (strategy, order, complex
-/// type).  The SyclCPLX variant exists for 3LP-1 only, matching the paper.
-gpusim::KernelStats dispatch(minisycl::queue& q, DslashProblem& p, Strategy s, IndexOrder o,
-                             int local_size, bool use_syclcplx, const VariantInfo* vi,
-                             const std::string& name) {
+/// Instantiate the kernel selected by (strategy, order, complex type) and
+/// hand it to `fn` — the one switch all launch modes (profiled, functional,
+/// sanitized) share, so every mode runs the identical kernel object.  The
+/// SyclCPLX variant exists for 3LP-1 only, matching the paper.
+template <typename Fn>
+auto with_kernel(DslashProblem& p, Strategy s, IndexOrder o, int local_size, bool use_syclcplx,
+                 Fn&& fn) {
   if (!is_valid_local_size(s, o, local_size, p.sites())) {
     throw std::invalid_argument("invalid local size " + std::to_string(local_size) + " for " +
                                 config_label(s, o, local_size));
   }
   const DslashArgs<dcomplex> a = p.args();
-  const std::int64_t n = p.sites();
-  const int items = items_per_site(s);
 
   if (use_syclcplx) {
     if (s != Strategy::LP3_1) {
@@ -68,58 +69,56 @@ gpusim::KernelStats dispatch(minisycl::queue& q, DslashProblem& p, Strategy s, I
     }
     const DslashArgs<CplxC> ac = to_cplx(a);
     if (o == IndexOrder::kMajor) {
-      return submit(q, Dslash3LP1Kernel<Order3::kMajor, CplxC>{.args = ac}, n, items,
-                    local_size, vi, name);
+      return fn(Dslash3LP1Kernel<Order3::kMajor, CplxC>{.args = ac});
     }
-    return submit(q, Dslash3LP1Kernel<Order3::iMajor, CplxC>{.args = ac}, n, items, local_size,
-                  vi, name);
+    return fn(Dslash3LP1Kernel<Order3::iMajor, CplxC>{.args = ac});
   }
 
   switch (s) {
     case Strategy::LP1:
-      return submit(q, Dslash1LPKernel<dcomplex>{.args = a}, n, items, local_size, vi, name);
+      return fn(Dslash1LPKernel<dcomplex>{.args = a});
     case Strategy::LP2:
-      return submit(q, Dslash2LPKernel<dcomplex>{.args = a}, n, items, local_size, vi, name);
+      return fn(Dslash2LPKernel<dcomplex>{.args = a});
     case Strategy::LP3_1:
-      if (o == IndexOrder::kMajor) {
-        return submit(q, Dslash3LP1Kernel<Order3::kMajor>{.args = a}, n, items, local_size, vi,
-                      name);
-      }
-      return submit(q, Dslash3LP1Kernel<Order3::iMajor>{.args = a}, n, items, local_size, vi,
-                    name);
+      if (o == IndexOrder::kMajor) return fn(Dslash3LP1Kernel<Order3::kMajor>{.args = a});
+      return fn(Dslash3LP1Kernel<Order3::iMajor>{.args = a});
     case Strategy::LP3_2:
-      if (o == IndexOrder::kMajor) {
-        return submit(q, Dslash3LP2Kernel<Order3::kMajor>{.args = a}, n, items, local_size, vi,
-                      name);
-      }
-      return submit(q, Dslash3LP2Kernel<Order3::iMajor>{.args = a}, n, items, local_size, vi,
-                    name);
+      if (o == IndexOrder::kMajor) return fn(Dslash3LP2Kernel<Order3::kMajor>{.args = a});
+      return fn(Dslash3LP2Kernel<Order3::iMajor>{.args = a});
     case Strategy::LP3_3:
-      if (o == IndexOrder::kMajor) {
-        return submit(q, Dslash3LP3Kernel<Order3::kMajor>{.args = a}, n, items, local_size, vi,
-                      name);
-      }
-      return submit(q, Dslash3LP3Kernel<Order3::iMajor>{.args = a}, n, items, local_size, vi,
-                    name);
+      if (o == IndexOrder::kMajor) return fn(Dslash3LP3Kernel<Order3::kMajor>{.args = a});
+      return fn(Dslash3LP3Kernel<Order3::iMajor>{.args = a});
     case Strategy::LP4_1:
-      if (o == IndexOrder::kMajor) {
-        return submit(q, Dslash4LPKernel<Order4::lp1_kMajor>{.args = a}, n, items, local_size,
-                      vi, name);
-      }
-      return submit(q, Dslash4LPKernel<Order4::lp1_iMajor>{.args = a}, n, items, local_size,
-                    vi, name);
+      if (o == IndexOrder::kMajor) return fn(Dslash4LPKernel<Order4::lp1_kMajor>{.args = a});
+      return fn(Dslash4LPKernel<Order4::lp1_iMajor>{.args = a});
     case Strategy::LP4_2:
-      if (o == IndexOrder::lMajor) {
-        return submit(q, Dslash4LPKernel<Order4::lp2_lMajor>{.args = a}, n, items, local_size,
-                      vi, name);
-      }
-      return submit(q, Dslash4LPKernel<Order4::lp2_iMajor>{.args = a}, n, items, local_size,
-                    vi, name);
+      if (o == IndexOrder::lMajor) return fn(Dslash4LPKernel<Order4::lp2_lMajor>{.args = a});
+      return fn(Dslash4LPKernel<Order4::lp2_iMajor>{.args = a});
   }
   throw std::logic_error("unknown strategy");
 }
 
+gpusim::KernelStats dispatch(minisycl::queue& q, DslashProblem& p, Strategy s, IndexOrder o,
+                             int local_size, bool use_syclcplx, const VariantInfo* vi,
+                             const std::string& name) {
+  const std::int64_t n = p.sites();
+  const int items = items_per_site(s);
+  return with_kernel(p, s, o, local_size, use_syclcplx, [&](const auto& kernel) {
+    return submit(q, kernel, n, items, local_size, vi, name);
+  });
+}
+
 }  // namespace
+
+void declare_dslash_regions(const DslashArgs<dcomplex>& a, ksan::SanitizeConfig& cfg) {
+  const auto n = static_cast<std::size_t>(a.sites);
+  for (int l = 0; l < kNlinks; ++l) {
+    cfg.regions.push_back(ksan::region_of(a.links[l], n * kNdim * kColors * kColors));
+  }
+  cfg.regions.push_back(ksan::region_of(a.b, n));
+  cfg.regions.push_back(ksan::region_of(a.c_out, n));
+  cfg.regions.push_back(ksan::region_of(a.neighbors, n * kNeighbors));
+}
 
 RunResult DslashRunner::run(DslashProblem& problem, const RunRequest& req) const {
   const VariantInfo& vi = variant_info(req.variant);
@@ -147,6 +146,25 @@ void DslashRunner::run_functional(DslashProblem& problem, Strategy s, IndexOrder
   minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order, machine_,
                     cal_);
   dispatch(q, problem, s, o, local_size, use_syclcplx, nullptr, {});
+}
+
+ksan::SanitizerReport DslashRunner::sanitize(DslashProblem& problem, Strategy s, IndexOrder o,
+                                             int local_size, bool use_syclcplx,
+                                             ksan::SanitizeConfig cfg) const {
+  declare_dslash_regions(problem.args(), cfg);
+  const std::int64_t n = problem.sites();
+  const int items = items_per_site(s);
+  return with_kernel(problem, s, o, local_size, use_syclcplx, [&](const auto& kernel) {
+    using K = std::decay_t<decltype(kernel)>;
+    minisycl::LaunchSpec spec;
+    spec.global_size = n * items;
+    spec.local_size = local_size;
+    spec.shared_bytes = K::shared_bytes(local_size);
+    spec.num_phases = K::kPhases;
+    spec.traits = K::traits();
+    return ksan::sanitize_launch(spec, kernel, std::move(cfg),
+                                 config_label(s, o, local_size));
+  });
 }
 
 }  // namespace milc

@@ -15,9 +15,16 @@
 #include "core/strategy.hpp"
 #include "core/variants.hpp"
 #include "gpusim/stats.hpp"
+#include "ksan/sanitizer.hpp"
 #include "minisycl/queue.hpp"
 
 namespace milc {
+
+/// Append the exact byte extents of a Dslash argument block (gauge links,
+/// source/target fields, neighbour table) to a sanitizer config.  The fields
+/// live in host std::vector storage, not USM, so the Registry alone cannot
+/// vouch for them.
+void declare_dslash_regions(const DslashArgs<dcomplex>& a, ksan::SanitizeConfig& cfg);
 
 struct RunRequest {
   Strategy strategy = Strategy::LP3_1;
@@ -53,6 +60,13 @@ class DslashRunner {
   /// output can be compared against dslash_reference.
   void run_functional(DslashProblem& problem, Strategy s, IndexOrder o, int local_size,
                       bool use_syclcplx = false) const;
+
+  /// Sanitized run: replay the chosen kernel under ksan (races, memcheck,
+  /// init-check, perf lints).  Same kernel object the other modes launch;
+  /// field extents are declared automatically.
+  [[nodiscard]] ksan::SanitizerReport sanitize(DslashProblem& problem, Strategy s, IndexOrder o,
+                                               int local_size, bool use_syclcplx = false,
+                                               ksan::SanitizeConfig cfg = {}) const;
 
  private:
   gpusim::MachineModel machine_;

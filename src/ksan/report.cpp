@@ -1,0 +1,91 @@
+#include "ksan/report.hpp"
+
+#include <cstdio>
+
+namespace ksan {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::GlobalRace: return "global-race";
+    case Category::SharedHazard: return "intra-phase-hazard";
+    case Category::GlobalOOB: return "global-out-of-bounds";
+    case Category::GlobalUseAfterFree: return "global-use-after-free";
+    case Category::SharedOOB: return "shared-out-of-bounds";
+    case Category::UninitSharedRead: return "uninit-shared-read";
+    case Category::UncoalescedAccess: return "lint-uncoalesced";
+    case Category::SharedBankConflict: return "lint-bank-conflict";
+    case Category::DivergentBranch: return "lint-divergent-branch";
+  }
+  return "unknown";
+}
+
+const char* to_string(AccessKind k) {
+  switch (k) {
+    case AccessKind::Load: return "load";
+    case AccessKind::Store: return "store";
+    case AccessKind::Atomic: return "atomic";
+  }
+  return "access";
+}
+
+std::string Offence::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s: %s of %u B at 0x%llx by item %lld (group %lld, phase %d)",
+                to_string(category), to_string(kind), size,
+                static_cast<unsigned long long>(addr), static_cast<long long>(item),
+                static_cast<long long>(group), phase);
+  std::string out = buf;
+  if (other_item >= 0) {
+    std::snprintf(buf, sizeof(buf), " conflicts with %s by item %lld (phase %d)",
+                  to_string(other_kind), static_cast<long long>(other_item), other_phase);
+    out += buf;
+  }
+  if (!note.empty()) {
+    out += " — ";
+    out += note;
+  }
+  return out;
+}
+
+std::uint64_t SanitizerReport::error_count() const {
+  std::uint64_t n = 0;
+  for (int c = 0; c < kNumCategories; ++c) {
+    if (is_error(static_cast<Category>(c))) n += counts[static_cast<std::size_t>(c)];
+  }
+  return n;
+}
+
+std::uint64_t SanitizerReport::lint_count() const {
+  std::uint64_t n = 0;
+  for (int c = 0; c < kNumCategories; ++c) {
+    if (!is_error(static_cast<Category>(c))) n += counts[static_cast<std::size_t>(c)];
+  }
+  return n;
+}
+
+std::string SanitizerReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ksan: %s (global=%lld local=%d shared=%d B phases=%d): "
+                "%llu errors, %llu lints over %llu global / %llu shared accesses\n",
+                kernel.c_str(), static_cast<long long>(global_size), local_size, shared_bytes,
+                num_phases, static_cast<unsigned long long>(error_count()),
+                static_cast<unsigned long long>(lint_count()),
+                static_cast<unsigned long long>(checked_global),
+                static_cast<unsigned long long>(checked_shared));
+  std::string out = buf;
+  for (int c = 0; c < kNumCategories; ++c) {
+    if (counts[static_cast<std::size_t>(c)] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-22s %llu\n", to_string(static_cast<Category>(c)),
+                  static_cast<unsigned long long>(counts[static_cast<std::size_t>(c)]));
+    out += buf;
+  }
+  for (const Offence& o : records) {
+    out += "  ";
+    out += o.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ksan

@@ -1,0 +1,85 @@
+// report.hpp — structured findings of the kernel sanitizer (ksan).
+//
+// A sanitized launch produces one SanitizerReport: per-category counts over
+// every checked access plus the first N offending accesses with work-item
+// ids and phase (the happens-before epoch).  Categories split into *errors*
+// (races, memcheck violations, uninitialised local reads — a kernel with any
+// of these is broken) and *lints* (performance hazards the gpusim pipeline
+// also charges for: uncoalesced global ops, shared-memory bank conflicts,
+// divergent branches).  `clean()` means zero errors; lints are advisory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ksan {
+
+enum class Category : std::uint8_t {
+  // errors
+  GlobalRace,          ///< unordered conflicting global accesses, >=1 non-atomic write
+  SharedHazard,        ///< intra-phase conflicting local-memory accesses (missing barrier)
+  GlobalOOB,           ///< global access outside any known live allocation
+  GlobalUseAfterFree,  ///< global access inside a freed USM allocation
+  SharedOOB,           ///< local-memory access beyond the launch's local_mem request
+  UninitSharedRead,    ///< read of local-accessor bytes never stored in this launch
+  // lints
+  UncoalescedAccess,   ///< warp memory op needing far more 32 B sectors than ideal
+  SharedBankConflict,  ///< warp local-memory op with excessive bank wavefronts
+  DivergentBranch,     ///< active lanes of a warp chose different branch targets
+};
+
+inline constexpr int kNumCategories = 9;
+
+[[nodiscard]] const char* to_string(Category c);
+
+/// True for the categories that make a kernel incorrect (vs merely slow).
+[[nodiscard]] constexpr bool is_error(Category c) {
+  return static_cast<int>(c) < static_cast<int>(Category::UncoalescedAccess);
+}
+
+enum class AccessKind : std::uint8_t { Load, Store, Atomic };
+
+[[nodiscard]] const char* to_string(AccessKind k);
+
+/// One recorded offending access (reports keep the first N per launch).
+struct Offence {
+  Category category = Category::GlobalRace;
+  AccessKind kind = AccessKind::Load;
+  std::uint64_t addr = 0;        ///< byte address (global) / byte offset (shared)
+  std::uint32_t size = 0;        ///< access width in bytes
+  int phase = 0;                 ///< epoch of the offending access
+  std::int64_t item = -1;        ///< offending work-item (global id)
+  std::int64_t group = -1;       ///< its work-group
+  std::int64_t other_item = -1;  ///< conflicting work-item (races/hazards)
+  int other_phase = -1;
+  AccessKind other_kind = AccessKind::Load;
+  std::string note;              ///< category-specific context
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct SanitizerReport {
+  std::string kernel;
+  std::int64_t global_size = 0;
+  int local_size = 0;
+  int shared_bytes = 0;
+  int num_phases = 0;
+  std::uint64_t checked_global = 0;  ///< unmasked global accesses examined
+  std::uint64_t checked_shared = 0;  ///< unmasked local-memory accesses examined
+  std::array<std::uint64_t, kNumCategories> counts{};
+  std::vector<Offence> records;      ///< first max_records offences
+
+  [[nodiscard]] std::uint64_t count(Category c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t error_count() const;
+  [[nodiscard]] std::uint64_t lint_count() const;
+  [[nodiscard]] bool clean() const { return error_count() == 0; }
+
+  /// Multi-line human-readable summary (counts + recorded offences).
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace ksan

@@ -10,11 +10,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <new>
 #include <stdexcept>
-#include <unordered_map>
+#include <vector>
 
 namespace minisycl {
 
@@ -22,8 +24,16 @@ class queue;
 
 namespace usm {
 
+/// Byte extent of one allocation, as reported by Registry snapshots.
+struct RegionInfo {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// Registry of live device allocations (thread-safe; the simulator may run
-/// groups on worker threads in future).
+/// groups on worker threads in future).  Freed allocations are remembered
+/// (until their address is recycled) so use-after-free can be diagnosed by
+/// name rather than as a generic wild access.
 class Registry {
  public:
   static Registry& instance() {
@@ -33,24 +43,86 @@ class Registry {
 
   void on_alloc(void* p, std::size_t bytes) {
     std::lock_guard<std::mutex> lock(mu_);
-    live_[p] = bytes;
+    const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
+    // The address range is live again: drop any freed-history entries that
+    // overlap it, so a recycled address is not misdiagnosed as stale.
+    for (auto it = freed_.lower_bound(base); it != freed_.end() && it->first < base + bytes;) {
+      it = freed_.erase(it);
+    }
+    if (auto it = freed_.lower_bound(base); it != freed_.begin()) {
+      --it;
+      if (it->first + it->second > base) freed_.erase(it);
+    }
+    live_[base] = bytes;
     total_bytes_ += bytes;
     ++total_allocs_;
   }
 
-  /// Returns the allocation size; throws on unknown pointer (double free /
-  /// never allocated).
+  /// Returns the allocation size; throws on unknown pointer, with the
+  /// diagnostic naming the offending region (double free / interior pointer).
   std::size_t on_free(void* p) {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = live_.find(p);
+    const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
+    const auto it = live_.find(base);
     if (it == live_.end()) {
+      char buf[160];
+      if (const auto* owner = find_containing(live_, base)) {
+        std::snprintf(buf, sizeof(buf),
+                      "usm::free: pointer %llu B inside allocation (base=0x%llx, size=%llu B), "
+                      "not its base",
+                      static_cast<unsigned long long>(base - owner->first),
+                      static_cast<unsigned long long>(owner->first),
+                      static_cast<unsigned long long>(owner->second));
+        throw std::invalid_argument(buf);
+      }
+      if (const auto* old = find_containing(freed_, base)) {
+        std::snprintf(buf, sizeof(buf),
+                      "usm::free: double free of allocation (base=0x%llx, size=%llu B)",
+                      static_cast<unsigned long long>(old->first),
+                      static_cast<unsigned long long>(old->second));
+        throw std::invalid_argument(buf);
+      }
       throw std::invalid_argument("usm::free: pointer was not allocated with malloc_device "
                                   "(or was already freed)");
     }
     const std::size_t bytes = it->second;
     total_bytes_ -= bytes;
+    if (freed_.size() >= kFreedHistoryCap) freed_.clear();
+    freed_[base] = bytes;
     live_.erase(it);
     return bytes;
+  }
+
+  /// Validate that [p, p+bytes) lies within one live allocation.  Pointers
+  /// outside every known (live or freed) region are assumed to be ordinary
+  /// host memory and pass silently.  Throws std::out_of_range when the range
+  /// overruns its allocation and std::invalid_argument on use-after-free —
+  /// both naming the region's base and size.
+  void check_range(const char* what, const void* p, std::size_t bytes) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
+    char buf[192];
+    if (const auto* owner = find_containing(live_, base)) {
+      if (base + bytes > owner->first + owner->second) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s: range of %llu B overruns allocation (base=0x%llx, size=%llu B) "
+                      "by %llu B",
+                      what, static_cast<unsigned long long>(bytes),
+                      static_cast<unsigned long long>(owner->first),
+                      static_cast<unsigned long long>(owner->second),
+                      static_cast<unsigned long long>(base + bytes - owner->first -
+                                                      owner->second));
+        throw std::out_of_range(buf);
+      }
+      return;
+    }
+    if (const auto* old = find_containing(freed_, base)) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: use of freed allocation (base=0x%llx, size=%llu B)", what,
+                    static_cast<unsigned long long>(old->first),
+                    static_cast<unsigned long long>(old->second));
+      throw std::invalid_argument(buf);
+    }
   }
 
   [[nodiscard]] std::size_t live_bytes() const {
@@ -66,9 +138,36 @@ class Registry {
     return total_allocs_;
   }
 
+  [[nodiscard]] std::vector<RegionInfo> live_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RegionInfo> out;
+    out.reserve(live_.size());
+    for (const auto& [base, bytes] : live_) out.push_back({base, bytes});
+    return out;
+  }
+  [[nodiscard]] std::vector<RegionInfo> freed_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RegionInfo> out;
+    out.reserve(freed_.size());
+    for (const auto& [base, bytes] : freed_) out.push_back({base, bytes});
+    return out;
+  }
+
  private:
+  using RegionMap = std::map<std::uint64_t, std::size_t>;
+  static constexpr std::size_t kFreedHistoryCap = 4096;
+
+  /// Entry whose [base, base+bytes) contains addr, or nullptr.
+  static const RegionMap::value_type* find_containing(const RegionMap& m, std::uint64_t addr) {
+    auto it = m.upper_bound(addr);
+    if (it == m.begin()) return nullptr;
+    --it;
+    return addr < it->first + it->second ? &*it : nullptr;
+  }
+
   mutable std::mutex mu_;
-  std::unordered_map<void*, std::size_t> live_;
+  RegionMap live_;
+  RegionMap freed_;  ///< freed-but-not-recycled history (bounded)
   std::size_t total_bytes_ = 0;
   std::uint64_t total_allocs_ = 0;
 };
@@ -92,7 +191,13 @@ void free(T* p, const queue& /*q*/) {
 }
 
 /// q.memcpy(...) equivalent (synchronous, like q.memcpy(...).wait()).
+/// Both endpoints are validated against the Registry: a range overrunning a
+/// device allocation (e.g. a copy spanning two separate allocations) or
+/// touching a freed one throws before any byte moves.
 inline void memcpy(const queue& /*q*/, void* dst, const void* src, std::size_t bytes) {
+  auto& reg = usm::Registry::instance();
+  reg.check_range("usm::memcpy (dst)", dst, bytes);
+  reg.check_range("usm::memcpy (src)", src, bytes);
   std::memcpy(dst, src, bytes);
 }
 

@@ -78,6 +78,28 @@ StaggeredResult StaggeredDslashTest::run(Reconstruct scheme) {
   return best;
 }
 
+ksan::SanitizerReport StaggeredDslashTest::sanitize(Reconstruct scheme, int local_size,
+                                                    ksan::SanitizeConfig cfg) {
+  QudaStaggeredKernel kernel{make_args(scheme)};
+  const QudaArgs& a = kernel.args;
+  const auto n = static_cast<std::size_t>(a.sites);
+  cfg.regions.push_back(ksan::region_of(
+      a.gauge, static_cast<std::size_t>(kNlinks * kNdim * a.pairs) * n));
+  cfg.regions.push_back(ksan::region_of(a.b, static_cast<std::size_t>(kColors) * n));
+  cfg.regions.push_back(ksan::region_of(a.c_out, static_cast<std::size_t>(kColors) * n));
+  cfg.regions.push_back(ksan::region_of(a.neighbors, n * kNeighbors));
+
+  minisycl::LaunchSpec spec;
+  spec.global_size = a.sites;
+  spec.local_size = local_size;
+  spec.shared_bytes = 0;
+  spec.num_phases = 1;
+  spec.traits = QudaStaggeredKernel::traits();
+  return ksan::sanitize_launch(spec, kernel, std::move(cfg),
+                               std::string("staggered_dslash_test ") + to_string(scheme) +
+                                   " /" + std::to_string(local_size));
+}
+
 void StaggeredDslashTest::run_functional(Reconstruct scheme) {
   QudaStaggeredKernel kernel{make_args(scheme)};
   minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order, machine_,

@@ -14,6 +14,7 @@
 #include "gpusim/calibration.hpp"
 #include "gpusim/machine.hpp"
 #include "gpusim/stats.hpp"
+#include "ksan/sanitizer.hpp"
 #include "qudaref/quda_dslash.hpp"
 
 namespace milc::qudaref {
@@ -45,6 +46,10 @@ class StaggeredDslashTest {
 
   /// Launch configurations the tuner sweeps.
   [[nodiscard]] std::vector<int> tuning_candidates() const;
+
+  /// Replay the kernel under ksan with the SoA field extents declared.
+  [[nodiscard]] ksan::SanitizerReport sanitize(Reconstruct scheme, int local_size = 128,
+                                               ksan::SanitizeConfig cfg = {});
 
  private:
   QudaArgs make_args(Reconstruct scheme);

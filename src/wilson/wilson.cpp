@@ -167,4 +167,17 @@ gpusim::KernelStats WilsonDslash::profile(const WilsonField& in, WilsonField& ou
                   "wilson /" + std::to_string(local_size));
 }
 
+ksan::SanitizerReport WilsonDslash::sanitize(const WilsonField& in, WilsonField& out,
+                                             int local_size, ksan::SanitizeConfig cfg) const {
+  WilsonDslashKernel kernel{make_args(in, out)};
+  const auto n = static_cast<std::size_t>(sites());
+  cfg.regions.push_back(ksan::region_of(kernel.args.fwd, n * kNdim * kColors * kColors));
+  cfg.regions.push_back(ksan::region_of(kernel.args.bck, n * kNdim * kColors * kColors));
+  cfg.regions.push_back(ksan::region_of(kernel.args.in, n));
+  cfg.regions.push_back(ksan::region_of(kernel.args.out, n));
+  cfg.regions.push_back(ksan::region_of(kernel.args.neighbors, n * kNeighbors));
+  return ksan::sanitize_launch(wilson_spec(sites(), local_size), kernel, std::move(cfg),
+                               "wilson /" + std::to_string(local_size));
+}
+
 }  // namespace milc::wilson

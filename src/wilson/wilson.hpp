@@ -25,6 +25,7 @@
 
 #include "core/dslash_args.hpp"
 #include "gpusim/stats.hpp"
+#include "ksan/sanitizer.hpp"
 #include "lattice/fields.hpp"
 #include "minisycl/queue.hpp"
 #include "wilson/gamma.hpp"
@@ -126,6 +127,10 @@ class WilsonDslash {
                                             gpusim::MachineModel machine = gpusim::a100(),
                                             gpusim::Calibration cal =
                                                 gpusim::default_calibration()) const;
+  /// Replay the kernel under ksan with the gauge/spinor extents declared.
+  [[nodiscard]] ksan::SanitizerReport sanitize(const WilsonField& in, WilsonField& out,
+                                               int local_size = 128,
+                                               ksan::SanitizeConfig cfg = {}) const;
   [[nodiscard]] std::int64_t sites() const { return gauge_->sites(); }
 
  private:

@@ -74,5 +74,103 @@ TEST(Usm, AlignmentIsCacheFriendly) {
   minisycl::free(p, q);
 }
 
+// ----------------------------------------------------------------------
+// error-path diagnostics: misuse must be named, not just rejected
+// ----------------------------------------------------------------------
+
+/// Run `f` and return the diagnostic it throws (empty if it does not throw).
+template <typename F>
+std::string thrown_message(F&& f) {
+  try {
+    f();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(UsmDiagnostics, FreeingInteriorPointerNamesTheAllocation) {
+  queue q(ExecMode::functional);
+  double* p = malloc_device<double>(16, q);
+  const std::string msg = thrown_message([&] { minisycl::free(p + 2, q); });
+  EXPECT_NE(msg.find("inside allocation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("size=128 B"), std::string::npos) << msg;  // 16 doubles
+  EXPECT_NE(msg.find("base=0x"), std::string::npos) << msg;
+  minisycl::free(p, q);
+}
+
+TEST(UsmDiagnostics, DoubleFreeNamesTheFreedAllocation) {
+  queue q(ExecMode::functional);
+  int* p = malloc_device<int>(8, q);
+  minisycl::free(p, q);
+  int* dangling = p;
+  const std::string msg = thrown_message([&] { minisycl::free(dangling, q); });
+  EXPECT_NE(msg.find("double free"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("size=32 B"), std::string::npos) << msg;  // 8 ints
+}
+
+TEST(UsmDiagnostics, MemcpyOverrunningDestinationThrowsOutOfRange) {
+  queue q(ExecMode::functional);
+  double* d = malloc_device<double>(8, q);
+  const double src[16] = {};
+  // 16 doubles into an 8-double allocation: a copy "spanning two
+  // allocations" on real hardware; here it must throw before moving bytes.
+  EXPECT_THROW(minisycl::memcpy(q, d, src, sizeof(src)), std::out_of_range);
+  const std::string msg = thrown_message([&] { minisycl::memcpy(q, d, src, sizeof(src)); });
+  EXPECT_NE(msg.find("overruns allocation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("size=64 B"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("by 64 B"), std::string::npos) << msg;
+  minisycl::free(d, q);
+}
+
+TEST(UsmDiagnostics, MemcpyOverrunningSourceThrowsOutOfRange) {
+  queue q(ExecMode::functional);
+  double* s = malloc_device<double>(4, q);
+  double dst[8];
+  EXPECT_THROW(minisycl::memcpy(q, dst, s, sizeof(dst)), std::out_of_range);
+  minisycl::free(s, q);
+}
+
+TEST(UsmDiagnostics, MemcpyIntoFreedAllocationThrows) {
+  queue q(ExecMode::functional);
+  double* d = malloc_device<double>(8, q);
+  minisycl::free(d, q);
+  const double src[8] = {};
+  const std::string msg =
+      thrown_message([&] { minisycl::memcpy(q, d, src, sizeof(src)); });
+  EXPECT_NE(msg.find("freed allocation"), std::string::npos) << msg;
+}
+
+TEST(UsmDiagnostics, MemcpyBetweenHostBuffersIsUnchecked) {
+  queue q(ExecMode::functional);
+  double a[4] = {1, 2, 3, 4};
+  double b[4] = {};
+  EXPECT_NO_THROW(minisycl::memcpy(q, b, a, sizeof(a)));
+  EXPECT_DOUBLE_EQ(b[3], 4.0);
+}
+
+TEST(UsmDiagnostics, SnapshotsReflectLiveAndFreedRegions) {
+  queue q(ExecMode::functional);
+  auto& reg = usm::Registry::instance();
+  double* p = malloc_device<double>(32, q);
+  const auto base = reinterpret_cast<std::uint64_t>(p);
+
+  auto live = reg.live_snapshot();
+  const auto in_live = [&] {
+    for (const auto& r : live) {
+      if (r.base == base && r.bytes == 32 * sizeof(double)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(in_live());
+
+  minisycl::free(p, q);
+  live = reg.live_snapshot();
+  EXPECT_FALSE(in_live());
+  bool in_freed = false;
+  for (const auto& r : reg.freed_snapshot()) in_freed = in_freed || r.base == base;
+  EXPECT_TRUE(in_freed);
+}
+
 }  // namespace
 }  // namespace minisycl
