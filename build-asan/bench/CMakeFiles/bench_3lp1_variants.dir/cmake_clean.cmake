@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_3lp1_variants.dir/bench_3lp1_variants.cpp.o"
+  "CMakeFiles/bench_3lp1_variants.dir/bench_3lp1_variants.cpp.o.d"
+  "bench_3lp1_variants"
+  "bench_3lp1_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_3lp1_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_4lp_analysis.dir/bench_4lp_analysis.cpp.o"
+  "CMakeFiles/bench_4lp_analysis.dir/bench_4lp_analysis.cpp.o.d"
+  "bench_4lp_analysis"
+  "bench_4lp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_4lp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

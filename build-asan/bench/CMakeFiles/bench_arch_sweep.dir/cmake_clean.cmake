@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arch_sweep.dir/bench_arch_sweep.cpp.o"
+  "CMakeFiles/bench_arch_sweep.dir/bench_arch_sweep.cpp.o.d"
+  "bench_arch_sweep"
+  "bench_arch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

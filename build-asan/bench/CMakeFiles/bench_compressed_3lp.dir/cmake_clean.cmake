@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressed_3lp.dir/bench_compressed_3lp.cpp.o"
+  "CMakeFiles/bench_compressed_3lp.dir/bench_compressed_3lp.cpp.o.d"
+  "bench_compressed_3lp"
+  "bench_compressed_3lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressed_3lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

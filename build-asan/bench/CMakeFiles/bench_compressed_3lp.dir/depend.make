@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_compressed_3lp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_order.dir/bench_index_order.cpp.o"
+  "CMakeFiles/bench_index_order.dir/bench_index_order.cpp.o.d"
+  "bench_index_order"
+  "bench_index_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

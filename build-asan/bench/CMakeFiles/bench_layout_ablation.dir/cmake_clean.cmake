@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layout_ablation.dir/bench_layout_ablation.cpp.o"
+  "CMakeFiles/bench_layout_ablation.dir/bench_layout_ablation.cpp.o.d"
+  "bench_layout_ablation"
+  "bench_layout_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layout_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_size.dir/bench_local_size.cpp.o"
+  "CMakeFiles/bench_local_size.dir/bench_local_size.cpp.o.d"
+  "bench_local_size"
+  "bench_local_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

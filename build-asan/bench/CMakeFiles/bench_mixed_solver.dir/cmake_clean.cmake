@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_solver.dir/bench_mixed_solver.cpp.o"
+  "CMakeFiles/bench_mixed_solver.dir/bench_mixed_solver.cpp.o.d"
+  "bench_mixed_solver"
+  "bench_mixed_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quda_recon.dir/bench_quda_recon.cpp.o"
+  "CMakeFiles/bench_quda_recon.dir/bench_quda_recon.cpp.o.d"
+  "bench_quda_recon"
+  "bench_quda_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quda_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_semantics.dir/bench_queue_semantics.cpp.o"
+  "CMakeFiles/bench_queue_semantics.dir/bench_queue_semantics.cpp.o.d"
+  "bench_queue_semantics"
+  "bench_queue_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

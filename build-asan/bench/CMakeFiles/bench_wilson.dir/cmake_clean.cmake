@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wilson.dir/bench_wilson.cpp.o"
+  "CMakeFiles/bench_wilson.dir/bench_wilson.cpp.o.d"
+  "bench_wilson"
+  "bench_wilson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wilson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-asan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig6_sanitize_smoke "/root/repo/build-asan/bench/bench_fig6" "--sanitize" "--L" "8")
+set_tests_properties(bench_fig6_sanitize_smoke PROPERTIES  LABELS "sanitizer" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")

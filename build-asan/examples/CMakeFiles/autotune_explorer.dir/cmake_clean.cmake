@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_explorer.dir/autotune_explorer.cpp.o"
+  "CMakeFiles/autotune_explorer.dir/autotune_explorer.cpp.o.d"
+  "autotune_explorer"
+  "autotune_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

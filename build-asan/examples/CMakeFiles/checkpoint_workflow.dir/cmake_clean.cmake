@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_workflow.dir/checkpoint_workflow.cpp.o"
+  "CMakeFiles/checkpoint_workflow.dir/checkpoint_workflow.cpp.o.d"
+  "checkpoint_workflow"
+  "checkpoint_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisq_pipeline.dir/hisq_pipeline.cpp.o"
+  "CMakeFiles/hisq_pipeline.dir/hisq_pipeline.cpp.o.d"
+  "hisq_pipeline"
+  "hisq_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisq_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

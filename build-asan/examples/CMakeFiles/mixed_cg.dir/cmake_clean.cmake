@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_cg.dir/mixed_cg.cpp.o"
+  "CMakeFiles/mixed_cg.dir/mixed_cg.cpp.o.d"
+  "mixed_cg"
+  "mixed_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plaquette.dir/plaquette.cpp.o"
+  "CMakeFiles/plaquette.dir/plaquette.cpp.o.d"
+  "plaquette"
+  "plaquette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plaquette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("complexlib")
+subdirs("su3")
+subdirs("lattice")
+subdirs("minisycl")
+subdirs("gpusim")
+subdirs("ksan")
+subdirs("core")
+subdirs("qudaref")
+subdirs("cudacompat")
+subdirs("syclomatic")
+subdirs("wilson")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_complexlib.dir/dcomplex.cpp.o"
+  "CMakeFiles/milc_complexlib.dir/dcomplex.cpp.o.d"
+  "libmilc_complexlib.a"
+  "libmilc_complexlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_complexlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compressed.cpp" "src/core/CMakeFiles/milc_core.dir/compressed.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/compressed.cpp.o.d"
+  "/root/repo/src/core/dslash_ref.cpp" "src/core/CMakeFiles/milc_core.dir/dslash_ref.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/dslash_ref.cpp.o.d"
+  "/root/repo/src/core/precision.cpp" "src/core/CMakeFiles/milc_core.dir/precision.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/precision.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/milc_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/milc_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/milc_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/staggered_operator.cpp" "src/core/CMakeFiles/milc_core.dir/staggered_operator.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/staggered_operator.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/milc_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/core/CMakeFiles/milc_core.dir/variants.cpp.o" "gcc" "src/core/CMakeFiles/milc_core.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/lattice/CMakeFiles/milc_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ksan/CMakeFiles/milc_ksan.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/su3/CMakeFiles/milc_su3.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/complexlib/CMakeFiles/milc_complexlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

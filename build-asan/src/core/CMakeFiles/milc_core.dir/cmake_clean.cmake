@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_core.dir/compressed.cpp.o"
+  "CMakeFiles/milc_core.dir/compressed.cpp.o.d"
+  "CMakeFiles/milc_core.dir/dslash_ref.cpp.o"
+  "CMakeFiles/milc_core.dir/dslash_ref.cpp.o.d"
+  "CMakeFiles/milc_core.dir/precision.cpp.o"
+  "CMakeFiles/milc_core.dir/precision.cpp.o.d"
+  "CMakeFiles/milc_core.dir/problem.cpp.o"
+  "CMakeFiles/milc_core.dir/problem.cpp.o.d"
+  "CMakeFiles/milc_core.dir/runner.cpp.o"
+  "CMakeFiles/milc_core.dir/runner.cpp.o.d"
+  "CMakeFiles/milc_core.dir/solver.cpp.o"
+  "CMakeFiles/milc_core.dir/solver.cpp.o.d"
+  "CMakeFiles/milc_core.dir/staggered_operator.cpp.o"
+  "CMakeFiles/milc_core.dir/staggered_operator.cpp.o.d"
+  "CMakeFiles/milc_core.dir/strategy.cpp.o"
+  "CMakeFiles/milc_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/milc_core.dir/variants.cpp.o"
+  "CMakeFiles/milc_core.dir/variants.cpp.o.d"
+  "libmilc_core.a"
+  "libmilc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

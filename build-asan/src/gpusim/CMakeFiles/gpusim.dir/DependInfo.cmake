@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cache.cpp" "src/gpusim/CMakeFiles/gpusim.dir/cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/cache.cpp.o.d"
+  "/root/repo/src/gpusim/coalescer.cpp" "src/gpusim/CMakeFiles/gpusim.dir/coalescer.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/coalescer.cpp.o.d"
+  "/root/repo/src/gpusim/dram.cpp" "src/gpusim/CMakeFiles/gpusim.dir/dram.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/dram.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/gpusim/CMakeFiles/gpusim.dir/occupancy.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/pipeline.cpp" "src/gpusim/CMakeFiles/gpusim.dir/pipeline.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/gpusim/profiler.cpp" "src/gpusim/CMakeFiles/gpusim.dir/profiler.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/profiler.cpp.o.d"
+  "/root/repo/src/gpusim/roofline.cpp" "src/gpusim/CMakeFiles/gpusim.dir/roofline.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/roofline.cpp.o.d"
+  "/root/repo/src/gpusim/stats.cpp" "src/gpusim/CMakeFiles/gpusim.dir/stats.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/stats.cpp.o.d"
+  "/root/repo/src/gpusim/timing.cpp" "src/gpusim/CMakeFiles/gpusim.dir/timing.cpp.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim.dir/cache.cpp.o"
+  "CMakeFiles/gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/gpusim.dir/coalescer.cpp.o"
+  "CMakeFiles/gpusim.dir/coalescer.cpp.o.d"
+  "CMakeFiles/gpusim.dir/dram.cpp.o"
+  "CMakeFiles/gpusim.dir/dram.cpp.o.d"
+  "CMakeFiles/gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/gpusim.dir/pipeline.cpp.o"
+  "CMakeFiles/gpusim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gpusim.dir/profiler.cpp.o"
+  "CMakeFiles/gpusim.dir/profiler.cpp.o.d"
+  "CMakeFiles/gpusim.dir/roofline.cpp.o"
+  "CMakeFiles/gpusim.dir/roofline.cpp.o.d"
+  "CMakeFiles/gpusim.dir/stats.cpp.o"
+  "CMakeFiles/gpusim.dir/stats.cpp.o.d"
+  "CMakeFiles/gpusim.dir/timing.cpp.o"
+  "CMakeFiles/gpusim.dir/timing.cpp.o.d"
+  "libgpusim.a"
+  "libgpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_ksan.dir/report.cpp.o"
+  "CMakeFiles/milc_ksan.dir/report.cpp.o.d"
+  "CMakeFiles/milc_ksan.dir/sanitizer.cpp.o"
+  "CMakeFiles/milc_ksan.dir/sanitizer.cpp.o.d"
+  "libmilc_ksan.a"
+  "libmilc_ksan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_ksan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

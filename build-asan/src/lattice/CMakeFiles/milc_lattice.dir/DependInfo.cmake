@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/fields.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/fields.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/fields.cpp.o.d"
+  "/root/repo/src/lattice/gauge_transform.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/gauge_transform.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/gauge_transform.cpp.o.d"
+  "/root/repo/src/lattice/geometry.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/geometry.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/geometry.cpp.o.d"
+  "/root/repo/src/lattice/hisq.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/hisq.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/hisq.cpp.o.d"
+  "/root/repo/src/lattice/io.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/io.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/io.cpp.o.d"
+  "/root/repo/src/lattice/metropolis.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/metropolis.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/metropolis.cpp.o.d"
+  "/root/repo/src/lattice/soa.cpp" "src/lattice/CMakeFiles/milc_lattice.dir/soa.cpp.o" "gcc" "src/lattice/CMakeFiles/milc_lattice.dir/soa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/su3/CMakeFiles/milc_su3.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/complexlib/CMakeFiles/milc_complexlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_lattice.dir/fields.cpp.o"
+  "CMakeFiles/milc_lattice.dir/fields.cpp.o.d"
+  "CMakeFiles/milc_lattice.dir/gauge_transform.cpp.o"
+  "CMakeFiles/milc_lattice.dir/gauge_transform.cpp.o.d"
+  "CMakeFiles/milc_lattice.dir/geometry.cpp.o"
+  "CMakeFiles/milc_lattice.dir/geometry.cpp.o.d"
+  "CMakeFiles/milc_lattice.dir/hisq.cpp.o"
+  "CMakeFiles/milc_lattice.dir/hisq.cpp.o.d"
+  "CMakeFiles/milc_lattice.dir/io.cpp.o"
+  "CMakeFiles/milc_lattice.dir/io.cpp.o.d"
+  "CMakeFiles/milc_lattice.dir/metropolis.cpp.o"
+  "CMakeFiles/milc_lattice.dir/metropolis.cpp.o.d"
+  "CMakeFiles/milc_lattice.dir/soa.cpp.o"
+  "CMakeFiles/milc_lattice.dir/soa.cpp.o.d"
+  "libmilc_lattice.a"
+  "libmilc_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_qudaref.dir/staggered_test.cpp.o"
+  "CMakeFiles/milc_qudaref.dir/staggered_test.cpp.o.d"
+  "libmilc_qudaref.a"
+  "libmilc_qudaref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_qudaref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

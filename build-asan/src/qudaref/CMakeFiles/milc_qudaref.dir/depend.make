@@ -1,0 +1,2 @@
+# Empty dependencies file for milc_qudaref.
+# This may be replaced when dependencies are built.

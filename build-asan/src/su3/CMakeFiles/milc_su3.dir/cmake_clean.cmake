@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_su3.dir/random_su3.cpp.o"
+  "CMakeFiles/milc_su3.dir/random_su3.cpp.o.d"
+  "CMakeFiles/milc_su3.dir/reconstruct.cpp.o"
+  "CMakeFiles/milc_su3.dir/reconstruct.cpp.o.d"
+  "libmilc_su3.a"
+  "libmilc_su3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_su3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

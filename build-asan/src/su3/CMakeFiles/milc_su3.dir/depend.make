@@ -1,0 +1,2 @@
+# Empty dependencies file for milc_su3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_syclomatic.dir/translator.cpp.o"
+  "CMakeFiles/milc_syclomatic.dir/translator.cpp.o.d"
+  "libmilc_syclomatic.a"
+  "libmilc_syclomatic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_syclomatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

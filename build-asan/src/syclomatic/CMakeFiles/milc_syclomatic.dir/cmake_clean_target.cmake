@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmilc_syclomatic.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milc_wilson.dir/gamma.cpp.o"
+  "CMakeFiles/milc_wilson.dir/gamma.cpp.o.d"
+  "CMakeFiles/milc_wilson.dir/wilson.cpp.o"
+  "CMakeFiles/milc_wilson.dir/wilson.cpp.o.d"
+  "CMakeFiles/milc_wilson.dir/wilson_solver.cpp.o"
+  "CMakeFiles/milc_wilson.dir/wilson_solver.cpp.o.d"
+  "libmilc_wilson.a"
+  "libmilc_wilson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milc_wilson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for milc_wilson.
+# This may be replaced when dependencies are built.

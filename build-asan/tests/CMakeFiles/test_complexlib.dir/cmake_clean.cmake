@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complexlib.dir/test_complexlib.cpp.o"
+  "CMakeFiles/test_complexlib.dir/test_complexlib.cpp.o.d"
+  "test_complexlib"
+  "test_complexlib.pdb"
+  "test_complexlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complexlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressed.dir/test_compressed.cpp.o"
+  "CMakeFiles/test_compressed.dir/test_compressed.cpp.o.d"
+  "test_compressed"
+  "test_compressed.pdb"
+  "test_compressed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudacompat.dir/test_cudacompat.cpp.o"
+  "CMakeFiles/test_cudacompat.dir/test_cudacompat.cpp.o.d"
+  "test_cudacompat"
+  "test_cudacompat.pdb"
+  "test_cudacompat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudacompat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dslash_correctness.dir/test_dslash_correctness.cpp.o"
+  "CMakeFiles/test_dslash_correctness.dir/test_dslash_correctness.cpp.o.d"
+  "test_dslash_correctness"
+  "test_dslash_correctness.pdb"
+  "test_dslash_correctness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dslash_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

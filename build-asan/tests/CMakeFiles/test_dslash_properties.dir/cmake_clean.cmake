@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dslash_properties.dir/test_dslash_properties.cpp.o"
+  "CMakeFiles/test_dslash_properties.dir/test_dslash_properties.cpp.o.d"
+  "test_dslash_properties"
+  "test_dslash_properties.pdb"
+  "test_dslash_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dslash_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

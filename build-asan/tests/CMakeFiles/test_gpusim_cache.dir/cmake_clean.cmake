@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_cache.dir/test_gpusim_cache.cpp.o"
+  "CMakeFiles/test_gpusim_cache.dir/test_gpusim_cache.cpp.o.d"
+  "test_gpusim_cache"
+  "test_gpusim_cache.pdb"
+  "test_gpusim_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

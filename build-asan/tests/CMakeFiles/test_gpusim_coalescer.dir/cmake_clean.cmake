@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_coalescer.dir/test_gpusim_coalescer.cpp.o"
+  "CMakeFiles/test_gpusim_coalescer.dir/test_gpusim_coalescer.cpp.o.d"
+  "test_gpusim_coalescer"
+  "test_gpusim_coalescer.pdb"
+  "test_gpusim_coalescer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_coalescer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

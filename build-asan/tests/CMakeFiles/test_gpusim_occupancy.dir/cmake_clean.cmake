@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_occupancy.dir/test_gpusim_occupancy.cpp.o"
+  "CMakeFiles/test_gpusim_occupancy.dir/test_gpusim_occupancy.cpp.o.d"
+  "test_gpusim_occupancy"
+  "test_gpusim_occupancy.pdb"
+  "test_gpusim_occupancy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_pipeline.dir/test_gpusim_pipeline.cpp.o"
+  "CMakeFiles/test_gpusim_pipeline.dir/test_gpusim_pipeline.cpp.o.d"
+  "test_gpusim_pipeline"
+  "test_gpusim_pipeline.pdb"
+  "test_gpusim_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

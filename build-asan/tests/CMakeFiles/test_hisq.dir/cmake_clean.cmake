@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hisq.dir/test_hisq.cpp.o"
+  "CMakeFiles/test_hisq.dir/test_hisq.cpp.o.d"
+  "test_hisq"
+  "test_hisq.pdb"
+  "test_hisq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hisq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_orders.dir/test_index_orders.cpp.o"
+  "CMakeFiles/test_index_orders.dir/test_index_orders.cpp.o.d"
+  "test_index_orders"
+  "test_index_orders.pdb"
+  "test_index_orders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

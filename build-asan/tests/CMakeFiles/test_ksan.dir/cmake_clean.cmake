@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksan.dir/test_ksan.cpp.o"
+  "CMakeFiles/test_ksan.dir/test_ksan.cpp.o.d"
+  "test_ksan"
+  "test_ksan.pdb"
+  "test_ksan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_shapes.dir/test_lattice_shapes.cpp.o"
+  "CMakeFiles/test_lattice_shapes.dir/test_lattice_shapes.cpp.o.d"
+  "test_lattice_shapes"
+  "test_lattice_shapes.pdb"
+  "test_lattice_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minisycl.dir/test_minisycl.cpp.o"
+  "CMakeFiles/test_minisycl.dir/test_minisycl.cpp.o.d"
+  "test_minisycl"
+  "test_minisycl.pdb"
+  "test_minisycl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minisycl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler_output.dir/test_profiler_output.cpp.o"
+  "CMakeFiles/test_profiler_output.dir/test_profiler_output.cpp.o.d"
+  "test_profiler_output"
+  "test_profiler_output.pdb"
+  "test_profiler_output[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

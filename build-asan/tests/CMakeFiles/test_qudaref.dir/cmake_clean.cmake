@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qudaref.dir/test_qudaref.cpp.o"
+  "CMakeFiles/test_qudaref.dir/test_qudaref.cpp.o.d"
+  "test_qudaref"
+  "test_qudaref.pdb"
+  "test_qudaref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qudaref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_queue_events.cpp" "tests/CMakeFiles/test_queue_events.dir/test_queue_events.cpp.o" "gcc" "tests/CMakeFiles/test_queue_events.dir/test_queue_events.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/milc_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lattice/CMakeFiles/milc_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/su3/CMakeFiles/milc_su3.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/complexlib/CMakeFiles/milc_complexlib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ksan/CMakeFiles/milc_ksan.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

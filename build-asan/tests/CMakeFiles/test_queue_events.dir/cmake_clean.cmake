@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_events.dir/test_queue_events.cpp.o"
+  "CMakeFiles/test_queue_events.dir/test_queue_events.cpp.o.d"
+  "test_queue_events"
+  "test_queue_events.pdb"
+  "test_queue_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syclomatic.dir/test_syclomatic.cpp.o"
+  "CMakeFiles/test_syclomatic.dir/test_syclomatic.cpp.o.d"
+  "test_syclomatic"
+  "test_syclomatic.pdb"
+  "test_syclomatic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syclomatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

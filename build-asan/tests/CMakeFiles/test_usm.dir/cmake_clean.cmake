@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usm.dir/test_usm.cpp.o"
+  "CMakeFiles/test_usm.dir/test_usm.cpp.o.d"
+  "test_usm"
+  "test_usm.pdb"
+  "test_usm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wilson.dir/test_wilson.cpp.o"
+  "CMakeFiles/test_wilson.dir/test_wilson.cpp.o.d"
+  "test_wilson"
+  "test_wilson.pdb"
+  "test_wilson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wilson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

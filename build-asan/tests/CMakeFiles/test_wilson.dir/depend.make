@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wilson.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wilson_solver.dir/test_wilson_solver.cpp.o"
+  "CMakeFiles/test_wilson_solver.dir/test_wilson_solver.cpp.o.d"
+  "test_wilson_solver"
+  "test_wilson_solver.pdb"
+  "test_wilson_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wilson_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
