@@ -24,6 +24,8 @@ struct Options {
   std::uint64_t seed = 2024;
   std::string csv_path;  ///< when set, run_and_print also appends CSV rows
   bool sanitize = false; ///< replay kernels under ksan instead of profiling
+  bool faults = false;   ///< run under an installed FaultPlan + ResilientRunner
+  std::uint64_t fault_seed = 2024;  ///< FaultPlan seed for --faults
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -37,9 +39,14 @@ inline Options parse_options(int argc, char** argv) {
       o.csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sanitize") == 0) {
       o.sanitize = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      o.faults = true;
+      o.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--sanitize]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--sanitize] "
+          "[--faults <fault seed>]\n",
+          argv[0]);
       std::exit(0);
     }
   }

@@ -123,6 +123,12 @@ void declare_dslash_regions(const DslashArgs<dcomplex>& a, ksan::SanitizeConfig&
 RunResult DslashRunner::run(DslashProblem& problem, const RunRequest& req) const {
   const VariantInfo& vi = variant_info(req.variant);
   minisycl::queue q(minisycl::ExecMode::profiled, vi.queue_order, machine_, cal_);
+  return run_on(q, problem, req);
+}
+
+RunResult DslashRunner::run_on(minisycl::queue& q, DslashProblem& problem,
+                               const RunRequest& req) const {
+  const VariantInfo& vi = variant_info(req.variant);
 
   std::string name = config_label(req.strategy, req.order, req.local_size);
   if (req.variant != Variant::SYCL) {

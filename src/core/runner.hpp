@@ -56,6 +56,14 @@ class DslashRunner {
   /// the §III local-size rules.
   [[nodiscard]] RunResult run(DslashProblem& problem, const RunRequest& req) const;
 
+  /// Like run(), but submits on a caller-owned queue — the hook the resilient
+  /// execution path uses so injected faults land in *its* asynchronous error
+  /// list (drained with wait_and_throw) instead of a throwaway queue's.  The
+  /// caller chooses the queue's order; per-iteration time uses that queue's
+  /// launch overhead.
+  [[nodiscard]] RunResult run_on(minisycl::queue& q, DslashProblem& problem,
+                                 const RunRequest& req) const;
+
   /// Functional run (no simulation): executes the chosen kernel once so its
   /// output can be compared against dslash_reference.
   void run_functional(DslashProblem& problem, Strategy s, IndexOrder o, int local_size,

@@ -1,0 +1,183 @@
+// faultsim.hpp — seeded, deterministic fault injection for the simulated
+// runtime.
+//
+// Production lattice-QCD services run Dslash at cluster scale where node
+// faults are routine (DeTar et al. 2017; Gottlieb 2001): allocations fail
+// under memory pressure, launches are rejected, ECC events corrupt memory,
+// kernels hang.  The simulator is deterministic, so those faults must be
+// *injected* to be testable — and injected deterministically, so a chaos
+// test that failed once replays bit-for-bit from its seed.
+//
+// A `FaultPlan` is installed process-wide (see Injector / ScopedFaultInjection);
+// `minisycl::malloc_device` and `minisycl::queue::submit` consult it at every
+// fault site.  With no plan installed the consult is one null-pointer check —
+// the fault-free timeline is untouched (tested bit-for-bit in
+// tests/test_resilient_runner.cpp).
+//
+// Draw determinism: every fault decision hashes (seed, fault kind, per-kind
+// occurrence counter) through splitmix64.  Decisions therefore depend only on
+// the plan and on how many times each site kind was reached — never on wall
+// clock, address layout or call interleaving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultsim {
+
+enum class FaultKind {
+  alloc_fail,    ///< malloc_device returns nullptr / throws
+  launch_fail,   ///< kernel launch rejected, kernel body never runs
+  sticky_fault,  ///< transient device fault; clears after `sticky_burst` retries
+  bit_flip,      ///< ECC-like single-bit corruption of a registered device region
+  hang,          ///< kernel never completes; watchdog expires on the simulated timeline
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// Byte extent eligible for bit-flip corruption (the caller registers the
+/// exact field extents, e.g. via milc::declare_dslash_regions).
+struct MemRegion {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Deterministic "fail exactly there" entry, for tests that need a specific
+/// fault at a specific occurrence rather than a probability.
+struct ScheduledFault {
+  FaultKind kind = FaultKind::launch_fail;
+  std::uint64_t index = 0;      ///< fire on the index-th occurrence (0-based)
+  std::uint64_t repeat = 1;     ///< ...and the repeat-1 following occurrences
+  std::string site_filter;      ///< substring of the kernel name; empty = any site
+};
+
+/// How malloc_device reports an injected allocation failure.
+enum class AllocFailMode {
+  return_null,      ///< SYCL USM convention: nullptr
+  throw_bad_alloc,  ///< operator-new convention: std::bad_alloc
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // Per-site-kind probabilities (0 disables the kind entirely).
+  double p_alloc_fail = 0.0;
+  double p_launch_fail = 0.0;
+  double p_sticky = 0.0;
+  double p_bit_flip = 0.0;
+  double p_hang = 0.0;
+
+  AllocFailMode alloc_fail_mode = AllocFailMode::return_null;
+
+  /// A sticky fault fires for at most this many *consecutive* launches of the
+  /// same kernel site, then clears — the defining property of a transient
+  /// error: bounded retry always gets past it.
+  int sticky_burst = 2;
+
+  /// Simulated watchdog: a hung kernel charges this much simulated time
+  /// before the timeout surfaces; a kernel whose simulated duration exceeds
+  /// it is reported hung even without an injected hang.
+  double watchdog_timeout_us = 50'000.0;
+
+  /// Explicit schedule, consulted before the probabilistic draws.
+  std::vector<ScheduledFault> schedule;
+};
+
+/// One injected fault, as recorded in the injector's log.
+struct FaultEvent {
+  FaultKind kind = FaultKind::launch_fail;
+  std::string site;             ///< kernel name, or "malloc_device"
+  std::uint64_t occurrence = 0; ///< per-site-kind counter value when it fired
+  std::string detail;
+};
+
+/// Outcome of consulting the injector at a kernel-launch site.
+struct LaunchVerdict {
+  bool faulted = false;
+  FaultKind kind = FaultKind::launch_fail;  ///< valid when faulted
+  double charge_us = 0.0;  ///< extra simulated time (watchdog timeout for hangs)
+};
+
+/// Process-wide injector.  Thread-safe like usm::Registry; at most one plan
+/// is installed at a time.
+class Injector {
+ public:
+  /// The installed injector, or nullptr when fault injection is off.  This is
+  /// the only call on the fault-free fast path.
+  [[nodiscard]] static Injector* current();
+
+  static void install(FaultPlan plan);
+  static void uninstall();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // --- consult points (called by minisycl) --------------------------------
+
+  /// True when this allocation must fail; the event is logged.
+  [[nodiscard]] bool should_fail_alloc(std::size_t bytes);
+
+  /// Decide the fate of one kernel launch attempt (schedule first, then the
+  /// probabilistic draws, priority launch_fail > sticky > hang).
+  [[nodiscard]] LaunchVerdict on_kernel_launch(const std::string& name);
+
+  /// Report a completed launch whose *simulated* duration is known; returns a
+  /// hang verdict when the duration exceeds the plan's watchdog.
+  [[nodiscard]] LaunchVerdict on_kernel_complete(const std::string& name, double duration_us);
+
+  /// Flip one deterministic-random bit inside the registered target regions
+  /// when the plan draws a bit_flip for this completed launch.  Returns true
+  /// when memory was changed (silently — no error is raised; that is the
+  /// point of ECC-like corruption).
+  bool maybe_corrupt(const std::string& name);
+
+  /// Register the byte extents eligible for bit-flip corruption.
+  void set_corruption_targets(std::vector<MemRegion> regions);
+
+  // --- observability -------------------------------------------------------
+
+  [[nodiscard]] std::vector<FaultEvent> log() const;
+  [[nodiscard]] std::uint64_t injected_total() const;
+  [[nodiscard]] std::uint64_t injected(FaultKind k) const;
+  /// Log entries appended at or after `mark` (a previous log().size()).
+  [[nodiscard]] std::vector<FaultEvent> log_since(std::size_t mark) const;
+  void clear_log();
+
+ private:
+  explicit Injector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] double draw(FaultKind kind, std::uint64_t counter) const;
+  void record(FaultKind kind, const std::string& site, std::uint64_t occurrence,
+              std::string detail);
+
+  FaultPlan plan_;
+  std::vector<MemRegion> targets_;
+  std::vector<FaultEvent> events_;
+  std::uint64_t counts_[5] = {0, 0, 0, 0, 0};
+
+  std::uint64_t alloc_counter_ = 0;
+  std::uint64_t launch_counter_ = 0;   ///< all launch attempts (draw stream)
+  std::uint64_t complete_counter_ = 0; ///< completed launches (bit-flip stream)
+
+  // Per-kernel-site state (keyed by kernel name).
+  struct SiteState {
+    std::uint64_t launches = 0;          ///< occurrence counter for schedules
+    int consecutive_sticky = 0;          ///< clears a sticky burst
+  };
+  std::vector<std::pair<std::string, SiteState>> sites_;
+  [[nodiscard]] SiteState& site_state(const std::string& name);
+};
+
+/// RAII install/uninstall, for tests and benches.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan) { Injector::install(std::move(plan)); }
+  ~ScopedFaultInjection() { Injector::uninstall(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  [[nodiscard]] Injector& injector() const { return *Injector::current(); }
+};
+
+}  // namespace faultsim

@@ -1,0 +1,259 @@
+#include "faultsim/resilient_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "core/dslash_ref.hpp"
+#include "ksan/sanitizer.hpp"
+#include "minisycl/usm.hpp"
+
+namespace milc {
+
+const char* to_string(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::retry: return "retry";
+    case RecoveryAction::fallback: return "fallback";
+    case RecoveryAction::recompute: return "recompute";
+    case RecoveryAction::alloc_retry: return "alloc-retry";
+    case RecoveryAction::degrade: return "degrade";
+    case RecoveryAction::abort: return "abort";
+  }
+  return "unknown";
+}
+
+int RecoveryReport::count(RecoveryAction a) const {
+  int n = 0;
+  for (const RecoveryStep& s : steps) n += (s.action == a) ? 1 : 0;
+  return n;
+}
+
+std::size_t RecoveryReport::faults_observed() const {
+  std::size_t n = 0;
+  for (const RecoveryStep& s : steps) n += s.faults.size();
+  return n;
+}
+
+std::string RecoveryReport::summary() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "RecoveryReport: %s  final=%s  attempts=%d  steps=%zu  faults=%zu  "
+                "recovery=%.1f us\n",
+                succeeded ? "SUCCEEDED" : "FAILED", to_string(final_strategy), attempts,
+                steps.size(), faults_observed(), recovery_us);
+  out += buf;
+  for (const RecoveryStep& s : steps) {
+    std::snprintf(buf, sizeof(buf), "  [%-11s] %s attempt %d (%s)", to_string(s.action),
+                  s.site.c_str(), s.attempt, s.detail.c_str());
+    out += buf;
+    if (s.backoff_us > 0.0) {
+      std::snprintf(buf, sizeof(buf), "  backoff=%.1f us", s.backoff_us);
+      out += buf;
+    }
+    out += '\n';
+    for (const faultsim::FaultEvent& f : s.faults) {
+      std::snprintf(buf, sizeof(buf), "      fault: %s @ '%s' #%llu — %s\n",
+                    faultsim::to_string(f.kind), f.site.c_str(),
+                    static_cast<unsigned long long>(f.occurrence), f.detail.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// <r, c>: conjugate-linear contraction over the site arrays — the O(n)
+/// ABFT check, summed in a fixed order so repeated checks are bit-identical.
+dcomplex contract(const SU3Vector<dcomplex>* r, const SU3Vector<dcomplex>* c,
+                  std::int64_t n) {
+  dcomplex acc{0.0, 0.0};
+  for (std::int64_t s = 0; s < n; ++s) acc += dot(r[s], c[s]);
+  return acc;
+}
+
+/// Adapt the caller's request to a fallback rung: plain SYCL variant, and
+/// the first paper-valid (order, local size) when the caller's choice does
+/// not exist for that strategy.
+RunRequest adapt_request(const RunRequest& base, Strategy s, std::int64_t sites) {
+  if (s == base.strategy) return base;
+  RunRequest r = base;
+  r.strategy = s;
+  r.variant = Variant::SYCL;
+  const std::vector<IndexOrder> orders = orders_of(s);
+  if (std::find(orders.begin(), orders.end(), r.order) == orders.end()) {
+    r.order = orders.front();
+  }
+  if (!is_valid_local_size(s, r.order, r.local_size, sites)) {
+    const std::vector<int> sizes = paper_local_sizes(s, r.order, sites);
+    if (!sizes.empty()) r.local_size = sizes.front();
+  }
+  return r;
+}
+
+std::vector<faultsim::FaultEvent> drain_log(faultsim::Injector* inj, std::size_t mark) {
+  return inj != nullptr ? inj->log_since(mark) : std::vector<faultsim::FaultEvent>{};
+}
+
+}  // namespace
+
+RecoveryReport ResilientRunner::run(DslashProblem& problem, const RunRequest& req) const {
+  RecoveryReport rep;
+  rep.requested = req.strategy;
+  rep.final_strategy = req.strategy;
+
+  faultsim::Injector* inj = faultsim::Injector::current();
+  const std::int64_t sites = problem.sites();
+  minisycl::queue util_q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order,
+                         runner_.machine(), runner_.calibration());
+
+  // Silent-corruption surface: the kernels' output field, with the exact
+  // extent declare_dslash_regions computes (bit flips into *inputs* would
+  // need checkpoint/re-upload machinery to recover from — out of scope, see
+  // docs/RESILIENCE.md).
+  if (inj != nullptr) {
+    const DslashArgs<dcomplex> a = problem.args();
+    ksan::SanitizeConfig kcfg;
+    declare_dslash_regions(a, kcfg);
+    const auto c_base = reinterpret_cast<std::uint64_t>(a.c_out);
+    std::vector<faultsim::MemRegion> targets;
+    for (const ksan::Region& r : kcfg.regions) {
+      if (r.base == c_base) targets.push_back({r.base, r.bytes});
+    }
+    inj->set_corruption_targets(std::move(targets));
+  }
+
+  // --- ABFT setup: one golden serial reference + one scalar to keep --------
+  ColorField c_ref;
+  ColorField r_host;
+  dcomplex s_ref{0.0, 0.0};
+  SU3Vector<dcomplex>* r_dev = nullptr;
+  if (cfg_.abft) {
+    c_ref = ColorField(problem.geom(), problem.target_parity());
+    dslash_reference(problem.view(), problem.neighbors(), problem.b(), c_ref);
+    r_host = ColorField(problem.geom(), problem.target_parity());
+    r_host.fill_random(cfg_.abft_seed);
+    s_ref = dot(r_host, c_ref);
+
+    // Stage the check vector in device memory, as a service would; this is
+    // the allocation-pressure fault site.  Degrade to the host copy when the
+    // allocator stays exhausted — verification must not be lost to OOM.
+    for (int attempt = 0; attempt < cfg_.max_attempts_per_strategy; ++attempt) {
+      const std::size_t mark = inj != nullptr ? inj->log().size() : 0;
+      SU3Vector<dcomplex>* p = nullptr;
+      try {
+        p = minisycl::malloc_device<SU3Vector<dcomplex>>(static_cast<std::size_t>(sites),
+                                                         util_q);
+      } catch (const std::bad_alloc&) {
+        p = nullptr;
+      }
+      if (p != nullptr) {
+        // Plain memcpy: the host-side source vector may legitimately reuse a
+        // heap block the registry still tracks as a freed USM region (freed
+        // ranges are kept for use-after-free diagnosis), so the checked copy
+        // would false-positive across repeated runs.
+        std::memcpy(p, r_host.data(),
+                    static_cast<std::size_t>(sites) * sizeof(SU3Vector<dcomplex>));
+        r_dev = p;
+        break;
+      }
+      const double backoff =
+          cfg_.backoff_base_us * std::pow(cfg_.backoff_factor, attempt);
+      rep.recovery_us += backoff;
+      rep.steps.push_back(RecoveryStep{RecoveryAction::alloc_retry, req.strategy, attempt,
+                                       backoff, "malloc_device",
+                                       "ABFT check-vector allocation refused",
+                                       drain_log(inj, mark)});
+    }
+    if (r_dev == nullptr && !rep.steps.empty()) {
+      rep.steps.push_back(RecoveryStep{RecoveryAction::degrade, req.strategy, 0, 0.0,
+                                       "malloc_device",
+                                       "device allocation exhausted; ABFT check vector stays "
+                                       "host-resident",
+                                       {}});
+    }
+  }
+
+  // --- the retry / fallback ladder ----------------------------------------
+  std::vector<Strategy> rungs{req.strategy};
+  for (Strategy s : cfg_.ladder) {
+    if (std::find(rungs.begin(), rungs.end(), s) == rungs.end()) rungs.push_back(s);
+  }
+
+  for (std::size_t rung = 0; rung < rungs.size() && !rep.succeeded; ++rung) {
+    const RunRequest r = adapt_request(req, rungs[rung], sites);
+    const std::string label = config_label(r.strategy, r.order, r.local_size);
+    const VariantInfo& vi = variant_info(r.variant);
+
+    for (int attempt = 0; attempt < cfg_.max_attempts_per_strategy; ++attempt) {
+      ++rep.attempts;
+      const std::size_t mark = inj != nullptr ? inj->log().size() : 0;
+      problem.c().zero();
+      minisycl::queue q(minisycl::ExecMode::profiled, vi.queue_order, runner_.machine(),
+                        runner_.calibration());
+
+      RunResult rr;
+      bool launch_ok = true;
+      std::string detail;
+      try {
+        rr = runner_.run_on(q, problem, r);
+        q.wait_and_throw();
+      } catch (const minisycl::exception& e) {
+        launch_ok = false;
+        detail = e.what();
+      }
+
+      bool abft_ok = true;
+      if (launch_ok && cfg_.abft) {
+        const SU3Vector<dcomplex>* rv = r_dev != nullptr ? r_dev : r_host.data();
+        const dcomplex s_out = contract(rv, problem.c().data(), sites);
+        const double err = cabs({s_out.re - s_ref.re, s_out.im - s_ref.im});
+        abft_ok = err <= cfg_.abft_rel_tol * std::max(1.0, cabs(s_ref));
+        if (!abft_ok) {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "ABFT contraction mismatch (|Δ| = %.3e): silent output corruption",
+                        err);
+          detail = buf;
+        }
+      }
+
+      if (launch_ok && abft_ok) {
+        rep.succeeded = true;
+        rep.final_strategy = r.strategy;
+        rep.abft_checked = cfg_.abft;
+        rep.result = std::move(rr);
+        break;
+      }
+
+      // Failed attempt: classify the action and charge the simulated cost.
+      const bool last_attempt = attempt + 1 == cfg_.max_attempts_per_strategy;
+      const bool last_rung = rung + 1 == rungs.size();
+      RecoveryAction action = launch_ok ? RecoveryAction::recompute : RecoveryAction::retry;
+      if (last_attempt) {
+        action = last_rung ? RecoveryAction::abort : RecoveryAction::fallback;
+        if (!last_rung) {
+          detail += " — falling back to " +
+                    std::string(to_string(rungs[rung + 1]));
+        }
+      }
+      const double backoff =
+          (action == RecoveryAction::retry)
+              ? cfg_.backoff_base_us * std::pow(cfg_.backoff_factor, attempt)
+              : 0.0;
+      rep.recovery_us += q.sim_time_us() + backoff;
+      rep.steps.push_back(RecoveryStep{action, r.strategy, attempt, backoff, label,
+                                       std::move(detail), drain_log(inj, mark)});
+    }
+  }
+
+  if (r_dev != nullptr) minisycl::free(r_dev, util_q);
+  if (inj != nullptr) inj->set_corruption_targets({});
+  return rep;
+}
+
+}  // namespace milc

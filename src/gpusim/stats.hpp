@@ -91,6 +91,11 @@ struct TimingBreakdown {
 /// derived GFLOP/s used in Fig. 6.
 struct KernelStats {
   std::string name;
+  /// Non-empty when the launch was invalidated by an injected fault
+  /// (faultsim::to_string of the kind); such a record carries no timing and
+  /// its kernel had no side effects (except a watchdog kill, whose partial
+  /// output is suspect).
+  std::string fault;
   LaunchConfig launch;
   OccupancyInfo occupancy;
   TraceCounters counters;

@@ -6,6 +6,13 @@
 // malloc_device / memcpy / free — is preserved, with an allocation registry
 // that catches the classic USM bugs (double free, freeing unknown pointers,
 // leaks at scope exit).
+//
+// Misuse surfaces as minisycl::exception with an errc from the SYCL-style
+// taxonomy (exception.hpp): errc::invalid for bad frees, errc::out_of_bounds
+// for range overruns, errc::use_after_free for touching freed memory.  The
+// diagnostic wording is load-bearing (ksan and the USM tests match on it).
+// malloc_device additionally consults faultsim, so allocation-pressure
+// failures can be injected deterministically.
 #pragma once
 
 #include <cstddef>
@@ -15,8 +22,10 @@
 #include <map>
 #include <mutex>
 #include <new>
-#include <stdexcept>
 #include <vector>
+
+#include "faultsim/faultsim.hpp"
+#include "minisycl/exception.hpp"
 
 namespace minisycl {
 
@@ -58,8 +67,9 @@ class Registry {
     ++total_allocs_;
   }
 
-  /// Returns the allocation size; throws on unknown pointer, with the
-  /// diagnostic naming the offending region (double free / interior pointer).
+  /// Returns the allocation size; throws minisycl::exception (errc::invalid)
+  /// on unknown pointers, with the diagnostic naming the offending region
+  /// (double free / interior pointer).
   std::size_t on_free(void* p) {
     std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
@@ -73,17 +83,18 @@ class Registry {
                       static_cast<unsigned long long>(base - owner->first),
                       static_cast<unsigned long long>(owner->first),
                       static_cast<unsigned long long>(owner->second));
-        throw std::invalid_argument(buf);
+        throw exception(errc::invalid, buf);
       }
       if (const auto* old = find_containing(freed_, base)) {
         std::snprintf(buf, sizeof(buf),
                       "usm::free: double free of allocation (base=0x%llx, size=%llu B)",
                       static_cast<unsigned long long>(old->first),
                       static_cast<unsigned long long>(old->second));
-        throw std::invalid_argument(buf);
+        throw exception(errc::invalid, buf);
       }
-      throw std::invalid_argument("usm::free: pointer was not allocated with malloc_device "
-                                  "(or was already freed)");
+      throw exception(errc::invalid,
+                      "usm::free: pointer was not allocated with malloc_device "
+                      "(or was already freed)");
     }
     const std::size_t bytes = it->second;
     total_bytes_ -= bytes;
@@ -95,9 +106,10 @@ class Registry {
 
   /// Validate that [p, p+bytes) lies within one live allocation.  Pointers
   /// outside every known (live or freed) region are assumed to be ordinary
-  /// host memory and pass silently.  Throws std::out_of_range when the range
-  /// overruns its allocation and std::invalid_argument on use-after-free —
-  /// both naming the region's base and size.
+  /// host memory and pass silently.  Throws minisycl::exception with
+  /// errc::out_of_bounds when the range overruns its allocation and
+  /// errc::use_after_free on touching freed memory — both naming the
+  /// region's base and size.
   void check_range(const char* what, const void* p, std::size_t bytes) const {
     std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
@@ -112,7 +124,7 @@ class Registry {
                       static_cast<unsigned long long>(owner->second),
                       static_cast<unsigned long long>(base + bytes - owner->first -
                                                       owner->second));
-        throw std::out_of_range(buf);
+        throw exception(errc::out_of_bounds, buf);
       }
       return;
     }
@@ -121,7 +133,7 @@ class Registry {
                     "%s: use of freed allocation (base=0x%llx, size=%llu B)", what,
                     static_cast<unsigned long long>(old->first),
                     static_cast<unsigned long long>(old->second));
-      throw std::invalid_argument(buf);
+      throw exception(errc::use_after_free, buf);
     }
   }
 
@@ -174,9 +186,19 @@ class Registry {
 
 }  // namespace usm
 
-/// sycl::malloc_device<T>(count, q) equivalent.
+/// sycl::malloc_device<T>(count, q) equivalent.  Consults faultsim: an
+/// injected allocation failure returns nullptr (the SYCL USM convention) or
+/// throws std::bad_alloc, per the plan's AllocFailMode.
 template <typename T>
 [[nodiscard]] T* malloc_device(std::size_t count, const queue& /*q*/) {
+  if (faultsim::Injector* inj = faultsim::Injector::current()) {
+    if (inj->should_fail_alloc(count * sizeof(T))) {
+      if (inj->plan().alloc_fail_mode == faultsim::AllocFailMode::throw_bad_alloc) {
+        throw std::bad_alloc();
+      }
+      return nullptr;
+    }
+  }
   T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
   usm::Registry::instance().on_alloc(p, count * sizeof(T));
   return p;

@@ -1,0 +1,312 @@
+// faultsim: deterministic fault injection through the minisycl fault sites —
+// allocation refusal, launch rejection, sticky faults, watchdog hangs and
+// ECC-like bit flips — and the SYCL 2020 asynchronous-error surface.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "faultsim/faultsim.hpp"
+#include "minisycl/queue.hpp"
+#include "minisycl/usm.hpp"
+
+namespace minisycl {
+namespace {
+
+using faultsim::AllocFailMode;
+using faultsim::FaultKind;
+using faultsim::FaultPlan;
+using faultsim::Injector;
+using faultsim::ScheduledFault;
+using faultsim::ScopedFaultInjection;
+
+struct TinyKernel {
+  static constexpr int kPhases = 1;
+  double* out;
+  template <typename Lane>
+  void operator()(Lane& lane, int) const {
+    const double v = lane.load(&out[lane.global_id()]);
+    lane.flops(2);
+    lane.store(&out[lane.global_id()], v + 1.0);
+  }
+};
+
+LaunchSpec tiny_spec() { return LaunchSpec{1024, 128, 0, 1, {}}; }
+
+/// Run one submission and return its stats.
+gpusim::KernelStats submit_once(queue& q, std::vector<double>& buf,
+                                const std::string& name) {
+  return q.submit(tiny_spec(), TinyKernel{buf.data()}, name);
+}
+
+TEST(FaultSim, OffByDefault) {
+  ASSERT_EQ(Injector::current(), nullptr);
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional);
+  const auto stats = submit_once(q, buf, "plain");
+  EXPECT_TRUE(stats.fault.empty());
+  EXPECT_EQ(q.pending_async_errors(), 0u);
+  EXPECT_DOUBLE_EQ(buf[0], 1.0);
+}
+
+TEST(FaultSim, ScopedInstallUninstalls) {
+  {
+    ScopedFaultInjection fi(FaultPlan{});
+    EXPECT_NE(Injector::current(), nullptr);
+  }
+  EXPECT_EQ(Injector::current(), nullptr);
+}
+
+TEST(FaultSim, DrawsAreDeterministicAcrossRuns) {
+  auto run = [] {
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.p_launch_fail = 0.3;
+    plan.p_sticky = 0.2;
+    ScopedFaultInjection fi(plan);
+    std::vector<double> buf(1024, 0.0);
+    queue q(ExecMode::functional);
+    for (int i = 0; i < 50; ++i) (void)submit_once(q, buf, "det");
+    return fi.injector().log();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a.empty()) << "plan with p=0.3 over 50 launches must fire";
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].site, b[i].site);
+    EXPECT_EQ(a[i].occurrence, b[i].occurrence);
+    EXPECT_EQ(a[i].detail, b[i].detail);
+  }
+}
+
+TEST(FaultSim, AllocFailReturnsNullThenRecovers) {
+  FaultPlan plan;
+  plan.alloc_fail_mode = AllocFailMode::return_null;
+  plan.schedule.push_back(ScheduledFault{FaultKind::alloc_fail, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  queue q(ExecMode::functional);
+  double* p = malloc_device<double>(16, q);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(fi.injector().injected(FaultKind::alloc_fail), 1u);
+
+  // The schedule covered occurrence 0 only: the retry succeeds.
+  double* p2 = malloc_device<double>(16, q);
+  ASSERT_NE(p2, nullptr);
+  minisycl::free(p2, q);
+}
+
+TEST(FaultSim, AllocFailCanThrowBadAlloc) {
+  FaultPlan plan;
+  plan.alloc_fail_mode = AllocFailMode::throw_bad_alloc;
+  plan.schedule.push_back(ScheduledFault{FaultKind::alloc_fail, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  queue q(ExecMode::functional);
+  EXPECT_THROW((void)malloc_device<double>(16, q), std::bad_alloc);
+}
+
+TEST(FaultSim, InjectedLaunchFailureSuppressesTheKernel) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional);
+  const auto stats = submit_once(q, buf, "victim");
+  EXPECT_EQ(stats.fault, "launch-fail");
+  EXPECT_DOUBLE_EQ(buf[0], 0.0) << "a failed launch must have no side effects";
+  EXPECT_EQ(q.pending_async_errors(), 1u);
+
+  try {
+    q.wait_and_throw();
+    FAIL() << "wait_and_throw must rethrow without a handler";
+  } catch (const exception& e) {
+    EXPECT_EQ(e.code(), errc::kernel_launch);
+    EXPECT_NE(std::string(e.what()).find("victim"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(q.pending_async_errors(), 0u);
+}
+
+TEST(FaultSim, StickyFaultClearsAfterBurst) {
+  FaultPlan plan;
+  plan.p_sticky = 1.0;  // every launch wants to stick...
+  plan.sticky_burst = 2;  // ...but a site clears after 2 consecutive failures
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional, QueueOrder::in_order, gpusim::a100(),
+          gpusim::default_calibration(), [](exception_list) {});
+  const auto a = submit_once(q, buf, "sticky");
+  const auto b = submit_once(q, buf, "sticky");
+  const auto c = submit_once(q, buf, "sticky");
+  EXPECT_EQ(a.fault, "sticky-fault");
+  EXPECT_EQ(b.fault, "sticky-fault");
+  EXPECT_TRUE(c.fault.empty()) << "bounded retry must get past a transient fault";
+  EXPECT_DOUBLE_EQ(buf[0], 1.0);  // only the third launch ran
+  q.wait_and_throw();  // handler swallows the two buffered errors
+}
+
+TEST(FaultSim, InjectedHangChargesTheWatchdog) {
+  FaultPlan plan;
+  plan.watchdog_timeout_us = 1000.0;
+  plan.schedule.push_back(ScheduledFault{FaultKind::hang, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  const auto stats = submit_once(q, buf, "hung");
+  EXPECT_EQ(stats.fault, "hang");
+  EXPECT_NEAR(q.sim_time_us(), 1000.0 + q.launch_overhead_us(), 1e-9)
+      << "a hang must cost the watchdog timeout on the simulated timeline";
+  try {
+    q.wait_and_throw();
+    FAIL() << "the watchdog expiry must surface asynchronously";
+  } catch (const exception& e) {
+    EXPECT_EQ(e.code(), errc::watchdog_timeout);
+  }
+}
+
+TEST(FaultSim, SlowKernelIsKilledByTheWatchdog) {
+  FaultPlan plan;
+  plan.watchdog_timeout_us = 1e-9;  // below any real simulated duration
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  const auto stats = submit_once(q, buf, "slow");
+  EXPECT_EQ(stats.fault, "hang");
+  EXPECT_EQ(fi.injector().injected(FaultKind::hang), 1u);
+}
+
+TEST(FaultSim, BitFlipChangesExactlyOneBitOfARegisteredRegion) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.schedule.push_back(ScheduledFault{FaultKind::bit_flip, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  const std::vector<double> before = buf;
+  fi.injector().set_corruption_targets(
+      {{reinterpret_cast<std::uint64_t>(buf.data()), buf.size() * sizeof(double)}});
+
+  queue q(ExecMode::functional);
+  const auto stats = submit_once(q, buf, "flip");
+  EXPECT_TRUE(stats.fault.empty()) << "corruption is silent — no launch error";
+  EXPECT_EQ(q.pending_async_errors(), 0u);
+  EXPECT_EQ(fi.injector().injected(FaultKind::bit_flip), 1u);
+
+  // The kernel added 1.0 everywhere; exactly one byte may then differ from
+  // that expectation, and by exactly one bit.
+  const auto* got = reinterpret_cast<const unsigned char*>(buf.data());
+  std::vector<double> expect(before);
+  for (double& v : expect) v += 1.0;
+  const auto* want = reinterpret_cast<const unsigned char*>(expect.data());
+  int diff_bytes = 0;
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < buf.size() * sizeof(double); ++i) {
+    if (got[i] != want[i]) {
+      ++diff_bytes;
+      unsigned x = got[i] ^ want[i];
+      while (x != 0) {
+        diff_bits += static_cast<int>(x & 1u);
+        x >>= 1;
+      }
+    }
+  }
+  EXPECT_EQ(diff_bytes, 1);
+  EXPECT_EQ(diff_bits, 1);
+  fi.injector().set_corruption_targets({});
+}
+
+TEST(FaultSim, BitFlipWithoutTargetsIsInert) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::bit_flip, 0, 4, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional);
+  (void)submit_once(q, buf, "no-targets");
+  EXPECT_EQ(fi.injector().injected(FaultKind::bit_flip), 0u);
+}
+
+TEST(FaultSim, ScheduleSiteFilterSelectsTheKernel) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 100, "3LP"});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional, QueueOrder::in_order, gpusim::a100(),
+          gpusim::default_calibration(), [](exception_list) {});
+  const auto a = submit_once(q, buf, "3LP-1 k-major");
+  const auto b = submit_once(q, buf, "1LP");
+  EXPECT_EQ(a.fault, "launch-fail");
+  EXPECT_TRUE(b.fault.empty());
+  q.wait_and_throw();
+}
+
+TEST(FaultSim, AsyncHandlerReceivesTheWholeBatchInSubmissionOrder) {
+  for (const QueueOrder order : {QueueOrder::in_order, QueueOrder::out_of_order}) {
+    FaultPlan plan;
+    plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 1, "first"});
+    plan.schedule.push_back(ScheduledFault{FaultKind::hang, 0, 1, "second"});
+    ScopedFaultInjection fi(plan);
+
+    std::vector<double> buf(1024, 0.0);
+    std::vector<std::string> seen;
+    queue q(ExecMode::functional, order, gpusim::a100(), gpusim::default_calibration(),
+            [&seen](exception_list errors) {
+              for (const std::exception_ptr& ep : errors) {
+                try {
+                  std::rethrow_exception(ep);
+                } catch (const exception& e) {
+                  seen.emplace_back(e.what());
+                }
+              }
+            });
+    (void)submit_once(q, buf, "first");
+    (void)submit_once(q, buf, "second");
+    ASSERT_EQ(q.pending_async_errors(), 2u);
+    EXPECT_NO_THROW(q.wait_and_throw()) << "a handler absorbs the batch";
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_NE(seen[0].find("first"), std::string::npos);
+    EXPECT_NE(seen[1].find("second"), std::string::npos);
+    EXPECT_EQ(q.pending_async_errors(), 0u);
+  }
+}
+
+TEST(FaultSim, LogSinceReturnsOnlyNewEvents) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 2, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional, QueueOrder::in_order, gpusim::a100(),
+          gpusim::default_calibration(), [](exception_list) {});
+  (void)submit_once(q, buf, "k");
+  const std::size_t mark = fi.injector().log().size();
+  (void)submit_once(q, buf, "k");
+  const auto since = fi.injector().log_since(mark);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].occurrence, 1u);
+  EXPECT_EQ(fi.injector().injected_total(), 2u);
+  q.wait_and_throw();
+}
+
+TEST(FaultSim, WaitDoesNotProcessAsyncErrors) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional);
+  (void)submit_once(q, buf, "k");
+  EXPECT_NO_THROW(q.wait());  // SYCL: wait() leaves the async list untouched
+  EXPECT_EQ(q.pending_async_errors(), 1u);
+  EXPECT_THROW(q.wait_and_throw(), exception);
+}
+
+}  // namespace
+}  // namespace minisycl

@@ -71,6 +71,78 @@ TEST(QueueEvents, HostAdvanceDelaysSubmission) {
   EXPECT_NEAR(b.queue_latency_us(), q.launch_overhead_us(), 1e-9);
 }
 
+// ----------------------------------------------------------------------
+// asynchronous error surface (SYCL 2020 §4.13): wait_and_throw(), handlers
+// ----------------------------------------------------------------------
+
+/// Install a plan that rejects the first `n` launches of any kernel.
+faultsim::FaultPlan reject_first(std::uint64_t n) {
+  faultsim::FaultPlan plan;
+  plan.schedule.push_back(
+      faultsim::ScheduledFault{faultsim::FaultKind::launch_fail, 0, n, {}});
+  return plan;
+}
+
+TEST(QueueAsyncErrors, WaitAndThrowIsANoopWithoutErrors) {
+  for (const QueueOrder order : {QueueOrder::in_order, QueueOrder::out_of_order}) {
+    std::vector<double> buf(1024, 0.0);
+    queue q(ExecMode::profiled, order);
+    (void)q.submit(tiny_spec(), TinyKernel{buf.data()});
+    EXPECT_NO_THROW(q.wait_and_throw());
+  }
+}
+
+TEST(QueueAsyncErrors, RethrowsWithoutHandlerOnBothQueueOrders) {
+  for (const QueueOrder order : {QueueOrder::in_order, QueueOrder::out_of_order}) {
+    faultsim::ScopedFaultInjection fi(reject_first(1));
+    std::vector<double> buf(1024, 0.0);
+    queue q(ExecMode::profiled, order);
+    (void)q.submit(tiny_spec(), TinyKernel{buf.data()}, "k");
+    EXPECT_EQ(q.pending_async_errors(), 1u);
+    EXPECT_THROW(q.wait_and_throw(), exception);
+    // The list was drained: a second call is clean.
+    EXPECT_EQ(q.pending_async_errors(), 0u);
+    EXPECT_NO_THROW(q.wait_and_throw());
+  }
+}
+
+TEST(QueueAsyncErrors, HandlerSeesSubmissionOrderOnBothQueueOrders) {
+  for (const QueueOrder order : {QueueOrder::in_order, QueueOrder::out_of_order}) {
+    faultsim::ScopedFaultInjection fi(reject_first(2));
+    std::vector<double> buf(1024, 0.0);
+    std::vector<std::string> seen;
+    queue q(ExecMode::profiled, order, gpusim::a100(), gpusim::default_calibration(),
+            [&seen](exception_list errors) {
+              for (const std::exception_ptr& ep : errors) {
+                try {
+                  std::rethrow_exception(ep);
+                } catch (const exception& e) {
+                  seen.emplace_back(e.what());
+                }
+              }
+            });
+    ASSERT_TRUE(q.has_async_handler());
+    (void)q.submit(tiny_spec(), TinyKernel{buf.data()}, "alpha");
+    (void)q.submit(tiny_spec(), TinyKernel{buf.data()}, "beta");
+    EXPECT_NO_THROW(q.wait_and_throw());
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_NE(seen[0].find("alpha"), std::string::npos);
+    EXPECT_NE(seen[1].find("beta"), std::string::npos);
+  }
+}
+
+TEST(QueueAsyncErrors, HandlerCanBeInstalledAfterConstruction) {
+  faultsim::ScopedFaultInjection fi(reject_first(1));
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::profiled, QueueOrder::in_order);
+  EXPECT_FALSE(q.has_async_handler());
+  (void)q.submit(tiny_spec(), TinyKernel{buf.data()});
+  std::size_t delivered = 0;
+  q.set_async_handler([&delivered](exception_list errors) { delivered = errors.size(); });
+  EXPECT_NO_THROW(q.wait_and_throw());
+  EXPECT_EQ(delivered, 1u);
+}
+
 TEST(QueueEvents, HundredIterationLoopMatchesPaperMethodology) {
   // The paper times 100 kernel iterations back-to-back; the event timeline
   // must equal 100 * (kernel + launch overhead).

@@ -39,13 +39,26 @@ TEST(Usm, DoubleFreeThrows) {
   int* p = malloc_device<int>(4, q);
   minisycl::free(p, q);
   int* dangling = p;
-  EXPECT_THROW(minisycl::free(dangling, q), std::invalid_argument);
+  EXPECT_THROW(minisycl::free(dangling, q), minisycl::exception);
 }
 
 TEST(Usm, FreeingForeignPointerThrows) {
   queue q(ExecMode::functional);
   int host_var = 0;
-  EXPECT_THROW(minisycl::free(&host_var, q), std::invalid_argument);
+  EXPECT_THROW(minisycl::free(&host_var, q), minisycl::exception);
+}
+
+TEST(Usm, MisuseCarriesErrorCode) {
+  queue q(ExecMode::functional);
+  int* p = malloc_device<int>(4, q);
+  minisycl::free(p, q);
+  int* dangling = p;
+  try {
+    minisycl::free(dangling, q);
+    FAIL() << "double free did not throw";
+  } catch (const minisycl::exception& e) {
+    EXPECT_EQ(e.code(), errc::invalid);
+  }
 }
 
 TEST(Usm, FreeNullIsNoop) {
@@ -115,7 +128,12 @@ TEST(UsmDiagnostics, MemcpyOverrunningDestinationThrowsOutOfRange) {
   const double src[16] = {};
   // 16 doubles into an 8-double allocation: a copy "spanning two
   // allocations" on real hardware; here it must throw before moving bytes.
-  EXPECT_THROW(minisycl::memcpy(q, d, src, sizeof(src)), std::out_of_range);
+  EXPECT_THROW(minisycl::memcpy(q, d, src, sizeof(src)), minisycl::exception);
+  try {
+    minisycl::memcpy(q, d, src, sizeof(src));
+  } catch (const minisycl::exception& e) {
+    EXPECT_EQ(e.code(), errc::out_of_bounds);
+  }
   const std::string msg = thrown_message([&] { minisycl::memcpy(q, d, src, sizeof(src)); });
   EXPECT_NE(msg.find("overruns allocation"), std::string::npos) << msg;
   EXPECT_NE(msg.find("size=64 B"), std::string::npos) << msg;
@@ -127,7 +145,7 @@ TEST(UsmDiagnostics, MemcpyOverrunningSourceThrowsOutOfRange) {
   queue q(ExecMode::functional);
   double* s = malloc_device<double>(4, q);
   double dst[8];
-  EXPECT_THROW(minisycl::memcpy(q, dst, s, sizeof(dst)), std::out_of_range);
+  EXPECT_THROW(minisycl::memcpy(q, dst, s, sizeof(dst)), minisycl::exception);
   minisycl::free(s, q);
 }
 
