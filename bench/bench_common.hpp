@@ -23,6 +23,7 @@ struct Options {
   int L = 16;
   std::uint64_t seed = 2024;
   std::string csv_path;  ///< when set, run_and_print also appends CSV rows
+  std::string json_path; ///< when set, benches also emit a JSON document
   bool sanitize = false; ///< replay kernels under ksan instead of profiling
   bool faults = false;   ///< run under an installed FaultPlan + ResilientRunner
   std::uint64_t fault_seed = 2024;  ///< FaultPlan seed for --faults
@@ -37,6 +38,8 @@ inline Options parse_options(int argc, char** argv) {
       o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       o.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      o.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sanitize") == 0) {
       o.sanitize = true;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -44,8 +47,8 @@ inline Options parse_options(int argc, char** argv) {
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--sanitize] "
-          "[--faults <fault seed>]\n",
+          "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--json <path>] "
+          "[--sanitize] [--faults <fault seed>]\n",
           argv[0]);
       std::exit(0);
     }
@@ -97,6 +100,78 @@ class CsvSink {
 
  private:
   std::FILE* file_ = nullptr;
+};
+
+/// Machine-readable JSON sink: one document per bench run,
+///   {"bench": "<name>", "rows": [{...}, ...]}
+/// Rows are either the standard RunResult columns (mirroring CsvSink) or
+/// free-form key/value objects built with begin_row()/field()/end_row() —
+/// the scaling bench uses the latter for its overlap metrics.
+class JsonSink {
+ public:
+  JsonSink(const std::string& path, const std::string& bench) {
+    if (path.empty()) return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ != nullptr) std::fprintf(file_, "{\"bench\": \"%s\", \"rows\": [", bench.c_str());
+  }
+  ~JsonSink() {
+    if (file_ != nullptr) {
+      std::fprintf(file_, "\n]}\n");
+      std::fclose(file_);
+    }
+  }
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  void begin_row() {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\n  {", first_row_ ? "" : ",");
+    first_row_ = false;
+    first_field_ = true;
+  }
+  void field(const char* key, double v) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\"%s\": %.10g", sep(), key, v);
+  }
+  void field(const char* key, std::int64_t v) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\"%s\": %lld", sep(), key, static_cast<long long>(v));
+  }
+  void field(const char* key, const std::string& v) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\"%s\": \"%s\"", sep(), key, v.c_str());
+  }
+  void end_row() {
+    if (file_ != nullptr) std::fprintf(file_, "}");
+  }
+
+  /// The standard bench row — same columns as CsvSink.
+  void row(const RunResult& r) {
+    if (file_ == nullptr) return;
+    const auto& c = r.stats.counters;
+    begin_row();
+    field("label", r.label);
+    field("gflops", r.gflops);
+    field("kernel_us", r.kernel_us);
+    field("per_iter_us", r.per_iter_us);
+    field("occupancy", r.stats.occupancy.achieved);
+    field("bound_by", std::string(r.stats.timing.bound_by));
+    field("l1_tag_requests", static_cast<std::int64_t>(c.l1_tag_requests_global));
+    field("dram_sectors", static_cast<std::int64_t>(c.dram_sectors));
+    field("shared_wavefronts", static_cast<std::int64_t>(c.shared_wavefronts));
+    field("divergent_branches", static_cast<std::int64_t>(c.divergent_branches));
+    end_row();
+  }
+
+ private:
+  const char* sep() {
+    const char* s = first_field_ ? "" : ", ";
+    first_field_ = false;
+    return s;
+  }
+  std::FILE* file_ = nullptr;
+  bool first_row_ = true;
+  bool first_field_ = true;
 };
 
 inline void print_header(const char* title, const Options& o, std::int64_t sites) {

@@ -1,0 +1,90 @@
+// dispatch.hpp — the one (strategy, order, complex type) -> kernel switch.
+//
+// Every launch mode (profiled, functional, sanitized) and every driver
+// (single-device DslashRunner, multi-device shard launches) must run the
+// *identical* kernel object for a given configuration; this header is the
+// single place that instantiates it.  It operates on a raw DslashArgs block
+// rather than a DslashProblem so callers can point it at sub-ranges — the
+// multidev runner launches the same kernels over a shard's interior and
+// boundary site ranges by offsetting the block's base pointers.
+#pragma once
+
+#include <stdexcept>
+
+#include "core/kernels_1lp.hpp"
+#include "core/kernels_2lp.hpp"
+#include "core/kernels_3lp.hpp"
+#include "core/kernels_4lp.hpp"
+#include "core/strategy.hpp"
+
+namespace milc {
+
+namespace detail_dispatch {
+
+using CplxC = syclcplx::complex<double>;
+
+static_assert(sizeof(CplxC) == sizeof(dcomplex) && alignof(CplxC) == alignof(dcomplex),
+              "SyclCPLX complex must be layout-compatible with dcomplex so fields can be "
+              "shared between variants");
+
+/// Reinterpret the argument block for the SyclCPLX-typed kernels.  Both
+/// complex types are trivially-copyable pairs of doubles and every kernel
+/// access goes through Lane::load/store (memcpy semantics), so this is
+/// well-defined.
+inline DslashArgs<CplxC> to_cplx(const DslashArgs<dcomplex>& a) {
+  DslashArgs<CplxC> r;
+  for (int l = 0; l < kNlinks; ++l) {
+    r.links[l] = reinterpret_cast<const CplxC*>(a.links[l]);
+  }
+  r.b = reinterpret_cast<const SU3Vector<CplxC>*>(a.b);
+  r.c_out = reinterpret_cast<SU3Vector<CplxC>*>(a.c_out);
+  r.neighbors = a.neighbors;
+  r.sites = a.sites;
+  return r;
+}
+
+}  // namespace detail_dispatch
+
+/// Instantiate the kernel selected by (strategy, order, complex type) and
+/// hand it to `fn`.  The SyclCPLX variant exists for 3LP-1 only, matching
+/// the paper.  Local-size validation is the caller's job (the rules depend
+/// on the launch's site count, which only the caller knows).
+template <typename Fn>
+auto with_dslash_kernel(const DslashArgs<dcomplex>& a, Strategy s, IndexOrder o,
+                        bool use_syclcplx, Fn&& fn) {
+  if (use_syclcplx) {
+    if (s != Strategy::LP3_1) {
+      throw std::invalid_argument("the SyclCPLX variant exists for 3LP-1 only (paper IV-C)");
+    }
+    const DslashArgs<detail_dispatch::CplxC> ac = detail_dispatch::to_cplx(a);
+    if (o == IndexOrder::kMajor) {
+      return fn(Dslash3LP1Kernel<Order3::kMajor, detail_dispatch::CplxC>{.args = ac});
+    }
+    return fn(Dslash3LP1Kernel<Order3::iMajor, detail_dispatch::CplxC>{.args = ac});
+  }
+
+  switch (s) {
+    case Strategy::LP1:
+      return fn(Dslash1LPKernel<dcomplex>{.args = a});
+    case Strategy::LP2:
+      return fn(Dslash2LPKernel<dcomplex>{.args = a});
+    case Strategy::LP3_1:
+      if (o == IndexOrder::kMajor) return fn(Dslash3LP1Kernel<Order3::kMajor>{.args = a});
+      return fn(Dslash3LP1Kernel<Order3::iMajor>{.args = a});
+    case Strategy::LP3_2:
+      if (o == IndexOrder::kMajor) return fn(Dslash3LP2Kernel<Order3::kMajor>{.args = a});
+      return fn(Dslash3LP2Kernel<Order3::iMajor>{.args = a});
+    case Strategy::LP3_3:
+      if (o == IndexOrder::kMajor) return fn(Dslash3LP3Kernel<Order3::kMajor>{.args = a});
+      return fn(Dslash3LP3Kernel<Order3::iMajor>{.args = a});
+    case Strategy::LP4_1:
+      if (o == IndexOrder::kMajor) return fn(Dslash4LPKernel<Order4::lp1_kMajor>{.args = a});
+      return fn(Dslash4LPKernel<Order4::lp1_iMajor>{.args = a});
+    case Strategy::LP4_2:
+      if (o == IndexOrder::lMajor) return fn(Dslash4LPKernel<Order4::lp2_lMajor>{.args = a});
+      return fn(Dslash4LPKernel<Order4::lp2_iMajor>{.args = a});
+  }
+  throw std::logic_error("unknown strategy");
+}
+
+}  // namespace milc

@@ -4,36 +4,11 @@
 #include <type_traits>
 #include <utility>
 
-#include "core/kernels_1lp.hpp"
-#include "core/kernels_2lp.hpp"
-#include "core/kernels_3lp.hpp"
-#include "core/kernels_4lp.hpp"
+#include "core/dispatch.hpp"
 
 namespace milc {
 
 namespace {
-
-using CplxC = syclcplx::complex<double>;
-
-static_assert(sizeof(CplxC) == sizeof(dcomplex) && alignof(CplxC) == alignof(dcomplex),
-              "SyclCPLX complex must be layout-compatible with dcomplex so fields can be "
-              "shared between variants");
-
-/// Reinterpret the argument block for the SyclCPLX-typed kernels.  Both
-/// complex types are trivially-copyable pairs of doubles and every kernel
-/// access goes through Lane::load/store (memcpy semantics), so this is
-/// well-defined.
-DslashArgs<CplxC> to_cplx(const DslashArgs<dcomplex>& a) {
-  DslashArgs<CplxC> r;
-  for (int l = 0; l < kNlinks; ++l) {
-    r.links[l] = reinterpret_cast<const CplxC*>(a.links[l]);
-  }
-  r.b = reinterpret_cast<const SU3Vector<CplxC>*>(a.b);
-  r.c_out = reinterpret_cast<SU3Vector<CplxC>*>(a.c_out);
-  r.neighbors = a.neighbors;
-  r.sites = a.sites;
-  return r;
-}
 
 template <typename Kernel>
 gpusim::KernelStats submit(minisycl::queue& q, const Kernel& kernel, std::int64_t sites,
@@ -50,10 +25,10 @@ gpusim::KernelStats submit(minisycl::queue& q, const Kernel& kernel, std::int64_
   return q.submit(spec, kernel, std::move(name));
 }
 
-/// Instantiate the kernel selected by (strategy, order, complex type) and
-/// hand it to `fn` — the one switch all launch modes (profiled, functional,
-/// sanitized) share, so every mode runs the identical kernel object.  The
-/// SyclCPLX variant exists for 3LP-1 only, matching the paper.
+/// Validate the §III local-size rules for this problem, then hand the
+/// configuration's kernel object to `fn` via the shared dispatch switch
+/// (core/dispatch.hpp) — every launch mode (profiled, functional,
+/// sanitized) runs the identical kernel object.
 template <typename Fn>
 auto with_kernel(DslashProblem& p, Strategy s, IndexOrder o, int local_size, bool use_syclcplx,
                  Fn&& fn) {
@@ -61,41 +36,7 @@ auto with_kernel(DslashProblem& p, Strategy s, IndexOrder o, int local_size, boo
     throw std::invalid_argument("invalid local size " + std::to_string(local_size) + " for " +
                                 config_label(s, o, local_size));
   }
-  const DslashArgs<dcomplex> a = p.args();
-
-  if (use_syclcplx) {
-    if (s != Strategy::LP3_1) {
-      throw std::invalid_argument("the SyclCPLX variant exists for 3LP-1 only (paper IV-C)");
-    }
-    const DslashArgs<CplxC> ac = to_cplx(a);
-    if (o == IndexOrder::kMajor) {
-      return fn(Dslash3LP1Kernel<Order3::kMajor, CplxC>{.args = ac});
-    }
-    return fn(Dslash3LP1Kernel<Order3::iMajor, CplxC>{.args = ac});
-  }
-
-  switch (s) {
-    case Strategy::LP1:
-      return fn(Dslash1LPKernel<dcomplex>{.args = a});
-    case Strategy::LP2:
-      return fn(Dslash2LPKernel<dcomplex>{.args = a});
-    case Strategy::LP3_1:
-      if (o == IndexOrder::kMajor) return fn(Dslash3LP1Kernel<Order3::kMajor>{.args = a});
-      return fn(Dslash3LP1Kernel<Order3::iMajor>{.args = a});
-    case Strategy::LP3_2:
-      if (o == IndexOrder::kMajor) return fn(Dslash3LP2Kernel<Order3::kMajor>{.args = a});
-      return fn(Dslash3LP2Kernel<Order3::iMajor>{.args = a});
-    case Strategy::LP3_3:
-      if (o == IndexOrder::kMajor) return fn(Dslash3LP3Kernel<Order3::kMajor>{.args = a});
-      return fn(Dslash3LP3Kernel<Order3::iMajor>{.args = a});
-    case Strategy::LP4_1:
-      if (o == IndexOrder::kMajor) return fn(Dslash4LPKernel<Order4::lp1_kMajor>{.args = a});
-      return fn(Dslash4LPKernel<Order4::lp1_iMajor>{.args = a});
-    case Strategy::LP4_2:
-      if (o == IndexOrder::lMajor) return fn(Dslash4LPKernel<Order4::lp2_lMajor>{.args = a});
-      return fn(Dslash4LPKernel<Order4::lp2_iMajor>{.args = a});
-  }
-  throw std::logic_error("unknown strategy");
+  return with_dslash_kernel(p.args(), s, o, use_syclcplx, std::forward<Fn>(fn));
 }
 
 gpusim::KernelStats dispatch(minisycl::queue& q, DslashProblem& p, Strategy s, IndexOrder o,

@@ -1,0 +1,80 @@
+#include "gpusim/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+namespace gpusim {
+
+bool is_nvlink(const LinkModel& m, int src, int dst) {
+  return src < m.nvlink_devices && dst < m.nvlink_devices;
+}
+
+double wire_time_us(const LinkModel& m, int src, int dst, std::int64_t bytes) {
+  const bool nv = is_nvlink(m, src, dst);
+  const double bw = nv ? m.nvlink_bw_gbs : m.pcie_bw_gbs;
+  const double lat = nv ? m.nvlink_latency_us : m.pcie_latency_us;
+  // GB/s == bytes/us * 1e-3, so us = bytes / (bw * 1e3).
+  return lat + static_cast<double>(bytes) / (bw * 1e3);
+}
+
+ExchangeReport simulate_exchange(const LinkModel& m, std::span<LinkMessage> msgs,
+                                 int num_devices) {
+  ExchangeReport rep;
+  rep.arrival_us.assign(static_cast<std::size_t>(num_devices), 0.0);
+  rep.egress_busy_us.assign(static_cast<std::size_t>(num_devices), 0.0);
+
+  for (const LinkMessage& msg : msgs) {
+    if (msg.src < 0 || msg.src >= num_devices || msg.dst < 0 || msg.dst >= num_devices) {
+      throw std::invalid_argument("simulate_exchange: endpoint outside [0, " +
+                                  std::to_string(num_devices) + ")");
+    }
+    if (msg.src == msg.dst) {
+      throw std::invalid_argument("simulate_exchange: self-message (src == dst)");
+    }
+    if (msg.bytes < 0) throw std::invalid_argument("simulate_exchange: negative byte count");
+  }
+
+  std::vector<double> egress_free(static_cast<std::size_t>(num_devices), 0.0);
+  std::vector<double> ingress_free(static_cast<std::size_t>(num_devices), 0.0);
+  std::vector<bool> done(msgs.size(), false);
+
+  for (std::size_t round = 0; round < msgs.size(); ++round) {
+    // Greedy: the pending message with the earliest ready time goes next.
+    std::size_t pick = msgs.size();
+    double pick_ready = 0.0;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      if (done[i]) continue;
+      const LinkMessage& msg = msgs[i];
+      const double ready =
+          std::max({msg.depart_us, egress_free[static_cast<std::size_t>(msg.src)],
+                    ingress_free[static_cast<std::size_t>(msg.dst)]});
+      const bool better =
+          pick == msgs.size() || ready < pick_ready ||
+          (ready == pick_ready &&
+           std::make_tuple(msg.src, msg.dst, i) <
+               std::make_tuple(msgs[pick].src, msgs[pick].dst, pick));
+      if (better) {
+        pick = i;
+        pick_ready = ready;
+      }
+    }
+
+    LinkMessage& msg = msgs[pick];
+    const double wire = wire_time_us(m, msg.src, msg.dst, msg.bytes);
+    msg.start_us = pick_ready;
+    msg.done_us = pick_ready + wire;
+    egress_free[static_cast<std::size_t>(msg.src)] = msg.done_us;
+    ingress_free[static_cast<std::size_t>(msg.dst)] = msg.done_us;
+    rep.egress_busy_us[static_cast<std::size_t>(msg.src)] += wire;
+    rep.arrival_us[static_cast<std::size_t>(msg.dst)] =
+        std::max(rep.arrival_us[static_cast<std::size_t>(msg.dst)], msg.done_us);
+    rep.finish_us = std::max(rep.finish_us, msg.done_us);
+    rep.total_bytes += msg.bytes;
+    done[pick] = true;
+  }
+  return rep;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,76 @@
+// link.hpp — point-to-point interconnect model for multi-device runs.
+//
+// The single-GPU simulator ends at HBM; the multi-device Dslash adds one
+// more resource: the links over which halo (ghost-zone) traffic moves.
+// This model is deliberately of the same character as the rest of gpusim —
+// a small set of audited latency/bandwidth constants plus a structural
+// contention rule — so exchange time is simulated with the same rigor as
+// kernel time instead of being hand-waved.
+//
+// Topology: devices [0, nvlink_devices) form an NVSwitch island (DGX-A100
+// style) with full NVLink bandwidth between every pair inside it; any
+// message with an endpoint outside the island crosses PCIe.  Contention:
+// each device owns one egress and one ingress port; messages sharing a port
+// serialise (NVLink is full-duplex, so egress and ingress do not contend
+// with each other).  A message's wire time is latency + bytes / bandwidth.
+//
+// Constants: A100 NVLink3 delivers 300 GB/s unidirectional per GPU pair
+// through NVSwitch (12 links x 25 GB/s); PCIe gen4 x16 sustains ~22 GB/s
+// after protocol overhead.  Latencies are end-to-end one-way software
+// latencies of small transfers (cudaMemcpyPeer-style), not raw SerDes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpusim {
+
+/// Latency–bandwidth description of the inter-device fabric.
+struct LinkModel {
+  int nvlink_devices = 8;        ///< devices [0, n) share an NVSwitch island
+  double nvlink_bw_gbs = 300.0;  ///< unidirectional GB/s per device pair
+  double nvlink_latency_us = 1.9;
+  double pcie_bw_gbs = 22.0;     ///< PCIe gen4 x16 effective
+  double pcie_latency_us = 6.0;
+};
+
+/// The fabric of one DGX-A100 node (8 GPUs, NVSwitch).
+[[nodiscard]] inline LinkModel dgx_a100_links() { return LinkModel{}; }
+
+/// True when both endpoints sit inside the NVLink island.
+[[nodiscard]] bool is_nvlink(const LinkModel& m, int src, int dst);
+
+/// Uncontended transfer time of one message: latency + bytes / bandwidth.
+[[nodiscard]] double wire_time_us(const LinkModel& m, int src, int dst, std::int64_t bytes);
+
+/// One point-to-point transfer.  `depart_us` is an input (the earliest the
+/// sender can put the message on the wire — its pack-kernel completion);
+/// `start_us`/`done_us` are filled in by simulate_exchange.
+struct LinkMessage {
+  int src = 0;
+  int dst = 0;
+  std::int64_t bytes = 0;
+  double depart_us = 0.0;
+  double start_us = 0.0;
+  double done_us = 0.0;
+};
+
+/// Result of simulating one halo exchange.
+struct ExchangeReport {
+  double finish_us = 0.0;               ///< last message delivered
+  std::int64_t total_bytes = 0;
+  std::vector<double> arrival_us;       ///< per device: last inbound delivery (0 if none)
+  std::vector<double> egress_busy_us;   ///< per device: total egress-port occupancy
+};
+
+/// Event-driven simulation of a message set over the fabric.  Scheduling is
+/// greedy and deterministic: repeatedly start the pending message with the
+/// earliest ready time max(depart, egress_free[src], ingress_free[dst]),
+/// ties broken by (src, dst, position).  Ports stay busy for the full wire
+/// time, which serialises same-port messages — the per-pair contention the
+/// all-to-neighbour exchange of a 4-D decomposition produces.
+ExchangeReport simulate_exchange(const LinkModel& m, std::span<LinkMessage> msgs,
+                                 int num_devices);
+
+}  // namespace gpusim

@@ -1,14 +1,17 @@
 #include "lattice/geometry.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace milc {
 
 LatticeGeom::LatticeGeom(const Coords& dims) : dims_(dims) {
   volume_ = 1;
   for (int d = 0; d < kNdim; ++d) {
-    if (dims_[static_cast<std::size_t>(d)] < 2 || dims_[static_cast<std::size_t>(d)] % 2 != 0) {
-      throw std::invalid_argument("LatticeGeom: extents must be even and >= 2");
+    const int e = dims_[static_cast<std::size_t>(d)];
+    if (e < 2 || e % 2 != 0) {
+      throw std::invalid_argument("LatticeGeom: extents must be even and >= 2, but dim " +
+                                  std::to_string(d) + " has extent " + std::to_string(e));
     }
     stride_[static_cast<std::size_t>(d)] = volume_;
     volume_ *= dims_[static_cast<std::size_t>(d)];

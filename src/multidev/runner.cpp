@@ -1,0 +1,465 @@
+#include "multidev/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/dispatch.hpp"
+#include "multidev/halo_kernels.hpp"
+
+namespace milc::multidev {
+
+namespace {
+
+/// Device-resident data of one shard: gathered links in the kernels'
+/// column-major layout, the extended source field (owned slots followed by
+/// ghost slots) and the per-target output.
+struct ShardFields {
+  std::array<std::vector<dcomplex>, kNlinks> links;
+  std::vector<SU3Vector<dcomplex>> src;
+  std::vector<SU3Vector<dcomplex>> dst;
+};
+
+/// Gather one shard's fields from the global problem.  Link values are
+/// copied element-by-element with the same [t][k][j][i] formula
+/// DeviceGaugeLayout uses, and source values are plain copies — bit-exact,
+/// which is what makes multi-device output identical to single-device.
+/// Ghost slots start out as NaN poison: if the interior classification or
+/// the unpack protocol were wrong, the poison would propagate into the
+/// output and the bit-for-bit tests would fail loudly.
+ShardFields build_fields(DslashProblem& p, const Shard& sh) {
+  ShardFields f;
+  const GaugeView& view = p.view();
+  for (int l = 0; l < kNlinks; ++l) {
+    auto& fam = f.links[static_cast<std::size_t>(l)];
+    fam.resize(static_cast<std::size_t>(sh.targets() * kNdim * kColors * kColors));
+    for (std::int64_t t = 0; t < sh.targets(); ++t) {
+      const std::int64_t g = sh.target_eo[static_cast<std::size_t>(t)];
+      for (int k = 0; k < kNdim; ++k) {
+        const SU3Matrix<dcomplex>& m = view.link(l, g, k);
+        for (int j = 0; j < kColors; ++j) {
+          for (int i = 0; i < kColors; ++i) {
+            fam[static_cast<std::size_t>(((t * kNdim + k) * kColors + j) * kColors + i)] =
+                m.e[i][j];
+          }
+        }
+      }
+    }
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  f.src.resize(static_cast<std::size_t>(sh.extended_sources()),
+               SU3Vector<dcomplex>{{{nan, nan}, {nan, nan}, {nan, nan}}});
+  for (std::int64_t s = 0; s < sh.sources(); ++s) {
+    f.src[static_cast<std::size_t>(s)] = p.b()[sh.source_eo[static_cast<std::size_t>(s)]];
+  }
+  f.dst.assign(static_cast<std::size_t>(sh.targets()), SU3Vector<dcomplex>{});
+  return f;
+}
+
+/// Argument block for a contiguous target range [first, first + count) of a
+/// shard — the interior-first renumbering makes both kernel ranges plain
+/// base-pointer offsets.
+DslashArgs<dcomplex> range_args(ShardFields& f, const Shard& sh, std::int64_t first,
+                                std::int64_t count) {
+  DslashArgs<dcomplex> a;
+  for (int l = 0; l < kNlinks; ++l) {
+    a.links[l] =
+        f.links[static_cast<std::size_t>(l)].data() + first * kNdim * kColors * kColors;
+  }
+  a.b = f.src.data();
+  a.c_out = f.dst.data() + first;
+  a.neighbors = sh.neighbors.data() + first * kNeighbors;
+  a.sites = count;
+  return a;
+}
+
+/// Submit one Dslash kernel range on a shard queue; returns duration +
+/// launch overhead (0 in functional mode).
+double submit_dslash(minisycl::queue& q, const DslashArgs<dcomplex>& a, const RunRequest& req,
+                     const VariantInfo& vi, int local_size, const std::string& name) {
+  return with_dslash_kernel(a, req.strategy, req.order, vi.use_syclcplx,
+                            [&](const auto& kernel) {
+                              using K = std::decay_t<decltype(kernel)>;
+                              minisycl::LaunchSpec spec;
+                              spec.global_size = a.sites * items_per_site(req.strategy);
+                              spec.local_size = local_size;
+                              spec.shared_bytes = K::shared_bytes(local_size);
+                              spec.num_phases = K::kPhases;
+                              spec.traits = K::traits();
+                              spec.traits.codegen_slowdown = vi.codegen_slowdown;
+                              const gpusim::KernelStats st = q.submit(spec, kernel, name);
+                              return st.duration_us + q.launch_overhead_us();
+                            });
+}
+
+minisycl::LaunchSpec halo_spec(std::int64_t count, int local_size,
+                               const minisycl::KernelTraits& traits) {
+  minisycl::LaunchSpec spec;
+  spec.global_size = halo_global_size(count, local_size);
+  spec.local_size = local_size;
+  spec.shared_bytes = 0;
+  spec.num_phases = 1;
+  spec.traits = traits;
+  return spec;
+}
+
+}  // namespace
+
+int pick_local_size(Strategy s, IndexOrder o, int preferred, std::int64_t sites) {
+  if (sites <= 0) {
+    throw std::invalid_argument("pick_local_size: shard range has no sites");
+  }
+  if (is_valid_local_size(s, o, preferred, sites)) return preferred;
+  const std::vector<int> pool = paper_local_sizes(s, o, sites);
+  for (auto it = pool.rbegin(); it != pool.rend(); ++it) {
+    if (is_valid_local_size(s, o, *it, sites)) return *it;
+  }
+  const int m = local_size_multiple(s, o);
+  for (int ls = (1024 / m) * m; ls >= m; ls -= m) {
+    if (is_valid_local_size(s, o, ls, sites)) return ls;
+  }
+  // Last resort: drop the warp-32 alignment and keep only the strategy's
+  // algorithmic multiple.  Shard ranges like 1296 = 2^4 * 3^4 sites under
+  // 1LP admit no multiple-of-32 divisor at all; the executor runs partial
+  // warps correctly, this merely costs model efficiency on a small range.
+  const int algo = local_size_multiple(s, o, /*warp_size=*/1);
+  for (int ls = (1024 / algo) * algo; ls >= algo; ls -= algo) {
+    if (is_valid_local_size(s, o, ls, sites, /*warp_size=*/1)) return ls;
+  }
+  throw std::invalid_argument("pick_local_size: no valid local size for " +
+                              config_label(s, o, preferred) + " on " + std::to_string(sites) +
+                              " sites");
+}
+
+MultiDevResult MultiDeviceRunner::run(DslashProblem& problem,
+                                      const MultiDevRequest& mreq) const {
+  const int ndev = mreq.grid.total();
+  if (ndev == 1) {
+    // Delegate so single-device numbers reproduce bench_fig6 exactly (the
+    // general path would be bit-identical in values but allocates shard
+    // copies at different addresses, and the run would carry pack/unpack
+    // launches a true single-device run does not have).
+    const DslashRunner single(machine_, cal_);
+    const RunResult rr = single.run(problem, mreq.req);
+    MultiDevResult res;
+    res.label = rr.label + " @ " + mreq.grid.label();
+    res.devices = 1;
+    res.per_iter_us = rr.per_iter_us;
+    res.gflops = rr.gflops;
+    DeviceTimeline t;
+    t.interior_sites = problem.sites();
+    t.interior_us = rr.kernel_us;
+    t.iter_us = rr.per_iter_us;
+    res.per_device.push_back(t);
+    return res;
+  }
+
+  const VariantInfo& vi = variant_info(mreq.req.variant);
+  const Partitioner part(problem.geom(), mreq.grid, problem.target_parity());
+  const std::vector<Shard>& shards = part.shards();
+
+  std::vector<ShardFields> fields;
+  fields.reserve(shards.size());
+  for (const Shard& sh : shards) fields.push_back(build_fields(problem, sh));
+
+  std::vector<std::unique_ptr<minisycl::queue>> queues;
+  for (int d = 0; d < ndev; ++d) {
+    queues.push_back(std::make_unique<minisycl::queue>(minisycl::ExecMode::profiled,
+                                                       vi.queue_order, machine_, cal_));
+  }
+
+  MultiDevResult res;
+  res.label = config_label(mreq.req.strategy, mreq.req.order, mreq.req.local_size) + " @ " +
+              mreq.grid.label();
+  res.devices = ndev;
+  res.per_device.resize(static_cast<std::size_t>(ndev));
+  for (int d = 0; d < ndev; ++d) res.per_device[static_cast<std::size_t>(d)].rank = d;
+
+  // --- Phase 1: every device packs its outbound faces. ------------------
+  // (msg.peer is the sender; iteration order is deterministic.)
+  std::vector<std::vector<std::vector<dcomplex>>> wires(static_cast<std::size_t>(ndev));
+  std::vector<gpusim::LinkMessage> messages;
+  std::vector<double> pack_us(static_cast<std::size_t>(ndev), 0.0);
+  for (const Shard& sh : shards) {
+    auto& shard_wires = wires[static_cast<std::size_t>(sh.rank)];
+    for (const HaloMsg& msg : sh.halo) {
+      shard_wires.emplace_back(static_cast<std::size_t>(msg.count() * kColors));
+      HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                          .slots = msg.send_slots.data(),
+                          .wire = shard_wires.back().data(),
+                          .count = msg.count()};
+      minisycl::queue& q = *queues[static_cast<std::size_t>(msg.peer)];
+      const gpusim::KernelStats st =
+          q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits()),
+                   pack, "halo-pack");
+      pack_us[static_cast<std::size_t>(msg.peer)] += st.duration_us + q.launch_overhead_us();
+    }
+  }
+  // A device puts its messages on the wire once all its packs are done
+  // (bulk departure, the cudaMemcpyPeerAsync-after-pack pattern).
+  for (const Shard& sh : shards) {
+    for (const HaloMsg& msg : sh.halo) {
+      messages.push_back({.src = msg.peer,
+                          .dst = sh.rank,
+                          .bytes = msg.bytes(),
+                          .depart_us = pack_us[static_cast<std::size_t>(msg.peer)]});
+    }
+  }
+
+  // --- Phase 2: interior compute, concurrent with the exchange. ---------
+  // Host execution order (interior before unpack) also proves the interior
+  // range reads no ghost slot: ghosts are still NaN poison here.
+  std::vector<double> interior_us(static_cast<std::size_t>(ndev), 0.0);
+  for (const Shard& sh : shards) {
+    if (sh.n_interior == 0) continue;
+    const DslashArgs<dcomplex> a =
+        range_args(fields[static_cast<std::size_t>(sh.rank)], sh, 0, sh.n_interior);
+    const int ls =
+        pick_local_size(mreq.req.strategy, mreq.req.order, mreq.req.local_size, sh.n_interior);
+    interior_us[static_cast<std::size_t>(sh.rank)] = submit_dslash(
+        *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-interior");
+  }
+
+  const gpusim::ExchangeReport xrep = simulate_exchange(mreq.link, messages, ndev);
+
+  // --- Phase 3: unpack ghosts, then boundary compute. -------------------
+  std::vector<double> unpack_us(static_cast<std::size_t>(ndev), 0.0);
+  for (const Shard& sh : shards) {
+    ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
+      const HaloMsg& msg = sh.halo[mi];
+      HaloUnpackKernel unpack{.wire = wires[static_cast<std::size_t>(sh.rank)][mi].data(),
+                              .field = f.src.data(),
+                              .ghost_base = msg.ghost_base,
+                              .count = msg.count()};
+      minisycl::queue& q = *queues[static_cast<std::size_t>(sh.rank)];
+      const gpusim::KernelStats st =
+          q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits()),
+                   unpack, "halo-unpack");
+      unpack_us[static_cast<std::size_t>(sh.rank)] += st.duration_us + q.launch_overhead_us();
+    }
+  }
+
+  std::vector<double> boundary_us(static_cast<std::size_t>(ndev), 0.0);
+  for (const Shard& sh : shards) {
+    if (sh.n_boundary == 0) continue;
+    ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    const DslashArgs<dcomplex> a = range_args(f, sh, sh.n_interior, sh.n_boundary);
+    const int ls =
+        pick_local_size(mreq.req.strategy, mreq.req.order, mreq.req.local_size, sh.n_boundary);
+    boundary_us[static_cast<std::size_t>(sh.rank)] = submit_dslash(
+        *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-boundary");
+  }
+
+  // --- Gather output and assemble the overlap timeline. -----------------
+  for (const Shard& sh : shards) {
+    const ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (std::int64_t t = 0; t < sh.targets(); ++t) {
+      problem.c()[sh.target_eo[static_cast<std::size_t>(t)]] =
+          f.dst[static_cast<std::size_t>(t)];
+    }
+  }
+
+  double comm_window = 0.0;
+  double hidden = 0.0;
+  double comm_frac_sum = 0.0;
+  std::int64_t boundary_total = 0;
+  for (int d = 0; d < ndev; ++d) {
+    const auto di = static_cast<std::size_t>(d);
+    const Shard& sh = shards[di];
+    DeviceTimeline& t = res.per_device[di];
+    t.interior_sites = sh.n_interior;
+    t.boundary_sites = sh.n_boundary;
+    t.halo_bytes_in = sh.halo_bytes();
+    t.pack_us = pack_us[di];
+    t.interior_us = interior_us[di];
+    t.arrival_us = xrep.arrival_us[di];
+    t.unpack_us = unpack_us[di];
+    t.boundary_us = boundary_us[di];
+    t.exposed_us = std::max(0.0, t.arrival_us - (t.pack_us + t.interior_us));
+    t.iter_us = std::max(t.pack_us + t.interior_us, t.arrival_us) + t.unpack_us + t.boundary_us;
+    res.per_iter_us = std::max(res.per_iter_us, t.iter_us);
+    comm_window += std::max(0.0, t.arrival_us - t.pack_us);
+    hidden += std::max(0.0, t.arrival_us - t.pack_us) - t.exposed_us;
+    res.halo_bytes += t.halo_bytes_in;
+    boundary_total += sh.n_boundary;
+  }
+  for (int d = 0; d < ndev; ++d) {
+    const DeviceTimeline& t = res.per_device[static_cast<std::size_t>(d)];
+    comm_frac_sum += (t.pack_us + t.unpack_us + t.exposed_us) / res.per_iter_us;
+  }
+  res.overlap_efficiency = comm_window > 0.0 ? hidden / comm_window : 1.0;
+  res.comm_fraction = comm_frac_sum / ndev;
+  res.surface_fraction =
+      static_cast<double>(boundary_total) / static_cast<double>(problem.sites());
+  res.gflops = problem.flops() / (res.per_iter_us * 1e-6) / 1e9;
+  return res;
+}
+
+void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGrid& grid,
+                                       Strategy s, IndexOrder o,
+                                       int preferred_local_size) const {
+  const Partitioner part(problem.geom(), grid, problem.target_parity());
+  minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order, machine_,
+                    cal_);
+  constexpr int kPackLocal = 96;
+
+  std::vector<ShardFields> fields;
+  fields.reserve(part.shards().size());
+  for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
+
+  // pack -> (wire) -> interior (ghosts still poisoned) -> unpack -> boundary
+  std::vector<std::vector<std::vector<dcomplex>>> wires(part.shards().size());
+  for (const Shard& sh : part.shards()) {
+    auto& shard_wires = wires[static_cast<std::size_t>(sh.rank)];
+    for (const HaloMsg& msg : sh.halo) {
+      shard_wires.emplace_back(static_cast<std::size_t>(msg.count() * kColors));
+      HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                          .slots = msg.send_slots.data(),
+                          .wire = shard_wires.back().data(),
+                          .count = msg.count()};
+      q.submit(halo_spec(msg.count(), kPackLocal, HaloPackKernel::traits()), pack);
+    }
+  }
+
+  const RunRequest req{.strategy = s, .order = o, .local_size = preferred_local_size};
+  const VariantInfo& vi = variant_info(Variant::SYCL);
+  for (const Shard& sh : part.shards()) {
+    if (sh.n_interior == 0) continue;
+    ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    const int ls = pick_local_size(s, o, preferred_local_size, sh.n_interior);
+    submit_dslash(q, range_args(f, sh, 0, sh.n_interior), req, vi, ls, "dslash-interior");
+  }
+
+  for (const Shard& sh : part.shards()) {
+    ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
+      const HaloMsg& msg = sh.halo[mi];
+      HaloUnpackKernel unpack{.wire = wires[static_cast<std::size_t>(sh.rank)][mi].data(),
+                              .field = f.src.data(),
+                              .ghost_base = msg.ghost_base,
+                              .count = msg.count()};
+      q.submit(halo_spec(msg.count(), kPackLocal, HaloUnpackKernel::traits()), unpack);
+    }
+    if (sh.n_boundary > 0) {
+      const int ls = pick_local_size(s, o, preferred_local_size, sh.n_boundary);
+      submit_dslash(q, range_args(f, sh, sh.n_interior, sh.n_boundary), req, vi, ls,
+                    "dslash-boundary");
+    }
+  }
+
+  for (const Shard& sh : part.shards()) {
+    const ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (std::int64_t t = 0; t < sh.targets(); ++t) {
+      problem.c()[sh.target_eo[static_cast<std::size_t>(t)]] =
+          f.dst[static_cast<std::size_t>(t)];
+    }
+  }
+}
+
+void MultiDeviceRunner::run_reference(DslashProblem& problem, const PartitionGrid& grid,
+                                      ColorField& out) const {
+  const Partitioner part(problem.geom(), grid, problem.target_parity());
+  std::vector<ShardFields> fields;
+  fields.reserve(part.shards().size());
+  for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
+
+  // Serial exchange: copy every wire site straight from owner to ghost slot.
+  for (const Shard& sh : part.shards()) {
+    ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (const HaloMsg& msg : sh.halo) {
+      const ShardFields& peer = fields[static_cast<std::size_t>(msg.peer)];
+      for (std::int64_t i = 0; i < msg.count(); ++i) {
+        f.src[static_cast<std::size_t>(msg.ghost_base + i)] =
+            peer.src[static_cast<std::size_t>(msg.send_slots[static_cast<std::size_t>(i)])];
+      }
+    }
+  }
+
+  // Per-shard evaluation in dslash_reference's exact loop order (k outer,
+  // l inner, matvec + signed accumulate) over the gathered shard data —
+  // the same values in the same operations, so bit-for-bit equal.
+  for (const Shard& sh : part.shards()) {
+    const ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (std::int64_t t = 0; t < sh.targets(); ++t) {
+      SU3Vector<dcomplex> acc;
+      for (int k = 0; k < kNdim; ++k) {
+        for (int l = 0; l < kNlinks; ++l) {
+          SU3Matrix<dcomplex> m;
+          const auto& fam = f.links[static_cast<std::size_t>(l)];
+          for (int j = 0; j < kColors; ++j) {
+            for (int i = 0; i < kColors; ++i) {
+              m.e[i][j] = fam[static_cast<std::size_t>(((t * kNdim + k) * kColors + j) *
+                                                           kColors +
+                                                       i)];
+            }
+          }
+          const std::int32_t n =
+              sh.neighbors[static_cast<std::size_t>(t * kNeighbors + k * kNlinks + l)];
+          const SU3Vector<dcomplex> v = matvec(m, f.src[static_cast<std::size_t>(n)]);
+          const double sign = kStencilSigns[static_cast<std::size_t>(l)];
+          acc += sign * v;
+        }
+      }
+      out[sh.target_eo[static_cast<std::size_t>(t)]] = acc;
+    }
+  }
+}
+
+std::vector<ksan::SanitizerReport> MultiDeviceRunner::sanitize_halo(
+    DslashProblem& problem, const PartitionGrid& grid, int pack_local_size) const {
+  const Partitioner part(problem.geom(), grid, problem.target_parity());
+  std::vector<ShardFields> fields;
+  fields.reserve(part.shards().size());
+  for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
+
+  std::vector<ksan::SanitizerReport> reports;
+  for (const Shard& sh : part.shards()) {
+    ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+    for (const HaloMsg& msg : sh.halo) {
+      std::vector<dcomplex> wire(static_cast<std::size_t>(msg.count() * kColors));
+      const Shard& peer_sh = part.shard(msg.peer);
+      ShardFields& peer = fields[static_cast<std::size_t>(msg.peer)];
+      const std::string suffix = " r" + std::to_string(msg.peer) + "->r" +
+                                 std::to_string(sh.rank) + " dim" + std::to_string(msg.dim) +
+                                 (msg.side == 0 ? "-" : "+");
+
+      // Pack: reads must stay inside the sender's *owned* sources (reading
+      // a ghost slot would be an ordering bug), writes inside the wire.
+      HaloPackKernel pack{.src = peer.src.data(),
+                         .slots = msg.send_slots.data(),
+                         .wire = wire.data(),
+                         .count = msg.count()};
+      ksan::SanitizeConfig pack_cfg;
+      pack_cfg.regions.push_back(
+          ksan::region_of(peer.src.data(), static_cast<std::size_t>(peer_sh.sources())));
+      pack_cfg.regions.push_back(
+          ksan::region_of(msg.send_slots.data(), msg.send_slots.size()));
+      pack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+      reports.push_back(
+          ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, pack.traits()), pack,
+                                std::move(pack_cfg), "halo-pack" + suffix));
+
+      // Unpack: reads inside the wire, writes *only* into this message's
+      // ghost span — declaring exactly that span turns any stray write
+      // (owned sites, another message's ghosts) into a reported OOB.
+      HaloUnpackKernel unpack{.wire = wire.data(),
+                              .field = f.src.data(),
+                              .ghost_base = msg.ghost_base,
+                              .count = msg.count()};
+      ksan::SanitizeConfig unpack_cfg;
+      unpack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+      unpack_cfg.regions.push_back(ksan::region_of(f.src.data() + msg.ghost_base,
+                                                   static_cast<std::size_t>(msg.count())));
+      reports.push_back(
+          ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, unpack.traits()),
+                                unpack, std::move(unpack_cfg), "halo-unpack" + suffix));
+    }
+  }
+  return reports;
+}
+
+}  // namespace milc::multidev

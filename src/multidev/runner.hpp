@@ -1,0 +1,120 @@
+// runner.hpp — multi-device Dslash execution with halo exchange and
+// compute/comm overlap.
+//
+// One iteration per device follows the classic overlap schedule of the
+// production MILC/QUDA multi-GPU codes:
+//
+//   pack faces ─┬─> wire transfer ──> unpack ghosts ─> boundary compute
+//               └─> interior compute ────┘ (runs while messages fly)
+//
+//   device timeline:  P ──────────── I ─────────────┐
+//   wire:             └─> exchange ──────── arrival A┤
+//                                  unpack U ─> boundary B ─> iteration end
+//
+// Interior sites read no ghosts, so their kernel launches right after the
+// packs and hides the exchange; the boundary range waits for max(interior
+// done, halo arrival) + unpack.  Both ranges run the *unchanged* 1LP–4LP
+// kernels: shard targets are renumbered interior-first, so the boundary
+// launch is the same kernel over base pointers offset by n_interior.
+//
+// Exactness: every target site is computed entirely by its owner from
+// gathered link values and source values that are bit-exact copies of the
+// global arrays (ghosts included), with the identical kernel arithmetic —
+// so the multi-device output equals the single-device output of the same
+// strategy bit for bit, for any partition grid.  Tests assert == 0.0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+#include "gpusim/link.hpp"
+#include "ksan/sanitizer.hpp"
+#include "multidev/partition.hpp"
+
+namespace milc::multidev {
+
+/// A multi-device run: which grid, which kernel configuration, what fabric.
+struct MultiDevRequest {
+  PartitionGrid grid{};
+  RunRequest req{};  ///< strategy / order / preferred local size / variant
+  gpusim::LinkModel link = gpusim::dgx_a100_links();
+  int pack_local_size = 96;  ///< work-group size of the pack/unpack kernels
+};
+
+/// One device's slice of the overlap timeline (per iteration, microseconds).
+struct DeviceTimeline {
+  int rank = 0;
+  std::int64_t interior_sites = 0;
+  std::int64_t boundary_sites = 0;
+  std::int64_t halo_bytes_in = 0;
+  double pack_us = 0.0;      ///< P: all outbound pack kernels + overheads
+  double interior_us = 0.0;  ///< I: interior-range Dslash kernel
+  double arrival_us = 0.0;   ///< A: last inbound message delivered
+  double unpack_us = 0.0;    ///< U: all inbound unpack kernels + overheads
+  double boundary_us = 0.0;  ///< B: boundary-range Dslash kernel
+  double exposed_us = 0.0;   ///< comm not hidden: max(0, A - (P + I))
+  double iter_us = 0.0;      ///< max(P + I, A) + U + B
+};
+
+struct MultiDevResult {
+  std::string label;
+  int devices = 1;
+  double per_iter_us = 0.0;  ///< slowest device's iteration time
+  double gflops = 0.0;       ///< total Dslash FLOPs / per_iter (paper convention)
+  /// Fraction of the comm window hidden behind interior compute,
+  /// sum_d(A - P - exposed) / sum_d(A - P); 1.0 when nothing is exposed.
+  double overlap_efficiency = 1.0;
+  /// Mean over devices of (pack + unpack + exposed wait) / per_iter.
+  double comm_fraction = 0.0;
+  /// Boundary targets / all targets (the surface-to-volume ratio that
+  /// decides strong-scaling behaviour).
+  double surface_fraction = 0.0;
+  std::int64_t halo_bytes = 0;  ///< wire bytes per iteration, all devices
+  std::vector<DeviceTimeline> per_device;
+};
+
+class MultiDeviceRunner {
+ public:
+  explicit MultiDeviceRunner(gpusim::MachineModel machine = gpusim::a100(),
+                             gpusim::Calibration cal = gpusim::default_calibration())
+      : machine_(machine), cal_(cal) {}
+
+  /// Profiled run.  The kernels execute for real (the output field is
+  /// gathered into problem.c()), and the overlap timeline above is priced
+  /// from per-launch gpusim stats plus the link model.  A 1x1x1x1 grid
+  /// delegates to DslashRunner::run so single-device numbers reproduce the
+  /// existing benches exactly.
+  [[nodiscard]] MultiDevResult run(DslashProblem& problem, const MultiDevRequest& mreq) const;
+
+  /// Functional run of the full halo protocol (pack -> exchange -> unpack ->
+  /// interior + boundary kernels); output lands in problem.c().
+  void run_functional(DslashProblem& problem, const PartitionGrid& grid, Strategy s,
+                      IndexOrder o, int preferred_local_size) const;
+
+  /// Serial per-shard evaluation in dslash_reference's exact loop order,
+  /// through the same partition/halo data — bit-for-bit equal to the global
+  /// dslash_reference, which makes it the halo protocol's exactness oracle.
+  void run_reference(DslashProblem& problem, const PartitionGrid& grid, ColorField& out) const;
+
+  /// ksan entry: replay every pack and unpack launch of one exchange under
+  /// the sanitizer with exact region declarations (ghost-region OOB, races).
+  [[nodiscard]] std::vector<ksan::SanitizerReport> sanitize_halo(
+      DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96) const;
+
+ private:
+  gpusim::MachineModel machine_;
+  gpusim::Calibration cal_;
+};
+
+/// Local size for a shard launch of `sites` sites: `preferred` when it
+/// qualifies, else the largest qualifying paper pool entry, else the
+/// largest qualifying multiple of the strategy's warp-aligned divisor,
+/// else (shard counts with no multiple-of-32 divisor, e.g. 2^4 * 3^4) the
+/// largest divisor that still respects the strategy's *algorithmic*
+/// multiple — the executor runs the partial last warp correctly.
+/// Throws std::invalid_argument only for an empty range.
+[[nodiscard]] int pick_local_size(Strategy s, IndexOrder o, int preferred, std::int64_t sites);
+
+}  // namespace milc::multidev

@@ -1,0 +1,115 @@
+// test_gpusim_link.cpp — the inter-device link model: wire-time arithmetic,
+// NVLink/PCIe island selection, and the port-serialised exchange schedule.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/link.hpp"
+
+namespace gpusim {
+namespace {
+
+TEST(LinkModel, WireTimeIsLatencyPlusBytesOverBandwidth) {
+  const LinkModel m = dgx_a100_links();
+  // 300 GB/s = 300e3 bytes/us: 3 MB takes 10 us on the wire plus latency.
+  EXPECT_DOUBLE_EQ(wire_time_us(m, 0, 1, 3'000'000),
+                   m.nvlink_latency_us + 3'000'000 / (m.nvlink_bw_gbs * 1e3));
+  // Zero payload still pays the latency.
+  EXPECT_DOUBLE_EQ(wire_time_us(m, 0, 1, 0), m.nvlink_latency_us);
+}
+
+TEST(LinkModel, NvlinkIslandSelectsFabric) {
+  LinkModel m = dgx_a100_links();
+  m.nvlink_devices = 4;  // devices 0..3 share the NVLink island
+  EXPECT_TRUE(is_nvlink(m, 0, 3));
+  EXPECT_FALSE(is_nvlink(m, 0, 4));
+  EXPECT_FALSE(is_nvlink(m, 4, 5));  // both outside: PCIe
+
+  const std::int64_t bytes = 1'000'000;
+  const double nv = wire_time_us(m, 0, 3, bytes);
+  const double pcie = wire_time_us(m, 0, 4, bytes);
+  EXPECT_DOUBLE_EQ(nv, m.nvlink_latency_us + bytes / (m.nvlink_bw_gbs * 1e3));
+  EXPECT_DOUBLE_EQ(pcie, m.pcie_latency_us + bytes / (m.pcie_bw_gbs * 1e3));
+  EXPECT_GT(pcie, nv);
+}
+
+TEST(SimulateExchange, DistinctPairsOverlapPerfectly) {
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {
+      {.src = 0, .dst = 1, .bytes = 1'000'000},
+      {.src = 2, .dst = 3, .bytes = 1'000'000},
+  };
+  const ExchangeReport rep = simulate_exchange(m, msgs, 4);
+  const double one = wire_time_us(m, 0, 1, 1'000'000);
+  EXPECT_DOUBLE_EQ(msgs[0].done_us, one);
+  EXPECT_DOUBLE_EQ(msgs[1].done_us, one);  // no shared port: fully parallel
+  EXPECT_DOUBLE_EQ(rep.finish_us, one);
+  EXPECT_EQ(rep.total_bytes, 2'000'000);
+}
+
+TEST(SimulateExchange, SharedEgressPortSerialises) {
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {
+      {.src = 0, .dst = 1, .bytes = 1'000'000},
+      {.src = 0, .dst = 2, .bytes = 1'000'000},
+  };
+  simulate_exchange(m, msgs, 4);
+  const double one = wire_time_us(m, 0, 1, 1'000'000);
+  // Device 0 owns one egress port: the second message starts when the
+  // first clears it (start = done of the first, not t = 0).
+  EXPECT_DOUBLE_EQ(msgs[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(msgs[1].start_us, one);
+  EXPECT_DOUBLE_EQ(msgs[1].done_us, 2 * one);
+}
+
+TEST(SimulateExchange, SharedIngressPortSerialises) {
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {
+      {.src = 1, .dst = 0, .bytes = 1'000'000},
+      {.src = 2, .dst = 0, .bytes = 1'000'000},
+  };
+  const ExchangeReport rep = simulate_exchange(m, msgs, 4);
+  const double one = wire_time_us(m, 1, 0, 1'000'000);
+  EXPECT_DOUBLE_EQ(rep.arrival_us[0], 2 * one);
+}
+
+TEST(SimulateExchange, DepartureTimesAreHonoured) {
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {
+      {.src = 0, .dst = 1, .bytes = 1'000'000, .depart_us = 50.0},
+  };
+  const ExchangeReport rep = simulate_exchange(m, msgs, 2);
+  EXPECT_DOUBLE_EQ(msgs[0].start_us, 50.0);
+  EXPECT_DOUBLE_EQ(rep.finish_us, 50.0 + wire_time_us(m, 0, 1, 1'000'000));
+}
+
+TEST(SimulateExchange, ScheduleIsDeterministic) {
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> a = {
+      {.src = 0, .dst = 1, .bytes = 500'000},
+      {.src = 0, .dst = 2, .bytes = 400'000},
+      {.src = 1, .dst = 0, .bytes = 300'000},
+      {.src = 2, .dst = 1, .bytes = 200'000, .depart_us = 1.0},
+  };
+  std::vector<LinkMessage> b = a;
+  simulate_exchange(m, a, 3);
+  simulate_exchange(m, b, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].start_us, b[i].start_us);
+    EXPECT_DOUBLE_EQ(a[i].done_us, b[i].done_us);
+  }
+}
+
+TEST(SimulateExchange, RejectsMalformedMessages) {
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> self = {{.src = 1, .dst = 1, .bytes = 8}};
+  EXPECT_THROW(simulate_exchange(m, self, 2), std::invalid_argument);
+  std::vector<LinkMessage> range = {{.src = 0, .dst = 5, .bytes = 8}};
+  EXPECT_THROW(simulate_exchange(m, range, 2), std::invalid_argument);
+  std::vector<LinkMessage> negative = {{.src = 0, .dst = 1, .bytes = -1}};
+  EXPECT_THROW(simulate_exchange(m, negative, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpusim

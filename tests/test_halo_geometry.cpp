@@ -1,0 +1,107 @@
+// test_halo_geometry.cpp — the geometry facts the halo-exchange subsystem
+// rests on: +-3 displacement wrapping on anisotropic lattices, the minimal
+// L = 6 case where a 3-hop grazes the periodic boundary, NeighborTable
+// agreement with the displacement formula, and constructor validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "lattice/geometry.hpp"
+
+namespace milc {
+namespace {
+
+TEST(LatticeGeom, RejectsOddAndNonPositiveExtents) {
+  EXPECT_THROW(LatticeGeom(Coords{8, 8, 7, 8}), std::invalid_argument);
+  EXPECT_THROW(LatticeGeom(Coords{8, 0, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(LatticeGeom(Coords{-4, 8, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(LatticeGeom(5), std::invalid_argument);
+}
+
+TEST(LatticeGeom, ValidationErrorNamesDimAndValue) {
+  try {
+    LatticeGeom geom(Coords{8, 8, 7, 8});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dim 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("extent 7"), std::string::npos) << msg;
+  }
+}
+
+TEST(LatticeGeom, DisplaceWrapsThreeHopsOnAnisotropicLattice) {
+  const LatticeGeom geom(Coords{6, 8, 10, 12});
+  // +3 from one below the top of each extent wraps to 2 - (ext - coord).
+  EXPECT_EQ(geom.displace(Coords{5, 0, 0, 0}, 0, +3)[0], 2);
+  EXPECT_EQ(geom.displace(Coords{0, 7, 0, 0}, 1, +3)[1], 2);
+  EXPECT_EQ(geom.displace(Coords{0, 0, 9, 0}, 2, +3)[2], 2);
+  EXPECT_EQ(geom.displace(Coords{0, 0, 0, 11}, 3, +3)[3], 2);
+  // -3 from near the origin wraps to the top.
+  EXPECT_EQ(geom.displace(Coords{1, 0, 0, 0}, 0, -3)[0], 4);
+  EXPECT_EQ(geom.displace(Coords{0, 2, 0, 0}, 1, -3)[1], 7);
+  EXPECT_EQ(geom.displace(Coords{0, 0, 0, 2}, 3, -3)[3], 11);
+  // Displacement along one dim never disturbs the others.
+  const Coords moved = geom.displace(Coords{3, 4, 5, 6}, 2, -3);
+  EXPECT_EQ(moved, (Coords{3, 4, 2, 6}));
+}
+
+TEST(LatticeGeom, MinimalExtentSixGrazesTheBoundary) {
+  // L = 6 is the smallest extent where +-3 neighbours stay distinct from
+  // +-1 neighbours (and the smallest legal split-local extent in multidev).
+  const LatticeGeom geom(Coords{6, 6, 6, 6});
+  for (int x = 0; x < 6; ++x) {
+    const int fwd = geom.displace(Coords{x, 0, 0, 0}, 0, +3)[0];
+    const int bwd = geom.displace(Coords{x, 0, 0, 0}, 0, -3)[0];
+    EXPECT_EQ(fwd, (x + 3) % 6);
+    EXPECT_EQ(bwd, (x + 3) % 6);  // at L = 6, +3 and -3 land on the same site
+    EXPECT_NE(fwd, (x + 1) % 6);
+    EXPECT_NE(fwd, (x + 5) % 6);
+  }
+}
+
+TEST(LatticeGeom, DisplaceRoundTripsAtEveryStencilOffset) {
+  const LatticeGeom geom(Coords{6, 12, 8, 10});
+  for (std::int64_t f = 0; f < geom.volume(); ++f) {
+    const Coords c = geom.coords(f);
+    for (int k = 0; k < kNdim; ++k) {
+      for (const int off : kStencilOffsets) {
+        EXPECT_EQ(geom.full_index(geom.displace(geom.displace(c, k, off), k, -off)), f);
+      }
+    }
+  }
+}
+
+TEST(NeighborTable, MatchesDisplacementFormulaOnAnisotropicLattice) {
+  const LatticeGeom geom(Coords{6, 8, 12, 10});
+  for (const Parity target : {Parity::Even, Parity::Odd}) {
+    const NeighborTable nbr(geom, target);
+    for (std::int64_t s = 0; s < geom.half_volume(); ++s) {
+      const Coords c = geom.coords(geom.full_index_of(target, s));
+      for (int k = 0; k < kNdim; ++k) {
+        for (int l = 0; l < kNlinks; ++l) {
+          const std::int64_t nf =
+              geom.full_index(geom.displace(c, k, kStencilOffsets[static_cast<std::size_t>(l)]));
+          ASSERT_EQ(geom.parity(nf), opposite(target));
+          EXPECT_EQ(nbr.at(s, k, l), geom.eo_index(nf));
+        }
+      }
+    }
+  }
+}
+
+TEST(NeighborTable, WrapNeighboursAreInRangeOnMinimalLattice) {
+  const LatticeGeom geom(6);
+  const NeighborTable nbr(geom, Parity::Even);
+  for (std::int64_t s = 0; s < geom.half_volume(); ++s) {
+    for (int k = 0; k < kNdim; ++k) {
+      for (int l = 0; l < kNlinks; ++l) {
+        EXPECT_GE(nbr.at(s, k, l), 0);
+        EXPECT_LT(nbr.at(s, k, l), geom.half_volume());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace milc

@@ -1,0 +1,154 @@
+// test_multidev_sanitize.cpp — ksan over the halo pack/unpack kernels.
+//
+// The exact region declarations of sanitize_halo turn protocol bugs into
+// memcheck errors: a pack that reads past its gather list, or an unpack
+// that writes outside its own ghost span, is a GlobalOOB.  The third test
+// documents *why* the protocol keeps unpack and boundary compute in
+// separate launches: fusing them into one launch makes the ghost hand-off
+// an unordered cross-group access pair, which ksan reports as a race.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ksan/sanitizer.hpp"
+#include "multidev/halo_kernels.hpp"
+#include "multidev/runner.hpp"
+
+namespace milc::multidev {
+namespace {
+
+TEST(MultidevSanitize, HaloProtocolIsCleanOnEveryMessage) {
+  DslashProblem problem(12, /*seed=*/3);
+  const MultiDeviceRunner runner;
+  const std::vector<ksan::SanitizerReport> reports =
+      runner.sanitize_halo(problem, PartitionGrid::along(3, 2));
+
+  // 2 shards x 2 messages each, one pack + one unpack report per message.
+  ASSERT_EQ(reports.size(), 8u);
+  for (const ksan::SanitizerReport& rep : reports) {
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+    EXPECT_GT(rep.checked_global, 0u) << rep.kernel;
+  }
+}
+
+TEST(MultidevSanitize, MultiDimSplitIsCleanToo) {
+  DslashProblem problem(12, /*seed=*/3);
+  const MultiDeviceRunner runner;
+  const std::vector<ksan::SanitizerReport> reports =
+      runner.sanitize_halo(problem, PartitionGrid{.devices = {1, 1, 2, 2}});
+  ASSERT_EQ(reports.size(), 32u);  // 4 shards x 4 messages x {pack, unpack}
+  for (const ksan::SanitizerReport& rep : reports) {
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+  }
+}
+
+TEST(MultidevSanitize, OverlongPackCountIsFlaggedAsOOB) {
+  // A pack kernel whose count exceeds the real wire: the extra site reads
+  // past the gather list and stores past the wire buffer.
+  constexpr std::int64_t kSites = 8;
+  std::vector<SU3Vector<dcomplex>> src(kSites);
+  std::vector<std::int32_t> slots(kSites);
+  for (std::int64_t i = 0; i < kSites; ++i) slots[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  std::vector<dcomplex> wire(static_cast<std::size_t>(kSites * kColors));
+
+  HaloPackKernel pack{.src = src.data(),
+                      .slots = slots.data(),
+                      .wire = wire.data(),
+                      .count = kSites + 1};  // the bug
+
+  minisycl::LaunchSpec spec;
+  spec.local_size = 32;
+  spec.global_size = halo_global_size(pack.count, spec.local_size);
+  spec.num_phases = 1;
+  spec.traits = HaloPackKernel::traits();
+
+  ksan::SanitizeConfig cfg;
+  cfg.regions.push_back(ksan::region_of(src.data(), src.size()));
+  cfg.regions.push_back(ksan::region_of(slots.data(), slots.size()));
+  cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+  const ksan::SanitizerReport rep = ksan::sanitize_launch(spec, pack, cfg, "pack-overlong");
+
+  EXPECT_FALSE(rep.clean()) << rep.summary();
+  EXPECT_GT(rep.count(ksan::Category::GlobalOOB), 0u) << rep.summary();
+  EXPECT_EQ(rep.count(ksan::Category::GlobalRace), 0u) << rep.summary();
+}
+
+TEST(MultidevSanitize, MisplacedUnpackWriteIsFlaggedAsOOB) {
+  // An unpack aimed one slot past its message's ghost span: with the span
+  // declared exactly, the stray trailing store is out of bounds.
+  constexpr std::int64_t kSites = 8;
+  std::vector<dcomplex> wire(static_cast<std::size_t>(kSites * kColors));
+  std::vector<SU3Vector<dcomplex>> ghosts(kSites);
+
+  HaloUnpackKernel unpack{.wire = wire.data(),
+                          .field = ghosts.data(),
+                          .ghost_base = 1,  // the bug: off-by-one scatter base
+                          .count = kSites};
+
+  minisycl::LaunchSpec spec;
+  spec.local_size = 32;
+  spec.global_size = halo_global_size(kSites, spec.local_size);
+  spec.num_phases = 1;
+  spec.traits = HaloUnpackKernel::traits();
+
+  ksan::SanitizeConfig cfg;
+  cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+  cfg.regions.push_back(ksan::region_of(ghosts.data(), ghosts.size()));
+  const ksan::SanitizerReport rep =
+      ksan::sanitize_launch(spec, unpack, cfg, "unpack-misplaced");
+
+  EXPECT_FALSE(rep.clean()) << rep.summary();
+  EXPECT_GT(rep.count(ksan::Category::GlobalOOB), 0u) << rep.summary();
+}
+
+/// What a "fused" unpack + boundary-read kernel would look like: one group
+/// fills ghost slots while another consumes them inside the same launch.
+struct FusedUnpackAndRead {
+  static constexpr int kPhases = 1;
+
+  const dcomplex* wire = nullptr;
+  dcomplex* ghost = nullptr;
+  dcomplex* out = nullptr;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = "fused-unpack-read", .regs_per_thread = 16, .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int) { return 0; }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int /*phase*/) const {
+    const int lid = lane.local_id();
+    if (lane.group_id() == 0) {
+      lane.store(&ghost[lid], lane.load(&wire[lid]));  // the unpack half
+    } else {
+      lane.store(&out[lid], lane.load(&ghost[lid]));  // the boundary read
+    }
+  }
+};
+
+TEST(MultidevSanitize, FusedUnpackAndBoundaryReadIsACrossGroupRace) {
+  constexpr int kLocal = 32;
+  std::vector<dcomplex> wire(kLocal), ghost(kLocal), out(kLocal);
+  const FusedUnpackAndRead fused{.wire = wire.data(), .ghost = ghost.data(), .out = out.data()};
+
+  minisycl::LaunchSpec spec;
+  spec.local_size = kLocal;
+  spec.global_size = 2 * kLocal;  // group 0 produces, group 1 consumes
+  spec.num_phases = 1;
+  spec.traits = FusedUnpackAndRead::traits();
+
+  ksan::SanitizeConfig cfg;
+  cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+  cfg.regions.push_back(ksan::region_of(ghost.data(), ghost.size()));
+  cfg.regions.push_back(ksan::region_of(out.data(), out.size()));
+  const ksan::SanitizerReport rep = ksan::sanitize_launch(spec, fused, cfg);
+
+  // Work-groups are never ordered within a launch, so the ghost hand-off is
+  // a write/read race — the reason the real protocol splits the launches.
+  EXPECT_FALSE(rep.clean()) << rep.summary();
+  EXPECT_GT(rep.count(ksan::Category::GlobalRace), 0u) << rep.summary();
+  EXPECT_EQ(rep.count(ksan::Category::GlobalOOB), 0u) << rep.summary();
+}
+
+}  // namespace
+}  // namespace milc::multidev
