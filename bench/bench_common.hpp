@@ -103,25 +103,57 @@ class CsvSink {
 };
 
 /// Machine-readable JSON sink: one document per bench run,
-///   {"bench": "<name>", "rows": [{...}, ...]}
+///   {"bench": "<name>", "schema_version": 2, "rows": [...], "meta": {...}}
 /// Rows are either the standard RunResult columns (mirroring CsvSink) or
 /// free-form key/value objects built with begin_row()/field()/end_row() —
-/// the scaling bench uses the latter for its overlap metrics.
+/// the scaling bench uses the latter for its overlap metrics.  `meta` holds
+/// run-level facts accumulated with meta(): the fault seed and recovery
+/// summary of a --faults run, for instance.  Version history: 1 = bench +
+/// rows only; 2 = adds schema_version and the meta object.
 class JsonSink {
  public:
+  static constexpr int kSchemaVersion = 2;
+
   JsonSink(const std::string& path, const std::string& bench) {
     if (path.empty()) return;
     file_ = std::fopen(path.c_str(), "w");
-    if (file_ != nullptr) std::fprintf(file_, "{\"bench\": \"%s\", \"rows\": [", bench.c_str());
+    if (file_ != nullptr) {
+      std::fprintf(file_, "{\"bench\": \"%s\", \"schema_version\": %d, \"rows\": [",
+                   bench.c_str(), kSchemaVersion);
+    }
   }
   ~JsonSink() {
     if (file_ != nullptr) {
-      std::fprintf(file_, "\n]}\n");
+      std::fprintf(file_, "\n],\n\"meta\": {");
+      for (std::size_t i = 0; i < meta_.size(); ++i) {
+        std::fprintf(file_, "%s\n  %s", i == 0 ? "" : ",", meta_[i].c_str());
+      }
+      std::fprintf(file_, "\n}}\n");
       std::fclose(file_);
     }
   }
   JsonSink(const JsonSink&) = delete;
   JsonSink& operator=(const JsonSink&) = delete;
+
+  /// Run-level key/value facts, emitted under "meta" when the sink closes.
+  void meta(const char* key, double v) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "\"%s\": %.10g", key, v);
+    meta_.emplace_back(buf);
+  }
+  void meta(const char* key, std::int64_t v) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "\"%s\": %lld", key, static_cast<long long>(v));
+    meta_.emplace_back(buf);
+  }
+  void meta(const char* key, std::uint64_t v) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "\"%s\": %llu", key, static_cast<unsigned long long>(v));
+    meta_.emplace_back(buf);
+  }
+  void meta(const char* key, const std::string& v) {
+    meta_.emplace_back("\"" + std::string(key) + "\": \"" + v + "\"");
+  }
 
   void begin_row() {
     if (file_ == nullptr) return;
@@ -172,6 +204,7 @@ class JsonSink {
   std::FILE* file_ = nullptr;
   bool first_row_ = true;
   bool first_field_ = true;
+  std::vector<std::string> meta_;
 };
 
 inline void print_header(const char* title, const Options& o, std::int64_t sites) {

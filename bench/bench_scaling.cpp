@@ -12,11 +12,21 @@
 // Every grid is also self-verified bit-for-bit: the gathered multi-device
 // functional output must equal the single-device functional output of the
 // same strategy with max|diff| == 0.0, or the bench exits non-zero.
+// Chaos mode (--faults <seed>): instead of the scaling sweeps, the bench
+// runs seeded fault storms against the hardened multi-device path — link
+// storms on the 2- and 4-device grids, a scheduled all-kinds scenario
+// (drop + corrupt + delay + device loss in one run), and a sharded-CG solve
+// with a mid-solve device loss.  Every scenario must recover with output
+// bit-for-bit equal to the fault-free run and every injected fault
+// enumerated in the report, or the bench exits non-zero.  The JSON document
+// carries the fault seed and a recovery summary under "meta".
 #include <cstdlib>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "faultsim/faultsim.hpp"
 #include "multidev/runner.hpp"
+#include "multidev/sharded_cg.hpp"
 
 using namespace milc;
 using namespace milc::bench;
@@ -89,6 +99,192 @@ void emit(JsonSink& json, std::FILE* csv, const ScalingRow& r) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// One grid-level chaos scenario: a fault plan against the hardened runner.
+struct ChaosOutcome {
+  bool ok = true;
+  MultiDevResult res;
+  double diff = 0.0;
+};
+
+void print_faults(const std::vector<faultsim::FaultEvent>& faults) {
+  for (const faultsim::FaultEvent& ev : faults) {
+    std::printf("      [%-12s] %s occurrence %llu: %s\n", faultsim::to_string(ev.kind),
+                ev.site.c_str(), static_cast<unsigned long long>(ev.occurrence),
+                ev.detail.c_str());
+  }
+}
+
+ChaosOutcome run_chaos_grid(const char* name, const Options& opt, const PartitionGrid& grid,
+                            const faultsim::FaultPlan& plan, const RunRequest& req,
+                            JsonSink& json) {
+  // Fault-free expectation first (no injector installed).
+  const DslashRunner single;
+  DslashProblem clean(opt.L, opt.seed);
+  single.run_functional(clean, req.strategy, req.order, req.local_size);
+
+  DslashProblem problem(opt.L, opt.seed);
+  const MultiDeviceRunner multi;
+  MultiDevRequest mreq;
+  mreq.grid = grid;
+  mreq.req = req;
+  ChaosOutcome out;
+  {
+    faultsim::ScopedFaultInjection fi(plan);
+    out.res = multi.run(problem, mreq);
+  }
+  out.diff = max_abs_diff(clean.c(), problem.c());
+  out.ok = out.res.recovered && out.diff == 0.0 && !out.res.faults.empty();
+
+  const ExchangeReport& xr = out.res.exchange;
+  std::printf("  %-22s %d dev -> %-10s faults %3zu  drops %2d corrupt %2d delay %2d  "
+              "retrans %2d rounds %d  failovers %zu  %s\n",
+              name, grid.total(), out.res.final_grid.label().c_str(), out.res.faults.size(),
+              xr.drops, xr.corruptions, xr.delays, xr.retransmissions, xr.rounds,
+              out.res.failovers.size(),
+              out.ok ? (out.diff == 0.0 ? "recovered exact" : "recovered")
+                     : "NOT RECOVERED");
+  print_faults(out.res.faults);
+
+  json.begin_row();
+  json.field("scenario", std::string(name));
+  json.field("devices", static_cast<std::int64_t>(grid.total()));
+  json.field("final_grid", out.res.final_grid.label());
+  json.field("recovered", static_cast<std::int64_t>(out.res.recovered ? 1 : 0));
+  json.field("max_abs_diff", out.diff);
+  json.field("faults", static_cast<std::int64_t>(out.res.faults.size()));
+  json.field("drops", static_cast<std::int64_t>(xr.drops));
+  json.field("corruptions", static_cast<std::int64_t>(xr.corruptions));
+  json.field("delays", static_cast<std::int64_t>(xr.delays));
+  json.field("retransmissions", static_cast<std::int64_t>(xr.retransmissions));
+  json.field("rounds", static_cast<std::int64_t>(xr.rounds));
+  json.field("failovers", static_cast<std::int64_t>(out.res.failovers.size()));
+  json.field("recovery_us", out.res.recovery_us);
+  json.end_row();
+  return out;
+}
+
+int run_chaos(const Options& opt, int max_devices, const RunRequest& req) {
+  std::printf("\nChaos mode: seeded fault storms against the hardened multi-device path\n");
+  std::printf("fault seed %llu; every scenario must recover bit-for-bit\n\n",
+              static_cast<unsigned long long>(opt.fault_seed));
+  JsonSink json(opt.json_path, "scaling-chaos");
+  bool ok = true;
+  int scenarios = 0;
+
+  // -- seeded link storms on the 2- and 4-device grids -----------------------
+  for (const int n : {2, 4}) {
+    if (n > max_devices) continue;
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.p_msg_drop = 0.25;
+    plan.p_msg_corrupt = 0.25;
+    plan.p_msg_delay = 0.25;
+    const char* name = n == 2 ? "link-storm-2dev" : "link-storm-4dev";
+    ok &= run_chaos_grid(name, opt, strong_grid(n), plan, req, json).ok;
+    ++scenarios;
+  }
+
+  // -- every fault kind in one scheduled run ---------------------------------
+  // The loss of device r3 fails the 4-device grid over to its fallback; the
+  // message faults are pinned to the r0<->r1 link, which survives the
+  // re-partition, so all four kinds provably fire in a single recovered run.
+  if (max_devices >= 4) {
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    using faultsim::FaultKind;
+    using faultsim::ScheduledFault;
+    plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1, "device r3"});
+    plan.schedule.push_back(ScheduledFault{FaultKind::msg_drop, 0, 1, "halo-exchange r0->r1"});
+    plan.schedule.push_back(
+        ScheduledFault{FaultKind::msg_corrupt, 1, 1, "halo-exchange r0->r1"});
+    plan.schedule.push_back(ScheduledFault{FaultKind::msg_delay, 0, 1, "halo-exchange r1->r0"});
+    const ChaosOutcome out =
+        run_chaos_grid("all-kinds-4dev", opt, strong_grid(4), plan, req, json);
+    ok &= out.ok;
+    bool drop = false, corrupt = false, delay = false, loss = false;
+    for (const faultsim::FaultEvent& ev : out.res.faults) {
+      drop |= ev.kind == faultsim::FaultKind::msg_drop;
+      corrupt |= ev.kind == faultsim::FaultKind::msg_corrupt;
+      delay |= ev.kind == faultsim::FaultKind::msg_delay;
+      loss |= ev.kind == faultsim::FaultKind::device_loss;
+    }
+    if (!(drop && corrupt && delay && loss)) {
+      std::printf("  all-kinds-4dev: a scheduled fault kind did not fire\n");
+      ok = false;
+    }
+    ++scenarios;
+  }
+
+  // -- device loss during a sharded CG solve ---------------------------------
+  {
+    const Coords dims{8, 8, 8, 12};
+    const double mass = 0.5;
+    ShardedCgConfig cfg;
+    cfg.cg.rel_tol = 1e-8;
+    cfg.cg.max_iterations = 400;
+    cfg.checkpoint_interval = 8;
+
+    ShardedCgSolver clean_solver(dims, opt.seed, mass, PartitionGrid::along(3, 2), cfg);
+    ColorField b(clean_solver.geom(), Parity::Even);
+    b.fill_random(opt.seed ^ 0x5a5a5a5aULL);
+    ColorField x_clean(clean_solver.geom(), Parity::Even);
+    const ShardedCgResult clean_res = clean_solver.solve(b, x_clean);
+
+    ShardedCgSolver solver(dims, opt.seed, mass, PartitionGrid::along(3, 2), cfg);
+    ColorField x(solver.geom(), Parity::Even);
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.schedule.push_back(
+        faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 30, 1, "device r"});
+    ShardedCgResult res;
+    {
+      faultsim::ScopedFaultInjection fi(plan);
+      res = solver.solve(b, x);
+    }
+    const double diff = max_abs_diff(x, x_clean);
+    const bool cg_ok = res.cg.converged && res.recovered_all && clean_res.cg.converged &&
+                       res.failovers_observed >= 1 && res.restarts >= 1 && diff == 0.0;
+    std::printf("  %-22s %s\n", "cg-device-loss", res.summary().c_str());
+    std::printf("  %-22s solution vs fault-free solve: max|diff| = %.3g (%s)\n", "",
+                diff, diff == 0.0 ? "bit-for-bit" : "MISMATCH");
+    print_faults(res.faults);
+    ok &= cg_ok;
+    ++scenarios;
+
+    json.begin_row();
+    json.field("scenario", std::string("cg-device-loss"));
+    json.field("devices", static_cast<std::int64_t>(2));
+    json.field("final_grid", res.final_grid.label());
+    json.field("recovered", static_cast<std::int64_t>(cg_ok ? 1 : 0));
+    json.field("max_abs_diff", diff);
+    json.field("faults", static_cast<std::int64_t>(res.faults.size()));
+    json.field("iterations", static_cast<std::int64_t>(res.cg.iterations));
+    json.field("restarts", static_cast<std::int64_t>(res.restarts));
+    json.field("failovers", static_cast<std::int64_t>(res.failovers_observed));
+    json.field("checkpoints", static_cast<std::int64_t>(res.checkpoints_taken));
+    json.field("relative_residual", res.cg.relative_residual);
+    json.end_row();
+
+    json.meta("cg_iterations", static_cast<std::int64_t>(res.cg.iterations));
+    json.meta("cg_restarts", static_cast<std::int64_t>(res.restarts));
+    json.meta("cg_failovers", static_cast<std::int64_t>(res.failovers_observed));
+  }
+
+  json.meta("mode", std::string("chaos"));
+  json.meta("fault_seed", opt.fault_seed);
+  json.meta("scenarios", static_cast<std::int64_t>(scenarios));
+  json.meta("all_recovered", static_cast<std::int64_t>(ok ? 1 : 0));
+
+  std::printf("\nchaos verdict: %s\n",
+              ok ? "every fault recovered, all outputs bit-for-bit exact"
+                 : "RECOVERY OR EXACTNESS FAILURE");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +300,7 @@ int main(int argc, char** argv) {
                        .order = IndexOrder::kMajor,
                        .local_size = 768,
                        .variant = Variant::SYCL};
+  if (opt.faults) return run_chaos(opt, max_devices, req);
   const DslashRunner single;
   const MultiDeviceRunner multi;
 

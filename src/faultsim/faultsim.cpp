@@ -41,8 +41,19 @@ const char* to_string(FaultKind k) {
     case FaultKind::sticky_fault: return "sticky-fault";
     case FaultKind::bit_flip: return "bit-flip";
     case FaultKind::hang: return "hang";
+    case FaultKind::msg_drop: return "msg-drop";
+    case FaultKind::msg_corrupt: return "msg-corrupt";
+    case FaultKind::msg_delay: return "msg-delay";
+    case FaultKind::device_loss: return "device-loss";
   }
   return "unknown";
+}
+
+void flip_bit(void* data, std::size_t bytes, std::uint64_t key) {
+  if (data == nullptr || bytes == 0) return;
+  const std::uint64_t pick = splitmix64(key);
+  auto* p = static_cast<unsigned char*>(data) + pick % bytes;
+  *p = static_cast<unsigned char>(*p ^ (1u << ((pick >> 32) % 8)));
 }
 
 Injector* Injector::current() { return g_current; }
@@ -108,6 +119,7 @@ LaunchVerdict Injector::on_kernel_launch(const std::string& name) {
   const std::uint64_t attempt = launch_counter_++;
 
   LaunchVerdict v;
+  bool scheduled = false;
   // Explicit schedule wins over probability.
   for (const ScheduledFault& s : plan_.schedule) {
     if (s.kind != FaultKind::launch_fail && s.kind != FaultKind::sticky_fault &&
@@ -118,6 +130,7 @@ LaunchVerdict Injector::on_kernel_launch(const std::string& name) {
     if (occ >= s.index && occ < s.index + s.repeat) {
       v.faulted = true;
       v.kind = s.kind;
+      scheduled = true;
       break;
     }
   }
@@ -140,7 +153,7 @@ LaunchVerdict Injector::on_kernel_launch(const std::string& name) {
   // consecutive failures of one site the fault clears, so bounded retry
   // always gets past it.  (A *scheduled* sticky fault honours its own
   // `repeat` instead — it fired through the schedule branch above.)
-  if (v.faulted && v.kind == FaultKind::sticky_fault) {
+  if (v.faulted && v.kind == FaultKind::sticky_fault && !scheduled) {
     if (st.consecutive_sticky >= plan_.sticky_burst) {
       v.faulted = false;
       st.consecutive_sticky = 0;
@@ -219,6 +232,90 @@ bool Injector::maybe_corrupt(const std::string& name) {
     byte_index -= r.bytes;
   }
   return false;
+}
+
+LinkVerdict Injector::on_message(const std::string& site, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& st = site_state(site);
+  const std::uint64_t occ = st.launches++;  // per-site message occurrence
+  const std::uint64_t msg = message_counter_++;
+
+  LinkVerdict v;
+  // Explicit schedule wins over probability; entries compose (a message can
+  // be scheduled both delayed and corrupted).
+  for (const ScheduledFault& s : plan_.schedule) {
+    if (s.kind != FaultKind::msg_drop && s.kind != FaultKind::msg_corrupt &&
+        s.kind != FaultKind::msg_delay) {
+      continue;
+    }
+    if (!s.site_filter.empty() && site.find(s.site_filter) == std::string::npos) continue;
+    if (occ < s.index || occ >= s.index + s.repeat) continue;
+    if (s.kind == FaultKind::msg_drop) v.dropped = true;
+    if (s.kind == FaultKind::msg_corrupt) v.corrupted = true;
+    if (s.kind == FaultKind::msg_delay) v.delayed = true;
+  }
+  if (!v.dropped && plan_.p_msg_drop > 0.0 &&
+      draw(FaultKind::msg_drop, msg) < plan_.p_msg_drop) {
+    v.dropped = true;
+  }
+  if (!v.corrupted && plan_.p_msg_corrupt > 0.0 &&
+      draw(FaultKind::msg_corrupt, msg) < plan_.p_msg_corrupt) {
+    v.corrupted = true;
+  }
+  if (!v.delayed && plan_.p_msg_delay > 0.0 &&
+      draw(FaultKind::msg_delay, msg) < plan_.p_msg_delay) {
+    v.delayed = true;
+  }
+
+  // A dropped message never arrives: nothing to corrupt or delay.
+  if (v.dropped) {
+    v.corrupted = false;
+    v.delayed = false;
+  }
+  if (v.delayed) {
+    v.extra_latency_us = plan_.delay_latency_us;
+    v.bw_factor = plan_.delay_bw_factor;
+  }
+  if (v.corrupted) {
+    v.corrupt_key = splitmix64(plan_.seed) ^ 0xc0442f7ULL ^ msg;
+  }
+
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "message %llu (%llu B)",
+                static_cast<unsigned long long>(occ),
+                static_cast<unsigned long long>(bytes));
+  if (v.dropped) record(FaultKind::msg_drop, site, occ, buf);
+  if (v.corrupted) record(FaultKind::msg_corrupt, site, occ, buf);
+  if (v.delayed) record(FaultKind::msg_delay, site, occ, buf);
+  return v;
+}
+
+bool Injector::on_device_check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& st = site_state(site);
+  const std::uint64_t occ = st.launches++;  // per-site consult occurrence
+  const std::uint64_t chk = device_counter_++;
+
+  bool lost = false;
+  for (const ScheduledFault& s : plan_.schedule) {
+    if (s.kind != FaultKind::device_loss) continue;
+    if (!s.site_filter.empty() && site.find(s.site_filter) == std::string::npos) continue;
+    if (occ >= s.index && occ < s.index + s.repeat) {
+      lost = true;
+      break;
+    }
+  }
+  if (!lost && plan_.p_device_loss > 0.0 &&
+      draw(FaultKind::device_loss, chk) < plan_.p_device_loss) {
+    lost = true;
+  }
+  if (lost) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "health check %llu",
+                  static_cast<unsigned long long>(occ));
+    record(FaultKind::device_loss, site, occ, buf);
+  }
+  return lost;
 }
 
 void Injector::set_corruption_targets(std::vector<MemRegion> regions) {

@@ -33,9 +33,21 @@ enum class FaultKind {
   sticky_fault,  ///< transient device fault; clears after `sticky_burst` retries
   bit_flip,      ///< ECC-like single-bit corruption of a registered device region
   hang,          ///< kernel never completes; watchdog expires on the simulated timeline
+  msg_drop,      ///< link message lost in flight; never delivered
+  msg_corrupt,   ///< link message delivered with a flipped payload bit
+  msg_delay,     ///< link latency spike + degraded bandwidth for one message
+  device_loss,   ///< whole simulated device lost; triggers failover
 };
 
+inline constexpr std::size_t kNumFaultKinds = 9;
+
 [[nodiscard]] const char* to_string(FaultKind k);
+
+/// Deterministically flip one bit of `bytes` bytes at `data`, picked by
+/// hashing `key` — the same helper the injector uses internally, exposed so
+/// link-level corruption can be applied by whoever owns the wire payload
+/// (gpusim prices messages; the multidev runner owns the receive buffers).
+void flip_bit(void* data, std::size_t bytes, std::uint64_t key);
 
 /// Byte extent eligible for bit-flip corruption (the caller registers the
 /// exact field extents, e.g. via milc::declare_dslash_regions).
@@ -68,8 +80,17 @@ struct FaultPlan {
   double p_sticky = 0.0;
   double p_bit_flip = 0.0;
   double p_hang = 0.0;
+  double p_msg_drop = 0.0;
+  double p_msg_corrupt = 0.0;
+  double p_msg_delay = 0.0;
+  double p_device_loss = 0.0;
 
   AllocFailMode alloc_fail_mode = AllocFailMode::return_null;
+
+  /// A delayed message pays this much extra latency and has its bandwidth
+  /// divided by `delay_bw_factor` — a congestion spike, not a loss.
+  double delay_latency_us = 25.0;
+  double delay_bw_factor = 4.0;
 
   /// A sticky fault fires for at most this many *consecutive* launches of the
   /// same kernel site, then clears — the defining property of a transient
@@ -98,6 +119,20 @@ struct LaunchVerdict {
   bool faulted = false;
   FaultKind kind = FaultKind::launch_fail;  ///< valid when faulted
   double charge_us = 0.0;  ///< extra simulated time (watchdog timeout for hangs)
+};
+
+/// Outcome of consulting the injector for one link message.  A message can be
+/// delayed *and* corrupted; a dropped message is only dropped (nothing
+/// arrives, so there is no payload left to corrupt).
+struct LinkVerdict {
+  bool dropped = false;
+  bool corrupted = false;
+  bool delayed = false;
+  double extra_latency_us = 0.0;  ///< added to the link latency when delayed
+  double bw_factor = 1.0;         ///< divides the link bandwidth when delayed
+  std::uint64_t corrupt_key = 0;  ///< feed to flip_bit() on the received payload
+
+  [[nodiscard]] bool clean() const { return !dropped && !corrupted && !delayed; }
 };
 
 /// Process-wide injector.  Thread-safe like usm::Registry; at most one plan
@@ -132,6 +167,19 @@ class Injector {
   /// point of ECC-like corruption).
   bool maybe_corrupt(const std::string& name);
 
+  /// Decide the fate of one link message at a named exchange site (e.g.
+  /// "halo-exchange r0->r1").  Schedule entries win over probabilistic draws;
+  /// occurrence counters are per site like kernel launches, so a
+  /// `site_filter` can target "the 2nd message on this link" exactly.
+  /// Priority when several kinds draw true: drop > corrupt; delay composes
+  /// with corrupt but not with drop.
+  [[nodiscard]] LinkVerdict on_message(const std::string& site, std::uint64_t bytes);
+
+  /// True when the named device is lost at this consult (one consult per
+  /// device per exchange round).  A lost device stays lost for the caller to
+  /// handle — the injector only decides the instant of failure.
+  [[nodiscard]] bool on_device_check(const std::string& site);
+
   /// Register the byte extents eligible for bit-flip corruption.
   void set_corruption_targets(std::vector<MemRegion> regions);
 
@@ -154,11 +202,13 @@ class Injector {
   FaultPlan plan_;
   std::vector<MemRegion> targets_;
   std::vector<FaultEvent> events_;
-  std::uint64_t counts_[5] = {0, 0, 0, 0, 0};
+  std::uint64_t counts_[kNumFaultKinds] = {};
 
   std::uint64_t alloc_counter_ = 0;
   std::uint64_t launch_counter_ = 0;   ///< all launch attempts (draw stream)
   std::uint64_t complete_counter_ = 0; ///< completed launches (bit-flip stream)
+  std::uint64_t message_counter_ = 0;  ///< all link messages (link draw stream)
+  std::uint64_t device_counter_ = 0;   ///< all device-loss consults
 
   // Per-kernel-site state (keyed by kernel name).
   struct SiteState {

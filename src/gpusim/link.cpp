@@ -5,6 +5,8 @@
 #include <string>
 #include <tuple>
 
+#include "faultsim/faultsim.hpp"
+
 namespace gpusim {
 
 bool is_nvlink(const LinkModel& m, int src, int dst) {
@@ -36,6 +38,32 @@ ExchangeReport simulate_exchange(const LinkModel& m, std::span<LinkMessage> msgs
     if (msg.bytes < 0) throw std::invalid_argument("simulate_exchange: negative byte count");
   }
 
+  // Consult the fault injector per message, in index order (deterministic).
+  // The verdict shapes the schedule below; the *caller* handles dropped and
+  // corrupted payloads (retransmission, flip_bit on receipt).
+  std::vector<double> extra_lat(msgs.size(), 0.0);
+  std::vector<double> bw_factor(msgs.size(), 1.0);
+  if (faultsim::Injector* inj = faultsim::Injector::current()) {
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      LinkMessage& msg = msgs[i];
+      const std::string site =
+          msg.site.empty() ? "halo-exchange r" + std::to_string(msg.src) + "->r" +
+                                 std::to_string(msg.dst)
+                           : msg.site;
+      const faultsim::LinkVerdict v =
+          inj->on_message(site, static_cast<std::uint64_t>(msg.bytes));
+      msg.dropped = v.dropped;
+      msg.corrupted = v.corrupted;
+      msg.delayed = v.delayed;
+      msg.corrupt_key = v.corrupt_key;
+      extra_lat[i] = v.extra_latency_us;
+      bw_factor[i] = v.bw_factor;
+      rep.dropped += v.dropped ? 1 : 0;
+      rep.corrupted += v.corrupted ? 1 : 0;
+      rep.delayed += v.delayed ? 1 : 0;
+    }
+  }
+
   std::vector<double> egress_free(static_cast<std::size_t>(num_devices), 0.0);
   std::vector<double> ingress_free(static_cast<std::size_t>(num_devices), 0.0);
   std::vector<bool> done(msgs.size(), false);
@@ -62,15 +90,26 @@ ExchangeReport simulate_exchange(const LinkModel& m, std::span<LinkMessage> msgs
     }
 
     LinkMessage& msg = msgs[pick];
-    const double wire = wire_time_us(m, msg.src, msg.dst, msg.bytes);
+    double wire = wire_time_us(m, msg.src, msg.dst, msg.bytes);
+    if (msg.delayed) {
+      // Congestion spike: extra latency plus a bandwidth divided by the
+      // plan's factor (bw_factor - 1 extra transfer times on top of one).
+      const double bw = is_nvlink(m, msg.src, msg.dst) ? m.nvlink_bw_gbs : m.pcie_bw_gbs;
+      wire += extra_lat[pick] +
+              (bw_factor[pick] - 1.0) * static_cast<double>(msg.bytes) / (bw * 1e3);
+    }
     msg.start_us = pick_ready;
     msg.done_us = pick_ready + wire;
     egress_free[static_cast<std::size_t>(msg.src)] = msg.done_us;
     ingress_free[static_cast<std::size_t>(msg.dst)] = msg.done_us;
     rep.egress_busy_us[static_cast<std::size_t>(msg.src)] += wire;
-    rep.arrival_us[static_cast<std::size_t>(msg.dst)] =
-        std::max(rep.arrival_us[static_cast<std::size_t>(msg.dst)], msg.done_us);
-    rep.finish_us = std::max(rep.finish_us, msg.done_us);
+    if (!msg.dropped) {
+      // A dropped message occupies the ports (it transmitted) but is never
+      // delivered, so it does not advance the receiver's arrival horizon.
+      rep.arrival_us[static_cast<std::size_t>(msg.dst)] =
+          std::max(rep.arrival_us[static_cast<std::size_t>(msg.dst)], msg.done_us);
+      rep.finish_us = std::max(rep.finish_us, msg.done_us);
+    }
     rep.total_bytes += msg.bytes;
     done[pick] = true;
   }

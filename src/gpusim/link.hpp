@@ -18,10 +18,18 @@
 // through NVSwitch (12 links x 25 GB/s); PCIe gen4 x16 sustains ~22 GB/s
 // after protocol overhead.  Latencies are end-to-end one-way software
 // latencies of small transfers (cudaMemcpyPeer-style), not raw SerDes.
+//
+// Fault injection: when a faultsim::Injector is installed, every message is
+// consulted (`Injector::on_message`) before scheduling — it may be dropped
+// (transmits, occupies ports, never delivered), corrupted (delivered with a
+// flipped payload bit; the *caller* owns the payload and applies
+// `faultsim::flip_bit(corrupt_key)` on receipt), or delayed (extra latency +
+// degraded bandwidth).  With no injector installed the schedule is untouched.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace gpusim {
@@ -54,6 +62,16 @@ struct LinkMessage {
   double depart_us = 0.0;
   double start_us = 0.0;
   double done_us = 0.0;
+
+  /// Fault-site label consulted by the injector; empty = the default
+  /// "halo-exchange r<src>->r<dst>".
+  std::string site;
+
+  // Filled in by simulate_exchange when a fault injector is installed.
+  bool dropped = false;     ///< transmitted but never delivered
+  bool corrupted = false;   ///< delivered; caller must flip_bit(corrupt_key)
+  bool delayed = false;     ///< latency spike + degraded bandwidth applied
+  std::uint64_t corrupt_key = 0;
 };
 
 /// Result of simulating one halo exchange.
@@ -62,6 +80,9 @@ struct ExchangeReport {
   std::int64_t total_bytes = 0;
   std::vector<double> arrival_us;       ///< per device: last inbound delivery (0 if none)
   std::vector<double> egress_busy_us;   ///< per device: total egress-port occupancy
+  int dropped = 0;                      ///< injected message losses this exchange
+  int corrupted = 0;                    ///< injected payload corruptions
+  int delayed = 0;                      ///< injected latency spikes
 };
 
 /// Event-driven simulation of a message set over the fabric.  Scheduling is

@@ -22,6 +22,14 @@
 // global arrays (ghosts included), with the identical kernel arithmetic —
 // so the multi-device output equals the single-device output of the same
 // strategy bit for bit, for any partition grid.  Tests assert == 0.0.
+// Fault tolerance (docs/RESILIENCE.md "distributed failure model"): when a
+// faultsim plan is installed, run() switches to a hardened path — halo
+// payloads carry checksums, failed/corrupted messages are retransmitted with
+// exponential backoff on the simulated clock under a per-exchange watchdog,
+// per-shard kernel faults ride the retry + strategy-fallback ladder, and an
+// unrecoverable device loss triggers failover onto a smaller partition grid.
+// With no plan installed the pre-existing code path runs untouched, so the
+// fault-free timeline and output stay bit-for-bit identical.
 #pragma once
 
 #include <string>
@@ -29,11 +37,26 @@
 
 #include "core/problem.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "gpusim/link.hpp"
 #include "ksan/sanitizer.hpp"
+#include "minisycl/queue.hpp"
 #include "multidev/partition.hpp"
 
 namespace milc::multidev {
+
+/// Retry/backoff/watchdog parameters of the hardened exchange path (only
+/// consulted when a fault plan is installed).
+struct ExchangeConfig {
+  int max_rounds = 4;             ///< delivery attempts per message (1 = no retry)
+  double backoff_base_us = 50.0;  ///< retransmit backoff = base * factor^(round-1)
+  double backoff_factor = 2.0;
+  double watchdog_us = 20'000.0;  ///< per-exchange watchdog on the simulated clock
+  int max_kernel_attempts = 4;    ///< per-shard kernel retry budget (incl. first try)
+  /// Strategy rungs tried per shard range after the requested strategy
+  /// exhausts its attempts (mirrors ResilientConfig::ladder).
+  std::vector<Strategy> ladder = {Strategy::LP3_1, Strategy::LP2, Strategy::LP1};
+};
 
 /// A multi-device run: which grid, which kernel configuration, what fabric.
 struct MultiDevRequest {
@@ -41,6 +64,11 @@ struct MultiDevRequest {
   RunRequest req{};  ///< strategy / order / preferred local size / variant
   gpusim::LinkModel link = gpusim::dgx_a100_links();
   int pack_local_size = 96;  ///< work-group size of the pack/unpack kernels
+  ExchangeConfig xcfg{};     ///< hardened-path parameters (fault plan installed)
+  /// Execution mode of the hardened path's queues; the sharded CG solver
+  /// runs functional applies through the same recovery machinery.  The
+  /// fault-free path ignores this (profiled by definition of run()).
+  minisycl::ExecMode mode = minisycl::ExecMode::profiled;
 };
 
 /// One device's slice of the overlap timeline (per iteration, microseconds).
@@ -58,6 +86,60 @@ struct DeviceTimeline {
   double iter_us = 0.0;      ///< max(P + I, A) + U + B
 };
 
+/// The fate of one halo message in one delivery round of the hardened path.
+struct ExchangeEvent {
+  int round = 1;  ///< 1-based delivery round (> 1 means a retransmission)
+  int src = 0;
+  int dst = 0;
+  std::string site;  ///< injector site name, "halo-exchange r<src>->r<dst>"
+  bool dropped = false;
+  bool corrupted = false;
+  bool delayed = false;
+  bool checksum_ok = true;  ///< payload checksum verified on receipt
+  bool delivered = false;   ///< verified and queued for unpack
+};
+
+/// Structured per-exchange account of the hardened path (this is the
+/// multidev-level report; gpusim::ExchangeReport is the raw wire schedule).
+/// Cumulative across failover attempts within one run.
+struct ExchangeReport {
+  int rounds = 0;           ///< delivery rounds used (1 per message set when clean)
+  int messages = 0;         ///< distinct messages attempted
+  int retransmissions = 0;  ///< message deliveries beyond the first round
+  int drops = 0;
+  int corruptions = 0;
+  int delays = 0;
+  int checksum_failures = 0;  ///< corrupted payloads caught on receipt
+  double backoff_us = 0.0;    ///< simulated backoff charged between rounds
+  bool watchdog_fired = false;
+  bool succeeded = false;  ///< every message verified within max_rounds
+  std::vector<ExchangeEvent> events;
+
+  [[nodiscard]] bool clean() const {
+    return retransmissions == 0 && drops == 0 && corruptions == 0 && delays == 0 &&
+           checksum_failures == 0 && !watchdog_fired;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// One failover: the partition grid abandoned, its replacement, and why.
+struct FailoverEvent {
+  PartitionGrid from{};
+  PartitionGrid to{};
+  std::string reason;
+  int attempt = 0;  ///< 0-based grid attempt the failure occurred in
+};
+
+/// One per-shard kernel recovery action under the hardened path.
+struct ShardRecovery {
+  int rank = 0;
+  std::string site;  ///< kernel site name ("dslash-interior r2", ...)
+  Strategy strategy = Strategy::LP3_1;
+  int attempt = 0;
+  std::string action;  ///< "retry" | "fallback"
+  double backoff_us = 0.0;
+};
+
 struct MultiDevResult {
   std::string label;
   int devices = 1;
@@ -73,6 +155,16 @@ struct MultiDevResult {
   double surface_fraction = 0.0;
   std::int64_t halo_bytes = 0;  ///< wire bytes per iteration, all devices
   std::vector<DeviceTimeline> per_device;
+
+  // --- hardened-path accounting (defaults = fault-free run) ---------------
+  bool recovered = true;        ///< false: recovery exhausted, output invalid
+  PartitionGrid final_grid{};   ///< grid actually used (differs after failover)
+  double recovery_us = 0.0;     ///< simulated time lost to faults and backoffs
+  ExchangeReport exchange;      ///< clean()/succeeded==false when fault-free
+  std::vector<FailoverEvent> failovers;
+  std::vector<ShardRecovery> shard_recoveries;
+  /// Injector log entries observed during this run (fault enumeration).
+  std::vector<faultsim::FaultEvent> faults;
 };
 
 class MultiDeviceRunner {
@@ -103,10 +195,33 @@ class MultiDeviceRunner {
   [[nodiscard]] std::vector<ksan::SanitizerReport> sanitize_halo(
       DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96) const;
 
+  /// ksan entry for the *hardened* exchange data flow: pack -> receiver-side
+  /// copy -> unpack-from-copy, with the first message of every shard
+  /// redelivered once (a retransmission) and re-unpacked in a separate launch
+  /// — the correct retry sequence, which must sanitize clean.  (Fusing both
+  /// unpacks into one launch is a cross-group write-write race; the test
+  /// suite demonstrates ksan catching exactly that.)
+  [[nodiscard]] std::vector<ksan::SanitizerReport> sanitize_exchange(
+      DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96) const;
+
  private:
+  [[nodiscard]] MultiDevResult run_plain(DslashProblem& problem,
+                                         const MultiDevRequest& mreq) const;
+  [[nodiscard]] MultiDevResult run_hardened(DslashProblem& problem,
+                                            const MultiDevRequest& mreq) const;
+  bool run_attempt(DslashProblem& problem, const MultiDevRequest& mreq,
+                   const PartitionGrid& grid, MultiDevResult& res,
+                   std::string& fail_reason) const;
+
   gpusim::MachineModel machine_;
   gpusim::Calibration cal_;
 };
+
+/// The next-smaller partition grid for failover: the lowest-index split
+/// dimension has its device count divided by its smallest prime factor
+/// (4 -> 2 -> 1, 3 -> 1), so every extent that divided the old grid divides
+/// the new one and local extents only grow.  Identity on 1x1x1x1.
+[[nodiscard]] PartitionGrid fallback_grid(const PartitionGrid& grid);
 
 /// Local size for a shard launch of `sites` sites: `preferred` when it
 /// qualifies, else the largest qualifying paper pool entry, else the

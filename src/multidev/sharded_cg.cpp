@@ -1,0 +1,397 @@
+#include "multidev/sharded_cg.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "core/dslash_ref.hpp"
+
+namespace milc::multidev {
+
+namespace {
+
+// FNV-1a over raw bytes — snapshot integrity checksums (matches the halo
+// payload checksum convention of runner.cpp).
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t field_sum(const ColorField& f) { return fnv1a(f.data(), f.bytes()); }
+
+/// A consistent solver state: everything needed to replay the CG recursion
+/// from iteration `iter`.  Snapshots live in host memory that is *not*
+/// registered as a corruption target (checkpoint storage is assumed
+/// ECC-clean / on stable storage), but each field still carries a byte
+/// checksum so a torn restore is detected rather than trusted.
+struct Snapshot {
+  ColorField x, r, p;
+  double rr = 0.0;
+  int iter = 0;
+  std::uint64_t sum_x = 0, sum_r = 0, sum_p = 0;
+  bool valid = false;
+
+  void take(const ColorField& x_, const ColorField& r_, const ColorField& p_, double rr_,
+            int iter_) {
+    x = x_;
+    r = r_;
+    p = p_;
+    rr = rr_;
+    iter = iter_;
+    sum_x = field_sum(x);
+    sum_r = field_sum(r);
+    sum_p = field_sum(p);
+    valid = true;
+  }
+
+  [[nodiscard]] bool intact() const {
+    return valid && field_sum(x) == sum_x && field_sum(r) == sum_r && field_sum(p) == sum_p;
+  }
+};
+
+faultsim::MemRegion region_of(const ColorField& f) {
+  return {reinterpret_cast<std::uint64_t>(f.data()), f.bytes()};
+}
+
+}  // namespace
+
+std::string ShardedCgResult::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "sharded-cg: %s in %d iters (rel %.3e true %.3e) | applies %d "
+                "(recomputes %d) checkpoints %d restarts %d failovers %d | grid %s | "
+                "faults %zu recovery %.1f us%s",
+                cg.converged ? "converged" : "NOT converged", cg.iterations,
+                cg.relative_residual, cg.true_relative_residual, applies, recomputes,
+                checkpoints_taken, restarts, failovers_observed, final_grid.label().c_str(),
+                faults.size(), recovery_us, recovered_all ? "" : " | RECOVERY EXHAUSTED");
+  return buf;
+}
+
+ShardedCgSolver::ShardedCgSolver(const Coords& dims, std::uint64_t gauge_seed, double mass,
+                                 PartitionGrid grid, ShardedCgConfig cfg)
+    : mass_(mass),
+      grid_(grid),
+      cfg_(std::move(cfg)),
+      problem_o_(dims, gauge_seed, Parity::Odd),
+      problem_e_(dims, gauge_seed, Parity::Even) {}
+
+ShardedCgSolver::ShardedCgSolver(int L, std::uint64_t gauge_seed, double mass,
+                                 PartitionGrid grid, ShardedCgConfig cfg)
+    : ShardedCgSolver(Coords{L, L, L, L}, gauge_seed, mass, grid, std::move(cfg)) {}
+
+bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
+  if (faultsim::Injector::current() == nullptr) {
+    // Fault-free: the plain functional protocol, bit-for-bit the exactness-
+    // tested path (and bit-for-bit what the identity test's lambda runs).
+    runner_.run_functional(problem, grid_, cfg_.strategy, cfg_.order, cfg_.local_size);
+    return true;
+  }
+  MultiDevRequest mreq;
+  mreq.grid = grid_;
+  mreq.req.strategy = cfg_.strategy;
+  mreq.req.order = cfg_.order;
+  mreq.req.local_size = cfg_.local_size;
+  mreq.link = cfg_.link;
+  mreq.xcfg = cfg_.xcfg;
+  mreq.mode = minisycl::ExecMode::functional;
+  const MultiDevResult mres = runner_.run(problem, mreq);
+  if (res != nullptr) {
+    res->recovery_us += mres.recovery_us;
+    if (!mres.failovers.empty()) {
+      res->failovers_observed += static_cast<int>(mres.failovers.size());
+      for (const FailoverEvent& f : mres.failovers) {
+        res->events.push_back({0, "failover", f.from.label() + " -> " + f.to.label() +
+                                                  " (" + f.reason + ")"});
+      }
+    }
+  }
+  if (!mres.failovers.empty()) {
+    // Adopt the surviving grid for every subsequent apply; the caller
+    // restores the last snapshot and replays on it.
+    grid_ = mres.final_grid;
+    failover_seen_ = true;
+  }
+  return mres.recovered;
+}
+
+bool ShardedCgSolver::apply_raw(const ColorField& in, ColorField& out,
+                                ShardedCgResult* res) {
+  // out = m^2 in - D_eo D_oe in, both hops through the sharded halo protocol.
+  problem_o_.b() = in;
+  if (!run_dslash(problem_o_, res)) return false;
+  problem_e_.b() = problem_o_.c();
+  if (!run_dslash(problem_e_, res)) return false;
+  out = in;
+  scale(mass_ * mass_, out);
+  axpy(-1.0, problem_e_.c(), out);
+  return true;
+}
+
+void ShardedCgSolver::apply_normal(const ColorField& in, ColorField& out) {
+  (void)apply_raw(in, out, nullptr);
+}
+
+void ShardedCgSolver::apply_reference(const ColorField& in, ColorField& out) const {
+  ColorField tmp(problem_o_.geom(), Parity::Odd);
+  dslash_reference(problem_o_.view(), problem_o_.neighbors(), in, tmp);
+  ColorField deo(problem_e_.geom(), Parity::Even);
+  dslash_reference(problem_e_.view(), problem_e_.neighbors(), tmp, deo);
+  out = in;
+  scale(mass_ * mass_, out);
+  axpy(-1.0, deo, out);
+}
+
+ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
+  ShardedCgResult res;
+  const LatticeGeom& g = geom();
+  faultsim::Injector* inj = faultsim::Injector::current();
+  const std::size_t log_mark = inj != nullptr ? inj->log().size() : 0;
+  failover_seen_ = false;
+
+  ColorField r(g, Parity::Even), Ap(g, Parity::Even);
+  ColorField pvec(g, Parity::Even);
+
+  // Silent-corruption surface: the live solver vectors plus the staging
+  // fields the applies stream through.  Snapshots and the ABFT anchors stay
+  // unregistered — that is the trust boundary of the scheme.
+  if (inj != nullptr) {
+    inj->set_corruption_targets({region_of(x), region_of(r), region_of(pvec),
+                                 region_of(Ap), region_of(problem_o_.b()),
+                                 region_of(problem_o_.c()), region_of(problem_e_.b()),
+                                 region_of(problem_e_.c())});
+  }
+
+  // ABFT anchor: z = A_ref r_abft via the serial reference, computed once.
+  // A is Hermitian, so every accepted apply y = A v must satisfy
+  // <r_abft, y> == <z, v> up to summation roundoff.
+  ColorField r_abft, z_abft;
+  double abft_norm_r = 0.0, abft_norm_z = 0.0;
+  if (cfg_.abft) {
+    r_abft = ColorField(g, Parity::Even);
+    r_abft.fill_random(cfg_.abft_seed);
+    z_abft = ColorField(g, Parity::Even);
+    apply_reference(r_abft, z_abft);
+    abft_norm_r = norm2(r_abft);
+    abft_norm_z = norm2(z_abft);
+  }
+
+  // One guarded operator application: recompute (bounded) until the ABFT
+  // identity holds.  Returns false on an unrecoverable apply or a persistent
+  // mismatch — the solve loop then restores a snapshot.
+  auto apply_checked = [&](const ColorField& in, ColorField& out) -> bool {
+    for (int attempt = 0;; ++attempt) {
+      if (!apply_raw(in, out, &res)) return false;
+      ++res.applies;
+      if (!cfg_.abft) return true;
+      const dcomplex lhs = dot(r_abft, out);
+      const dcomplex rhs = dot(z_abft, in);
+      const double err = std::hypot(lhs.re - rhs.re, lhs.im - rhs.im);
+      const double scale_lr = std::sqrt(abft_norm_r * norm2(out));
+      const double scale_zx = std::sqrt(abft_norm_z * norm2(in));
+      const double tol = cfg_.abft_rel_tol * (1.0 + scale_lr + scale_zx);
+      if (err <= tol) return true;
+      if (attempt >= cfg_.max_recomputes) return false;
+      ++res.recomputes;
+      char detail[128];
+      std::snprintf(detail, sizeof detail, "abft |<r,y>-<z,x>| = %.3e > %.3e", err, tol);
+      res.events.push_back({0, "recompute", detail});
+    }
+  };
+
+  const double b2 = norm2(b);
+  if (b2 == 0.0) {
+    x.zero();
+    res.cg.converged = true;
+    res.final_grid = grid_;
+    if (inj != nullptr) {
+      res.faults = inj->log_since(log_mark);
+      inj->set_corruption_targets({});
+    }
+    return res;
+  }
+  const double target = cfg_.cg.rel_tol * cfg_.cg.rel_tol * b2;
+
+  Snapshot snap;
+  double rr = 0.0;
+  int it = 0;
+  bool fatal = false;
+  // Iteration the last audit failure restored to.  A second audit failure
+  // against the same snapshot means the snapshot itself captured corrupted
+  // recursion state (the flip was below the audit threshold when it was
+  // taken) — restoring it again can never help, so the solver escalates to
+  // residual replacement instead.
+  int last_audit_restore_iter = -1;
+
+  // (Re)initialise the recursion from the current x: r = b - A x, p = r.
+  auto init_state = [&]() -> bool {
+    if (!apply_checked(x, Ap)) return false;
+    r = b;
+    axpy(-1.0, Ap, r);
+    pvec = r;
+    rr = norm2(r);
+    return true;
+  };
+
+  auto restore = [&](const char* why) -> bool {
+    if (res.restarts >= cfg_.max_restarts) return false;
+    ++res.restarts;
+    if (snap.intact()) {
+      x = snap.x;
+      r = snap.r;
+      pvec = snap.p;
+      rr = snap.rr;
+      it = snap.iter;
+      res.events.push_back({it, "restore", std::string(why) + " -> snapshot @ iter " +
+                                               std::to_string(snap.iter)});
+      return true;
+    }
+    // Snapshot missing or torn: restart the recursion from the current x
+    // (the CG iterate is still a valid initial guess even if perturbed).
+    res.events.push_back({it, "restore", std::string(why) + " -> reinit (no snapshot)"});
+    return init_state();
+  };
+
+  if (!init_state()) {
+    // Even the initial residual could not be computed cleanly; one restore
+    // pass (post-failover replay) is the only option left.
+    if (!restore("init failed")) fatal = true;
+  }
+  if (!fatal) snap.take(x, r, pvec, rr, it);
+  // A failover during init already replayed the whole apply on the surviving
+  // grid inside the runner, so the freshly snapshotted state is consistent.
+  failover_seen_ = false;
+
+  while (!fatal && it < cfg_.cg.max_iterations && rr > target) {
+    // Checkpoint cadence: audit the recursion against the true residual,
+    // then snapshot the audited state.
+    if (cfg_.checkpoint_interval > 0 && it > 0 && it % cfg_.checkpoint_interval == 0 &&
+        snap.iter != it) {
+      if (!apply_checked(x, Ap)) {
+        if (!restore("audit apply failed")) {
+          fatal = true;
+          break;
+        }
+        continue;
+      }
+      ColorField tr = b;
+      axpy(-1.0, Ap, tr);
+      const double tr2 = norm2(tr);
+      if (std::sqrt(tr2) >
+          cfg_.residual_audit_factor * std::sqrt(rr) + cfg_.cg.rel_tol * std::sqrt(b2)) {
+        char detail[128];
+        std::snprintf(detail, sizeof detail, "true res %.3e vs recursion %.3e",
+                      std::sqrt(tr2 / b2), std::sqrt(rr / b2));
+        res.events.push_back({it, "audit-restore", detail});
+        if (snap.intact() && snap.iter == last_audit_restore_iter) {
+          // The snapshot is provably unable to clear this audit: keep its
+          // iterate but rebuild the recursion from scratch (r = b - A x,
+          // p = r).  The rebuilt state is consistent by construction, so a
+          // finite corruption burst costs at most some lost progress.
+          if (res.restarts >= cfg_.max_restarts) {
+            fatal = true;
+            break;
+          }
+          ++res.restarts;
+          x = snap.x;
+          it = snap.iter;
+          res.events.push_back({it, "rebuild", "residual replacement @ iter " +
+                                                   std::to_string(it)});
+          if (!init_state()) {
+            fatal = true;
+            break;
+          }
+          snap.take(x, r, pvec, rr, it);
+          last_audit_restore_iter = -1;
+          continue;
+        }
+        if (!restore("residual audit failed")) {
+          fatal = true;
+          break;
+        }
+        last_audit_restore_iter = it;
+        continue;
+      }
+      snap.take(x, r, pvec, rr, it);
+      last_audit_restore_iter = -1;
+      ++res.checkpoints_taken;
+      res.events.push_back({it, "checkpoint",
+                            "rel res " + std::to_string(std::sqrt(rr / b2))});
+    }
+
+    if (!apply_checked(pvec, Ap)) {
+      if (!restore("apply unrecoverable")) {
+        fatal = true;
+        break;
+      }
+      continue;
+    }
+    if (failover_seen_) {
+      // The apply completed on the new grid, but iterations since the last
+      // snapshot mixed grids mid-flight; replay from the snapshot so the
+      // trajectory is the pure post-failover one (bit-reproducible from the
+      // seed thanks to the sharded Dslash's grid-independent exactness).
+      failover_seen_ = false;
+      if (!restore("device-loss failover")) {
+        fatal = true;
+        break;
+      }
+      continue;
+    }
+
+    const double pAp = dot(pvec, Ap).re;
+    if (!(pAp > 0.0)) {
+      // A negative curvature direction on an HPD operator means corrupted
+      // recursion state, not a property of the system: rebuild via residual
+      // replacement while the restart budget lasts.
+      if (res.restarts >= cfg_.max_restarts) break;
+      ++res.restarts;
+      res.events.push_back({it, "rebuild", "pAp breakdown; residual replacement"});
+      if (!init_state()) {
+        fatal = true;
+        break;
+      }
+      continue;
+    }
+    const double alpha = rr / pAp;
+    axpy(alpha, pvec, x);
+    axpy(-alpha, Ap, r);
+    const double rr_new = norm2(r);
+    xpay(r, rr_new / rr, pvec);
+    rr = rr_new;
+    ++it;
+    if (cfg_.cg.log_every > 0 && it % cfg_.cg.log_every == 0) {
+      std::printf("sharded-cg: iter %5d  rel res %.3e\n", it, std::sqrt(rr / b2));
+    }
+  }
+
+  res.cg.iterations = it;
+  res.cg.relative_residual = std::sqrt(rr / b2);
+  res.cg.converged = !fatal && rr <= target;
+  res.recovered_all = !fatal;
+
+  // True residual through the guarded apply (falls back to the last value on
+  // a persistent failure rather than reporting garbage).
+  if (apply_checked(x, Ap)) {
+    ColorField tr = b;
+    axpy(-1.0, Ap, tr);
+    res.cg.true_relative_residual = std::sqrt(norm2(tr) / b2);
+  } else {
+    res.cg.true_relative_residual = res.cg.relative_residual;
+    res.recovered_all = false;
+  }
+
+  res.final_grid = grid_;
+  if (inj != nullptr) {
+    res.faults = inj->log_since(log_mark);
+    inj->set_corruption_targets({});
+  }
+  return res;
+}
+
+}  // namespace milc::multidev

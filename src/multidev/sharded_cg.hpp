@@ -1,0 +1,132 @@
+// sharded_cg.hpp — the CG solver on top of the sharded multi-device Dslash,
+// with lightweight checkpoint/restart.
+//
+// This is the workload the halo layer exists for: MILC production runs spend
+// most of their time inverting A = m^2 I - D_eo D_oe at multi-GPU scale,
+// where a solve is minutes-to-hours long and a single link fault or device
+// loss must not discard it (DeTar et al. 2017).  The solver composes three
+// recovery tiers:
+//
+//  * the hardened MultiDeviceRunner underneath handles link faults
+//    (checksummed retransmission) and device loss (failover to a smaller
+//    grid) per Dslash application;
+//  * an ABFT identity guards every apply: A is Hermitian, so for a fixed
+//    random vector r with z = A_ref r computed once against the serial
+//    reference, every y = A x must satisfy <r, y> == <z, x> up to roundoff —
+//    one O(n) dot product per apply detects silent corruption of the apply;
+//    mismatch triggers a bounded recompute;
+//  * periodic snapshots of the solver state (x, r, p, ||r||^2, iteration),
+//    each guarded by a true-residual audit and byte checksums: persistent
+//    corruption or a device-loss failover restores the last consistent
+//    snapshot and replays — exactness of the sharded Dslash (bit-for-bit
+//    independent of the grid) makes the replay deterministic even on the
+//    post-failover grid.
+//
+// With no fault plan installed every tier is pass-through: the iteration
+// trajectory is bit-for-bit the one cg_solve produces over the same sharded
+// apply (asserted in tests/test_sharded_cg.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "multidev/runner.hpp"
+
+namespace milc::multidev {
+
+struct ShardedCgConfig {
+  CgOptions cg{};
+  Strategy strategy = Strategy::LP3_1;
+  IndexOrder order = IndexOrder::kMajor;
+  int local_size = 768;
+  gpusim::LinkModel link = gpusim::dgx_a100_links();
+  ExchangeConfig xcfg{};
+
+  /// Iterations between solver-state snapshots (0 disables checkpointing;
+  /// the initial state is always snapshotted).  Each checkpoint pays one
+  /// extra operator application for the true-residual audit.
+  int checkpoint_interval = 10;
+
+  bool abft = true;
+  std::uint64_t abft_seed = 0x5eed;
+  /// |<r,y> - <z,x>| <= tol * scale accepts an apply, scale grown with the
+  /// contracted norms; 1e-8 rides above kernel-vs-reference summation
+  /// roundoff while catching any injected bit flip of the fields.
+  double abft_rel_tol = 1e-8;
+  int max_recomputes = 2;  ///< ABFT-mismatch recomputes per apply (after the first)
+  int max_restarts = 8;    ///< checkpoint restores per solve
+  /// Checkpoint audit: the true residual may exceed the recursion residual
+  /// by at most this factor before the state is declared corrupted.
+  double residual_audit_factor = 1e3;
+};
+
+/// One solver-level recovery decision.
+struct SolverEvent {
+  int iteration = 0;
+  std::string kind;  ///< checkpoint | audit-restore | recompute | restore | rebuild | failover
+  std::string detail;
+};
+
+struct ShardedCgResult {
+  CgResult cg{};
+  bool recovered_all = true;  ///< false: a recovery budget was exhausted
+  int applies = 0;            ///< sharded operator applications (incl. recomputes)
+  int checkpoints_taken = 0;
+  int restarts = 0;    ///< checkpoint restores (ABFT, audit or failover)
+  int recomputes = 0;  ///< applies discarded by the ABFT check
+  int failovers_observed = 0;
+  PartitionGrid final_grid{};
+  double recovery_us = 0.0;  ///< simulated time lost to faults across all applies
+  std::vector<SolverEvent> events;
+  /// Every injected fault observed during the solve (replayable enumeration).
+  std::vector<faultsim::FaultEvent> faults;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// CG inversion of (m^2 - D_eo D_oe) on even sites where every D application
+/// runs through MultiDeviceRunner over a partition grid.
+class ShardedCgSolver {
+ public:
+  ShardedCgSolver(const Coords& dims, std::uint64_t gauge_seed, double mass,
+                  PartitionGrid grid, ShardedCgConfig cfg = {});
+  ShardedCgSolver(int L, std::uint64_t gauge_seed, double mass, PartitionGrid grid,
+                  ShardedCgConfig cfg = {});
+
+  [[nodiscard]] const LatticeGeom& geom() const { return problem_e_.geom(); }
+  [[nodiscard]] double mass() const { return mass_; }
+  [[nodiscard]] const ShardedCgConfig& config() const { return cfg_; }
+  /// The current grid (differs from the constructor's after a failover).
+  [[nodiscard]] const PartitionGrid& grid() const { return grid_; }
+
+  /// Solve A x = b (both even-parity).  `x` is the initial guess and holds
+  /// the solution on return.  Never throws for injected fault kinds.
+  [[nodiscard]] ShardedCgResult solve(const ColorField& b, ColorField& x);
+
+  /// One sharded application out = (m^2 - D_eo D_oe) in, exposed for the
+  /// bit-for-bit identity tests.  No recovery tiers — the hardened runner's
+  /// own tiers still apply when a fault plan is installed.
+  void apply_normal(const ColorField& in, ColorField& out);
+
+  /// Trusted serial-reference apply (dslash_reference twice) — the ABFT
+  /// anchor and the convergence oracle of the chaos tests.
+  void apply_reference(const ColorField& in, ColorField& out) const;
+
+ private:
+  /// Run one Dslash (problem.c() = D problem.b()) through the sharded path;
+  /// returns false when the hardened runner exhausted recovery.  Adopts the
+  /// post-failover grid and flags `failover_seen_`.
+  bool run_dslash(DslashProblem& problem, ShardedCgResult* res);
+  bool apply_raw(const ColorField& in, ColorField& out, ShardedCgResult* res);
+
+  double mass_;
+  PartitionGrid grid_;
+  ShardedCgConfig cfg_;
+  DslashProblem problem_o_;  ///< target Odd:  c = D_oe b (b even)
+  DslashProblem problem_e_;  ///< target Even: c = D_eo b (b odd)
+  MultiDeviceRunner runner_;
+  bool failover_seen_ = false;
+};
+
+}  // namespace milc::multidev

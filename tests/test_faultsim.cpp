@@ -295,6 +295,135 @@ TEST(FaultSim, LogSinceReturnsOnlyNewEvents) {
   q.wait_and_throw();
 }
 
+TEST(FaultSim, ScheduledStickyHonoursItsRepeatCount) {
+  // A *scheduled* sticky fault fires for exactly `repeat` occurrences — the
+  // probabilistic sticky_burst clearing must not cut it short, or retry
+  // ladders can never be driven past their first rung deterministically.
+  FaultPlan plan;
+  plan.sticky_burst = 2;  // would clear a probabilistic sticky after 2
+  plan.schedule.push_back(ScheduledFault{FaultKind::sticky_fault, 0, 5, {}});
+  ScopedFaultInjection fi(plan);
+
+  std::vector<double> buf(1024, 0.0);
+  queue q(ExecMode::functional, QueueOrder::in_order, gpusim::a100(),
+          gpusim::default_calibration(), [](exception_list) {});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(submit_once(q, buf, "scheduled-sticky").fault, "sticky-fault") << i;
+  }
+  EXPECT_TRUE(submit_once(q, buf, "scheduled-sticky").fault.empty());
+  EXPECT_EQ(fi.injector().injected(FaultKind::sticky_fault), 5u);
+  q.wait_and_throw();
+}
+
+TEST(FaultSim, MessageVerdictsAreDeterministicAcrossRuns) {
+  auto run = [] {
+    FaultPlan plan;
+    plan.seed = 404;
+    plan.p_msg_drop = 0.25;
+    plan.p_msg_corrupt = 0.25;
+    plan.p_msg_delay = 0.25;
+    ScopedFaultInjection fi(plan);
+    std::vector<faultsim::LinkVerdict> verdicts;
+    for (int i = 0; i < 64; ++i) {
+      verdicts.push_back(fi.injector().on_message("halo-exchange r0->r1", 4096));
+    }
+    return verdicts;
+  };
+  const auto a = run();
+  const auto b = run();
+  bool any = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dropped, b[i].dropped);
+    EXPECT_EQ(a[i].corrupted, b[i].corrupted);
+    EXPECT_EQ(a[i].delayed, b[i].delayed);
+    EXPECT_EQ(a[i].corrupt_key, b[i].corrupt_key);
+    any = any || a[i].dropped || a[i].corrupted || a[i].delayed;
+  }
+  EXPECT_TRUE(any) << "the storm must actually fire over 64 messages";
+}
+
+TEST(FaultSim, DroppedMessageIsNeitherCorruptedNorDelayed) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::msg_drop, 0, 1, {}});
+  plan.schedule.push_back(ScheduledFault{FaultKind::msg_corrupt, 0, 1, {}});
+  plan.schedule.push_back(ScheduledFault{FaultKind::msg_delay, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  const auto v = fi.injector().on_message("halo-exchange r0->r1", 1024);
+  EXPECT_TRUE(v.dropped) << "a lost message never arrives";
+  EXPECT_FALSE(v.corrupted);
+  EXPECT_FALSE(v.delayed);
+  EXPECT_EQ(fi.injector().injected(FaultKind::msg_drop), 1u);
+  EXPECT_EQ(fi.injector().injected(FaultKind::msg_corrupt), 0u);
+}
+
+TEST(FaultSim, MessageSiteFilterSelectsOneLink) {
+  // The schedule grammar addresses multidev wire names directly: a filter of
+  // "r0->r1" picks out one direction of one link and leaves the rest alone.
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::msg_corrupt, 0, 100, "r0->r1"});
+  ScopedFaultInjection fi(plan);
+
+  const auto hit = fi.injector().on_message("halo-exchange r0->r1", 512);
+  const auto reverse = fi.injector().on_message("halo-exchange r1->r0", 512);
+  const auto other = fi.injector().on_message("halo-exchange r2->r3", 512);
+  EXPECT_TRUE(hit.corrupted);
+  EXPECT_NE(hit.corrupt_key, 0u);
+  EXPECT_FALSE(reverse.corrupted);
+  EXPECT_FALSE(other.corrupted);
+}
+
+TEST(FaultSim, DelayedMessageCarriesThePlannedPenalty) {
+  FaultPlan plan;
+  plan.delay_latency_us = 17.0;
+  plan.delay_bw_factor = 3.0;
+  plan.schedule.push_back(ScheduledFault{FaultKind::msg_delay, 0, 1, {}});
+  ScopedFaultInjection fi(plan);
+
+  const auto v = fi.injector().on_message("halo-exchange r0->r1", 2048);
+  EXPECT_TRUE(v.delayed);
+  EXPECT_FALSE(v.dropped);
+  EXPECT_DOUBLE_EQ(v.extra_latency_us, 17.0);
+  EXPECT_DOUBLE_EQ(v.bw_factor, 3.0);
+}
+
+TEST(FaultSim, FlipBitIsDeterministicAndFlipsExactlyOneBit) {
+  std::vector<unsigned char> a(256, 0xA5);
+  std::vector<unsigned char> b(256, 0xA5);
+  faultsim::flip_bit(a.data(), a.size(), /*key=*/0xfeedULL);
+  faultsim::flip_bit(b.data(), b.size(), /*key=*/0xfeedULL);
+  EXPECT_EQ(a, b) << "the same key must flip the same bit";
+
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    unsigned x = a[i] ^ 0xA5u;
+    while (x != 0) {
+      diff_bits += static_cast<int>(x & 1u);
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(diff_bits, 1);
+
+  // Flipping again with the same key restores the original payload — the
+  // property the checksum-retry path relies on for idempotent re-delivery.
+  faultsim::flip_bit(a.data(), a.size(), /*key=*/0xfeedULL);
+  EXPECT_EQ(a, std::vector<unsigned char>(256, 0xA5));
+}
+
+TEST(FaultSim, DeviceLossFiresOnItsScheduledOccurrence) {
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 2, 1, "device r1"});
+  ScopedFaultInjection fi(plan);
+
+  // Occurrences 0 and 1 pass; occurrence 2 is the loss.  A different site
+  // keeps its own occurrence counter and never fires.
+  EXPECT_FALSE(fi.injector().on_device_check("device r1 @ 1x1x1x2"));
+  EXPECT_FALSE(fi.injector().on_device_check("device r1 @ 1x1x1x2"));
+  EXPECT_TRUE(fi.injector().on_device_check("device r1 @ 1x1x1x2"));
+  EXPECT_FALSE(fi.injector().on_device_check("device r0 @ 1x1x1x2"));
+  EXPECT_EQ(fi.injector().injected(FaultKind::device_loss), 1u);
+}
+
 TEST(FaultSim, WaitDoesNotProcessAsyncErrors) {
   FaultPlan plan;
   plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 1, {}});

@@ -5,7 +5,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "faultsim/faultsim.hpp"
 #include "gpusim/link.hpp"
+
+// LinkMessage is an aggregate whose trailing members (site, fault flags,
+// start/done times) are outputs of simulate_exchange; tests designated-
+// initialise only the inputs.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
 
 namespace gpusim {
 namespace {
@@ -99,6 +107,98 @@ TEST(SimulateExchange, ScheduleIsDeterministic) {
     EXPECT_DOUBLE_EQ(a[i].start_us, b[i].start_us);
     EXPECT_DOUBLE_EQ(a[i].done_us, b[i].done_us);
   }
+}
+
+TEST(SimulateExchange, DroppedMessageOccupiesPortsButNeverArrives) {
+  faultsim::FaultPlan plan;
+  plan.schedule.push_back(
+      faultsim::ScheduledFault{faultsim::FaultKind::msg_drop, 0, 1, "r0->r1"});
+  faultsim::ScopedFaultInjection fi(plan);
+
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {
+      {.src = 0, .dst = 1, .bytes = 1'000'000},
+      {.src = 0, .dst = 2, .bytes = 1'000'000},
+  };
+  const ExchangeReport rep = simulate_exchange(m, msgs, 4);
+  const double one = wire_time_us(m, 0, 1, 1'000'000);
+
+  EXPECT_TRUE(msgs[0].dropped);
+  EXPECT_FALSE(msgs[1].dropped);
+  EXPECT_EQ(rep.dropped, 1);
+  // The lost message still burned device 0's egress port — its sibling had
+  // to wait behind it — but it contributes nothing to the arrival horizon.
+  EXPECT_DOUBLE_EQ(msgs[1].start_us, one);
+  EXPECT_DOUBLE_EQ(rep.arrival_us[1], 0.0) << "nothing was delivered to device 1";
+  EXPECT_DOUBLE_EQ(rep.finish_us, msgs[1].done_us);
+}
+
+TEST(SimulateExchange, DelayedMessagePaysLatencyAndBandwidthPenalty) {
+  faultsim::FaultPlan plan;
+  plan.delay_latency_us = 25.0;
+  plan.delay_bw_factor = 2.0;
+  plan.schedule.push_back(
+      faultsim::ScheduledFault{faultsim::FaultKind::msg_delay, 0, 1, "r0->r1"});
+  faultsim::ScopedFaultInjection fi(plan);
+
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {{.src = 0, .dst = 1, .bytes = 1'000'000}};
+  simulate_exchange(m, msgs, 2);
+
+  EXPECT_TRUE(msgs[0].delayed);
+  const double clean = wire_time_us(m, 0, 1, 1'000'000);
+  // A bw_factor of 2 doubles the transfer term: one extra bytes/bw on top
+  // of the clean wire time, plus the latency spike.
+  const double extra = 25.0 + 1'000'000 / (m.nvlink_bw_gbs * 1e3);
+  EXPECT_NEAR(msgs[0].done_us, clean + extra, 1e-9);
+}
+
+TEST(SimulateExchange, CorruptedMessageArrivesWithAKey) {
+  faultsim::FaultPlan plan;
+  plan.seed = 9;
+  plan.schedule.push_back(
+      faultsim::ScheduledFault{faultsim::FaultKind::msg_corrupt, 0, 1, "r0->r1"});
+  faultsim::ScopedFaultInjection fi(plan);
+
+  const LinkModel m = dgx_a100_links();
+  std::vector<LinkMessage> msgs = {{.src = 0, .dst = 1, .bytes = 1'000'000}};
+  const ExchangeReport rep = simulate_exchange(m, msgs, 2);
+
+  EXPECT_TRUE(msgs[0].corrupted);
+  EXPECT_NE(msgs[0].corrupt_key, 0u);
+  EXPECT_EQ(rep.corrupted, 1);
+  // Corruption is a payload event, not a timing event.
+  EXPECT_DOUBLE_EQ(msgs[0].done_us, wire_time_us(m, 0, 1, 1'000'000));
+  EXPECT_DOUBLE_EQ(rep.arrival_us[1], msgs[0].done_us);
+}
+
+TEST(SimulateExchange, FaultedScheduleIsDeterministic) {
+  auto run = [] {
+    faultsim::FaultPlan plan;
+    plan.seed = 31;
+    plan.p_msg_drop = 0.3;
+    plan.p_msg_delay = 0.3;
+    faultsim::ScopedFaultInjection fi(plan);
+    const LinkModel m = dgx_a100_links();
+    std::vector<LinkMessage> msgs;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (i != j) msgs.push_back({.src = i, .dst = j, .bytes = 250'000});
+      }
+    }
+    simulate_exchange(m, msgs, 4);
+    return msgs;
+  };
+  const auto a = run();
+  const auto b = run();
+  int faulted = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dropped, b[i].dropped);
+    EXPECT_EQ(a[i].delayed, b[i].delayed);
+    EXPECT_DOUBLE_EQ(a[i].done_us, b[i].done_us);
+    faulted += (a[i].dropped || a[i].delayed) ? 1 : 0;
+  }
+  EXPECT_GT(faulted, 0) << "the storm must actually fire over 12 messages";
 }
 
 TEST(SimulateExchange, RejectsMalformedMessages) {

@@ -1,0 +1,408 @@
+// test_multidev_chaos.cpp — the hardened multi-device path under seeded
+// fault storms: checksummed halo retransmission, per-shard kernel recovery,
+// device-loss failover, and the fault-free dispatcher identity.
+//
+// The central contract: *link* faults never change the output at all.  A
+// dropped or corrupted message is retransmitted from the sender's pristine
+// pack buffer, so the bytes that finally unpack are the bytes that would
+// have arrived in a clean run — the gathered field must equal the fault-free
+// field bit for bit, not just within tolerance.  Kernel-level faults that
+// exhaust the retry budget fall back down the strategy ladder, which changes
+// the summation order on the affected shard only: every other shard must
+// still be bit-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/dslash_ref.hpp"
+#include "multidev/runner.hpp"
+
+namespace milc::multidev {
+namespace {
+
+using faultsim::FaultKind;
+using faultsim::FaultPlan;
+using faultsim::ScheduledFault;
+using faultsim::ScopedFaultInjection;
+
+constexpr int kL = 12;
+
+const RunRequest kReq{.strategy = Strategy::LP3_1,
+                      .order = IndexOrder::kMajor,
+                      .local_size = 768,
+                      .variant = Variant::SYCL};
+
+/// The fault-free functional output of the same kernel configuration (the
+/// single-device result — the exactness oracle for every grid).
+ColorField clean_output(std::uint64_t seed) {
+  DslashProblem problem(kL, seed);
+  const DslashRunner single;
+  single.run_functional(problem, kReq.strategy, kReq.order, kReq.local_size);
+  return problem.c();
+}
+
+MultiDevResult run_hardened(DslashProblem& problem, const PartitionGrid& grid) {
+  const MultiDeviceRunner runner;
+  MultiDevRequest mreq;
+  mreq.grid = grid;
+  mreq.req = kReq;
+  return runner.run(problem, mreq);
+}
+
+TEST(MultidevChaos, NoPlanDispatchesToTheUntouchedPath) {
+  // With no injector installed, run() must behave exactly like the pre-fault
+  // implementation: identical field output, default exchange accounting, no
+  // recovery bookkeeping.  (Profiled timings are not compared: simulated
+  // stats depend on the addresses of per-run scratch allocations.)
+  DslashProblem a(kL, /*seed=*/5);
+  const MultiDeviceRunner runner;
+  MultiDevRequest mreq;
+  mreq.grid = PartitionGrid::along(3, 2);
+  mreq.req = kReq;
+  const MultiDevResult r1 = runner.run(a, mreq);
+  const ColorField first = a.c();
+  (void)runner.run(a, mreq);
+
+  EXPECT_EQ(max_abs_diff(first, a.c()), 0.0);
+  EXPECT_TRUE(r1.recovered);
+  EXPECT_EQ(r1.final_grid.label(), mreq.grid.label());
+  EXPECT_EQ(r1.recovery_us, 0.0);
+  EXPECT_TRUE(r1.exchange.events.empty());
+  EXPECT_TRUE(r1.failovers.empty());
+  EXPECT_TRUE(r1.shard_recoveries.empty());
+  EXPECT_TRUE(r1.faults.empty());
+}
+
+TEST(MultidevChaos, EmptyPlanHardenedRunIsExactAndClean) {
+  // An installed plan with every probability zero exercises the hardened
+  // machinery (checksums, rounds, reports) with nothing firing: the output
+  // must still be bit-for-bit and the exchange report clean.
+  const ColorField expected = clean_output(/*seed=*/5);
+  DslashProblem problem(kL, /*seed=*/5);
+  FaultPlan plan;
+  plan.seed = 1;
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  EXPECT_TRUE(res.recovered);
+  EXPECT_TRUE(res.exchange.succeeded);
+  EXPECT_TRUE(res.exchange.clean()) << res.exchange.summary();
+  EXPECT_EQ(res.exchange.messages, 4);  // 2 shards x 2 inbound slabs
+  EXPECT_EQ(res.exchange.rounds, 1);
+  EXPECT_TRUE(res.faults.empty());
+  EXPECT_EQ(res.recovery_us, 0.0);
+}
+
+TEST(MultidevChaos, ScheduledDropIsRetransmittedBitForBit) {
+  const ColorField expected = clean_output(/*seed=*/7);
+  DslashProblem problem(kL, /*seed=*/7);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.schedule.push_back(
+      ScheduledFault{FaultKind::msg_drop, 0, 1, "halo-exchange r0->r1"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0)
+      << "retransmission must restore the exact wire bytes";
+  EXPECT_TRUE(res.recovered);
+  EXPECT_TRUE(res.exchange.succeeded);
+  EXPECT_EQ(res.exchange.drops, 1);
+  EXPECT_EQ(res.exchange.retransmissions, 1);
+  EXPECT_EQ(res.exchange.rounds, 2);
+  EXPECT_GT(res.exchange.backoff_us, 0.0);
+  EXPECT_GT(res.recovery_us, 0.0);
+  ASSERT_EQ(res.faults.size(), 1u);
+  EXPECT_EQ(res.faults[0].kind, FaultKind::msg_drop);
+  EXPECT_EQ(res.faults[0].site, "halo-exchange r0->r1");
+
+  // The event trail shows the drop in round 1 and the delivery in round 2.
+  bool dropped_r1 = false, delivered_r2 = false;
+  for (const ExchangeEvent& ev : res.exchange.events) {
+    if (ev.site == "halo-exchange r0->r1" && ev.round == 1 && ev.dropped) dropped_r1 = true;
+    if (ev.site == "halo-exchange r0->r1" && ev.round == 2 && ev.delivered)
+      delivered_r2 = true;
+  }
+  EXPECT_TRUE(dropped_r1);
+  EXPECT_TRUE(delivered_r2);
+}
+
+TEST(MultidevChaos, CorruptedPayloadIsCaughtByChecksumAndHealed) {
+  const ColorField expected = clean_output(/*seed=*/7);
+  DslashProblem problem(kL, /*seed=*/7);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.schedule.push_back(
+      ScheduledFault{FaultKind::msg_corrupt, 0, 1, "halo-exchange r1->r0"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0)
+      << "a corrupted delivery must never be unpacked";
+  EXPECT_TRUE(res.exchange.succeeded);
+  EXPECT_EQ(res.exchange.corruptions, 1);
+  EXPECT_EQ(res.exchange.checksum_failures, 1);
+  EXPECT_EQ(res.exchange.retransmissions, 1);
+  bool flagged = false;
+  for (const ExchangeEvent& ev : res.exchange.events) {
+    if (ev.corrupted && !ev.checksum_ok && !ev.delivered) flagged = true;
+  }
+  EXPECT_TRUE(flagged) << "the corrupt round-1 delivery must be in the event trail";
+}
+
+TEST(MultidevChaos, DelayedMessageIsExactButSlower) {
+  const ColorField expected = clean_output(/*seed=*/7);
+  DslashProblem problem(kL, /*seed=*/7);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.delay_latency_us = 500.0;
+  plan.schedule.push_back(
+      ScheduledFault{FaultKind::msg_delay, 0, 1, "halo-exchange r0->r1"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  EXPECT_TRUE(res.exchange.succeeded);
+  EXPECT_EQ(res.exchange.delays, 1);
+  EXPECT_EQ(res.exchange.retransmissions, 0) << "a delayed message still delivers";
+  EXPECT_EQ(res.exchange.rounds, 1);
+}
+
+class MultidevChaosStorm : public ::testing::TestWithParam<Coords> {};
+
+TEST_P(MultidevChaosStorm, LinkStormRecoversExactOutputOnEveryGrid) {
+  const PartitionGrid grid{.devices = GetParam()};
+  const ColorField expected = clean_output(/*seed=*/11);
+  ColorField ref(LatticeGeom(kL), Parity::Even);
+  {
+    DslashProblem problem(kL, /*seed=*/11);
+    dslash_reference(problem.view(), problem.neighbors(), problem.b(), ref);
+  }
+
+  DslashProblem problem(kL, /*seed=*/11);
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.p_msg_drop = 0.3;
+  plan.p_msg_corrupt = 0.3;
+  plan.p_msg_delay = 0.3;
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, grid);
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_TRUE(res.exchange.succeeded) << res.exchange.summary();
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0)
+      << "link faults must be invisible in the output, grid " << grid.label();
+  EXPECT_LT(max_abs_diff(ref, problem.c()), 1e-9);
+
+  // Every fired fault is enumerated, and the report agrees with the log.
+  int drops = 0, corruptions = 0, delays = 0;
+  for (const faultsim::FaultEvent& ev : res.faults) {
+    drops += ev.kind == FaultKind::msg_drop ? 1 : 0;
+    corruptions += ev.kind == FaultKind::msg_corrupt ? 1 : 0;
+    delays += ev.kind == FaultKind::msg_delay ? 1 : 0;
+  }
+  EXPECT_GT(drops + corruptions + delays, 0) << "the storm must actually fire";
+  EXPECT_EQ(res.exchange.drops, drops);
+  EXPECT_EQ(res.exchange.corruptions, corruptions);
+  EXPECT_EQ(res.exchange.delays, delays);
+  EXPECT_EQ(res.exchange.checksum_failures, corruptions);
+  // Every failed delivery is retransmitted in the next round — except the
+  // final round of an exchange that exhausts its budget and fails over, whose
+  // losses are healed by the retried attempt rather than a further round.
+  EXPECT_GE(res.exchange.retransmissions, 1);
+  EXPECT_LE(res.exchange.retransmissions, drops + corruptions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MultidevChaosStorm,
+                         ::testing::Values(Coords{1, 1, 1, 2},  // 2 devices
+                                           Coords{1, 1, 2, 2},  // 4 devices
+                                           Coords{1, 2, 2, 2}   // 8 devices
+                                           ),
+                         [](const ::testing::TestParamInfo<Coords>& param) {
+                           const Coords& d = param.param;
+                           return std::to_string(d[0]) + "x" + std::to_string(d[1]) + "x" +
+                                  std::to_string(d[2]) + "x" + std::to_string(d[3]);
+                         });
+
+TEST(MultidevChaos, StormIsDeterministicFromItsSeed) {
+  auto run_once = [] {
+    DslashProblem problem(kL, /*seed=*/11);
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.p_msg_drop = 0.2;
+    plan.p_msg_corrupt = 0.2;
+    ScopedFaultInjection fi(plan);
+    MultiDevResult res = run_hardened(problem, PartitionGrid{.devices = {1, 1, 2, 2}});
+    return std::make_pair(std::move(res), problem.c());
+  };
+  const auto [r1, c1] = run_once();
+  const auto [r2, c2] = run_once();
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+  ASSERT_EQ(r1.faults.size(), r2.faults.size());
+  for (std::size_t i = 0; i < r1.faults.size(); ++i) {
+    EXPECT_EQ(r1.faults[i].kind, r2.faults[i].kind);
+    EXPECT_EQ(r1.faults[i].site, r2.faults[i].site);
+    EXPECT_EQ(r1.faults[i].occurrence, r2.faults[i].occurrence);
+  }
+  ASSERT_EQ(r1.exchange.events.size(), r2.exchange.events.size());
+  EXPECT_EQ(r1.exchange.retransmissions, r2.exchange.retransmissions);
+  EXPECT_EQ(r1.recovery_us, r2.recovery_us);
+}
+
+TEST(MultidevChaos, StickyShardFaultRetriesWithoutTouchingOtherShards) {
+  // A transient fault pinned to rank 1's boundary kernel (at 12^4 with
+  // local extent 6 every site is within halo depth of a face, so boundary
+  // ranges always launch): the retry clears it within the budget at the
+  // *same* strategy, so the whole field — every shard — is still
+  // bit-for-bit the fault-free output.
+  const ColorField expected = clean_output(/*seed=*/13);
+  DslashProblem problem(kL, /*seed=*/13);
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.schedule.push_back(ScheduledFault{FaultKind::sticky_fault, 0, 2, "dslash-boundary r1"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid{.devices = {1, 1, 2, 2}});
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  ASSERT_GE(res.shard_recoveries.size(), 2u);
+  for (const ShardRecovery& sr : res.shard_recoveries) {
+    EXPECT_EQ(sr.rank, 1) << "recovery actions must stay on the faulted shard";
+    EXPECT_EQ(sr.action, "retry");
+    EXPECT_EQ(sr.strategy, Strategy::LP3_1);
+  }
+  EXPECT_GT(res.recovery_us, 0.0);
+}
+
+TEST(MultidevChaos, ExhaustedRetriesWalkTheStrategyLadderShardLocally) {
+  // Rank 1's boundary kernel faults for 8 consecutive launches: 4 attempts
+  // at 3LP-1, 4 at 2LP, then 1LP succeeds.  The fallback changes that one
+  // range's summation order, so rank 1 may differ at roundoff — but every
+  // *other* shard's sites must remain bit-identical to the fault-free run.
+  const PartitionGrid grid{.devices = {1, 1, 2, 2}};
+  const ColorField expected = clean_output(/*seed=*/13);
+  DslashProblem problem(kL, /*seed=*/13);
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.schedule.push_back(ScheduledFault{FaultKind::sticky_fault, 0, 8, "dslash-boundary r1"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, grid);
+
+  EXPECT_TRUE(res.recovered);
+  std::vector<Strategy> abandoned;  // the rung a "fallback" record walks away from
+  for (const ShardRecovery& sr : res.shard_recoveries) {
+    EXPECT_EQ(sr.rank, 1);
+    if (sr.action == "fallback") abandoned.push_back(sr.strategy);
+  }
+  ASSERT_EQ(abandoned.size(), 2u) << "8 scheduled faults must exhaust 3LP-1 and 2LP";
+  EXPECT_EQ(abandoned[0], Strategy::LP3_1);
+  EXPECT_EQ(abandoned[1], Strategy::LP2);
+
+  // Shard-locality of the divergence: map every site back to its owner.
+  const Partitioner part(problem.geom(), grid, problem.target_parity());
+  double rank1_diff = 0.0;
+  for (const Shard& sh : part.shards()) {
+    for (std::int64_t t = 0; t < sh.targets(); ++t) {
+      const std::int64_t site = sh.target_eo[static_cast<std::size_t>(t)];
+      double d = 0.0;
+      for (int c = 0; c < kColors; ++c) {
+        d = std::max(d, std::abs(expected[site].c[c].re - problem.c()[site].c[c].re));
+        d = std::max(d, std::abs(expected[site].c[c].im - problem.c()[site].c[c].im));
+      }
+      if (sh.rank == 1) {
+        rank1_diff = std::max(rank1_diff, d);
+      } else {
+        EXPECT_EQ(d, 0.0) << "rank " << sh.rank << " site " << site
+                          << " must not see rank 1's fallback";
+      }
+    }
+  }
+  EXPECT_LT(rank1_diff, 1e-9) << "the 1LP fallback output is still correct";
+}
+
+TEST(MultidevChaos, DeviceLossFailsOverToASmallerGridWithExactOutput) {
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1, "device r1 @ 1x1x1x2"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+
+  EXPECT_TRUE(res.recovered);
+  ASSERT_EQ(res.failovers.size(), 1u);
+  EXPECT_EQ(res.failovers[0].from.label(), "1x1x1x2");
+  EXPECT_EQ(res.failovers[0].to.label(), "1x1x1x1");
+  EXPECT_EQ(res.final_grid.total(), 1);
+  EXPECT_EQ(res.devices, 1);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0)
+      << "the replay on the surviving grid is the same arithmetic";
+  ASSERT_EQ(res.faults.size(), 1u);
+  EXPECT_EQ(res.faults[0].kind, FaultKind::device_loss);
+}
+
+TEST(MultidevChaos, CascadingDeviceLossWalksTheFallbackLadder) {
+  // Lose a device on the 4-way grid *and* on the first 2-way fallback: the
+  // run must step 1x1x2x2 -> 1x1x1x2 -> 1x1x1x1 and still produce the exact
+  // field on the lone survivor.
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1, "device r2 @ 1x1x2x2"});
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1, "device r0 @ 1x1x1x2"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid{.devices = {1, 1, 2, 2}});
+
+  EXPECT_TRUE(res.recovered);
+  ASSERT_EQ(res.failovers.size(), 2u);
+  EXPECT_EQ(res.failovers[0].from.label(), "1x1x2x2");
+  EXPECT_EQ(res.failovers[0].to.label(), "1x1x1x2");
+  EXPECT_EQ(res.failovers[1].from.label(), "1x1x1x2");
+  EXPECT_EQ(res.failovers[1].to.label(), "1x1x1x1");
+  EXPECT_EQ(res.final_grid.total(), 1);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+}
+
+TEST(MultidevChaos, UnbrokenDropStormExhaustsRoundsAndReportsFailure) {
+  // Every delivery on one link drops and the budget is tiny: the exchange
+  // must fail closed — watchdog/rounds accounted, recovered == false, never
+  // a partial unpack presented as success.
+  DslashProblem problem(kL, /*seed=*/19);
+  FaultPlan plan;
+  plan.seed = 8;
+  plan.schedule.push_back(
+      ScheduledFault{FaultKind::msg_drop, 0, 1000, "halo-exchange r0->r1"});
+  ScopedFaultInjection fi(plan);
+
+  const MultiDeviceRunner runner;
+  MultiDevRequest mreq;
+  mreq.grid = PartitionGrid::along(3, 2);
+  mreq.req = kReq;
+  mreq.xcfg.max_rounds = 2;
+  const MultiDevResult res = runner.run(problem, mreq);
+
+  // The exchange failure triggers failover; the 1x1x1x1 grid has no links,
+  // so the run still completes on the lone device (and its trivial exchange
+  // is what leaves `succeeded` true in the cumulative report).
+  EXPECT_TRUE(res.recovered);
+  ASSERT_GE(res.failovers.size(), 1u);
+  EXPECT_NE(res.failovers[0].reason.find("exchange"), std::string::npos)
+      << res.failovers[0].reason;
+  EXPECT_GE(res.exchange.drops, 2);
+  EXPECT_GE(res.exchange.retransmissions, 1);
+  const ColorField expected = clean_output(/*seed=*/19);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+}
+
+TEST(MultidevChaos, FallbackGridHalvesTheLowestSplitDimension) {
+  EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {2, 2, 2, 1}}).label(), "1x2x2x1");
+  EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {1, 1, 1, 4}}).label(), "1x1x1x2");
+  EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {1, 3, 1, 1}}).label(), "1x1x1x1");
+  EXPECT_EQ(fallback_grid(PartitionGrid{}).label(), "1x1x1x1");
+}
+
+}  // namespace
+}  // namespace milc::multidev

@@ -101,6 +101,91 @@ TEST(MultidevSanitize, MisplacedUnpackWriteIsFlaggedAsOOB) {
   EXPECT_GT(rep.count(ksan::Category::GlobalOOB), 0u) << rep.summary();
 }
 
+TEST(MultidevSanitize, HardenedExchangeWithRetriesIsClean) {
+  // The hardened retry flow — pack, receiver-side copy, unpack-from-copy,
+  // plus one redelivered (retransmitted) first message per shard whose
+  // second unpack runs as its own launch — must sanitize clean: repeated
+  // ghost writes are ordered by the launch boundary.
+  DslashProblem problem(12, /*seed=*/3);
+  const MultiDeviceRunner runner;
+  const std::vector<ksan::SanitizerReport> reports =
+      runner.sanitize_exchange(problem, PartitionGrid::along(3, 2));
+
+  // 2 shards x 2 messages x {pack, unpack} + 1 retry unpack per shard.
+  ASSERT_EQ(reports.size(), 10u);
+  int retries = 0;
+  for (const ksan::SanitizerReport& rep : reports) {
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+    EXPECT_GT(rep.checked_global, 0u) << rep.kernel;
+    retries += rep.kernel.find(" retry") != std::string::npos ? 1 : 0;
+  }
+  EXPECT_EQ(retries, 2) << "each shard must re-unpack one retransmission";
+}
+
+TEST(MultidevSanitize, HardenedExchangeIsCleanOnAMultiDimSplit) {
+  DslashProblem problem(12, /*seed=*/3);
+  const MultiDeviceRunner runner;
+  const std::vector<ksan::SanitizerReport> reports =
+      runner.sanitize_exchange(problem, PartitionGrid{.devices = {1, 1, 2, 2}});
+  // 4 shards x 4 messages x {pack, unpack} + 1 retry unpack per shard.
+  ASSERT_EQ(reports.size(), 36u);
+  for (const ksan::SanitizerReport& rep : reports) {
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+  }
+}
+
+/// The buggy alternative to the retry flow sanitize_exchange blesses: both
+/// deliveries of a retransmitted message unpacked inside ONE launch.  The
+/// two groups scatter to the same ghost span with no ordering between them.
+struct FusedDoubleUnpack {
+  static constexpr int kPhases = 1;
+
+  const dcomplex* first = nullptr;   // the original (possibly bad) delivery
+  const dcomplex* second = nullptr;  // the retransmission
+  dcomplex* ghost = nullptr;
+
+  static minisycl::KernelTraits traits() {
+    return {.name = "fused-double-unpack", .regs_per_thread = 16, .codegen_slowdown = 1.0};
+  }
+  static int shared_bytes(int) { return 0; }
+
+  template <typename Lane>
+  void operator()(Lane& lane, int /*phase*/) const {
+    const int lid = lane.local_id();
+    if (lane.group_id() == 0) {
+      lane.store(&ghost[lid], lane.load(&first[lid]));
+    } else {
+      lane.store(&ghost[lid], lane.load(&second[lid]));
+    }
+  }
+};
+
+TEST(MultidevSanitize, DoubleUnpackInOneLaunchIsAWriteWriteRace) {
+  constexpr int kLocal = 32;
+  std::vector<dcomplex> first(kLocal), second(kLocal), ghost(kLocal);
+  const FusedDoubleUnpack fused{
+      .first = first.data(), .second = second.data(), .ghost = ghost.data()};
+
+  minisycl::LaunchSpec spec;
+  spec.local_size = kLocal;
+  spec.global_size = 2 * kLocal;  // both deliveries in the same launch
+  spec.num_phases = 1;
+  spec.traits = FusedDoubleUnpack::traits();
+
+  ksan::SanitizeConfig cfg;
+  cfg.regions.push_back(ksan::region_of(first.data(), first.size()));
+  cfg.regions.push_back(ksan::region_of(second.data(), second.size()));
+  cfg.regions.push_back(ksan::region_of(ghost.data(), ghost.size()));
+  const ksan::SanitizerReport rep = ksan::sanitize_launch(spec, fused, cfg);
+
+  // Which delivery lands last is launch-schedule dependent: ksan must flag
+  // the unordered write-write pair, the bug the per-delivery launches of
+  // the hardened exchange exist to avoid.
+  EXPECT_FALSE(rep.clean()) << rep.summary();
+  EXPECT_GT(rep.count(ksan::Category::GlobalRace), 0u) << rep.summary();
+  EXPECT_EQ(rep.count(ksan::Category::GlobalOOB), 0u) << rep.summary();
+}
+
 /// What a "fused" unpack + boundary-read kernel would look like: one group
 /// fills ghost slots while another consumes them inside the same launch.
 struct FusedUnpackAndRead {
