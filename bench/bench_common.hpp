@@ -27,6 +27,7 @@ struct Options {
   bool sanitize = false; ///< replay kernels under ksan instead of profiling
   bool faults = false;   ///< run under an installed FaultPlan + ResilientRunner
   std::uint64_t fault_seed = 2024;  ///< FaultPlan seed for --faults
+  int nodes = 1;  ///< simulated node count; > 1 prices halos over the fabric tier
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -45,10 +46,12 @@ inline Options parse_options(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       o.faults = true;
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      o.nodes = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--json <path>] "
-          "[--sanitize] [--faults <fault seed>]\n",
+          "[--sanitize] [--faults <fault seed>] [--nodes <n>]\n",
           argv[0]);
       std::exit(0);
     }
@@ -153,6 +156,18 @@ class JsonSink {
   }
   void meta(const char* key, const std::string& v) {
     meta_.emplace_back("\"" + std::string(key) + "\": \"" + v + "\"");
+  }
+
+  /// Run-level interconnect topology facts for multi-node benches: node
+  /// count, devices per node, the partition grid label and the byte split
+  /// between NVLink (intra-node) and the fabric (inter-node) wires.
+  void topology_meta(int nodes, int devices_per_node, const std::string& grid_label,
+                     std::int64_t intra_bytes, std::int64_t inter_bytes) {
+    meta("nodes", static_cast<std::int64_t>(nodes));
+    meta("devices_per_node", static_cast<std::int64_t>(devices_per_node));
+    meta("split", grid_label);
+    meta("intra_node_bytes", intra_bytes);
+    meta("inter_node_bytes", inter_bytes);
   }
 
   void begin_row() {

@@ -12,19 +12,33 @@
 // Every grid is also self-verified bit-for-bit: the gathered multi-device
 // functional output must equal the single-device functional output of the
 // same strategy with max|diff| == 0.0, or the bench exits non-zero.
+// Multi-node mode (--nodes N): the same strong/weak sweeps priced over the
+// two-level interconnect — N node groups of NVLink devices joined by an
+// InfiniBand-like fabric (gpusim::cluster).  The partition grid comes from
+// the topology-aware choose_grid, every row separates intra-node (NVLink)
+// from inter-node (fabric) bytes and wire time, and every grid is verified
+// bit-for-bit against BOTH the single-device functional output and the same
+// grid run on a single NVLink island — placement must never change results.
+//
 // Chaos mode (--faults <seed>): instead of the scaling sweeps, the bench
 // runs seeded fault storms against the hardened multi-device path — link
 // storms on the 2- and 4-device grids, a scheduled all-kinds scenario
 // (drop + corrupt + delay + device loss in one run), and a sharded-CG solve
-// with a mid-solve device loss.  Every scenario must recover with output
-// bit-for-bit equal to the fault-free run and every injected fault
-// enumerated in the report, or the bench exits non-zero.  The JSON document
-// carries the fault seed and a recovery summary under "meta".
+// with a mid-solve device loss.  With --nodes 2 two fabric scenarios join
+// the storm: a link storm over the 2x2 cluster (faults hit the aggregated
+// fabric wires) and a scheduled node loss (both devices of node n1 die at
+// once; the runner must fail over below the survivor count).  Every
+// scenario must recover with output bit-for-bit equal to the fault-free run
+// and every injected fault enumerated in the report, or the bench exits
+// non-zero.  The JSON document carries the fault seed and a recovery
+// summary under "meta".
 #include <cstdlib>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "faultsim/faultsim.hpp"
+#include "gpusim/fabric.hpp"
+#include "multidev/partition.hpp"
 #include "multidev/runner.hpp"
 #include "multidev/sharded_cg.hpp"
 
@@ -120,7 +134,8 @@ void print_faults(const std::vector<faultsim::FaultEvent>& faults) {
 
 ChaosOutcome run_chaos_grid(const char* name, const Options& opt, const PartitionGrid& grid,
                             const faultsim::FaultPlan& plan, const RunRequest& req,
-                            JsonSink& json) {
+                            JsonSink& json,
+                            const gpusim::NodeTopology& topo = gpusim::NodeTopology{}) {
   // Fault-free expectation first (no injector installed).
   const DslashRunner single;
   DslashProblem clean(opt.L, opt.seed);
@@ -131,6 +146,7 @@ ChaosOutcome run_chaos_grid(const char* name, const Options& opt, const Partitio
   MultiDevRequest mreq;
   mreq.grid = grid;
   mreq.req = req;
+  mreq.topo = topo;
   ChaosOutcome out;
   {
     faultsim::ScopedFaultInjection fi(plan);
@@ -152,6 +168,7 @@ ChaosOutcome run_chaos_grid(const char* name, const Options& opt, const Partitio
   json.begin_row();
   json.field("scenario", std::string(name));
   json.field("devices", static_cast<std::int64_t>(grid.total()));
+  json.field("nodes", static_cast<std::int64_t>(out.res.nodes));
   json.field("final_grid", out.res.final_grid.label());
   json.field("recovered", static_cast<std::int64_t>(out.res.recovered ? 1 : 0));
   json.field("max_abs_diff", out.diff);
@@ -219,6 +236,38 @@ int run_chaos(const Options& opt, int max_devices, const RunRequest& req) {
     ++scenarios;
   }
 
+  // -- fabric-tier scenarios (--nodes 2) -------------------------------------
+  // The same storms must recover when the four devices live in two node
+  // groups: the message faults now also hit the aggregated fabric wires
+  // ("fabric-exchange ... n0->n1" sites), and a scheduled node loss takes
+  // both devices of n1 at once, forcing a failover below the survivor count.
+  if (opt.nodes >= 2 && max_devices >= 4) {
+    const gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+    {
+      faultsim::FaultPlan plan;
+      plan.seed = opt.fault_seed;
+      plan.p_msg_drop = 0.25;
+      plan.p_msg_corrupt = 0.25;
+      plan.p_msg_delay = 0.25;
+      ok &= run_chaos_grid("fabric-storm-2x2", opt, strong_grid(4), plan, req, json, topo).ok;
+      ++scenarios;
+    }
+    {
+      faultsim::FaultPlan plan;
+      plan.seed = opt.fault_seed;
+      plan.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::node_loss, 0, 1, "node n1"});
+      const ChaosOutcome out =
+          run_chaos_grid("node-loss-2x2", opt, strong_grid(4), plan, req, json, topo);
+      ok &= out.ok && !out.res.failovers.empty();
+      if (out.res.failovers.empty()) {
+        std::printf("  node-loss-2x2: the node loss did not trigger a failover\n");
+        ok = false;
+      }
+      ++scenarios;
+    }
+  }
+
   // -- device loss during a sharded CG solve ---------------------------------
   {
     const Coords dims{8, 8, 8, 12};
@@ -276,12 +325,144 @@ int run_chaos(const Options& opt, int max_devices, const RunRequest& req) {
 
   json.meta("mode", std::string("chaos"));
   json.meta("fault_seed", opt.fault_seed);
+  json.meta("nodes", static_cast<std::int64_t>(opt.nodes));
   json.meta("scenarios", static_cast<std::int64_t>(scenarios));
   json.meta("all_recovered", static_cast<std::int64_t>(ok ? 1 : 0));
 
   std::printf("\nchaos verdict: %s\n",
               ok ? "every fault recovered, all outputs bit-for-bit exact"
                  : "RECOVERY OR EXACTNESS FAILURE");
+  return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-node mode (--nodes N)
+// ---------------------------------------------------------------------------
+
+/// One multi-node scaling row.  Verification is two-sided: the fabric run
+/// must match the single-device functional output AND the same grid run on
+/// a single NVLink island — placement prices differently, never computes
+/// differently.
+struct NodeRow {
+  const char* kind;  ///< "strong" | "weak"
+  MultiDevResult res;
+  PartitionGrid grid;
+  double speedup = 1.0;
+  double diff_single = 0.0;  ///< vs the single-device functional output
+  double diff_island = 0.0;  ///< vs the same grid on one NVLink island
+};
+
+void print_node_row(const NodeRow& r) {
+  std::printf("  %-26s %d dev / %d node  %9.1f GF/s  speedup %5.2fx  "
+              "intra %6.2f MB %7.1f us  inter %6.2f MB %7.1f us  verify %s\n",
+              r.res.label.c_str(), r.res.devices, r.res.nodes, r.res.gflops, r.speedup,
+              r.res.intra_node_bytes / 1e6, r.res.intra_wire_us,
+              r.res.inter_node_bytes / 1e6, r.res.inter_wire_us,
+              (r.diff_single == 0.0 && r.diff_island == 0.0) ? "exact" : "MISMATCH");
+}
+
+void emit_node_row(JsonSink& json, const NodeRow& r) {
+  json.begin_row();
+  json.field("kind", std::string(r.kind));
+  json.field("label", r.res.label);
+  json.field("devices", static_cast<std::int64_t>(r.res.devices));
+  json.field("nodes", static_cast<std::int64_t>(r.res.nodes));
+  json.field("grid", r.grid.label());
+  json.field("gflops", r.res.gflops);
+  json.field("per_iter_us", r.res.per_iter_us);
+  json.field("speedup", r.speedup);
+  json.field("overlap_efficiency", r.res.overlap_efficiency);
+  json.field("comm_fraction", r.res.comm_fraction);
+  json.field("halo_bytes", r.res.halo_bytes);
+  json.field("intra_node_bytes", r.res.intra_node_bytes);
+  json.field("inter_node_bytes", r.res.inter_node_bytes);
+  json.field("fabric_messages", static_cast<std::int64_t>(r.res.fabric_messages));
+  json.field("intra_wire_us", r.res.intra_wire_us);
+  json.field("inter_wire_us", r.res.inter_wire_us);
+  json.field("max_abs_diff", std::max(r.diff_single, r.diff_island));
+  json.end_row();
+}
+
+/// One multi-node measurement: the topology-aware choose_grid picks the
+/// split, the run is priced over the two-level interconnect, and the output
+/// is verified bit-for-bit both ways.
+NodeRow run_node_point(const char* kind, const Coords& dims, const Options& opt,
+                       const gpusim::NodeTopology& topo, const RunRequest& req,
+                       double base_gflops) {
+  const MultiDeviceRunner multi;
+  DslashProblem problem(dims, opt.seed);
+  const PartitionGrid grid = choose_grid(problem.geom(), topo);
+
+  MultiDevRequest mreq;
+  mreq.grid = grid;
+  mreq.req = req;
+  mreq.topo = topo;
+  NodeRow row{.kind = kind, .res = multi.run(problem, mreq), .grid = grid};
+
+  // Same grid on one NVLink island: only the prices may differ.
+  DslashProblem island(dims, opt.seed);
+  MultiDevRequest ireq;
+  ireq.grid = grid;
+  ireq.req = req;
+  const MultiDevResult island_res = multi.run(island, ireq);
+  (void)island_res;
+  row.diff_island = max_abs_diff(problem.c(), island.c());
+  row.diff_single = verify_exact(dims, opt.seed, grid, req);
+  row.speedup = base_gflops > 0.0 ? row.res.gflops / base_gflops : 1.0;
+  return row;
+}
+
+int run_nodes(const Options& opt, int max_devices, const RunRequest& req) {
+  DslashProblem p0(opt.L, opt.seed);
+  print_header("Multi-node scaling — fabric tier over NVLink node groups", opt, p0.sites());
+  std::printf("cluster: %d nodes, NVLink (300 GB/s) inside a node, "
+              "HDR-class fabric (24 GB/s NIC) between nodes\n", opt.nodes);
+
+  JsonSink json(opt.json_path, "scaling-nodes");
+  bool ok = true;
+
+  std::vector<int> counts;
+  for (const int n : {2, 4, 8}) {
+    if (n <= max_devices && n % opt.nodes == 0) counts.push_back(n);
+  }
+  if (counts.empty()) {
+    std::fprintf(stderr, "no device count <= %d divides into %d nodes\n", max_devices,
+                 opt.nodes);
+    return 2;
+  }
+
+  std::printf("\nStrong scaling over %d nodes (fixed L=%d lattice)\n", opt.nodes, opt.L);
+  double strong_base = 0.0;
+  NodeRow last{};
+  for (const int n : counts) {
+    const gpusim::NodeTopology topo = gpusim::cluster(opt.nodes, n / opt.nodes);
+    const NodeRow row = run_node_point("strong", Coords{opt.L, opt.L, opt.L, opt.L}, opt,
+                                       topo, req, strong_base);
+    if (strong_base == 0.0) strong_base = row.res.gflops;
+    ok &= row.diff_single == 0.0 && row.diff_island == 0.0;
+    print_node_row(row);
+    emit_node_row(json, row);
+    last = row;
+  }
+
+  std::printf("\nWeak scaling (L x L x L x %d block per device, lattice grows along t)\n",
+              opt.L / 2);
+  double weak_base = 0.0;
+  for (const int n : counts) {
+    const gpusim::NodeTopology topo = gpusim::cluster(opt.nodes, n / opt.nodes);
+    const Coords dims{opt.L, opt.L, opt.L, opt.L / 2 * n};
+    const NodeRow row = run_node_point("weak", dims, opt, topo, req, weak_base);
+    if (weak_base == 0.0) weak_base = row.res.gflops;
+    ok &= row.diff_single == 0.0 && row.diff_island == 0.0;
+    print_node_row(row);
+    emit_node_row(json, row);
+  }
+
+  json.topology_meta(opt.nodes, last.res.devices / opt.nodes, last.grid.label(),
+                     last.res.intra_node_bytes, last.res.inter_node_bytes);
+  std::printf("\nmulti-node verdict: %s\n",
+              ok ? "all grids bit-for-bit exact across placements"
+                 : "EXACTNESS FAILURE");
   return ok ? 0 : 1;
 }
 
@@ -301,6 +482,7 @@ int main(int argc, char** argv) {
                        .local_size = 768,
                        .variant = Variant::SYCL};
   if (opt.faults) return run_chaos(opt, max_devices, req);
+  if (opt.nodes > 1) return run_nodes(opt, max_devices, req);
   const DslashRunner single;
   const MultiDeviceRunner multi;
 

@@ -45,6 +45,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::msg_corrupt: return "msg-corrupt";
     case FaultKind::msg_delay: return "msg-delay";
     case FaultKind::device_loss: return "device-loss";
+    case FaultKind::node_loss: return "node-loss";
   }
   return "unknown";
 }
@@ -314,6 +315,34 @@ bool Injector::on_device_check(const std::string& site) {
     std::snprintf(buf, sizeof(buf), "health check %llu",
                   static_cast<unsigned long long>(occ));
     record(FaultKind::device_loss, site, occ, buf);
+  }
+  return lost;
+}
+
+bool Injector::on_node_check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& st = site_state(site);
+  const std::uint64_t occ = st.launches++;  // per-site consult occurrence
+  const std::uint64_t chk = node_counter_++;
+
+  bool lost = false;
+  for (const ScheduledFault& s : plan_.schedule) {
+    if (s.kind != FaultKind::node_loss) continue;
+    if (!s.site_filter.empty() && site.find(s.site_filter) == std::string::npos) continue;
+    if (occ >= s.index && occ < s.index + s.repeat) {
+      lost = true;
+      break;
+    }
+  }
+  if (!lost && plan_.p_node_loss > 0.0 &&
+      draw(FaultKind::node_loss, chk) < plan_.p_node_loss) {
+    lost = true;
+  }
+  if (lost) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "health check %llu",
+                  static_cast<unsigned long long>(occ));
+    record(FaultKind::node_loss, site, occ, buf);
   }
   return lost;
 }

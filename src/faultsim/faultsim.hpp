@@ -37,9 +37,10 @@ enum class FaultKind {
   msg_corrupt,   ///< link message delivered with a flipped payload bit
   msg_delay,     ///< link latency spike + degraded bandwidth for one message
   device_loss,   ///< whole simulated device lost; triggers failover
+  node_loss,     ///< whole node group lost (all its devices at once)
 };
 
-inline constexpr std::size_t kNumFaultKinds = 9;
+inline constexpr std::size_t kNumFaultKinds = 10;
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -84,6 +85,7 @@ struct FaultPlan {
   double p_msg_corrupt = 0.0;
   double p_msg_delay = 0.0;
   double p_device_loss = 0.0;
+  double p_node_loss = 0.0;
 
   AllocFailMode alloc_fail_mode = AllocFailMode::return_null;
 
@@ -180,6 +182,11 @@ class Injector {
   /// handle — the injector only decides the instant of failure.
   [[nodiscard]] bool on_device_check(const std::string& site);
 
+  /// True when the named *node* (a whole NVLink group of devices) is lost at
+  /// this consult — the fabric-tier analogue of on_device_check, with its own
+  /// draw stream.  Losing a node loses every device in its group at once.
+  [[nodiscard]] bool on_node_check(const std::string& site);
+
   /// Register the byte extents eligible for bit-flip corruption.
   void set_corruption_targets(std::vector<MemRegion> regions);
 
@@ -209,6 +216,7 @@ class Injector {
   std::uint64_t complete_counter_ = 0; ///< completed launches (bit-flip stream)
   std::uint64_t message_counter_ = 0;  ///< all link messages (link draw stream)
   std::uint64_t device_counter_ = 0;   ///< all device-loss consults
+  std::uint64_t node_counter_ = 0;     ///< all node-loss consults
 
   // Per-kernel-site state (keyed by kernel name).
   struct SiteState {

@@ -1,0 +1,219 @@
+#include "gpusim/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "faultsim/faultsim.hpp"
+
+namespace gpusim {
+
+NodeTopology cluster(int nodes, int devices_per_node) {
+  if (nodes < 1) throw std::invalid_argument("cluster: nodes must be >= 1");
+  if (devices_per_node < 1) {
+    throw std::invalid_argument("cluster: devices_per_node must be >= 1");
+  }
+  NodeTopology topo;
+  topo.nodes = nodes;
+  topo.devices_per_node = devices_per_node;
+  topo.intra = dgx_a100_links();
+  topo.intra.nvlink_devices = devices_per_node;
+  topo.fabric = hdr_fabric();
+  return topo;
+}
+
+double fabric_wire_time_us(const FabricModel& f, std::int64_t bytes) {
+  // GB/s == bytes/us * 1e-3, so us = bytes / (bw * 1e3).
+  return f.nic_latency_us + 2.0 * f.switch_latency_us +
+         static_cast<double>(bytes) / (f.nic_bw_gbs * 1e3);
+}
+
+std::vector<AggregatedMessage> aggregate_fabric_messages(
+    const NodeTopology& topo, std::span<const LinkMessage> msgs) {
+  std::vector<AggregatedMessage> aggs;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const LinkMessage& msg = msgs[i];
+    if (topo.same_node(msg.src, msg.dst)) continue;
+    // First-appearance order keyed by (src, dst); message counts are tiny
+    // (one aggregate per topological neighbour), so a linear scan is fine.
+    AggregatedMessage* agg = nullptr;
+    for (AggregatedMessage& a : aggs) {
+      if (a.src == msg.src && a.dst == msg.dst) {
+        agg = &a;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      aggs.emplace_back();
+      agg = &aggs.back();
+      agg->src = msg.src;
+      agg->dst = msg.dst;
+      agg->depart_us = msg.depart_us;
+    }
+    agg->frames.push_back(FabricFrame{i, agg->payload_bytes, msg.bytes});
+    agg->payload_bytes += msg.bytes;
+    agg->depart_us = std::max(agg->depart_us, msg.depart_us);
+  }
+  return aggs;
+}
+
+FabricExchangeReport simulate_topology_exchange(const NodeTopology& topo,
+                                                std::span<LinkMessage> msgs) {
+  const int ndev = topo.total_devices();
+  FabricExchangeReport rep;
+  rep.arrival_us.assign(static_cast<std::size_t>(ndev), 0.0);
+
+  for (const LinkMessage& msg : msgs) {
+    if (msg.src < 0 || msg.src >= ndev || msg.dst < 0 || msg.dst >= ndev) {
+      throw std::invalid_argument("simulate_topology_exchange: endpoint outside [0, " +
+                                  std::to_string(ndev) + ")");
+    }
+    if (msg.src == msg.dst) {
+      throw std::invalid_argument("simulate_topology_exchange: self-message (src == dst)");
+    }
+    if (msg.bytes < 0) {
+      throw std::invalid_argument("simulate_topology_exchange: negative byte count");
+    }
+  }
+
+  // --- Intra-node tier: extract the same-node subset and run it through the
+  // per-device-port NVLink schedule.  Global ranks inside one node group are
+  // NVLink peers by construction, so the island is widened to cover every
+  // rank; node grouping (not rank position) decided membership above.
+  std::vector<std::size_t> intra_index;
+  std::vector<LinkMessage> intra_msgs;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    if (topo.same_node(msgs[i].src, msgs[i].dst)) {
+      intra_index.push_back(i);
+      intra_msgs.push_back(msgs[i]);
+    }
+  }
+  LinkModel island = topo.intra;
+  island.nvlink_devices = ndev;
+  const ExchangeReport intra_rep =
+      simulate_exchange(island, std::span<LinkMessage>(intra_msgs), ndev);
+  for (std::size_t k = 0; k < intra_index.size(); ++k) {
+    msgs[intra_index[k]] = intra_msgs[k];
+    rep.intra_wire_us += intra_msgs[k].done_us - intra_msgs[k].start_us;
+  }
+  rep.intra_bytes = intra_rep.total_bytes;
+  rep.intra_messages = static_cast<int>(intra_msgs.size());
+  rep.intra_finish_us = intra_rep.finish_us;
+  rep.dropped += intra_rep.dropped;
+  rep.corrupted += intra_rep.corrupted;
+  rep.delayed += intra_rep.delayed;
+  for (int d = 0; d < ndev; ++d) {
+    rep.arrival_us[static_cast<std::size_t>(d)] =
+        intra_rep.arrival_us[static_cast<std::size_t>(d)];
+  }
+
+  // --- Inter-node tier: coalesce per device pair, then consult the injector
+  // once per aggregate (a wire message is the fabric's unit of loss).
+  std::vector<AggregatedMessage> aggs = aggregate_fabric_messages(topo, msgs);
+  struct AggVerdict {
+    bool dropped = false;
+    bool corrupted = false;
+    bool delayed = false;
+    std::uint64_t corrupt_key = 0;
+    double extra_latency_us = 0.0;
+    double bw_factor = 1.0;
+  };
+  std::vector<AggVerdict> verdicts(aggs.size());
+  if (faultsim::Injector* inj = faultsim::Injector::current()) {
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      const AggregatedMessage& agg = aggs[a];
+      const std::string site = "fabric-exchange r" + std::to_string(agg.src) + "->r" +
+                               std::to_string(agg.dst) + " n" +
+                               std::to_string(topo.node_of(agg.src)) + "->n" +
+                               std::to_string(topo.node_of(agg.dst));
+      const faultsim::LinkVerdict v = inj->on_message(
+          site, static_cast<std::uint64_t>(agg.wire_bytes(topo.fabric)));
+      verdicts[a] = AggVerdict{v.dropped,     v.corrupted,         v.delayed,
+                               v.corrupt_key, v.extra_latency_us,  v.bw_factor};
+    }
+  }
+
+  // Greedy deterministic schedule over one NIC per node (egress busy for the
+  // injection time, ingress until delivery) plus the shared switch crossbar.
+  const FabricModel& f = topo.fabric;
+  std::vector<double> nic_egress_free(static_cast<std::size_t>(topo.nodes), 0.0);
+  std::vector<double> nic_ingress_free(static_cast<std::size_t>(topo.nodes), 0.0);
+  double switch_free = 0.0;
+  std::vector<bool> sent(aggs.size(), false);
+
+  for (std::size_t round = 0; round < aggs.size(); ++round) {
+    std::size_t pick = aggs.size();
+    double pick_ready = 0.0;
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      if (sent[a]) continue;
+      const AggregatedMessage& agg = aggs[a];
+      const std::size_t sn = static_cast<std::size_t>(topo.node_of(agg.src));
+      const std::size_t dn = static_cast<std::size_t>(topo.node_of(agg.dst));
+      const double ready = std::max(
+          {agg.depart_us, nic_egress_free[sn], nic_ingress_free[dn], switch_free});
+      const bool better =
+          pick == aggs.size() || ready < pick_ready ||
+          (ready == pick_ready && std::make_pair(agg.src, agg.dst) <
+                                      std::make_pair(aggs[pick].src, aggs[pick].dst));
+      if (better) {
+        pick = a;
+        pick_ready = ready;
+      }
+    }
+
+    AggregatedMessage& agg = aggs[pick];
+    const AggVerdict& v = verdicts[pick];
+    const std::int64_t wire_bytes = agg.wire_bytes(f);
+    double wire = fabric_wire_time_us(f, wire_bytes);
+    if (v.delayed) {
+      // Congestion spike, same convention as link.cpp: extra latency plus
+      // bw_factor - 1 extra transfer times on top of the nominal one.
+      wire += v.extra_latency_us +
+              (v.bw_factor - 1.0) * static_cast<double>(wire_bytes) / (f.nic_bw_gbs * 1e3);
+    }
+    const double start = pick_ready;
+    const double done = start + wire;
+    const std::size_t sn = static_cast<std::size_t>(topo.node_of(agg.src));
+    const std::size_t dn = static_cast<std::size_t>(topo.node_of(agg.dst));
+    nic_egress_free[sn] =
+        start + static_cast<double>(wire_bytes) / (f.injection_rate_gbs * 1e3);
+    nic_ingress_free[dn] = done;
+    switch_free = start + static_cast<double>(wire_bytes) / (f.switch_bw_gbs * 1e3);
+    sent[pick] = true;
+
+    rep.inter_bytes += wire_bytes;
+    rep.inter_messages += 1;
+    rep.inter_wire_us += wire;
+    if (!v.dropped) {
+      rep.arrival_us[static_cast<std::size_t>(agg.dst)] =
+          std::max(rep.arrival_us[static_cast<std::size_t>(agg.dst)], done);
+      rep.inter_finish_us = std::max(rep.inter_finish_us, done);
+    }
+    if (v.dropped) rep.dropped += static_cast<int>(agg.frames.size());
+    if (v.corrupted) rep.corrupted += 1;
+    if (v.delayed) rep.delayed += 1;
+
+    // Write the aggregate's timing and verdict back into its constituents;
+    // a corrupted aggregate damages exactly one deterministically-picked
+    // frame (the wire carries one flipped bit, framing localises it).
+    const std::size_t hit = v.corrupted
+                                ? static_cast<std::size_t>(v.corrupt_key % agg.frames.size())
+                                : agg.frames.size();
+    for (std::size_t k = 0; k < agg.frames.size(); ++k) {
+      LinkMessage& msg = msgs[agg.frames[k].msg_index];
+      msg.start_us = start;
+      msg.done_us = done;
+      msg.dropped = v.dropped;
+      msg.delayed = v.delayed;
+      msg.corrupted = (k == hit);
+      msg.corrupt_key = (k == hit) ? v.corrupt_key : 0;
+    }
+  }
+
+  rep.finish_us = std::max(rep.intra_finish_us, rep.inter_finish_us);
+  return rep;
+}
+
+}  // namespace gpusim

@@ -1,5 +1,6 @@
 #include "multidev/partition.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -87,34 +88,41 @@ std::int64_t Shard::halo_bytes() const {
   return b;
 }
 
-Partitioner::Partitioner(const LatticeGeom& geom, const PartitionGrid& grid, Parity target)
-    : geom_(geom), grid_(grid), target_(target) {
-  Coords local{};
+std::string partition_error(const LatticeGeom& geom, const PartitionGrid& grid) {
   for (int d = 0; d < kNdim; ++d) {
     const int nd = grid.devices[static_cast<std::size_t>(d)];
     const int ext = geom.extent(d);
     if (nd < 1) {
-      throw std::invalid_argument("Partitioner: device count along dim " + std::to_string(d) +
-                                  " must be >= 1, got " + std::to_string(nd));
+      return "Partitioner: device count along dim " + std::to_string(d) +
+             " must be >= 1, got " + std::to_string(nd);
     }
     if (ext % nd != 0) {
-      throw std::invalid_argument("Partitioner: extent " + std::to_string(ext) + " of dim " +
-                                  std::to_string(d) + " is not divisible by " +
-                                  std::to_string(nd) + " devices");
+      return "Partitioner: extent " + std::to_string(ext) + " of dim " + std::to_string(d) +
+             " is not divisible by " + std::to_string(nd) + " devices";
     }
     const int loc = ext / nd;
     if (loc % 2 != 0) {
-      throw std::invalid_argument("Partitioner: local extent " + std::to_string(loc) +
-                                  " of dim " + std::to_string(d) +
-                                  " is odd (checkerboard needs even extents)");
+      return "Partitioner: local extent " + std::to_string(loc) + " of dim " +
+             std::to_string(d) + " is odd (checkerboard needs even extents)";
     }
     if (nd > 1 && loc < 2 * kHaloDepth) {
-      throw std::invalid_argument(
-          "Partitioner: local extent " + std::to_string(loc) + " of split dim " +
-          std::to_string(d) + " is < " + std::to_string(2 * kHaloDepth) +
-          " — depth-3 ghosts would alias owned sites");
+      return "Partitioner: local extent " + std::to_string(loc) + " of split dim " +
+             std::to_string(d) + " is < " + std::to_string(2 * kHaloDepth) +
+             " — depth-3 ghosts would alias owned sites";
     }
-    local[static_cast<std::size_t>(d)] = loc;
+  }
+  return {};
+}
+
+Partitioner::Partitioner(const LatticeGeom& geom, const PartitionGrid& grid, Parity target)
+    : geom_(geom), grid_(grid), target_(target) {
+  if (const std::string err = partition_error(geom, grid); !err.empty()) {
+    throw std::invalid_argument(err);
+  }
+  Coords local{};
+  for (int d = 0; d < kNdim; ++d) {
+    local[static_cast<std::size_t>(d)] =
+        geom.extent(d) / grid.devices[static_cast<std::size_t>(d)];
   }
 
   const int nranks = grid.total();
@@ -248,6 +256,145 @@ std::int64_t Partitioner::total_ghosts() const {
   std::int64_t n = 0;
   for (const Shard& sh : shards_) n += sh.n_ghosts;
   return n;
+}
+
+GridScore score_grid(const LatticeGeom& geom, const PartitionGrid& grid,
+                     const gpusim::NodeTopology& topo) {
+  if (grid.total() > topo.total_devices()) {
+    throw std::invalid_argument("score_grid: grid needs " + std::to_string(grid.total()) +
+                                " devices but the topology has " +
+                                std::to_string(topo.total_devices()));
+  }
+  if (const std::string err = partition_error(geom, grid); !err.empty()) {
+    throw std::invalid_argument(err);
+  }
+
+  GridScore sc;
+  sc.grid = grid;
+
+  Coords local{};
+  std::int64_t local_volume = 1;
+  for (int d = 0; d < kNdim; ++d) {
+    local[static_cast<std::size_t>(d)] =
+        geom.extent(d) / grid.devices[static_cast<std::size_t>(d)];
+    local_volume *= local[static_cast<std::size_t>(d)];
+  }
+
+  // One directed slab per (rank, split dim, side): 3 planes, source-parity
+  // half of the face cross-section, one colour vector (48 B) per site —
+  // exactly what the Partitioner enumerates, computed without building it.
+  const auto slab_bytes = [&](int d) {
+    const std::int64_t cross = local_volume / local[static_cast<std::size_t>(d)];
+    return static_cast<std::int64_t>(kHaloPlanes.size()) * (cross / 2) * kColors * 2 *
+           static_cast<std::int64_t>(sizeof(double));
+  };
+
+  const int nranks = grid.total();
+  std::vector<double> dev_egress_us(static_cast<std::size_t>(nranks), 0.0);
+  // Fabric aggregates keyed by directed (src, dst) device pair.
+  struct Agg {
+    int src = 0;
+    int dst = 0;
+    std::int64_t payload = 0;
+    int frames = 0;
+  };
+  std::vector<Agg> aggs;
+
+  for (int r = 0; r < nranks; ++r) {
+    const Coords rc = grid.coords_of(r);
+    for (int d = 0; d < kNdim; ++d) {
+      const int nd = grid.devices[static_cast<std::size_t>(d)];
+      if (nd == 1) continue;
+      const std::int64_t bytes = slab_bytes(d);
+      for (int side = 0; side < 2; ++side) {
+        Coords prc = rc;
+        prc[static_cast<std::size_t>(d)] =
+            (prc[static_cast<std::size_t>(d)] + (side == 0 ? nd - 1 : 1)) % nd;
+        const int peer = grid.rank_of(prc);
+        if (topo.same_node(r, peer)) {
+          sc.intra_bytes += bytes;
+          dev_egress_us[static_cast<std::size_t>(r)] +=
+              topo.intra.nvlink_latency_us +
+              static_cast<double>(bytes) / (topo.intra.nvlink_bw_gbs * 1e3);
+        } else {
+          sc.inter_bytes += bytes;
+          Agg* agg = nullptr;
+          for (Agg& a : aggs) {
+            if (a.src == r && a.dst == peer) {
+              agg = &a;
+              break;
+            }
+          }
+          if (agg == nullptr) {
+            aggs.push_back(Agg{r, peer, 0, 0});
+            agg = &aggs.back();
+          }
+          agg->payload += bytes;
+          agg->frames += 1;
+        }
+      }
+    }
+  }
+
+  sc.inter_pairs = static_cast<int>(aggs.size());
+  std::vector<double> node_egress_us(static_cast<std::size_t>(topo.nodes), 0.0);
+  const gpusim::FabricModel& f = topo.fabric;
+  const double eff_bw = std::min(f.nic_bw_gbs, f.injection_rate_gbs);
+  for (const Agg& a : aggs) {
+    const std::int64_t wire = a.payload + a.frames * f.frame_header_bytes;
+    node_egress_us[static_cast<std::size_t>(topo.node_of(a.src))] +=
+        f.nic_latency_us + 2.0 * f.switch_latency_us +
+        static_cast<double>(wire) / (eff_bw * 1e3);
+  }
+
+  double worst_dev = 0.0;
+  for (const double t : dev_egress_us) worst_dev = std::max(worst_dev, t);
+  double worst_node = 0.0;
+  for (const double t : node_egress_us) worst_node = std::max(worst_node, t);
+  sc.cost_us = worst_dev + worst_node;
+  return sc;
+}
+
+std::vector<PartitionGrid> enumerate_grids(const LatticeGeom& geom, int devices) {
+  std::vector<PartitionGrid> out;
+  for (int d0 = 1; d0 <= devices; ++d0) {
+    if (devices % d0 != 0) continue;
+    const int n1 = devices / d0;
+    for (int d1 = 1; d1 <= n1; ++d1) {
+      if (n1 % d1 != 0) continue;
+      const int n2 = n1 / d1;
+      for (int d2 = 1; d2 <= n2; ++d2) {
+        if (n2 % d2 != 0) continue;
+        PartitionGrid g;
+        g.devices = Coords{d0, d1, d2, n2 / d2};
+        if (partition_error(geom, g).empty()) out.push_back(g);
+      }
+    }
+  }
+  return out;
+}
+
+PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& topo) {
+  const std::vector<PartitionGrid> candidates = enumerate_grids(geom, topo.total_devices());
+  if (candidates.empty()) {
+    throw std::invalid_argument("choose_grid: no grid of " +
+                                std::to_string(topo.total_devices()) +
+                                " devices can partition this lattice");
+  }
+  // Strict < keeps the first of equal-cost candidates.  enumerate_grids
+  // emits grids in ascending lexicographic order, so a symmetric tie (the
+  // same arithmetic gives bit-identical costs) resolves to splitting the
+  // later dimensions — t first, then z — the repo's strong_grid convention.
+  const PartitionGrid* best = nullptr;
+  double best_cost = 0.0;
+  for (const PartitionGrid& g : candidates) {
+    const double cost = score_grid(geom, g, topo).cost_us;
+    if (best == nullptr || cost < best_cost) {
+      best = &g;
+      best_cost = cost;
+    }
+  }
+  return *best;
 }
 
 }  // namespace milc::multidev

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/fabric.hpp"
 #include "lattice/geometry.hpp"
 #include "su3/su3_vector.hpp"
 
@@ -143,5 +144,50 @@ class Partitioner {
   Parity target_;
   std::vector<Shard> shards_;
 };
+
+// --- topology-aware grid selection -----------------------------------------
+//
+// Node placement is fixed by rank numbering: node_of(rank) = rank /
+// devices_per_node, and ranks vary fastest along dimension 0.  Faster-
+// varying split dimensions therefore stay inside a node group (NVLink);
+// the slowest-varying split crosses the fabric.  Choosing *which*
+// dimensions to split thus chooses which face surfaces ride the cheap
+// island and which pay fabric prices — the scoring below makes that choice
+// analytically, without building a Partitioner per candidate.
+
+/// Why (geom, grid) cannot be partitioned — empty string when it can.
+/// The Partitioner constructor throws exactly this message.
+[[nodiscard]] std::string partition_error(const LatticeGeom& geom, const PartitionGrid& grid);
+
+/// Predicted per-iteration exchange cost of one grid on one topology.
+struct GridScore {
+  PartitionGrid grid;
+  std::int64_t intra_bytes = 0;  ///< slab payload bytes staying on NVLink
+  std::int64_t inter_bytes = 0;  ///< slab payload bytes crossing the fabric
+  int inter_pairs = 0;           ///< aggregated fabric wire messages per exchange
+  /// Analytic exchange-time bound: the busiest device's NVLink egress plus
+  /// the busiest node's NIC egress (latency + bytes / bandwidth per
+  /// message, aggregates priced at min(line rate, injection rate)).
+  double cost_us = 0.0;
+};
+
+/// Score one candidate grid on one topology (grid.total() devices must fit
+/// the topology).  Pure arithmetic over face surfaces — no shards built.
+[[nodiscard]] GridScore score_grid(const LatticeGeom& geom, const PartitionGrid& grid,
+                                   const gpusim::NodeTopology& topo);
+
+/// Every partitionable device grid with exactly `devices` ranks, in
+/// ascending lexicographic (d0, d1, d2, d3) order.
+[[nodiscard]] std::vector<PartitionGrid> enumerate_grids(const LatticeGeom& geom,
+                                                         int devices);
+
+/// The cheapest partitionable grid for this lattice on this topology —
+/// prefers cuts whose surfaces stay intra-node.  Cost ties go to the
+/// first-enumerated candidate; ascending lexicographic order makes that
+/// the one splitting later dimensions (t first, then z), matching the
+/// repo's existing split convention.  Throws std::invalid_argument when
+/// no grid can partition the lattice.
+[[nodiscard]] PartitionGrid choose_grid(const LatticeGeom& geom,
+                                        const gpusim::NodeTopology& topo);
 
 }  // namespace milc::multidev

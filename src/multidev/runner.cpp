@@ -205,6 +205,18 @@ PartitionGrid fallback_grid(const PartitionGrid& grid) {
   return next;
 }
 
+gpusim::NodeTopology effective_topology(const gpusim::NodeTopology& topo, int devices) {
+  gpusim::NodeTopology t = topo;
+  if (topo.multi_node() && devices > topo.devices_per_node &&
+      devices % topo.devices_per_node == 0) {
+    t.nodes = devices / topo.devices_per_node;
+  } else {
+    t.nodes = 1;
+    t.devices_per_node = devices;
+  }
+  return t;
+}
+
 int pick_local_size(Strategy s, IndexOrder o, int preferred, std::int64_t sites) {
   if (sites <= 0) {
     throw std::invalid_argument("pick_local_size: shard range has no sites");
@@ -263,6 +275,16 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     return res;
   }
 
+  const bool multi_node = mreq.topo.multi_node();
+  if (multi_node && mreq.topo.total_devices() != ndev) {
+    throw std::invalid_argument("MultiDeviceRunner: topology has " +
+                                std::to_string(mreq.topo.total_devices()) +
+                                " devices but the grid needs " + std::to_string(ndev));
+  }
+  const auto crosses_fabric = [&](int a, int b) {
+    return multi_node && !mreq.topo.same_node(a, b);
+  };
+
   const VariantInfo& vi = variant_info(mreq.req.variant);
   const Partitioner part(problem.geom(), mreq.grid, problem.target_parity());
   const std::vector<Shard>& shards = part.shards();
@@ -285,33 +307,49 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
   for (int d = 0; d < ndev; ++d) res.per_device[static_cast<std::size_t>(d)].rank = d;
 
   // --- Phase 1: every device packs its outbound faces. ------------------
-  // (msg.peer is the sender; iteration order is deterministic.)
+  // (msg.peer is the sender; iteration order is deterministic.)  Fabric-
+  // bound slabs pack first so their aggregates hit the slow pipe at
+  // fabric_pack_us while the NVLink slabs are still packing — the two-phase
+  // schedule.  Single-node runs have no pass-0 slabs: identical schedule.
   std::vector<std::vector<std::vector<dcomplex>>> wires(static_cast<std::size_t>(ndev));
+  for (const Shard& sh : shards) {
+    wires[static_cast<std::size_t>(sh.rank)].resize(sh.halo.size());
+  }
   std::vector<gpusim::LinkMessage> messages;
   std::vector<double> pack_us(static_cast<std::size_t>(ndev), 0.0);
-  for (const Shard& sh : shards) {
-    auto& shard_wires = wires[static_cast<std::size_t>(sh.rank)];
-    for (const HaloMsg& msg : sh.halo) {
-      shard_wires.emplace_back(static_cast<std::size_t>(msg.count() * kColors));
-      HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
-                          .slots = msg.send_slots.data(),
-                          .wire = shard_wires.back().data(),
-                          .count = msg.count()};
-      minisycl::queue& q = *queues[static_cast<std::size_t>(msg.peer)];
-      const gpusim::KernelStats st =
-          q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits()),
-                   pack, "halo-pack");
-      pack_us[static_cast<std::size_t>(msg.peer)] += st.duration_us + q.launch_overhead_us();
+  std::vector<double> fabric_pack_us(static_cast<std::size_t>(ndev), 0.0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Shard& sh : shards) {
+      for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
+        const HaloMsg& msg = sh.halo[mi];
+        if ((pass == 0) != crosses_fabric(msg.peer, sh.rank)) continue;
+        auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
+        wire.resize(static_cast<std::size_t>(msg.count() * kColors));
+        HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                            .slots = msg.send_slots.data(),
+                            .wire = wire.data(),
+                            .count = msg.count()};
+        minisycl::queue& q = *queues[static_cast<std::size_t>(msg.peer)];
+        const gpusim::KernelStats st =
+            q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits()),
+                     pack, "halo-pack");
+        pack_us[static_cast<std::size_t>(msg.peer)] += st.duration_us + q.launch_overhead_us();
+      }
     }
+    if (pass == 0) fabric_pack_us = pack_us;
   }
-  // A device puts its messages on the wire once all its packs are done
-  // (bulk departure, the cudaMemcpyPeerAsync-after-pack pattern).
+  // A device puts its messages on the wire once the packs feeding them are
+  // done (bulk departure, the cudaMemcpyPeerAsync-after-pack pattern);
+  // fabric-bound slabs depart at the end of the fabric pack pass.
   for (const Shard& sh : shards) {
     for (const HaloMsg& msg : sh.halo) {
+      const bool fabric = crosses_fabric(msg.peer, sh.rank);
       messages.push_back({.src = msg.peer,
                           .dst = sh.rank,
                           .bytes = msg.bytes(),
-                          .depart_us = pack_us[static_cast<std::size_t>(msg.peer)]});
+                          .depart_us = fabric
+                                           ? fabric_pack_us[static_cast<std::size_t>(msg.peer)]
+                                           : pack_us[static_cast<std::size_t>(msg.peer)]});
     }
   }
 
@@ -329,7 +367,21 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
         *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-interior");
   }
 
-  const gpusim::ExchangeReport xrep = simulate_exchange(mreq.link, messages, ndev);
+  std::vector<double> arrival_us(static_cast<std::size_t>(ndev), 0.0);
+  if (multi_node) {
+    const gpusim::FabricExchangeReport frep =
+        gpusim::simulate_topology_exchange(mreq.topo, messages);
+    arrival_us = frep.arrival_us;
+    res.nodes = mreq.topo.nodes;
+    res.intra_node_bytes = frep.intra_bytes;
+    res.inter_node_bytes = frep.inter_bytes;
+    res.fabric_messages = frep.inter_messages;
+    res.intra_wire_us = frep.intra_wire_us;
+    res.inter_wire_us = frep.inter_wire_us;
+  } else {
+    const gpusim::ExchangeReport xrep = simulate_exchange(mreq.link, messages, ndev);
+    arrival_us = xrep.arrival_us;
+  }
 
   // --- Phase 3: unpack ghosts, then boundary compute. -------------------
   std::vector<double> unpack_us(static_cast<std::size_t>(ndev), 0.0);
@@ -382,7 +434,7 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     t.halo_bytes_in = sh.halo_bytes();
     t.pack_us = pack_us[di];
     t.interior_us = interior_us[di];
-    t.arrival_us = xrep.arrival_us[di];
+    t.arrival_us = arrival_us[di];
     t.unpack_us = unpack_us[di];
     t.boundary_us = boundary_us[di];
     t.exposed_us = std::max(0.0, t.arrival_us - (t.pack_us + t.interior_us));
@@ -403,6 +455,7 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
       static_cast<double>(boundary_total) / static_cast<double>(problem.sites());
   res.gflops = problem.flops() / (res.per_iter_us * 1e-6) / 1e9;
   res.final_grid = mreq.grid;
+  if (!multi_node) res.intra_node_bytes = res.halo_bytes;
   return res;
 }
 
@@ -415,6 +468,32 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
   PartitionGrid grid = mreq.grid;
   for (int attempt = 0;; ++attempt) {
     const int ndev = grid.total();
+    const gpusim::NodeTopology topo = effective_topology(mreq.topo, ndev);
+
+    // Node health: one consult per node group per attempt, before the
+    // per-device checks — losing a node loses all its devices at once, so
+    // the grid must shrink below the survivor count in one failover.
+    int lost_node = -1;
+    if (topo.multi_node()) {
+      for (int n = 0; n < topo.nodes; ++n) {
+        if (inj->on_node_check("node n" + std::to_string(n) + " @ " + grid.label())) {
+          lost_node = n;
+          break;
+        }
+      }
+    }
+    if (lost_node >= 0) {
+      const int survivors = ndev - topo.devices_per_node;
+      PartitionGrid next = grid;
+      while (next.total() > survivors && next.total() > 1) next = fallback_grid(next);
+      res.failovers.push_back(FailoverEvent{
+          grid, next,
+          "node n" + std::to_string(lost_node) + " lost (" +
+              std::to_string(topo.devices_per_node) + " devices)",
+          attempt});
+      grid = next;
+      continue;
+    }
 
     // Device health: one consult per device per attempt.  A lost device has
     // no spare on a 1x1x1x1 grid, so single-device runs skip the consult
@@ -456,6 +535,7 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
 
   res.final_grid = grid;
   res.devices = grid.total();
+  res.nodes = effective_topology(mreq.topo, grid.total()).nodes;
   res.faults = inj->log_since(log_mark);
   return res;
 }
@@ -464,6 +544,7 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
                                     const PartitionGrid& grid, MultiDevResult& res,
                                     std::string& fail_reason) const {
   const int ndev = grid.total();
+  const gpusim::NodeTopology topo = effective_topology(mreq.topo, ndev);
   const VariantInfo& vi = variant_info(mreq.req.variant);
   const ExchangeConfig& xc = mreq.xcfg;
   const Partitioner part(problem.geom(), grid, problem.target_parity());
@@ -625,7 +706,22 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
                           std::max(pack_us[static_cast<std::size_t>(hm.peer)], wire_clock),
                       .site = exchange_site(hm.peer, order[i].dst)});
     }
-    simulate_exchange(mreq.link, msgs, ndev);
+    // Over a multi-node topology the round's messages ride the two-level
+    // exchange: intra-node ones keep their per-message fault sites, inter-
+    // node ones are aggregated per neighbour and consulted per aggregate.
+    // Retransmissions re-enter here round after round, so a pending frame
+    // joins the next round's (smaller) aggregate — retransmit-over-fabric.
+    if (topo.multi_node()) {
+      const gpusim::FabricExchangeReport frep =
+          gpusim::simulate_topology_exchange(topo, msgs);
+      res.intra_node_bytes += frep.intra_bytes;
+      res.inter_node_bytes += frep.inter_bytes;
+      res.fabric_messages += frep.inter_messages;
+      res.intra_wire_us += frep.intra_wire_us;
+      res.inter_wire_us += frep.inter_wire_us;
+    } else {
+      simulate_exchange(mreq.link, msgs, ndev);
+    }
 
     double round_end = wire_clock;
     for (std::size_t j = 0; j < msgs.size(); ++j) {

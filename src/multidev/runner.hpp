@@ -38,6 +38,7 @@
 #include "core/problem.hpp"
 #include "core/runner.hpp"
 #include "faultsim/faultsim.hpp"
+#include "gpusim/fabric.hpp"
 #include "gpusim/link.hpp"
 #include "ksan/sanitizer.hpp"
 #include "minisycl/queue.hpp"
@@ -63,6 +64,15 @@ struct MultiDevRequest {
   PartitionGrid grid{};
   RunRequest req{};  ///< strategy / order / preferred local size / variant
   gpusim::LinkModel link = gpusim::dgx_a100_links();
+  /// Two-level interconnect.  With `topo.nodes == 1` (the default) the run
+  /// is single-node: `link` prices the exchange and nothing else changes.
+  /// With `topo.nodes > 1`, `topo` replaces `link` entirely (`topo.intra`
+  /// is the island model): grid ranks are grouped into node groups of
+  /// `topo.devices_per_node` devices, fabric-bound slabs are packed first
+  /// and aggregated per neighbour, and the exchange is priced by
+  /// simulate_topology_exchange.  The *output field* is identical either
+  /// way — placement changes time, never values.
+  gpusim::NodeTopology topo{};
   int pack_local_size = 96;  ///< work-group size of the pack/unpack kernels
   ExchangeConfig xcfg{};     ///< hardened-path parameters (fault plan installed)
   /// Execution mode of the hardened path's queues; the sharded CG solver
@@ -156,6 +166,14 @@ struct MultiDevResult {
   std::int64_t halo_bytes = 0;  ///< wire bytes per iteration, all devices
   std::vector<DeviceTimeline> per_device;
 
+  // --- topology accounting (single-node runs: nodes == 1, inter == 0) -----
+  int nodes = 1;                        ///< node groups the run spanned
+  std::int64_t intra_node_bytes = 0;    ///< slab bytes that stayed on NVLink
+  std::int64_t inter_node_bytes = 0;    ///< fabric wire bytes incl. frame headers
+  int fabric_messages = 0;              ///< aggregated fabric wire messages
+  double intra_wire_us = 0.0;           ///< summed NVLink message wire times
+  double inter_wire_us = 0.0;           ///< summed fabric aggregate wire times
+
   // --- hardened-path accounting (defaults = fault-free run) ---------------
   bool recovered = true;        ///< false: recovery exhausted, output invalid
   PartitionGrid final_grid{};   ///< grid actually used (differs after failover)
@@ -222,6 +240,13 @@ class MultiDeviceRunner {
 /// (4 -> 2 -> 1, 3 -> 1), so every extent that divided the old grid divides
 /// the new one and local extents only grow.  Identity on 1x1x1x1.
 [[nodiscard]] PartitionGrid fallback_grid(const PartitionGrid& grid);
+
+/// The topology a grid of `devices` ranks actually runs on: the original
+/// node grouping while the device count still fills whole node groups,
+/// otherwise one island (after failover the survivors are re-packed onto
+/// as few nodes as possible; a remnant smaller than a node is all-NVLink).
+[[nodiscard]] gpusim::NodeTopology effective_topology(const gpusim::NodeTopology& topo,
+                                                     int devices);
 
 /// Local size for a shard launch of `sites` sites: `preferred` when it
 /// qualifies, else the largest qualifying paper pool entry, else the

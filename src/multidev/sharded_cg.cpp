@@ -98,6 +98,7 @@ bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
   mreq.req.order = cfg_.order;
   mreq.req.local_size = cfg_.local_size;
   mreq.link = cfg_.link;
+  mreq.topo = cfg_.topo;
   mreq.xcfg = cfg_.xcfg;
   mreq.mode = minisycl::ExecMode::functional;
   const MultiDevResult mres = runner_.run(problem, mreq);

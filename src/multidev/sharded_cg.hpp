@@ -41,6 +41,11 @@ struct ShardedCgConfig {
   IndexOrder order = IndexOrder::kMajor;
   int local_size = 768;
   gpusim::LinkModel link = gpusim::dgx_a100_links();
+  /// Two-level interconnect; nodes == 1 (default) keeps the single-node
+  /// path on `link`.  Multi-node solves exchange halos over the fabric tier
+  /// and recover from node loss exactly like device loss (the hardened
+  /// runner shrinks the grid below the survivor count in one failover).
+  gpusim::NodeTopology topo{};
   ExchangeConfig xcfg{};
 
   /// Iterations between solver-state snapshots (0 disables checkpointing;

@@ -235,6 +235,136 @@ TEST(Multidev, SingleDeviceGridDelegatesToDslashRunner) {
   EXPECT_EQ(res.overlap_efficiency, 1.0);
 }
 
+// --- two-level topology ------------------------------------------------------
+
+TEST(Topology, TwoNodeRunMatchesSingleNodeAndSingleDeviceBitForBit) {
+  const RunRequest req{.strategy = Strategy::LP3_1,
+                       .order = IndexOrder::kMajor,
+                       .local_size = 768,
+                       .variant = Variant::SYCL};
+  const DslashRunner single;
+  DslashProblem expected(12, /*seed=*/7);
+  single.run_functional(expected, req.strategy, req.order, req.local_size);
+
+  const MultiDeviceRunner runner;
+  const PartitionGrid grid{.devices = {1, 1, 2, 2}};
+
+  DslashProblem island_p(12, /*seed=*/7);
+  MultiDevRequest island_req;
+  island_req.grid = grid;
+  island_req.req = req;
+  const MultiDevResult island = runner.run(island_p, island_req);
+
+  DslashProblem fabric_p(12, /*seed=*/7);
+  MultiDevRequest fabric_req = island_req;
+  fabric_req.topo = gpusim::cluster(2, 2);
+  const MultiDevResult fabric = runner.run(fabric_p, fabric_req);
+
+  // Placement prices the exchange differently — it must never change a bit.
+  EXPECT_EQ(max_abs_diff(expected.c(), island_p.c()), 0.0);
+  EXPECT_EQ(max_abs_diff(island_p.c(), fabric_p.c()), 0.0);
+
+  // Byte accounting: {1,1,2,2} over a 2x2 cluster keeps the z split on
+  // NVLink while the t split (both faces, thanks to the wrap) crosses the
+  // fabric.  Each slab is 3 * (12*12*6/2) * 48 B = 62208 B.
+  EXPECT_EQ(island.nodes, 1);
+  EXPECT_EQ(island.intra_node_bytes, island.halo_bytes);
+  EXPECT_EQ(island.inter_node_bytes, 0);
+  EXPECT_EQ(island.fabric_messages, 0);
+
+  EXPECT_EQ(fabric.nodes, 2);
+  EXPECT_EQ(fabric.intra_node_bytes, 8 * 62'208);
+  EXPECT_EQ(fabric.fabric_messages, 4);  // r0<->r2 and r1<->r3, coalesced
+  EXPECT_EQ(fabric.inter_node_bytes,
+            8 * 62'208 + 4 * 2 * 32);  // payload + frame headers
+  EXPECT_EQ(fabric.halo_bytes, island.halo_bytes);
+  // Half the bytes ride the fabric yet cost more wire time than the NVLink
+  // half — the asymmetry the partitioner optimises against.  (Total iteration
+  // times are not compared: simulated kernel stats depend on the problem
+  // instances' buffer addresses, and overlap can hide the slower wire.)
+  EXPECT_GT(fabric.inter_wire_us, fabric.intra_wire_us);
+}
+
+TEST(Topology, EffectiveTopologyTracksFailover) {
+  const gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+  EXPECT_EQ(effective_topology(topo, 4).nodes, 2);
+  // Two survivors fit inside one node group: NVLink island, no fabric term.
+  const gpusim::NodeTopology two = effective_topology(topo, 2);
+  EXPECT_EQ(two.nodes, 1);
+  EXPECT_EQ(two.devices_per_node, 2);
+  EXPECT_FALSE(two.multi_node());
+
+  EXPECT_EQ(effective_topology(gpusim::cluster(2, 4), 8).nodes, 2);
+  EXPECT_EQ(effective_topology(gpusim::cluster(2, 4), 4).nodes, 1);
+  // A survivor count that does not fill whole node groups collapses too —
+  // post-failover remnants are treated as NVLink peers.
+  EXPECT_EQ(effective_topology(gpusim::cluster(2, 4), 6).nodes, 1);
+}
+
+TEST(GridScore, ClassifiesIntraAndInterBytesExactly) {
+  const LatticeGeom geom(12);
+  const gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+  const GridScore sc = score_grid(geom, PartitionGrid{.devices = {1, 1, 2, 2}}, topo);
+  // Rank numbering is dim-0-fastest, so the z split varies inside a node
+  // group (intra) and the t split across groups (inter).
+  EXPECT_EQ(sc.intra_bytes, 8 * 62'208);
+  EXPECT_EQ(sc.inter_bytes, 8 * 62'208);
+  EXPECT_EQ(sc.inter_pairs, 4);
+  EXPECT_GT(sc.cost_us, 0.0);
+
+  // The same grid on one island has no fabric term and a lower cost.
+  const GridScore flat =
+      score_grid(geom, PartitionGrid{.devices = {1, 1, 2, 2}}, gpusim::cluster(1, 4));
+  EXPECT_EQ(flat.intra_bytes, 16 * 62'208);
+  EXPECT_EQ(flat.inter_bytes, 0);
+  EXPECT_EQ(flat.inter_pairs, 0);
+  EXPECT_LT(flat.cost_us, sc.cost_us);
+
+  EXPECT_THROW((void)score_grid(geom, PartitionGrid{.devices = {1, 1, 2, 2}},
+                                gpusim::cluster(1, 2)),
+               std::invalid_argument);  // grid larger than the topology
+  EXPECT_THROW((void)score_grid(geom, PartitionGrid::along(3, 4), gpusim::cluster(1, 4)),
+               std::invalid_argument);  // local extent 3 below 2 * kHaloDepth
+}
+
+TEST(ChooseGrid, ReproducesTheSingleNodeConvention) {
+  const LatticeGeom geom(16);
+  EXPECT_EQ(choose_grid(geom, gpusim::cluster(1, 2)).devices, (Coords{1, 1, 1, 2}));
+  EXPECT_EQ(choose_grid(geom, gpusim::cluster(1, 4)).devices, (Coords{1, 1, 2, 2}));
+}
+
+TEST(ChooseGrid, PrefersIntraNodeCutsOnAsymmetricGeometry) {
+  // On a torus a dimension split by 2 pays the wrap: BOTH its faces cross
+  // the node boundary.  A dimension split 4-ways over 2 nodes crosses the
+  // fabric on only 2 of its 4 cuts.  With z = 24 the 4-way z split exists
+  // and halves the inter-node traffic of any 2-way split.
+  const LatticeGeom geom(Coords{12, 12, 24, 12});
+  const gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+
+  const GridScore zheavy = score_grid(geom, PartitionGrid{.devices = {1, 1, 4, 1}}, topo);
+  const GridScore tsplit = score_grid(geom, PartitionGrid{.devices = {1, 1, 2, 2}}, topo);
+  EXPECT_EQ(zheavy.inter_bytes, 4 * 124'416);  // 2 of 4 z cuts cross, 2 dirs
+  EXPECT_EQ(tsplit.inter_bytes, 8 * 124'416);  // the wrap doubles the t cut
+  EXPECT_LT(zheavy.cost_us, tsplit.cost_us);
+
+  EXPECT_EQ(choose_grid(geom, topo).devices, (Coords{1, 1, 4, 1}));
+}
+
+TEST(EnumerateGrids, FiltersSplitsTheHaloCannotSupport) {
+  // At 16^4 a 4-way split leaves local extent 4 < 2 * kHaloDepth: only the
+  // six two-dim 2x2 assignments (and nothing 4-way) survive.
+  const std::vector<PartitionGrid> grids = enumerate_grids(LatticeGeom(16), 4);
+  EXPECT_EQ(grids.size(), 6u);
+  for (const PartitionGrid& g : grids) {
+    for (int d = 0; d < kNdim; ++d) {
+      EXPECT_LE(g.devices[static_cast<std::size_t>(d)], 2);
+    }
+  }
+  // partition_error mirrors the Partitioner's constructor validation.
+  EXPECT_FALSE(partition_error(LatticeGeom(16), PartitionGrid::along(3, 4)).empty());
+  EXPECT_TRUE(partition_error(LatticeGeom(16), PartitionGrid::along(3, 2)).empty());
+}
+
 TEST(Multidev, PickLocalSizeFallsBackAndThrows) {
   // Preferred size is legal: returned unchanged.
   EXPECT_EQ(pick_local_size(Strategy::LP3_1, IndexOrder::kMajor, 768, 4096), 768);

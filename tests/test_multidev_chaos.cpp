@@ -397,6 +397,98 @@ TEST(MultidevChaos, UnbrokenDropStormExhaustsRoundsAndReportsFailure) {
   EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
 }
 
+// --- fabric-tier chaos -------------------------------------------------------
+
+MultiDevResult run_hardened_topo(DslashProblem& problem, const PartitionGrid& grid,
+                                 const gpusim::NodeTopology& topo) {
+  const MultiDeviceRunner runner;
+  MultiDevRequest mreq;
+  mreq.grid = grid;
+  mreq.req = kReq;
+  mreq.topo = topo;
+  return runner.run(problem, mreq);
+}
+
+TEST(MultidevChaos, FabricStormRecoversExactOutputAcrossNodes) {
+  // The same storm as the single-island case, but over a 2x2 cluster: the
+  // probabilistic draws now also hit the aggregated fabric wires, whose unit
+  // of loss is a whole coalesced message.  Retransmission must still restore
+  // the exact bytes.
+  const ColorField expected = clean_output(/*seed=*/11);
+  DslashProblem problem(kL, /*seed=*/11);
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.p_msg_drop = 0.25;
+  plan.p_msg_corrupt = 0.25;
+  plan.p_msg_delay = 0.25;
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res =
+      run_hardened_topo(problem, PartitionGrid{.devices = {1, 1, 2, 2}}, gpusim::cluster(2, 2));
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_TRUE(res.exchange.succeeded) << res.exchange.summary();
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0)
+      << "fabric faults must be invisible in the output";
+  EXPECT_EQ(res.nodes, 2);
+  EXPECT_GT(res.fabric_messages, 0);
+
+  bool fabric_fault = false;
+  for (const faultsim::FaultEvent& ev : res.faults) {
+    fabric_fault |= ev.site.find("fabric-exchange") != std::string::npos;
+  }
+  EXPECT_TRUE(fabric_fault) << "with this seed the storm must hit a fabric wire";
+}
+
+TEST(MultidevChaos, NodeLossFailsOverBelowTheSurvivorCount) {
+  // Node n1 dies: both of its devices vanish at once, so one fallback_grid
+  // step (4 -> 2) is forced in a single failover, and the survivors — now a
+  // lone NVLink island — replay the exact field.
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.schedule.push_back(ScheduledFault{FaultKind::node_loss, 0, 1, "node n1 @ 1x1x2x2"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res =
+      run_hardened_topo(problem, PartitionGrid{.devices = {1, 1, 2, 2}}, gpusim::cluster(2, 2));
+
+  EXPECT_TRUE(res.recovered);
+  ASSERT_EQ(res.failovers.size(), 1u);
+  EXPECT_EQ(res.failovers[0].from.label(), "1x1x2x2");
+  EXPECT_LE(res.failovers[0].to.total(), 2) << "the new grid must fit the 2 survivors";
+  EXPECT_NE(res.failovers[0].reason.find("node n1"), std::string::npos)
+      << res.failovers[0].reason;
+  EXPECT_EQ(res.nodes, 1) << "the post-failover remnant is a single island";
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  ASSERT_EQ(res.faults.size(), 1u);
+  EXPECT_EQ(res.faults[0].kind, FaultKind::node_loss);
+}
+
+TEST(MultidevChaos, NodeLossStormStillConvergesBitForBit) {
+  // A node loss in the middle of a link storm: the failover replays on the
+  // survivors under the same storm, and the final field must still be the
+  // fault-free output bit for bit.
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.p_msg_drop = 0.2;
+  plan.p_msg_corrupt = 0.2;
+  plan.schedule.push_back(ScheduledFault{FaultKind::node_loss, 0, 1, "node n1 @ 1x1x2x2"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res =
+      run_hardened_topo(problem, PartitionGrid{.devices = {1, 1, 2, 2}}, gpusim::cluster(2, 2));
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  ASSERT_GE(res.failovers.size(), 1u);
+  bool node_lost = false;
+  for (const faultsim::FaultEvent& ev : res.faults) {
+    node_lost |= ev.kind == FaultKind::node_loss;
+  }
+  EXPECT_TRUE(node_lost);
+}
+
 TEST(MultidevChaos, FallbackGridHalvesTheLowestSplitDimension) {
   EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {2, 2, 2, 1}}).label(), "1x2x2x1");
   EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {1, 1, 1, 4}}).label(), "1x1x1x2");

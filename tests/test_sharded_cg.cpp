@@ -186,6 +186,63 @@ TEST(ShardedCg, DeviceLossTriggersFailoverAndCheckpointRestart) {
   EXPECT_TRUE(restored);
 }
 
+TEST(ShardedCg, MultiNodeSolveIsBitForBitTheIslandSolve) {
+  // Moving the two shards onto separate nodes reroutes every halo over the
+  // fabric tier — a pricing change only.  The whole solver trajectory must
+  // be bit-identical to the single-island solve.
+  ShardedCgSolver island(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2),
+                         quick_config());
+  const ColorField b = make_source(island.geom());
+  ColorField x_island(island.geom(), Parity::Even);
+  const ShardedCgResult island_res = island.solve(b, x_island);
+  ASSERT_TRUE(island_res.cg.converged);
+
+  ShardedCgConfig cfg = quick_config();
+  cfg.topo = gpusim::cluster(2, 1);
+  ShardedCgSolver fabric(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2), cfg);
+  ColorField x_fabric(fabric.geom(), Parity::Even);
+  const ShardedCgResult fabric_res = fabric.solve(b, x_fabric);
+
+  ASSERT_TRUE(fabric_res.cg.converged) << fabric_res.summary();
+  EXPECT_EQ(fabric_res.cg.iterations, island_res.cg.iterations);
+  EXPECT_EQ(fabric_res.cg.relative_residual, island_res.cg.relative_residual);
+  EXPECT_EQ(max_abs_diff(x_fabric, x_island), 0.0)
+      << "placement must never change the solve";
+  EXPECT_TRUE(fabric_res.faults.empty());
+  EXPECT_EQ(fabric_res.restarts, 0);
+}
+
+TEST(ShardedCg, NodeLossMidSolveRestoresAndConvergesBitForBit) {
+  // One shard per node: losing node n1 takes its device with it.  The
+  // hardened runner fails over to the lone survivor, the solver restores its
+  // last checkpoint, and grid-independent exactness makes the replayed
+  // trajectory — and the solution — bit-identical to the clean solve.
+  ShardedCgConfig cfg = quick_config();
+  cfg.topo = gpusim::cluster(2, 1);
+  ShardedCgSolver clean(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2), cfg);
+  const ColorField b = make_source(clean.geom());
+  ColorField x_clean(clean.geom(), Parity::Even);
+  const ShardedCgResult clean_res = clean.solve(b, x_clean);
+  ASSERT_TRUE(clean_res.cg.converged);
+
+  ShardedCgSolver solver(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2), cfg);
+  ColorField x(solver.geom(), Parity::Even);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.schedule.push_back(ScheduledFault{FaultKind::node_loss, 30, 1, "node n1"});
+  ScopedFaultInjection fi(plan);
+  const ShardedCgResult res = solver.solve(b, x);
+
+  ASSERT_TRUE(res.cg.converged) << res.summary();
+  EXPECT_TRUE(res.recovered_all);
+  EXPECT_GE(res.failovers_observed, 1);
+  EXPECT_GE(res.restarts, 1) << "node loss must restore the last checkpoint";
+  EXPECT_EQ(res.final_grid.total(), 1);
+  ASSERT_EQ(res.faults.size(), 1u);
+  EXPECT_EQ(res.faults[0].kind, FaultKind::node_loss);
+  EXPECT_EQ(max_abs_diff(x, x_clean), 0.0);
+}
+
 TEST(ShardedCg, BitFlipCorruptionIsCaughtAndTheSolveStillConverges) {
   // ECC-style flips land in the live solver vectors during kernel
   // completions.  The ABFT identity catches inconsistent applies
