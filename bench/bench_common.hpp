@@ -25,6 +25,7 @@ struct Options {
   std::string csv_path;  ///< when set, run_and_print also appends CSV rows
   std::string json_path; ///< when set, benches also emit a JSON document
   bool sanitize = false; ///< replay kernels under ksan instead of profiling
+  bool dsan = false;     ///< record + check cluster-wide event graphs (dsan)
   bool faults = false;   ///< run under an installed FaultPlan + ResilientRunner
   std::uint64_t fault_seed = 2024;  ///< FaultPlan seed for --faults
   int nodes = 1;  ///< simulated node count; > 1 prices halos over the fabric tier
@@ -43,6 +44,8 @@ inline Options parse_options(int argc, char** argv) {
       o.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sanitize") == 0) {
       o.sanitize = true;
+    } else if (std::strcmp(argv[i], "--dsan") == 0) {
+      o.dsan = true;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       o.faults = true;
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
@@ -51,7 +54,7 @@ inline Options parse_options(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--json <path>] "
-          "[--sanitize] [--faults <fault seed>] [--nodes <n>]\n",
+          "[--sanitize] [--dsan] [--faults <fault seed>] [--nodes <n>]\n",
           argv[0]);
       std::exit(0);
     }

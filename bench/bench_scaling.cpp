@@ -336,6 +336,115 @@ int run_chaos(const Options& opt, int max_devices, const RunRequest& req) {
 }
 
 // ---------------------------------------------------------------------------
+// Sanitize mode (--sanitize): every pack/unpack launch of the halo protocol
+// replayed under ksan with exact region declarations — the multi-device
+// analogue of bench_fig6 --sanitize.  Any error fails the run.
+// ---------------------------------------------------------------------------
+
+int run_sanitize(const Options& opt, int max_devices) {
+  DslashProblem p0(opt.L, opt.seed);
+  print_header("Halo protocol under ksan (sanitized replay)", opt, p0.sites());
+  const MultiDeviceRunner multi;
+  bool all_clean = true;
+  for (const int n : {2, 4, 8}) {
+    if (n > max_devices) continue;
+    const PartitionGrid grid = strong_grid(n);
+    std::printf("\ngrid %s — pack/unpack launches\n", grid.label().c_str());
+    DslashProblem ph(opt.L, opt.seed);
+    for (const ksan::SanitizerReport& rep : multi.sanitize_halo(ph, grid)) {
+      all_clean &= print_sanitize_row(rep);
+    }
+    std::printf("grid %s — hardened exchange flow (one retransmission)\n",
+                grid.label().c_str());
+    DslashProblem px(opt.L, opt.seed);
+    for (const ksan::SanitizerReport& rep : multi.sanitize_exchange(px, grid)) {
+      all_clean &= print_sanitize_row(rep);
+    }
+  }
+  std::printf("\nksan verdict: %s\n",
+              all_clean ? "all halo launches clean" : "ERRORS DETECTED");
+  return all_clean ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-sanitizer mode (--dsan): record every scenario's cluster-wide
+// event graph and run the dsan checkers (happens-before races, message
+// protocol, wire schedule, lints) over it.  Combines with --nodes (fabric
+// runs join the sweep) and --faults (hardened retransmit + failover runs
+// join it).  Every trace must come back clean.
+// ---------------------------------------------------------------------------
+
+int run_dsan(const Options& opt, int max_devices, const RunRequest& req) {
+  DslashProblem p0(opt.L, opt.seed);
+  print_header("Distributed sanitizer (dsan) over recorded event graphs", opt, p0.sites());
+  const MultiDeviceRunner multi;
+  bool all_clean = true;
+
+  const auto check_grid = [&](const char* name, const PartitionGrid& grid,
+                              const gpusim::NodeTopology& topo,
+                              const faultsim::FaultPlan* plan) {
+    std::printf("\n%s (grid %s)\n", name, grid.label().c_str());
+    DslashProblem problem(opt.L, opt.seed);
+    MultiDevRequest mreq;
+    mreq.grid = grid;
+    mreq.req = req;
+    mreq.topo = topo;
+    std::vector<ksan::SanitizerReport> reports;
+    if (plan != nullptr) {
+      faultsim::ScopedFaultInjection fi(*plan);
+      reports = multi.dsan_check(problem, mreq);
+    } else {
+      reports = multi.dsan_check(problem, mreq);
+    }
+    for (const ksan::SanitizerReport& rep : reports) all_clean &= print_sanitize_row(rep);
+  };
+
+  for (const int n : {2, 4, 8}) {
+    if (n > max_devices) continue;
+    const std::string name = "plain " + std::to_string(n) + "-device run";
+    check_grid(name.c_str(), strong_grid(n), gpusim::NodeTopology{}, nullptr);
+  }
+  if (opt.nodes >= 2 && max_devices >= 4) {
+    check_grid("multi-node 2x2 run", strong_grid(4), gpusim::cluster(2, 2), nullptr);
+  }
+  if (opt.faults && max_devices >= 2) {
+    // A corrupted first delivery forces a checksum reject + round-2
+    // retransmit; the recorded retry protocol must still check clean.
+    faultsim::FaultPlan retx;
+    retx.seed = opt.fault_seed;
+    retx.schedule.push_back(faultsim::ScheduledFault{faultsim::FaultKind::msg_corrupt, 0, 1,
+                                                     "halo-exchange r0->r1"});
+    check_grid("hardened retransmit run", strong_grid(2), gpusim::NodeTopology{}, &retx);
+    if (max_devices >= 4) {
+      faultsim::FaultPlan loss;
+      loss.seed = opt.fault_seed;
+      loss.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 0, 1, "device r3"});
+      check_grid("device-loss failover run", strong_grid(4), gpusim::NodeTopology{}, &loss);
+    }
+  }
+  {
+    std::printf("\nsharded-cg short solve (grid %s)\n",
+                PartitionGrid::along(3, 2).label().c_str());
+    ShardedCgConfig cfg;
+    cfg.cg.max_iterations = 6;
+    cfg.checkpoint_interval = 2;
+    ShardedCgSolver solver(Coords{8, 8, 8, 12}, opt.seed, 0.5, PartitionGrid::along(3, 2),
+                           cfg);
+    ColorField b(solver.geom(), Parity::Even);
+    b.fill_random(opt.seed ^ 0x5a5aULL);
+    ColorField x(solver.geom(), Parity::Even);
+    for (const ksan::SanitizerReport& rep : solver.dsan_check(b, x)) {
+      all_clean &= print_sanitize_row(rep);
+    }
+  }
+
+  std::printf("\ndsan verdict: %s\n",
+              all_clean ? "all traces clean" : "ERRORS DETECTED");
+  return all_clean ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // Multi-node mode (--nodes N)
 // ---------------------------------------------------------------------------
 
@@ -481,6 +590,8 @@ int main(int argc, char** argv) {
                        .order = IndexOrder::kMajor,
                        .local_size = 768,
                        .variant = Variant::SYCL};
+  if (opt.dsan) return run_dsan(opt, max_devices, req);
+  if (opt.sanitize) return run_sanitize(opt, max_devices);
   if (opt.faults) return run_chaos(opt, max_devices, req);
   if (opt.nodes > 1) return run_nodes(opt, max_devices, req);
   const DslashRunner single;

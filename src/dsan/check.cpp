@@ -1,0 +1,452 @@
+#include "dsan/check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace dsan {
+namespace {
+
+bool is_boundary_kernel(const Event& e) {
+  return e.kind == EventKind::Kernel && e.site.rfind("dslash-boundary", 0) == 0;
+}
+
+bool is_sync(const Event& e) {
+  return e.kind == EventKind::Barrier || e.kind == EventKind::Failover;
+}
+
+/// Per-event vector clocks, barrier epochs and message indices — shared by
+/// every checker.  Actors are discovered from the trace (host actor -1 plus
+/// the shard ranks); clocks are dense vectors over the actor-slot mapping.
+struct Prep {
+  const Trace* trace = nullptr;
+  std::vector<std::vector<std::uint64_t>> vc;  ///< per-event clock snapshot
+  std::vector<int> epoch;                      ///< per-event barrier epoch
+  int num_epochs = 1;
+  std::unordered_map<std::uint64_t, std::size_t> send_of;          ///< msg -> Send index
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> recvs_of;  ///< msg -> Recv indices
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> verdicts_of;
+
+  /// True iff event a happens-before event b.
+  [[nodiscard]] bool hb(std::size_t a, std::size_t b) const {
+    if (a == b) return false;
+    const std::vector<std::uint64_t>& va = vc[a];
+    const std::vector<std::uint64_t>& vb = vc[b];
+    for (std::size_t k = 0; k < va.size(); ++k) {
+      if (va[k] > vb[k]) return false;
+    }
+    return true;
+  }
+};
+
+Prep prepare(const Trace& trace) {
+  Prep p;
+  p.trace = &trace;
+
+  std::map<int, std::size_t> slot;
+  slot[kHostActor] = 0;  // barriers / solver events always have a slot
+  for (const Event& e : trace.events) slot.emplace(e.actor, 0);
+  std::size_t next = 0;
+  for (auto& [actor, s] : slot) s = next++;
+  const std::size_t n_actors = slot.size();
+
+  std::vector<std::vector<std::uint64_t>> clock(n_actors,
+                                                std::vector<std::uint64_t>(n_actors, 0));
+  p.vc.reserve(trace.size());
+  p.epoch.reserve(trace.size());
+
+  int cur_epoch = 0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+    p.epoch.push_back(cur_epoch);
+
+    if (e.kind == EventKind::Send && e.msg != 0) p.send_of.emplace(e.msg, i);
+    if (e.kind == EventKind::Recv && e.msg != 0) p.recvs_of[e.msg].push_back(i);
+    if (e.kind == EventKind::ChecksumVerdict && e.msg != 0) p.verdicts_of[e.msg].push_back(i);
+
+    if (is_sync(e)) {
+      // Join every actor, bump the host component for uniqueness, and
+      // re-seed all clocks: everything later is ordered after everything
+      // earlier.
+      std::vector<std::uint64_t> joined(n_actors, 0);
+      for (const auto& c : clock) {
+        for (std::size_t k = 0; k < n_actors; ++k) joined[k] = std::max(joined[k], c[k]);
+      }
+      ++joined[slot[kHostActor]];
+      for (auto& c : clock) c = joined;
+      p.vc.push_back(std::move(joined));
+      ++cur_epoch;
+      continue;
+    }
+
+    const std::size_t a = slot[e.actor];
+    std::vector<std::uint64_t>& c = clock[a];
+    if (e.kind == EventKind::Recv || e.kind == EventKind::ChecksumVerdict) {
+      // Cross-actor edge: the delivery is ordered after its departure.  A
+      // recv whose send is missing (bug-zoo mutation) simply gets no edge —
+      // check_messages reports the pairing violation.
+      if (auto it = p.send_of.find(e.msg); it != p.send_of.end() && it->second < i) {
+        const std::vector<std::uint64_t>& vs = p.vc[it->second];
+        for (std::size_t k = 0; k < n_actors; ++k) c[k] = std::max(c[k], vs[k]);
+      }
+    }
+    ++c[a];
+    p.vc.push_back(c);
+  }
+  p.num_epochs = cur_epoch + 1;
+  return p;
+}
+
+struct ReportBuilder {
+  ksan::SanitizerReport rep;
+  std::size_t max_records = 16;
+
+  explicit ReportBuilder(const std::string& name, const Trace& t, const Prep& p) {
+    rep.kernel = name;
+    rep.global_size = static_cast<std::int64_t>(t.size());
+    rep.num_phases = p.num_epochs;
+  }
+
+  void offend(ksan::Category cat, ksan::AccessKind kind, std::uint64_t addr,
+              std::uint64_t bytes, int epoch, std::size_t item, std::string note,
+              std::int64_t other_item = -1) {
+    ++rep.counts[static_cast<std::size_t>(cat)];
+    if (rep.records.size() >= max_records) return;
+    ksan::Offence o;
+    o.category = cat;
+    o.kind = kind;
+    o.addr = addr;
+    o.size = static_cast<std::uint32_t>(std::min<std::uint64_t>(bytes, 0xffffffffull));
+    o.phase = epoch;
+    o.item = static_cast<std::int64_t>(item);
+    o.other_item = other_item;
+    o.note = std::move(note);
+    rep.records.push_back(std::move(o));
+  }
+};
+
+/// First overlapping (write, access) span pair between two events, if any.
+/// Returns true iff the events conflict (overlap with at least one write).
+bool conflict_span(const Event& a, const Event& b, MemSpan* out) {
+  for (const MemSpan& w : a.writes) {
+    for (const MemSpan& o : b.writes) {
+      if (w.overlaps(o)) { *out = w; return true; }
+    }
+    for (const MemSpan& o : b.reads) {
+      if (w.overlaps(o)) { *out = w; return true; }
+    }
+  }
+  for (const MemSpan& r : a.reads) {
+    for (const MemSpan& o : b.writes) {
+      if (r.overlaps(o)) { *out = o; return true; }
+    }
+  }
+  return false;
+}
+
+std::string pair_note(const Event& a, const Event& b) {
+  std::string note = "site '";
+  note += a.site;
+  note += "' (";
+  note += to_string(a.kind);
+  note += ") vs site '";
+  note += b.site;
+  note += "' (";
+  note += to_string(b.kind);
+  note += ")";
+  return note;
+}
+
+}  // namespace
+
+ksan::SanitizerReport check_happens_before(const Trace& trace, const std::string& label) {
+  const Prep p = prepare(trace);
+  ReportBuilder rb("dsan:happens-before @ " + label, trace, p);
+
+  // Events with memory effects, grouped by epoch: cross-epoch pairs are
+  // always barrier-ordered, so only same-epoch pairs can race — this also
+  // keeps the pair scan linear in the number of CG applies.
+  std::vector<std::vector<std::size_t>> by_epoch(static_cast<std::size_t>(p.num_epochs));
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+    if (e.reads.empty() && e.writes.empty()) continue;
+    by_epoch[static_cast<std::size_t>(p.epoch[i])].push_back(i);
+  }
+
+  for (const std::vector<std::size_t>& group : by_epoch) {
+    for (std::size_t x = 0; x < group.size(); ++x) {
+      for (std::size_t y = x + 1; y < group.size(); ++y) {
+        const std::size_t i = group[x], j = group[y];
+        const Event& a = trace.events[i];
+        const Event& b = trace.events[j];
+        // The unpack -> boundary hand-off is checked directionally below;
+        // here it would double-report as a generic race.
+        if ((a.kind == EventKind::Unpack && is_boundary_kernel(b)) ||
+            (b.kind == EventKind::Unpack && is_boundary_kernel(a))) {
+          continue;
+        }
+        MemSpan span;
+        if (!conflict_span(a, b, &span)) continue;
+        ++rb.rep.checked_global;
+        if (p.hb(i, j) || p.hb(j, i)) continue;
+        rb.offend(ksan::Category::CrossDeviceRace, ksan::AccessKind::Store, span.base,
+                  span.bytes, p.epoch[i], i, pair_note(a, b),
+                  static_cast<std::int64_t>(j));
+      }
+    }
+  }
+
+  // GhostReadBeforeUnpack: the boundary launch must be ordered *after* every
+  // unpack whose ghost span it reads (directional — a same-actor launch
+  // reordering is not a race but is still this bug).
+  for (const std::vector<std::size_t>& group : by_epoch) {
+    for (const std::size_t bi : group) {
+      if (!is_boundary_kernel(trace.events[bi])) continue;
+      const Event& b = trace.events[bi];
+      for (const std::size_t ui : group) {
+        const Event& u = trace.events[ui];
+        if (u.kind != EventKind::Unpack) continue;
+        MemSpan span{};
+        bool overlap = false;
+        for (const MemSpan& w : u.writes) {
+          for (const MemSpan& r : b.reads) {
+            if (w.overlaps(r)) { span = w; overlap = true; }
+          }
+        }
+        if (!overlap) continue;
+        ++rb.rep.checked_global;
+        if (p.hb(ui, bi)) continue;
+        rb.offend(ksan::Category::GhostReadBeforeUnpack, ksan::AccessKind::Load, span.base,
+                  span.bytes, p.epoch[bi], bi, pair_note(u, b),
+                  static_cast<std::int64_t>(ui));
+      }
+    }
+  }
+
+  // WireBufferReuse: a pack may only overwrite a wire buffer once every
+  // earlier transmission out of it has resolved — its Recv (a rejected
+  // delivery still completes the wire's read), or the drop itself.  Program
+  // order with the Send alone is NOT enough: the transmission reads the
+  // buffer after departing (in-flight DMA).
+  for (const std::vector<std::size_t>& group : by_epoch) {
+    for (const std::size_t pi : group) {
+      const Event& pk = trace.events[pi];
+      if (pk.kind != EventKind::Pack) continue;
+      for (const std::size_t si : group) {
+        if (si >= pi) break;
+        const Event& s = trace.events[si];
+        if (s.kind != EventKind::Send) continue;
+        bool overlap = false;
+        MemSpan span{};
+        for (const MemSpan& payload : s.reads) {
+          for (const MemSpan& w : pk.writes) {
+            if (payload.overlaps(w)) { span = payload; overlap = true; }
+          }
+        }
+        if (!overlap) continue;
+        ++rb.rep.checked_global;
+        std::size_t resolved = si;
+        bool has_resolution = s.dropped;
+        if (auto it = p.recvs_of.find(s.msg); it != p.recvs_of.end() && !it->second.empty()) {
+          resolved = it->second.front();
+          has_resolution = true;
+        }
+        if (has_resolution && p.hb(resolved, pi)) continue;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "' (round %d) still in flight", s.round);
+        rb.offend(ksan::Category::WireBufferReuse, ksan::AccessKind::Store, span.base,
+                  span.bytes, p.epoch[pi], pi,
+                  "repack of wire for site '" + s.site + buf,
+                  static_cast<std::int64_t>(si));
+      }
+    }
+  }
+
+  return rb.rep;
+}
+
+ksan::SanitizerReport check_messages(const Trace& trace, const std::string& label) {
+  const Prep p = prepare(trace);
+  ReportBuilder rb("dsan:messages @ " + label, trace, p);
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+    if (e.kind == EventKind::Send) {
+      ++rb.rep.checked_global;
+      const auto it = p.recvs_of.find(e.msg);
+      const std::size_t deliveries = it == p.recvs_of.end() ? 0 : it->second.size();
+      const MemSpan payload = e.reads.empty() ? MemSpan{} : e.reads.front();
+      if (e.dropped && deliveries > 0) {
+        rb.offend(ksan::Category::UnmatchedMessage, ksan::AccessKind::Load, payload.base,
+                  payload.bytes, p.epoch[i], i,
+                  "site '" + e.site + "': dropped transmission yet delivered");
+      } else if (!e.dropped && deliveries == 0) {
+        rb.offend(ksan::Category::UnmatchedMessage, ksan::AccessKind::Load, payload.base,
+                  payload.bytes, p.epoch[i], i, "site '" + e.site + "': send never received");
+      } else if (deliveries > 1) {
+        rb.offend(ksan::Category::UnmatchedMessage, ksan::AccessKind::Store, payload.base,
+                  payload.bytes, p.epoch[i], i,
+                  "site '" + e.site + "': duplicated delivery",
+                  static_cast<std::int64_t>(it->second.back()));
+      }
+    } else if (e.kind == EventKind::Recv) {
+      ++rb.rep.checked_global;
+      if (p.send_of.find(e.msg) == p.send_of.end()) {
+        rb.offend(ksan::Category::UnmatchedMessage, ksan::AccessKind::Store, 0, 0, p.epoch[i],
+                  i, "site '" + e.site + "': recv without a matching send");
+      }
+    }
+  }
+  return rb.rep;
+}
+
+ksan::SanitizerReport check_schedule(const Trace& trace, const std::string& label) {
+  const Prep p = prepare(trace);
+  ReportBuilder rb("dsan:schedule @ " + label, trace, p);
+
+  std::unordered_map<std::int64_t, std::size_t> by_sched;
+  std::vector<std::size_t> nodes;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+    if (e.kind != EventKind::WireSchedule) continue;
+    by_sched.emplace(e.sched, i);
+    nodes.push_back(i);
+    ++rb.rep.checked_global;
+    if (e.never_started) {
+      rb.offend(ksan::Category::ScheduleDeadlock, ksan::AccessKind::Load, 0, 0, p.epoch[i], i,
+                "site '" + e.site + "': starved — never granted a port before the schedule ended");
+    }
+  }
+
+  // Cycle detection over the wait graph (edge: holder -> waiter).  The
+  // greedy schedules release ports in start order, so a real recording is
+  // acyclic; a cycle means circular wait, i.e. deadlock.
+  enum class Color : std::uint8_t { White, Grey, Black };
+  std::unordered_map<std::size_t, Color> color;
+  std::vector<std::size_t> stack;
+
+  // Recursive DFS via explicit stack; on finding a grey successor, report
+  // the cycle with its site chain.
+  for (const std::size_t root : nodes) {
+    if (color[root] != Color::White) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> work;  // (node, next-dep position)
+    work.emplace_back(root, 0);
+    color[root] = Color::Grey;
+    stack.push_back(root);
+    while (!work.empty()) {
+      auto& [n, pos] = work.back();
+      const Event& e = trace.events[n];
+      if (pos >= e.waits_on.size()) {
+        color[n] = Color::Black;
+        stack.pop_back();
+        work.pop_back();
+        continue;
+      }
+      const std::int64_t dep = e.waits_on[pos++];
+      const auto it = by_sched.find(dep);
+      if (it == by_sched.end()) continue;
+      const std::size_t m = it->second;
+      if (color[m] == Color::White) {
+        color[m] = Color::Grey;
+        stack.push_back(m);
+        work.emplace_back(m, 0);
+      } else if (color[m] == Color::Grey) {
+        std::string note = "circular wait:";
+        bool in_cycle = false;
+        for (const std::size_t s : stack) {
+          in_cycle |= s == m;
+          if (!in_cycle) continue;
+          note += " '" + trace.events[s].site + "' ->";
+        }
+        note += " '" + trace.events[m].site + "'";
+        rb.offend(ksan::Category::ScheduleDeadlock, ksan::AccessKind::Load, 0, 0, p.epoch[m],
+                  m, std::move(note), static_cast<std::int64_t>(n));
+      }
+    }
+  }
+  return rb.rep;
+}
+
+ksan::SanitizerReport check_protocol(const Trace& trace, const std::string& label) {
+  const Prep p = prepare(trace);
+  ReportBuilder rb("dsan:protocol @ " + label, trace, p);
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+
+    // ChecksumSkipped: every retransmitted delivery needs a verdict — a
+    // round > 1 payload accepted on trust defeats the whole retry tier.
+    if (e.kind == EventKind::Recv && e.round > 1) {
+      ++rb.rep.checked_global;
+      if (p.verdicts_of.find(e.msg) == p.verdicts_of.end()) {
+        rb.offend(ksan::Category::ChecksumSkipped, ksan::AccessKind::Load, 0, 0, p.epoch[i], i,
+                  "site '" + e.site + "': retransmitted delivery accepted without a checksum verdict");
+      }
+    }
+
+    // UnaggregatedFrames: fabric crossings must ride aggregated frames
+    // (the per-frame NIC injection cost is what aggregation amortises).
+    if (e.kind == EventKind::Send && e.src_node != e.dst_node && !e.aggregated) {
+      ++rb.rep.checked_global;
+      rb.offend(ksan::Category::UnaggregatedFrames, ksan::AccessKind::Load, 0, 0, p.epoch[i],
+                i, "site '" + e.site + "': fabric crossing without frame aggregation");
+    }
+
+    // BoundaryBeforeUnpack: the boundary launch of shard r is only sound
+    // once every face delivered to r this epoch has been unpacked before it.
+    if (is_boundary_kernel(e)) {
+      for (std::size_t ri = 0; ri < trace.events.size(); ++ri) {
+        const Event& r = trace.events[ri];
+        if (r.kind != EventKind::Recv || !r.delivered || r.actor != e.actor) continue;
+        if (p.epoch[ri] != p.epoch[i]) continue;
+        ++rb.rep.checked_global;
+        bool unpacked = false;
+        for (std::size_t ui = 0; ui < trace.events.size(); ++ui) {
+          const Event& u = trace.events[ui];
+          if (u.kind == EventKind::Unpack && u.msg == r.msg && p.hb(ui, i)) unpacked = true;
+        }
+        if (!unpacked) {
+          rb.offend(ksan::Category::BoundaryBeforeUnpack, ksan::AccessKind::Load, 0, 0,
+                    p.epoch[i], i,
+                    "site '" + e.site + "': launched before face '" + r.site + "' was unpacked",
+                    static_cast<std::int64_t>(ri));
+        }
+      }
+    }
+
+    // CheckpointInWindow: a snapshot is only consistent when no transmission
+    // of its epoch is still unresolved at the moment it is taken.
+    if (e.kind == EventKind::Checkpoint) {
+      for (std::size_t si = 0; si < i; ++si) {
+        const Event& s = trace.events[si];
+        if (s.kind != EventKind::Send || p.epoch[si] != p.epoch[i]) continue;
+        ++rb.rep.checked_global;
+        bool resolved = s.dropped;
+        if (auto it = p.recvs_of.find(s.msg); it != p.recvs_of.end()) {
+          for (const std::size_t ri : it->second) resolved |= ri < i;
+        }
+        if (!resolved) {
+          char buf[48];
+          std::snprintf(buf, sizeof(buf), "' in flight at iteration %d", e.iteration);
+          rb.offend(ksan::Category::CheckpointInWindow, ksan::AccessKind::Store, 0, 0,
+                    p.epoch[i], i, "checkpoint with site '" + s.site + buf,
+                    static_cast<std::int64_t>(si));
+        }
+      }
+    }
+  }
+  return rb.rep;
+}
+
+std::vector<ksan::SanitizerReport> check_all(const Trace& trace, const std::string& label) {
+  std::vector<ksan::SanitizerReport> out;
+  out.push_back(check_happens_before(trace, label));
+  out.push_back(check_messages(trace, label));
+  out.push_back(check_schedule(trace, label));
+  out.push_back(check_protocol(trace, label));
+  return out;
+}
+
+}  // namespace dsan

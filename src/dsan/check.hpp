@@ -1,0 +1,70 @@
+// check.hpp — vector-clock happens-before and protocol checks over a dsan
+// trace.
+//
+// The happens-before relation is the standard distributed-systems one
+// (Lamport/Mattern vector clocks): program order within an actor (shard
+// rank, or the host), a cross-actor edge from every Send to its Recv, and
+// Barrier/Failover events that join and re-seed every actor's clock (the
+// hardened runner records one per attempt, so recycled buffer addresses
+// never alias across attempts or CG applies).  On top of that ordering the
+// checkers look for:
+//
+//   errors
+//   * CrossDeviceRace        unordered conflicting accesses to shard or
+//                            wire memory from two events (>= 1 write);
+//   * GhostReadBeforeUnpack  a dslash-boundary launch whose ghost-slot read
+//                            is not ordered *after* the unpack that fills it
+//                            (directional: produce-before-consume);
+//   * WireBufferReuse        a pack overwriting a wire buffer before the
+//                            prior transmission out of it resolved (its
+//                            Recv, or the drop) — the in-flight-DMA bug;
+//   * UnmatchedMessage       a send never received, a recv with no send, a
+//                            duplicated delivery, or a dropped-yet-delivered
+//                            transmission;
+//   * ScheduleDeadlock       a cycle in the recorded NIC/switch wait graph,
+//                            or a transmission the greedy schedule starved;
+//
+//   lints (protocol shape, advisory)
+//   * ChecksumSkipped        a retransmitted delivery with no checksum
+//                            verdict on record;
+//   * UnaggregatedFrames     a fabric-crossing send that did not ride an
+//                            aggregated frame;
+//   * BoundaryBeforeUnpack   a boundary launch not ordered after the unpack
+//                            of every face delivered to it this epoch;
+//   * CheckpointInWindow     a solver checkpoint taken while a transmission
+//                            of its epoch was still unresolved.
+//
+// Findings are ksan::SanitizerReport records (one report per checker) so
+// the existing dedup/format pipeline, print_sanitize_row and the `sanitizer`
+// ctest label apply unchanged.  Offence notes carry the site-grammar names
+// ("halo-exchange r0->r1", "dslash-boundary r2", ...) the tests match on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsan/record.hpp"
+#include "ksan/report.hpp"
+
+namespace dsan {
+
+/// Races on shard/wire memory: CrossDeviceRace, GhostReadBeforeUnpack,
+/// WireBufferReuse.  Report kernel = "dsan:happens-before @ <label>".
+[[nodiscard]] ksan::SanitizerReport check_happens_before(const Trace& trace,
+                                                         const std::string& label);
+
+/// Send/recv pairing: UnmatchedMessage.  Kernel = "dsan:messages @ <label>".
+[[nodiscard]] ksan::SanitizerReport check_messages(const Trace& trace, const std::string& label);
+
+/// Wait-graph cycles and starvation over the recorded greedy schedule:
+/// ScheduleDeadlock.  Kernel = "dsan:schedule @ <label>".
+[[nodiscard]] ksan::SanitizerReport check_schedule(const Trace& trace, const std::string& label);
+
+/// The four protocol lints.  Kernel = "dsan:protocol @ <label>".
+[[nodiscard]] ksan::SanitizerReport check_protocol(const Trace& trace, const std::string& label);
+
+/// All four checkers over one trace, in the order above.
+[[nodiscard]] std::vector<ksan::SanitizerReport> check_all(const Trace& trace,
+                                                           const std::string& label);
+
+}  // namespace dsan

@@ -1,0 +1,174 @@
+#include "dsan/record.hpp"
+
+namespace dsan {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Kernel: return "kernel";
+    case EventKind::Pack: return "pack";
+    case EventKind::Unpack: return "unpack";
+    case EventKind::Send: return "send";
+    case EventKind::Recv: return "recv";
+    case EventKind::ChecksumVerdict: return "checksum";
+    case EventKind::WireSchedule: return "wire-schedule";
+    case EventKind::Checkpoint: return "checkpoint";
+    case EventKind::Restore: return "restore";
+    case EventKind::Failover: return "failover";
+    case EventKind::Barrier: return "barrier";
+  }
+  return "event";
+}
+
+namespace {
+
+EventKind classify_kernel(const std::string& site) {
+  if (site.rfind("halo-pack", 0) == 0) return EventKind::Pack;
+  if (site.rfind("halo-unpack", 0) == 0) return EventKind::Unpack;
+  return EventKind::Kernel;
+}
+
+}  // namespace
+
+Recorder*& Recorder::current_slot() {
+  static Recorder* slot = nullptr;
+  return slot;
+}
+
+Recorder* Recorder::current() { return current_slot(); }
+
+void Recorder::kernel(int actor, std::string site) {
+  Event e;
+  e.kind = classify_kernel(site);
+  e.actor = actor;
+  e.site = std::move(site);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::annotate(int actor, std::string site, std::vector<MemSpan> reads,
+                        std::vector<MemSpan> writes, std::uint64_t msg) {
+  if (trace_.events.empty()) return;
+  Event& e = trace_.events.back();
+  e.kind = classify_kernel(site);
+  e.actor = actor;
+  e.site = std::move(site);
+  e.reads = std::move(reads);
+  e.writes = std::move(writes);
+  e.msg = msg;
+}
+
+std::uint64_t Recorder::send(int src, int dst, std::string site, int round, MemSpan payload,
+                             bool dropped, bool aggregated, int src_node, int dst_node) {
+  Event e;
+  e.kind = EventKind::Send;
+  e.actor = src;
+  e.site = std::move(site);
+  e.msg = ++next_msg_;
+  e.round = round;
+  e.src = src;
+  e.dst = dst;
+  e.src_node = src_node;
+  e.dst_node = dst_node;
+  e.dropped = dropped;
+  e.aggregated = aggregated;
+  e.reads.push_back(payload);
+  send_index_[e.msg] = trace_.events.size();
+  trace_.events.push_back(std::move(e));
+  return next_msg_;
+}
+
+void Recorder::recv(std::uint64_t msg, bool delivered, std::vector<MemSpan> reads,
+                    std::vector<MemSpan> writes) {
+  Event e;
+  e.kind = EventKind::Recv;
+  e.msg = msg;
+  e.delivered = delivered;
+  e.reads = std::move(reads);
+  e.writes = std::move(writes);
+  // Destination, round and site come from the matching send so mutation
+  // tests can re-target a recv by rewriting one field.
+  if (auto it = send_index_.find(msg); it != send_index_.end()) {
+    const Event& s = trace_.events[it->second];
+    e.actor = s.dst;
+    e.site = s.site;
+    e.round = s.round;
+    e.src = s.src;
+    e.dst = s.dst;
+    e.src_node = s.src_node;
+    e.dst_node = s.dst_node;
+  }
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::checksum(std::uint64_t msg, bool ok) {
+  Event e;
+  e.kind = EventKind::ChecksumVerdict;
+  e.msg = msg;
+  e.checksum_ok = ok;
+  if (auto it = send_index_.find(msg); it != send_index_.end()) {
+    const Event& s = trace_.events[it->second];
+    e.actor = s.dst;
+    e.site = s.site;
+    e.round = s.round;
+  }
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::checkpoint(int iteration, std::string detail) {
+  Event e;
+  e.kind = EventKind::Checkpoint;
+  e.site = "checkpoint";
+  e.iteration = iteration;
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::restore(int iteration, std::string detail) {
+  Event e;
+  e.kind = EventKind::Restore;
+  e.site = "restore";
+  e.iteration = iteration;
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::failover(std::string detail) {
+  Event e;
+  e.kind = EventKind::Failover;
+  e.site = "failover";
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::barrier(std::string site) {
+  Event e;
+  e.kind = EventKind::Barrier;
+  e.site = site.empty() ? "barrier" : std::move(site);
+  trace_.events.push_back(std::move(e));
+}
+
+std::int64_t Recorder::wire_sched(std::string site, int src, int dst, double start_us,
+                                  double done_us, std::vector<std::int64_t> waits_on,
+                                  std::string detail) {
+  Event e;
+  e.kind = EventKind::WireSchedule;
+  e.actor = src;
+  e.site = std::move(site);
+  e.src = src;
+  e.dst = dst;
+  e.sched = next_sched_++;
+  e.start_us = start_us;
+  e.done_us = done_us;
+  e.waits_on = std::move(waits_on);
+  e.detail = std::move(detail);
+  const std::int64_t id = e.sched;
+  trace_.events.push_back(std::move(e));
+  return id;
+}
+
+ScopedRecorder::ScopedRecorder() : prev_(Recorder::current_slot()) {
+  Recorder::current_slot() = &rec;
+}
+
+ScopedRecorder::~ScopedRecorder() { Recorder::current_slot() = prev_; }
+
+}  // namespace dsan

@@ -1,0 +1,186 @@
+// record.hpp — the event-graph recorder of dsan, the distributed sanitizer.
+//
+// ksan checks one kernel launch at a time; the bugs that actually bite the
+// overlapped halo protocol live *between* launches and *between* devices:
+// a pack racing the wire it feeds, a ghost read before the face arrived, a
+// checkpoint snapping state with a message still in flight.  dsan therefore
+// records a cluster-wide trace — kernel launches, pack/unpack, message
+// send/recv/retransmit, checksum verdicts, wire-schedule decisions,
+// checkpoint/restore, failover barriers — and hands it to the checkers in
+// check.hpp, which replay it under a vector-clock happens-before relation.
+//
+// This header is dependency-free (std only) on purpose: gpusim's link and
+// fabric schedulers record into it, and gpusim must not grow a dependency on
+// ksan (which itself links gpusim).  The checkers live in a separate target
+// (milc_dsan) that layers ksan's report types on top.
+//
+// Like faultsim's Injector, the recorder is an install-to-enable singleton:
+// every instrumentation site null-checks Recorder::current(), so with no
+// recorder installed the fault-free paths are bit-for-bit unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dsan {
+
+/// Actor id of host-side events (solver checkpoints, barriers); device-side
+/// events use the non-negative shard rank.
+inline constexpr int kHostActor = -1;
+
+enum class EventKind : std::uint8_t {
+  Kernel,        ///< device kernel launch (interior/boundary/other)
+  Pack,          ///< halo gather into a wire buffer
+  Unpack,        ///< wire/rx scatter into ghost slots
+  Send,          ///< one transmission departing (round > 1: a retransmit)
+  Recv,          ///< that transmission arriving at the destination shard
+  ChecksumVerdict,  ///< integrity verdict for one delivery
+  WireSchedule,  ///< one greedy NIC/switch scheduling decision (gpusim)
+  Checkpoint,    ///< solver snapshot taken
+  Restore,       ///< solver snapshot restored
+  Failover,      ///< grid re-partitioning after device/node loss (a barrier)
+  Barrier,       ///< global synchronisation point (attempt/apply boundary)
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+
+/// Half-open byte span of host memory standing in for device memory.
+struct MemSpan {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] bool overlaps(const MemSpan& o) const {
+    return base < o.base + o.bytes && o.base < base + bytes;
+  }
+};
+
+/// Build a span from a typed pointer.
+template <typename T>
+[[nodiscard]] MemSpan span_of(const T* p, std::size_t count) {
+  return {reinterpret_cast<std::uint64_t>(p), count * sizeof(T)};
+}
+
+/// One node of the cluster-wide event graph.
+struct Event {
+  EventKind kind = EventKind::Kernel;
+  int actor = kHostActor;   ///< shard rank performing the event
+  std::string site;         ///< site-grammar name ("halo-pack r0->r1", ...)
+
+  // Message identity (Send / Recv / ChecksumVerdict).
+  std::uint64_t msg = 0;    ///< per-transmission uid (0: none); Unpack carries
+                            ///< the uid of the delivery it scatters
+  int round = 0;            ///< delivery round, 1-based; > 1 is a retransmit
+  int src = -1, dst = -1;   ///< shard ranks of the transmission
+  int src_node = 0, dst_node = 0;
+  bool dropped = false;     ///< Send: the wire dropped this transmission
+  bool delivered = false;   ///< Recv: payload accepted (checksum passed)
+  bool checksum_ok = true;  ///< ChecksumVerdict outcome
+  bool aggregated = false;  ///< Send: rode an aggregated fabric frame
+
+  // Memory effects.
+  std::vector<MemSpan> reads, writes;
+
+  // Wire-schedule instrumentation (WireSchedule only).
+  std::int64_t sched = -1;             ///< schedule-node id
+  std::vector<std::int64_t> waits_on;  ///< schedule nodes whose port release this start waited on
+  double start_us = 0.0, done_us = 0.0;
+  bool never_started = false;          ///< still pending when the schedule ended
+
+  int iteration = 0;        ///< Checkpoint / Restore
+  std::string detail;
+};
+
+/// The recorded trace.  `events` is deliberately a plain mutable vector: the
+/// bug-zoo tests re-order, drop and duplicate events to prove every checker
+/// fires.
+struct Trace {
+  std::vector<Event> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+};
+
+/// Records one trace.  Install via ScopedRecorder; all instrumentation sites
+/// consult `current()` and are no-ops when none is installed.  Recording is
+/// single-threaded by construction (the simulator serialises submissions).
+class Recorder {
+ public:
+  [[nodiscard]] static Recorder* current();
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace take() { return std::move(trace_); }
+
+  /// Kernel-launch skeleton — the minisycl queue hook calls this with the
+  /// traits name; the protocol layer then refines the last event via
+  /// annotate().  Pack/unpack launches are classified by site prefix.
+  void kernel(int actor, std::string site);
+
+  /// Refine the most recent event: protocol-accurate site name, acting
+  /// shard, memory effects, and (unpacks) the delivery uid.  No-op on an
+  /// empty trace.
+  void annotate(int actor, std::string site, std::vector<MemSpan> reads,
+                std::vector<MemSpan> writes, std::uint64_t msg = 0);
+
+  /// One transmission departing.  Returns its uid for recv()/checksum().
+  std::uint64_t send(int src, int dst, std::string site, int round, MemSpan payload,
+                     bool dropped, bool aggregated, int src_node = 0, int dst_node = 0);
+
+  /// The transmission `msg` arriving at its destination.  `delivered` is
+  /// false for a delivery rejected by the checksum (the payload is not
+  /// consumed; a retransmit follows).
+  void recv(std::uint64_t msg, bool delivered, std::vector<MemSpan> reads = {},
+            std::vector<MemSpan> writes = {});
+
+  /// Integrity verdict for the delivery of `msg`.
+  void checksum(std::uint64_t msg, bool ok);
+
+  void checkpoint(int iteration, std::string detail = {});
+  void restore(int iteration, std::string detail = {});
+  /// Failover joins every actor's clock (the re-partition re-synchronises
+  /// the cluster), like barrier().
+  void failover(std::string detail);
+  /// Global synchronisation: every event after it is ordered after every
+  /// event before it.  Recorded at attempt/apply boundaries so recycled
+  /// buffer addresses never alias across epochs.
+  void barrier(std::string site = {});
+
+  /// One greedy scheduling decision (gpusim link/fabric).  `waits_on` names
+  /// the schedule nodes that last held the ports this start blocked on.
+  /// Returns the schedule-node id for use as a later decision's dependency.
+  std::int64_t wire_sched(std::string site, int src, int dst, double start_us, double done_us,
+                          std::vector<std::int64_t> waits_on, std::string detail = {});
+
+  /// Event index of the Send with uid `msg` (recorder-internal bookkeeping,
+  /// exposed for the checkers' convenience when working on live recorders).
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::size_t>& send_index() const {
+    return send_index_;
+  }
+
+ private:
+  friend struct ScopedRecorder;
+  static Recorder*& current_slot();
+
+  Trace trace_;
+  std::uint64_t next_msg_ = 0;
+  std::int64_t next_sched_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> send_index_;
+};
+
+/// RAII install/uninstall, nestable (the previous recorder is restored).
+struct ScopedRecorder {
+  ScopedRecorder();
+  ~ScopedRecorder();
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+  Recorder rec;
+
+ private:
+  Recorder* prev_ = nullptr;
+};
+
+}  // namespace dsan

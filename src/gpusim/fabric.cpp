@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "dsan/record.hpp"
 #include "faultsim/faultsim.hpp"
 
 namespace gpusim {
@@ -143,6 +144,14 @@ FabricExchangeReport simulate_topology_exchange(const NodeTopology& topo,
   double switch_free = 0.0;
   std::vector<bool> sent(aggs.size(), false);
 
+  // dsan schedule instrumentation, one node per aggregate: the waits name
+  // the decisions that last held the three contended resources (source NIC
+  // egress, destination NIC ingress, shared switch crossbar).
+  dsan::Recorder* rec = dsan::Recorder::current();
+  std::vector<std::int64_t> egress_holder(static_cast<std::size_t>(topo.nodes), -1);
+  std::vector<std::int64_t> ingress_holder(static_cast<std::size_t>(topo.nodes), -1);
+  std::int64_t switch_holder = -1;
+
   for (std::size_t round = 0; round < aggs.size(); ++round) {
     std::size_t pick = aggs.size();
     double pick_ready = 0.0;
@@ -177,6 +186,22 @@ FabricExchangeReport simulate_topology_exchange(const NodeTopology& topo,
     const double done = start + wire;
     const std::size_t sn = static_cast<std::size_t>(topo.node_of(agg.src));
     const std::size_t dn = static_cast<std::size_t>(topo.node_of(agg.dst));
+    if (rec != nullptr) {
+      std::vector<std::int64_t> waits;
+      for (const std::int64_t h : {egress_holder[sn], ingress_holder[dn], switch_holder}) {
+        if (h < 0) continue;
+        if (std::find(waits.begin(), waits.end(), h) == waits.end()) waits.push_back(h);
+      }
+      const std::string site = "fabric-exchange r" + std::to_string(agg.src) + "->r" +
+                               std::to_string(agg.dst) + " n" + std::to_string(topo.node_of(agg.src)) +
+                               "->n" + std::to_string(topo.node_of(agg.dst));
+      const std::int64_t id =
+          rec->wire_sched(site, agg.src, agg.dst, start, done, std::move(waits),
+                          std::to_string(agg.frames.size()) + " frames aggregated");
+      egress_holder[sn] = id;
+      ingress_holder[dn] = id;
+      switch_holder = id;
+    }
     nic_egress_free[sn] =
         start + static_cast<double>(wire_bytes) / (f.injection_rate_gbs * 1e3);
     nic_ingress_free[dn] = done;

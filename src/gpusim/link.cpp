@@ -5,6 +5,7 @@
 #include <string>
 #include <tuple>
 
+#include "dsan/record.hpp"
 #include "faultsim/faultsim.hpp"
 
 namespace gpusim {
@@ -68,6 +69,12 @@ ExchangeReport simulate_exchange(const LinkModel& m, std::span<LinkMessage> msgs
   std::vector<double> ingress_free(static_cast<std::size_t>(num_devices), 0.0);
   std::vector<bool> done(msgs.size(), false);
 
+  // dsan schedule instrumentation: remember which schedule node last held
+  // each port, so every decision records the waits that gated its start.
+  dsan::Recorder* rec = dsan::Recorder::current();
+  std::vector<std::int64_t> egress_holder(static_cast<std::size_t>(num_devices), -1);
+  std::vector<std::int64_t> ingress_holder(static_cast<std::size_t>(num_devices), -1);
+
   for (std::size_t round = 0; round < msgs.size(); ++round) {
     // Greedy: the pending message with the earliest ready time goes next.
     std::size_t pick = msgs.size();
@@ -100,6 +107,25 @@ ExchangeReport simulate_exchange(const LinkModel& m, std::span<LinkMessage> msgs
     }
     msg.start_us = pick_ready;
     msg.done_us = pick_ready + wire;
+    if (rec != nullptr) {
+      std::vector<std::int64_t> waits;
+      if (egress_holder[static_cast<std::size_t>(msg.src)] >= 0) {
+        waits.push_back(egress_holder[static_cast<std::size_t>(msg.src)]);
+      }
+      if (ingress_holder[static_cast<std::size_t>(msg.dst)] >= 0 &&
+          ingress_holder[static_cast<std::size_t>(msg.dst)] !=
+              egress_holder[static_cast<std::size_t>(msg.src)]) {
+        waits.push_back(ingress_holder[static_cast<std::size_t>(msg.dst)]);
+      }
+      const std::string site = msg.site.empty()
+                                   ? "halo-exchange r" + std::to_string(msg.src) + "->r" +
+                                         std::to_string(msg.dst)
+                                   : msg.site;
+      const std::int64_t id = rec->wire_sched(site, msg.src, msg.dst, msg.start_us,
+                                              msg.done_us, std::move(waits));
+      egress_holder[static_cast<std::size_t>(msg.src)] = id;
+      ingress_holder[static_cast<std::size_t>(msg.dst)] = id;
+    }
     egress_free[static_cast<std::size_t>(msg.src)] = msg.done_us;
     ingress_free[static_cast<std::size_t>(msg.dst)] = msg.done_us;
     rep.egress_busy_us[static_cast<std::size_t>(msg.src)] += wire;

@@ -1,0 +1,43 @@
+#include "ksan/leakcheck.hpp"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "minisycl/usm.hpp"
+
+namespace ksan {
+
+void arm_leak_check(minisycl::queue& q, std::vector<SanitizerReport>& out, std::string label) {
+  // Allocations already live when the watch is armed belong to the caller's
+  // surroundings, not to this queue's working set: the serial watermark
+  // scopes the diagnostic to the queue's own lifetime.
+  const std::uint64_t watermark = minisycl::usm::Registry::instance().total_allocations();
+  q.set_teardown_hook([&out, watermark, label = std::move(label)](minisycl::queue&) {
+    SanitizerReport rep;
+    rep.kernel = label;
+    for (const minisycl::usm::RegionInfo& r :
+         minisycl::usm::Registry::instance().live_snapshot()) {
+      if (r.serial <= watermark) continue;
+      ++rep.counts[static_cast<std::size_t>(Category::UsmLeak)];
+      ++rep.checked_global;
+      if (rep.records.size() >= 16) continue;
+      Offence o;
+      o.category = Category::UsmLeak;
+      o.kind = AccessKind::Store;
+      o.addr = r.base;
+      o.size = static_cast<std::uint32_t>(r.bytes);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "site '%s': %llu B allocated (serial %llu) still live at queue teardown",
+                    r.name.empty() ? "<unnamed>" : r.name.c_str(),
+                    static_cast<unsigned long long>(r.bytes),
+                    static_cast<unsigned long long>(r.serial));
+      o.note = buf;
+      rep.records.push_back(std::move(o));
+    }
+    out.push_back(std::move(rep));
+  });
+}
+
+}  // namespace ksan

@@ -1,0 +1,28 @@
+// leakcheck.hpp — USM leak-at-queue-teardown diagnostic.
+//
+// Real SYCL runtimes tear USM pools down with the context; this simulator's
+// malloc_device hands out ordinary host memory, so an allocation that is
+// never freed just disappears into the process heap.  arm_leak_check turns
+// that silent class of bug into a structured finding: every allocation made
+// *after* the call and still live when the queue destructs is reported as a
+// Category::UsmLeak offence naming the alloc site (the `name` argument of
+// malloc_device) and its byte extent.  Pre-existing allocations — lattice
+// fields owned by longer-lived objects — are outside the watch window and
+// never reported.
+#pragma once
+
+#include <vector>
+
+#include "ksan/report.hpp"
+#include "minisycl/queue.hpp"
+
+namespace ksan {
+
+/// Install the leak watch on `q`.  At `q`'s destruction one SanitizerReport
+/// (kernel = `label`) is appended to `out` with a UsmLeak offence per leaked
+/// allocation; a clean teardown appends a clean report.  `out` must outlive
+/// the queue.
+void arm_leak_check(minisycl::queue& q, std::vector<SanitizerReport>& out,
+                    std::string label = "usm-teardown");
+
+}  // namespace ksan

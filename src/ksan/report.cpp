@@ -1,6 +1,8 @@
 #include "ksan/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 namespace ksan {
 
@@ -12,9 +14,19 @@ const char* to_string(Category c) {
     case Category::GlobalUseAfterFree: return "global-use-after-free";
     case Category::SharedOOB: return "shared-out-of-bounds";
     case Category::UninitSharedRead: return "uninit-shared-read";
+    case Category::CrossDeviceRace: return "cross-device-race";
+    case Category::UnmatchedMessage: return "unmatched-message";
+    case Category::GhostReadBeforeUnpack: return "ghost-read-before-unpack";
+    case Category::WireBufferReuse: return "wire-buffer-reuse";
+    case Category::ScheduleDeadlock: return "schedule-deadlock";
+    case Category::UsmLeak: return "usm-leak";
     case Category::UncoalescedAccess: return "lint-uncoalesced";
     case Category::SharedBankConflict: return "lint-bank-conflict";
     case Category::DivergentBranch: return "lint-divergent-branch";
+    case Category::ChecksumSkipped: return "lint-checksum-skipped";
+    case Category::UnaggregatedFrames: return "lint-unaggregated-frames";
+    case Category::BoundaryBeforeUnpack: return "lint-boundary-before-unpack";
+    case Category::CheckpointInWindow: return "lint-checkpoint-in-window";
   }
   return "unknown";
 }
@@ -84,6 +96,66 @@ std::string SanitizerReport::summary() const {
     out += "  ";
     out += o.describe();
     out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Offence identity for duplicate collapse inside a merged report: the same
+/// category at the same address with the same note is one finding, however
+/// many per-message reports repeated it.
+bool same_offence(const Offence& a, const Offence& b) {
+  return a.category == b.category && a.kind == b.kind && a.addr == b.addr &&
+         a.size == b.size && a.note == b.note;
+}
+
+}  // namespace
+
+std::vector<SanitizerReport> dedup_reports(std::vector<SanitizerReport> reports,
+                                           std::size_t max_records) {
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const SanitizerReport& a, const SanitizerReport& b) {
+                     return a.kernel < b.kernel;
+                   });
+  std::vector<SanitizerReport> out;
+  for (SanitizerReport& rep : reports) {
+    if (out.empty() || out.back().kernel != rep.kernel) {
+      out.push_back(std::move(rep));
+      if (out.back().records.size() > max_records) out.back().records.resize(max_records);
+      continue;
+    }
+    SanitizerReport& dst = out.back();
+    for (int c = 0; c < kNumCategories; ++c) {
+      dst.counts[static_cast<std::size_t>(c)] += rep.counts[static_cast<std::size_t>(c)];
+    }
+    dst.checked_global += rep.checked_global;
+    dst.checked_shared += rep.checked_shared;
+    dst.global_size = std::max(dst.global_size, rep.global_size);
+    dst.local_size = std::max(dst.local_size, rep.local_size);
+    dst.num_phases = std::max(dst.num_phases, rep.num_phases);
+    for (Offence& o : rep.records) {
+      if (dst.records.size() >= max_records) break;
+      bool dup = false;
+      for (const Offence& kept : dst.records) dup |= same_offence(kept, o);
+      if (!dup) dst.records.push_back(std::move(o));
+    }
+  }
+  return out;
+}
+
+std::string format_reports(const std::vector<SanitizerReport>& reports) {
+  std::string out;
+  char buf[192];
+  for (const SanitizerReport& rep : reports) {
+    if (rep.clean() && rep.lint_count() == 0) {
+      std::snprintf(buf, sizeof(buf), "%s: clean\n", rep.kernel.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s: %llu errors, %llu lints\n", rep.kernel.c_str(),
+                    static_cast<unsigned long long>(rep.error_count()),
+                    static_cast<unsigned long long>(rep.lint_count()));
+    }
+    out += buf;
   }
   return out;
 }

@@ -24,13 +24,25 @@ enum class Category : std::uint8_t {
   GlobalUseAfterFree,  ///< global access inside a freed USM allocation
   SharedOOB,           ///< local-memory access beyond the launch's local_mem request
   UninitSharedRead,    ///< read of local-accessor bytes never stored in this launch
+  // distributed errors (dsan: the cluster-wide happens-before checker)
+  CrossDeviceRace,       ///< unordered conflicting shard/wire accesses across devices
+  UnmatchedMessage,      ///< send never received, recv without a send, or a duplicate delivery
+  GhostReadBeforeUnpack, ///< boundary kernel read not ordered after the ghost unpack
+  WireBufferReuse,       ///< wire buffer repacked before the prior transmission resolved
+  ScheduleDeadlock,      ///< cycle or starvation in the NIC/switch wire schedule
+  UsmLeak,               ///< USM allocation still live at queue teardown
   // lints
   UncoalescedAccess,   ///< warp memory op needing far more 32 B sectors than ideal
   SharedBankConflict,  ///< warp local-memory op with excessive bank wavefronts
   DivergentBranch,     ///< active lanes of a warp chose different branch targets
+  // distributed lints (protocol-shape findings, advisory)
+  ChecksumSkipped,     ///< retransmitted delivery accepted without a checksum verdict
+  UnaggregatedFrames,  ///< fabric-crossing transmission not riding an aggregated frame
+  BoundaryBeforeUnpack,///< boundary launch not ordered after every delivered face
+  CheckpointInWindow,  ///< checkpoint taken while a transmission was still in flight
 };
 
-inline constexpr int kNumCategories = 9;
+inline constexpr int kNumCategories = 19;
 
 [[nodiscard]] const char* to_string(Category c);
 
@@ -81,5 +93,17 @@ struct SanitizerReport {
   /// Multi-line human-readable summary (counts + recorded offences).
   [[nodiscard]] std::string summary() const;
 };
+
+/// Collapse duplicate-site reports: reports sharing a `kernel` name are merged
+/// (counts and checked-access totals summed, offences concatenated with exact
+/// repeats dropped, at most `max_records` kept) and the result is returned in
+/// stable lexicographic `kernel` order.  Both dsan and the bench sanitize
+/// modes rely on this to turn a per-message stream into one row per site.
+[[nodiscard]] std::vector<SanitizerReport> dedup_reports(
+    std::vector<SanitizerReport> reports, std::size_t max_records = 16);
+
+/// One digest line per report (dedup first for a stable digest):
+/// "<kernel>: clean|<e> errors, <l> lints".
+[[nodiscard]] std::string format_reports(const std::vector<SanitizerReport>& reports);
 
 }  // namespace ksan

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <utility>
@@ -46,6 +47,19 @@ class queue {
       : mode_(mode), order_(order), machine_(machine), cal_(cal),
         handler_(std::move(handler)) {}
 
+  ~queue() {
+    if (!teardown_hook_) return;
+    // Hooks must not throw out of a destructor; a failing diagnostic hook is
+    // swallowed (the report vector it appends to is the real channel).
+    auto hook = std::move(teardown_hook_);
+    try {
+      hook(*this);
+    } catch (...) {
+    }
+  }
+  queue(const queue&) = default;
+  queue& operator=(const queue&) = default;
+
   [[nodiscard]] ExecMode mode() const { return mode_; }
   [[nodiscard]] QueueOrder order() const { return order_; }
   [[nodiscard]] const gpusim::MachineModel& machine() const { return machine_; }
@@ -53,6 +67,21 @@ class queue {
 
   void set_async_handler(async_handler handler) { handler_ = std::move(handler); }
   [[nodiscard]] bool has_async_handler() const { return static_cast<bool>(handler_); }
+
+  /// Observer called after every *successful* submission with the kernel
+  /// name and its stats record (faulted launches have no side effects and
+  /// are not reported).  dsan uses this as its kernel-launch event source;
+  /// with no hook installed submit() pays one branch.
+  void set_kernel_hook(std::function<void(const std::string&, const gpusim::KernelStats&)> hook) {
+    kernel_hook_ = std::move(hook);
+  }
+
+  /// Hook run once from the queue's destructor — the ksan USM
+  /// leak-at-teardown diagnostic attaches here.  The hook must outlive-safe
+  /// capture its output sink; exceptions it throws are swallowed.
+  void set_teardown_hook(std::function<void(queue&)> hook) {
+    teardown_hook_ = std::move(hook);
+  }
 
   /// Per-submission launch overhead in microseconds on the simulated
   /// timeline (the in-order advantage).
@@ -107,6 +136,7 @@ class queue {
 
     sim_time_us_ += stats.duration_us + launch_overhead_us();
     ++submissions_;
+    if (kernel_hook_) kernel_hook_(stats.name, stats);
     return stats;
   }
 
@@ -215,6 +245,8 @@ class queue {
   gpusim::MachineModel machine_;
   gpusim::Calibration cal_;
   async_handler handler_;
+  std::function<void(const std::string&, const gpusim::KernelStats&)> kernel_hook_;
+  std::function<void(queue&)> teardown_hook_;
   std::vector<std::exception_ptr> async_errors_;
   double sim_time_us_ = 0.0;
   std::int64_t submissions_ = 0;

@@ -22,6 +22,8 @@
 #include <map>
 #include <mutex>
 #include <new>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "faultsim/faultsim.hpp"
@@ -33,10 +35,15 @@ class queue;
 
 namespace usm {
 
-/// Byte extent of one allocation, as reported by Registry snapshots.
+/// Byte extent of one allocation, as reported by Registry snapshots.  `name`
+/// is the alloc-site label passed to malloc_device (empty for unnamed sites)
+/// and `serial` the registry-wide allocation ordinal — together they let the
+/// ksan leak diagnostic say *which* allocation outlived its queue.
 struct RegionInfo {
   std::uint64_t base = 0;
   std::uint64_t bytes = 0;
+  std::string name;
+  std::uint64_t serial = 0;
 };
 
 /// Registry of live device allocations (thread-safe; the simulator may run
@@ -50,7 +57,7 @@ class Registry {
     return r;
   }
 
-  void on_alloc(void* p, std::size_t bytes) {
+  void on_alloc(void* p, std::size_t bytes, std::string name = {}) {
     std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
     // The address range is live again: drop any freed-history entries that
@@ -60,11 +67,10 @@ class Registry {
     }
     if (auto it = freed_.lower_bound(base); it != freed_.begin()) {
       --it;
-      if (it->first + it->second > base) freed_.erase(it);
+      if (it->first + it->second.bytes > base) freed_.erase(it);
     }
-    live_[base] = bytes;
+    live_[base] = Region{bytes, std::move(name), ++total_allocs_};
     total_bytes_ += bytes;
-    ++total_allocs_;
   }
 
   /// Returns the allocation size; throws minisycl::exception (errc::invalid)
@@ -82,24 +88,24 @@ class Registry {
                       "not its base",
                       static_cast<unsigned long long>(base - owner->first),
                       static_cast<unsigned long long>(owner->first),
-                      static_cast<unsigned long long>(owner->second));
+                      static_cast<unsigned long long>(owner->second.bytes));
         throw exception(errc::invalid, buf);
       }
       if (const auto* old = find_containing(freed_, base)) {
         std::snprintf(buf, sizeof(buf),
                       "usm::free: double free of allocation (base=0x%llx, size=%llu B)",
                       static_cast<unsigned long long>(old->first),
-                      static_cast<unsigned long long>(old->second));
+                      static_cast<unsigned long long>(old->second.bytes));
         throw exception(errc::invalid, buf);
       }
       throw exception(errc::invalid,
                       "usm::free: pointer was not allocated with malloc_device "
                       "(or was already freed)");
     }
-    const std::size_t bytes = it->second;
+    const std::size_t bytes = it->second.bytes;
     total_bytes_ -= bytes;
     if (freed_.size() >= kFreedHistoryCap) freed_.clear();
-    freed_[base] = bytes;
+    freed_[base] = std::move(it->second);
     live_.erase(it);
     return bytes;
   }
@@ -115,15 +121,15 @@ class Registry {
     const std::uint64_t base = reinterpret_cast<std::uint64_t>(p);
     char buf[192];
     if (const auto* owner = find_containing(live_, base)) {
-      if (base + bytes > owner->first + owner->second) {
+      if (base + bytes > owner->first + owner->second.bytes) {
         std::snprintf(buf, sizeof(buf),
                       "%s: range of %llu B overruns allocation (base=0x%llx, size=%llu B) "
                       "by %llu B",
                       what, static_cast<unsigned long long>(bytes),
                       static_cast<unsigned long long>(owner->first),
-                      static_cast<unsigned long long>(owner->second),
+                      static_cast<unsigned long long>(owner->second.bytes),
                       static_cast<unsigned long long>(base + bytes - owner->first -
-                                                      owner->second));
+                                                      owner->second.bytes));
         throw exception(errc::out_of_bounds, buf);
       }
       return;
@@ -132,7 +138,7 @@ class Registry {
       std::snprintf(buf, sizeof(buf),
                     "%s: use of freed allocation (base=0x%llx, size=%llu B)", what,
                     static_cast<unsigned long long>(old->first),
-                    static_cast<unsigned long long>(old->second));
+                    static_cast<unsigned long long>(old->second.bytes));
       throw exception(errc::use_after_free, buf);
     }
   }
@@ -154,19 +160,24 @@ class Registry {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<RegionInfo> out;
     out.reserve(live_.size());
-    for (const auto& [base, bytes] : live_) out.push_back({base, bytes});
+    for (const auto& [base, r] : live_) out.push_back({base, r.bytes, r.name, r.serial});
     return out;
   }
   [[nodiscard]] std::vector<RegionInfo> freed_snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<RegionInfo> out;
     out.reserve(freed_.size());
-    for (const auto& [base, bytes] : freed_) out.push_back({base, bytes});
+    for (const auto& [base, r] : freed_) out.push_back({base, r.bytes, r.name, r.serial});
     return out;
   }
 
  private:
-  using RegionMap = std::map<std::uint64_t, std::size_t>;
+  struct Region {
+    std::size_t bytes = 0;
+    std::string name;           ///< alloc-site label ("" when unnamed)
+    std::uint64_t serial = 0;   ///< registry-wide allocation ordinal (1-based)
+  };
+  using RegionMap = std::map<std::uint64_t, Region>;
   static constexpr std::size_t kFreedHistoryCap = 4096;
 
   /// Entry whose [base, base+bytes) contains addr, or nullptr.
@@ -174,7 +185,7 @@ class Registry {
     auto it = m.upper_bound(addr);
     if (it == m.begin()) return nullptr;
     --it;
-    return addr < it->first + it->second ? &*it : nullptr;
+    return addr < it->first + it->second.bytes ? &*it : nullptr;
   }
 
   mutable std::mutex mu_;
@@ -188,9 +199,10 @@ class Registry {
 
 /// sycl::malloc_device<T>(count, q) equivalent.  Consults faultsim: an
 /// injected allocation failure returns nullptr (the SYCL USM convention) or
-/// throws std::bad_alloc, per the plan's AllocFailMode.
+/// throws std::bad_alloc, per the plan's AllocFailMode.  `name` labels the
+/// alloc site in registry snapshots and the ksan leak diagnostic.
 template <typename T>
-[[nodiscard]] T* malloc_device(std::size_t count, const queue& /*q*/) {
+[[nodiscard]] T* malloc_device(std::size_t count, const queue& /*q*/, const char* name = "") {
   if (faultsim::Injector* inj = faultsim::Injector::current()) {
     if (inj->should_fail_alloc(count * sizeof(T))) {
       if (inj->plan().alloc_fail_mode == faultsim::AllocFailMode::throw_bad_alloc) {
@@ -200,7 +212,7 @@ template <typename T>
     }
   }
   T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
-  usm::Registry::instance().on_alloc(p, count * sizeof(T));
+  usm::Registry::instance().on_alloc(p, count * sizeof(T), name);
   return p;
 }
 

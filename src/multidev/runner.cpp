@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/dispatch.hpp"
+#include "dsan/check.hpp"
 #include "multidev/halo_kernels.hpp"
 
 namespace milc::multidev {
@@ -165,6 +166,30 @@ std::string exchange_site(int src, int dst) {
   return "halo-exchange r" + std::to_string(src) + "->r" + std::to_string(dst);
 }
 
+std::string pack_site(int src, int dst) {
+  return "halo-pack r" + std::to_string(src) + "->r" + std::to_string(dst);
+}
+
+std::string unpack_site(int src, int dst) {
+  return "halo-unpack r" + std::to_string(src) + "->r" + std::to_string(dst);
+}
+
+/// Install dsan kernel hooks on every shard queue (rank = queue index).  The
+/// hook fires only on the *successful* submission path, so retried failures
+/// never enter the trace; call sites refine the raw Kernel event with the
+/// protocol-accurate site and memory spans via Recorder::annotate.
+void hook_queues_for_dsan(dsan::Recorder* rec,
+                          std::vector<std::unique_ptr<minisycl::queue>>& queues) {
+  if (rec == nullptr) return;
+  for (std::size_t d = 0; d < queues.size(); ++d) {
+    const int rank = static_cast<int>(d);
+    queues[d]->set_kernel_hook(
+        [rec, rank](const std::string& name, const gpusim::KernelStats&) {
+          rec->kernel(rank, name);
+        });
+  }
+}
+
 }  // namespace
 
 std::string ExchangeReport::summary() const {
@@ -251,6 +276,13 @@ MultiDevResult MultiDeviceRunner::run(DslashProblem& problem,
   return run_hardened(problem, mreq);
 }
 
+std::vector<ksan::SanitizerReport> MultiDeviceRunner::dsan_check(
+    DslashProblem& problem, const MultiDevRequest& mreq) const {
+  dsan::ScopedRecorder sr;
+  (void)run(problem, mreq);
+  return dsan::check_all(sr.rec.trace(), mreq.grid.label());
+}
+
 MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
                                             const MultiDevRequest& mreq) const {
   const int ndev = mreq.grid.total();
@@ -299,6 +331,12 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
                                                        vi.queue_order, machine_, cal_));
   }
 
+  dsan::Recorder* rec = dsan::Recorder::current();
+  if (rec != nullptr) {
+    rec->barrier("run @ " + mreq.grid.label());
+    hook_queues_for_dsan(rec, queues);
+  }
+
   MultiDevResult res;
   res.label = config_label(mreq.req.strategy, mreq.req.order, mreq.req.local_size) + " @ " +
               mreq.grid.label();
@@ -334,6 +372,15 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
             q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits()),
                      pack, "halo-pack");
         pack_us[static_cast<std::size_t>(msg.peer)] += st.duration_us + q.launch_overhead_us();
+        if (rec != nullptr) {
+          rec->annotate(
+              msg.peer, pack_site(msg.peer, sh.rank),
+              {dsan::span_of(fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                             static_cast<std::size_t>(
+                                 shards[static_cast<std::size_t>(msg.peer)].sources())),
+               dsan::span_of(msg.send_slots.data(), msg.send_slots.size())},
+              {dsan::span_of(wire.data(), wire.size())});
+        }
       }
     }
     if (pass == 0) fabric_pack_us = pack_us;
@@ -341,15 +388,26 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
   // A device puts its messages on the wire once the packs feeding them are
   // done (bulk departure, the cudaMemcpyPeerAsync-after-pack pattern);
   // fabric-bound slabs depart at the end of the fabric pack pass.
+  std::vector<std::uint64_t> tx_ids;
   for (const Shard& sh : shards) {
-    for (const HaloMsg& msg : sh.halo) {
+    for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
+      const HaloMsg& msg = sh.halo[mi];
       const bool fabric = crosses_fabric(msg.peer, sh.rank);
       messages.push_back({.src = msg.peer,
                           .dst = sh.rank,
                           .bytes = msg.bytes(),
                           .depart_us = fabric
                                            ? fabric_pack_us[static_cast<std::size_t>(msg.peer)]
-                                           : pack_us[static_cast<std::size_t>(msg.peer)]});
+                                           : pack_us[static_cast<std::size_t>(msg.peer)],
+                          .site = exchange_site(msg.peer, sh.rank)});
+      if (rec != nullptr) {
+        const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
+        tx_ids.push_back(rec->send(msg.peer, sh.rank, exchange_site(msg.peer, sh.rank),
+                                   /*round=*/1, dsan::span_of(wire.data(), wire.size()),
+                                   /*dropped=*/false, fabric,
+                                   multi_node ? mreq.topo.node_of(msg.peer) : 0,
+                                   multi_node ? mreq.topo.node_of(sh.rank) : 0));
+      }
     }
   }
 
@@ -365,6 +423,12 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
         pick_local_size(mreq.req.strategy, mreq.req.order, mreq.req.local_size, sh.n_interior);
     interior_us[static_cast<std::size_t>(sh.rank)] = submit_dslash(
         *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-interior");
+    if (rec != nullptr) {
+      ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+      rec->annotate(sh.rank, "dslash-interior r" + std::to_string(sh.rank),
+                    {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.sources()))},
+                    {dsan::span_of(f.dst.data(), static_cast<std::size_t>(sh.n_interior))});
+    }
   }
 
   std::vector<double> arrival_us(static_cast<std::size_t>(ndev), 0.0);
@@ -382,9 +446,20 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     const gpusim::ExchangeReport xrep = simulate_exchange(mreq.link, messages, ndev);
     arrival_us = xrep.arrival_us;
   }
+  if (rec != nullptr) {
+    std::size_t k = 0;
+    for (const Shard& sh : shards) {
+      for (std::size_t mi = 0; mi < sh.halo.size(); ++mi, ++k) {
+        const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
+        rec->recv(tx_ids[k], /*delivered=*/true,
+                  {dsan::span_of(wire.data(), wire.size())});
+      }
+    }
+  }
 
   // --- Phase 3: unpack ghosts, then boundary compute. -------------------
   std::vector<double> unpack_us(static_cast<std::size_t>(ndev), 0.0);
+  std::size_t msg_seq = 0;
   for (const Shard& sh : shards) {
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
     for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
@@ -398,6 +473,15 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
           q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits()),
                    unpack, "halo-unpack");
       unpack_us[static_cast<std::size_t>(sh.rank)] += st.duration_us + q.launch_overhead_us();
+      if (rec != nullptr) {
+        const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
+        rec->annotate(sh.rank, unpack_site(msg.peer, sh.rank),
+                      {dsan::span_of(wire.data(), wire.size())},
+                      {dsan::span_of(f.src.data() + msg.ghost_base,
+                                     static_cast<std::size_t>(msg.count()))},
+                      tx_ids[msg_seq]);
+      }
+      ++msg_seq;
     }
   }
 
@@ -410,6 +494,13 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
         pick_local_size(mreq.req.strategy, mreq.req.order, mreq.req.local_size, sh.n_boundary);
     boundary_us[static_cast<std::size_t>(sh.rank)] = submit_dslash(
         *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-boundary");
+    if (rec != nullptr) {
+      rec->annotate(
+          sh.rank, "dslash-boundary r" + std::to_string(sh.rank),
+          {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.extended_sources()))},
+          {dsan::span_of(f.dst.data() + sh.n_interior,
+                         static_cast<std::size_t>(sh.n_boundary))});
+    }
   }
 
   // --- Gather output and assemble the overlap timeline. -----------------
@@ -491,6 +582,9 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
           "node n" + std::to_string(lost_node) + " lost (" +
               std::to_string(topo.devices_per_node) + " devices)",
           attempt});
+      if (dsan::Recorder* rec = dsan::Recorder::current()) {
+        rec->failover(res.failovers.back().reason);
+      }
       grid = next;
       continue;
     }
@@ -511,6 +605,9 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
       const PartitionGrid next = fallback_grid(grid);
       res.failovers.push_back(FailoverEvent{
           grid, next, "device r" + std::to_string(lost) + " lost", attempt});
+      if (dsan::Recorder* rec = dsan::Recorder::current()) {
+        rec->failover(res.failovers.back().reason);
+      }
       grid = next;
       continue;
     }
@@ -530,6 +627,9 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
     }
     const PartitionGrid next = fallback_grid(grid);
     res.failovers.push_back(FailoverEvent{grid, next, reason, attempt});
+    if (dsan::Recorder* rec = dsan::Recorder::current()) {
+      rec->failover(res.failovers.back().reason);
+    }
     grid = next;
   }
 
@@ -558,6 +658,12 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
   for (int d = 0; d < ndev; ++d) {
     queues.push_back(
         std::make_unique<minisycl::queue>(mreq.mode, vi.queue_order, machine_, cal_));
+  }
+
+  dsan::Recorder* rec = dsan::Recorder::current();
+  if (rec != nullptr) {
+    rec->barrier("attempt @ " + grid.label());
+    hook_queues_for_dsan(rec, queues);
   }
 
   res.label = config_label(mreq.req.strategy, mreq.req.order, mreq.req.local_size) + " @ " +
@@ -650,6 +756,15 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
         fail_reason = "pack kernel '" + name + "' exhausted its retries";
         return false;
       }
+      if (rec != nullptr) {
+        rec->annotate(
+            msg.peer, name,
+            {dsan::span_of(fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                           static_cast<std::size_t>(
+                               shards[static_cast<std::size_t>(msg.peer)].sources())),
+             dsan::span_of(msg.send_slots.data(), msg.send_slots.size())},
+            {dsan::span_of(shard_wires.back().data(), shard_wires.back().size())});
+      }
       order.push_back(MsgRef{sh.rank, mi});
       checksums.push_back(
           fnv1a(shard_wires.back().data(), static_cast<std::size_t>(msg.bytes())));
@@ -668,6 +783,12 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
       fail_reason = "interior kernel '" + name + "' exhausted the strategy ladder";
       return false;
     }
+    if (rec != nullptr) {
+      ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+      rec->annotate(sh.rank, name,
+                    {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.sources()))},
+                    {dsan::span_of(f.dst.data(), static_cast<std::size_t>(sh.n_interior))});
+    }
   }
 
   // --- Exchange rounds: deliver -> verify checksum -> retransmit. ---------
@@ -678,6 +799,7 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
   xr.messages += static_cast<int>(order.size());
   std::vector<std::vector<dcomplex>> rx(order.size());
   std::vector<char> delivered(order.size(), 0);
+  std::vector<std::uint64_t> last_tx(order.size(), 0);
   std::vector<double> arrival(static_cast<std::size_t>(ndev), 0.0);
   double wire_clock = 0.0;
   std::size_t remaining = order.size();
@@ -723,6 +845,22 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
       simulate_exchange(mreq.link, msgs, ndev);
     }
 
+    // Transmissions enter the trace after the wire simulation so the drop
+    // verdict rides the Send event (a retransmit round records fresh uids).
+    std::vector<std::uint64_t> round_tx(msgs.size(), 0);
+    if (rec != nullptr) {
+      for (std::size_t j = 0; j < msgs.size(); ++j) {
+        const gpusim::LinkMessage& lm = msgs[j];
+        const auto& wire =
+            wires[static_cast<std::size_t>(lm.dst)][order[pend[j]].mi];
+        round_tx[j] = rec->send(
+            lm.src, lm.dst, lm.site, round, dsan::span_of(wire.data(), wire.size()),
+            lm.dropped, topo.multi_node() && !topo.same_node(lm.src, lm.dst),
+            topo.multi_node() ? topo.node_of(lm.src) : 0,
+            topo.multi_node() ? topo.node_of(lm.dst) : 0);
+      }
+    }
+
     double round_end = wire_clock;
     for (std::size_t j = 0; j < msgs.size(); ++j) {
       const std::size_t i = pend[j];
@@ -748,6 +886,14 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
         }
         ev.checksum_ok =
             fnv1a(rx[i].data(), static_cast<std::size_t>(hm.bytes())) == checksums[i];
+        if (rec != nullptr) {
+          const auto& wire = wires[static_cast<std::size_t>(lm.dst)][order[i].mi];
+          rec->recv(round_tx[j], ev.checksum_ok,
+                    {dsan::span_of(wire.data(), wire.size())},
+                    {dsan::span_of(rx[i].data(), rx[i].size())});
+          rec->checksum(round_tx[j], ev.checksum_ok);
+          if (ev.checksum_ok) last_tx[i] = round_tx[j];
+        }
         if (ev.checksum_ok) {
           delivered[i] = 1;
           --remaining;
@@ -796,6 +942,13 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
       fail_reason = "unpack kernel '" + name + "' exhausted its retries";
       return false;
     }
+    if (rec != nullptr) {
+      rec->annotate(rank, name, {dsan::span_of(rx[i].data(), rx[i].size())},
+                    {dsan::span_of(fields[static_cast<std::size_t>(rank)].src.data() +
+                                       msg.ghost_base,
+                                   static_cast<std::size_t>(msg.count()))},
+                    last_tx[i]);
+    }
   }
 
   std::vector<double> boundary_us(static_cast<std::size_t>(ndev), 0.0);
@@ -808,6 +961,14 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
                                  boundary_us[static_cast<std::size_t>(sh.rank)])) {
       fail_reason = "boundary kernel '" + name + "' exhausted the strategy ladder";
       return false;
+    }
+    if (rec != nullptr) {
+      ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
+      rec->annotate(
+          sh.rank, name,
+          {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.extended_sources()))},
+          {dsan::span_of(f.dst.data() + sh.n_interior,
+                         static_cast<std::size_t>(sh.n_boundary))});
     }
   }
 
@@ -868,12 +1029,23 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
                     cal_);
   constexpr int kPackLocal = 96;
 
+  dsan::Recorder* rec = dsan::Recorder::current();
+  if (rec != nullptr) {
+    rec->barrier("apply @ " + grid.label());
+    // One functional queue serves every logical shard; annotate() re-assigns
+    // each launch to its acting rank right after submission.
+    q.set_kernel_hook([rec](const std::string& name, const gpusim::KernelStats&) {
+      rec->kernel(dsan::kHostActor, name);
+    });
+  }
+
   std::vector<ShardFields> fields;
   fields.reserve(part.shards().size());
   for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
 
   // pack -> (wire) -> interior (ghosts still poisoned) -> unpack -> boundary
   std::vector<std::vector<std::vector<dcomplex>>> wires(part.shards().size());
+  std::vector<std::vector<std::uint64_t>> tx(part.shards().size());
   for (const Shard& sh : part.shards()) {
     auto& shard_wires = wires[static_cast<std::size_t>(sh.rank)];
     for (const HaloMsg& msg : sh.halo) {
@@ -883,6 +1055,20 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
                           .wire = shard_wires.back().data(),
                           .count = msg.count()};
       q.submit(halo_spec(msg.count(), kPackLocal, HaloPackKernel::traits()), pack);
+      if (rec != nullptr) {
+        rec->annotate(
+            msg.peer, pack_site(msg.peer, sh.rank),
+            {dsan::span_of(
+                 fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                 static_cast<std::size_t>(
+                     part.shards()[static_cast<std::size_t>(msg.peer)].sources())),
+             dsan::span_of(msg.send_slots.data(), msg.send_slots.size())},
+            {dsan::span_of(shard_wires.back().data(), shard_wires.back().size())});
+        tx[static_cast<std::size_t>(sh.rank)].push_back(rec->send(
+            msg.peer, sh.rank, exchange_site(msg.peer, sh.rank), /*round=*/1,
+            dsan::span_of(shard_wires.back().data(), shard_wires.back().size()),
+            /*dropped=*/false, /*aggregated=*/false));
+      }
     }
   }
 
@@ -893,6 +1079,11 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
     const int ls = pick_local_size(s, o, preferred_local_size, sh.n_interior);
     submit_dslash(q, range_args(f, sh, 0, sh.n_interior), req, vi, ls, "dslash-interior");
+    if (rec != nullptr) {
+      rec->annotate(sh.rank, "dslash-interior r" + std::to_string(sh.rank),
+                    {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.sources()))},
+                    {dsan::span_of(f.dst.data(), static_cast<std::size_t>(sh.n_interior))});
+    }
   }
 
   for (const Shard& sh : part.shards()) {
@@ -903,12 +1094,32 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
                               .field = f.src.data(),
                               .ghost_base = msg.ghost_base,
                               .count = msg.count()};
+      if (rec != nullptr) {
+        const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
+        rec->recv(tx[static_cast<std::size_t>(sh.rank)][mi], /*delivered=*/true,
+                  {dsan::span_of(wire.data(), wire.size())});
+      }
       q.submit(halo_spec(msg.count(), kPackLocal, HaloUnpackKernel::traits()), unpack);
+      if (rec != nullptr) {
+        const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
+        rec->annotate(sh.rank, unpack_site(msg.peer, sh.rank),
+                      {dsan::span_of(wire.data(), wire.size())},
+                      {dsan::span_of(f.src.data() + msg.ghost_base,
+                                     static_cast<std::size_t>(msg.count()))},
+                      tx[static_cast<std::size_t>(sh.rank)][mi]);
+      }
     }
     if (sh.n_boundary > 0) {
       const int ls = pick_local_size(s, o, preferred_local_size, sh.n_boundary);
       submit_dslash(q, range_args(f, sh, sh.n_interior, sh.n_boundary), req, vi, ls,
                     "dslash-boundary");
+      if (rec != nullptr) {
+        rec->annotate(
+            sh.rank, "dslash-boundary r" + std::to_string(sh.rank),
+            {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.extended_sources()))},
+            {dsan::span_of(f.dst.data() + sh.n_interior,
+                           static_cast<std::size_t>(sh.n_boundary))});
+      }
     }
   }
 

@@ -222,6 +222,15 @@ class MultiDeviceRunner {
   [[nodiscard]] std::vector<ksan::SanitizerReport> sanitize_exchange(
       DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96) const;
 
+  /// dsan entry: record one full run — fault-free or hardened, whichever the
+  /// installed fault plan selects — as a cluster-wide event graph (kernel
+  /// launches, pack/unpack, send/recv/retransmit, checksum verdicts, wire
+  /// schedule, failovers) and check it under vector-clock happens-before plus
+  /// the protocol lints (docs/SANITIZER.md "Distributed checks").  Four
+  /// reports, one per checker; every existing scenario must come back clean.
+  [[nodiscard]] std::vector<ksan::SanitizerReport> dsan_check(
+      DslashProblem& problem, const MultiDevRequest& mreq) const;
+
  private:
   [[nodiscard]] MultiDevResult run_plain(DslashProblem& problem,
                                          const MultiDevRequest& mreq) const;

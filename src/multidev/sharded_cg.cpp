@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/dslash_ref.hpp"
+#include "dsan/check.hpp"
 
 namespace milc::multidev {
 
@@ -152,6 +153,7 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   ShardedCgResult res;
   const LatticeGeom& g = geom();
   faultsim::Injector* inj = faultsim::Injector::current();
+  dsan::Recorder* rec = dsan::Recorder::current();
   const std::size_t log_mark = inj != nullptr ? inj->log().size() : 0;
   failover_seen_ = false;
 
@@ -250,11 +252,13 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       it = snap.iter;
       res.events.push_back({it, "restore", std::string(why) + " -> snapshot @ iter " +
                                                std::to_string(snap.iter)});
+      if (rec != nullptr) rec->restore(snap.iter, why);
       return true;
     }
     // Snapshot missing or torn: restart the recursion from the current x
     // (the CG iterate is still a valid initial guess even if perturbed).
     res.events.push_back({it, "restore", std::string(why) + " -> reinit (no snapshot)"});
+    if (rec != nullptr) rec->restore(it, std::string(why) + " (reinit)");
     return init_state();
   };
 
@@ -263,7 +267,10 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
     // pass (post-failover replay) is the only option left.
     if (!restore("init failed")) fatal = true;
   }
-  if (!fatal) snap.take(x, r, pvec, rr, it);
+  if (!fatal) {
+    snap.take(x, r, pvec, rr, it);
+    if (rec != nullptr) rec->checkpoint(it, "initial state");
+  }
   // A failover during init already replayed the whole apply on the surviving
   // grid inside the runner, so the freshly snapshotted state is consistent.
   failover_seen_ = false;
@@ -308,6 +315,7 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
             break;
           }
           snap.take(x, r, pvec, rr, it);
+          if (rec != nullptr) rec->checkpoint(it, "post-rebuild");
           last_audit_restore_iter = -1;
           continue;
         }
@@ -323,6 +331,9 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       ++res.checkpoints_taken;
       res.events.push_back({it, "checkpoint",
                             "rel res " + std::to_string(std::sqrt(rr / b2))});
+      if (rec != nullptr) {
+        rec->checkpoint(it, "rel res " + std::to_string(std::sqrt(rr / b2)));
+      }
     }
 
     if (!apply_checked(pvec, Ap)) {
@@ -393,6 +404,16 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
     inj->set_corruption_targets({});
   }
   return res;
+}
+
+std::vector<ksan::SanitizerReport> ShardedCgSolver::dsan_check(const ColorField& b,
+                                                               ColorField& x,
+                                                               ShardedCgResult* result) {
+  const std::string label = "sharded-cg @ " + grid_.label();
+  dsan::ScopedRecorder sr;
+  ShardedCgResult res = solve(b, x);
+  if (result != nullptr) *result = std::move(res);
+  return dsan::check_all(sr.rec.trace(), label);
 }
 
 }  // namespace milc::multidev

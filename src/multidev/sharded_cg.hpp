@@ -109,6 +109,14 @@ class ShardedCgSolver {
   /// the solution on return.  Never throws for injected fault kinds.
   [[nodiscard]] ShardedCgResult solve(const ColorField& b, ColorField& x);
 
+  /// dsan entry: run solve() under the distributed-sanitizer recorder and
+  /// check the cluster-wide trace — every apply's halo protocol plus the
+  /// solver's checkpoint/restore/failover events (the CheckpointInWindow
+  /// lint needs exactly this trace).  Pass `result` to also get the solve's
+  /// outcome.  Keep the iteration budget short: the trace grows per apply.
+  [[nodiscard]] std::vector<ksan::SanitizerReport> dsan_check(
+      const ColorField& b, ColorField& x, ShardedCgResult* result = nullptr);
+
   /// One sharded application out = (m^2 - D_eo D_oe) in, exposed for the
   /// bit-for-bit identity tests.  No recovery tiers — the hardened runner's
   /// own tiers still apply when a fault plan is installed.

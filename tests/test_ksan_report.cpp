@@ -1,0 +1,150 @@
+// test_ksan_report.cpp — the report pipeline dsan and the bench sanitize
+// modes lean on: dedup_reports (stable kernel ordering, duplicate-site
+// collapse), format_reports digests, and the USM leak-at-teardown
+// diagnostic with its alloc-site naming.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ksan/leakcheck.hpp"
+#include "ksan/report.hpp"
+#include "minisycl/queue.hpp"
+#include "minisycl/usm.hpp"
+
+namespace ksan {
+namespace {
+
+SanitizerReport make_report(std::string kernel, Category cat = Category::GlobalRace,
+                            std::uint64_t count = 0, std::uint64_t addr = 0,
+                            std::string note = {}) {
+  SanitizerReport rep;
+  rep.kernel = std::move(kernel);
+  rep.checked_global = 10;
+  rep.counts[static_cast<std::size_t>(cat)] = count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Offence o;
+    o.category = cat;
+    o.kind = AccessKind::Store;
+    o.addr = addr;
+    o.size = 8;
+    o.note = note;
+    rep.records.push_back(std::move(o));
+  }
+  return rep;
+}
+
+TEST(KsanReport, DedupOrdersByKernelNameStably) {
+  std::vector<SanitizerReport> in;
+  in.push_back(make_report("zeta"));
+  in.push_back(make_report("alpha"));
+  in.push_back(make_report("midway"));
+  const std::vector<SanitizerReport> out = dedup_reports(std::move(in));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].kernel, "alpha");
+  EXPECT_EQ(out[1].kernel, "midway");
+  EXPECT_EQ(out[2].kernel, "zeta");
+}
+
+TEST(KsanReport, DedupMergesSameKernelCountsAndCheckedTotals) {
+  std::vector<SanitizerReport> in;
+  in.push_back(make_report("pack r0->r1", Category::GlobalOOB, 2, 0x1000, "overrun"));
+  in.push_back(make_report("pack r0->r1", Category::GlobalRace, 3, 0x2000, "race"));
+  in.push_back(make_report("unpack r1->r0"));
+  const std::vector<SanitizerReport> out = dedup_reports(std::move(in));
+  ASSERT_EQ(out.size(), 2u);
+  const SanitizerReport& merged = out[0];
+  EXPECT_EQ(merged.kernel, "pack r0->r1");
+  EXPECT_EQ(merged.count(Category::GlobalOOB), 2u);
+  EXPECT_EQ(merged.count(Category::GlobalRace), 3u);
+  EXPECT_EQ(merged.checked_global, 20u);
+  // The base report's records arrive as-is; the merged-in report's three
+  // identical offences collapse to one.
+  EXPECT_EQ(merged.records.size(), 3u);
+}
+
+TEST(KsanReport, DedupCollapsesRepeatedOffencesAcrossDuplicateSites) {
+  // The same offence (category, kind, addr, size, note) reported by several
+  // per-message reports of one site is a single finding after the merge.
+  std::vector<SanitizerReport> in;
+  in.push_back(make_report("pack r0->r1", Category::GlobalOOB, 1, 0x1000, "overrun"));
+  in.push_back(make_report("pack r0->r1", Category::GlobalOOB, 1, 0x1000, "overrun"));
+  in.push_back(make_report("pack r0->r1", Category::GlobalOOB, 1, 0x3000, "distinct"));
+  const std::vector<SanitizerReport> out = dedup_reports(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].count(Category::GlobalOOB), 3u) << "counts still sum";
+  EXPECT_EQ(out[0].records.size(), 2u) << "but the exact repeat collapses";
+}
+
+TEST(KsanReport, DedupHonoursTheRecordCap) {
+  std::vector<SanitizerReport> in;
+  for (int i = 0; i < 4; ++i) {
+    in.push_back(make_report("k", Category::GlobalRace, 1,
+                             0x1000 + static_cast<std::uint64_t>(i) * 8, "r"));
+  }
+  const std::vector<SanitizerReport> out = dedup_reports(std::move(in), /*max_records=*/2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].count(Category::GlobalRace), 4u);
+  EXPECT_EQ(out[0].records.size(), 2u);
+}
+
+TEST(KsanReport, FormatReportsEmitsOneDigestLinePerReport) {
+  std::vector<SanitizerReport> reports;
+  reports.push_back(make_report("clean-kernel"));
+  reports.push_back(make_report("broken-kernel", Category::CrossDeviceRace, 2));
+  reports.push_back(make_report("linty-kernel", Category::ChecksumSkipped, 1));
+  const std::string digest = format_reports(reports);
+  EXPECT_NE(digest.find("clean-kernel: clean\n"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("broken-kernel: 2 errors, 0 lints\n"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("linty-kernel: 0 errors, 1 lints\n"), std::string::npos) << digest;
+}
+
+TEST(KsanLeak, AllocationOutlivingItsQueueIsReportedWithItsSiteName) {
+  std::vector<SanitizerReport> out;
+  double* leaked = nullptr;
+  {
+    minisycl::queue q;
+    arm_leak_check(q, out, "leak-zoo");
+    leaked = minisycl::malloc_device<double>(64, q, "leaked-scratch");
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].clean()) << out[0].summary();
+  EXPECT_EQ(out[0].count(Category::UsmLeak), 1u) << out[0].summary();
+  ASSERT_EQ(out[0].records.size(), 1u);
+  EXPECT_NE(out[0].records[0].note.find("site 'leaked-scratch'"), std::string::npos)
+      << out[0].records[0].note;
+  EXPECT_EQ(out[0].records[0].size, 64u * sizeof(double));
+
+  minisycl::queue reaper;
+  minisycl::free(leaked, reaper);
+}
+
+TEST(KsanLeak, BalancedAllocFreeTearsDownClean) {
+  std::vector<SanitizerReport> out;
+  {
+    minisycl::queue q;
+    arm_leak_check(q, out, "balanced");
+    double* p = minisycl::malloc_device<double>(32, q, "scratch");
+    minisycl::free(p, q);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].clean()) << out[0].summary();
+  EXPECT_EQ(out[0].count(Category::UsmLeak), 0u);
+}
+
+TEST(KsanLeak, PreexistingAllocationsAreOutsideTheWatchWindow) {
+  minisycl::queue owner;
+  double* long_lived = minisycl::malloc_device<double>(16, owner, "lattice-field");
+  std::vector<SanitizerReport> out;
+  {
+    minisycl::queue q;
+    arm_leak_check(q, out, "windowed");
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].clean())
+      << "allocations predating the watch belong to the caller: " << out[0].summary();
+  minisycl::free(long_lived, owner);
+}
+
+}  // namespace
+}  // namespace ksan
