@@ -74,6 +74,35 @@ inline bool print_sanitize_row(const ksan::SanitizerReport& rep) {
   return rep.clean();
 }
 
+/// Escape a string for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters use the \uXXXX (or
+/// short \n/\r/\t) forms.  Scenario names, shed reasons and fault details
+/// flow into the sinks verbatim, so the emitted documents must stay valid
+/// JSON whatever those strings contain.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 /// Machine-readable sink for bench rows (one file per bench run).
 class CsvSink {
  public:
@@ -125,7 +154,7 @@ class JsonSink {
     file_ = std::fopen(path.c_str(), "w");
     if (file_ != nullptr) {
       std::fprintf(file_, "{\"bench\": \"%s\", \"schema_version\": %d, \"rows\": [",
-                   bench.c_str(), kSchemaVersion);
+                   json_escape(bench).c_str(), kSchemaVersion);
     }
   }
   ~JsonSink() {
@@ -158,7 +187,7 @@ class JsonSink {
     meta_.emplace_back(buf);
   }
   void meta(const char* key, const std::string& v) {
-    meta_.emplace_back("\"" + std::string(key) + "\": \"" + v + "\"");
+    meta_.emplace_back("\"" + std::string(key) + "\": \"" + json_escape(v) + "\"");
   }
 
   /// Run-level interconnect topology facts for multi-node benches: node
@@ -187,9 +216,13 @@ class JsonSink {
     if (file_ == nullptr) return;
     std::fprintf(file_, "%s\"%s\": %lld", sep(), key, static_cast<long long>(v));
   }
+  void field(const char* key, std::uint64_t v) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\"%s\": %llu", sep(), key, static_cast<unsigned long long>(v));
+  }
   void field(const char* key, const std::string& v) {
     if (file_ == nullptr) return;
-    std::fprintf(file_, "%s\"%s\": \"%s\"", sep(), key, v.c_str());
+    std::fprintf(file_, "%s\"%s\": \"%s\"", sep(), key, json_escape(v).c_str());
   }
   void end_row() {
     if (file_ != nullptr) std::fprintf(file_, "}");

@@ -46,6 +46,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::msg_delay: return "msg-delay";
     case FaultKind::device_loss: return "device-loss";
     case FaultKind::node_loss: return "node-loss";
+    case FaultKind::serve_fault: return "serve-fault";
   }
   return "unknown";
 }
@@ -345,6 +346,34 @@ bool Injector::on_node_check(const std::string& site) {
     record(FaultKind::node_loss, site, occ, buf);
   }
   return lost;
+}
+
+bool Injector::on_serve_check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& st = site_state(site);
+  const std::uint64_t occ = st.launches++;  // per-site consult occurrence
+  const std::uint64_t chk = serve_counter_++;
+
+  bool faulted = false;
+  for (const ScheduledFault& s : plan_.schedule) {
+    if (s.kind != FaultKind::serve_fault) continue;
+    if (!s.site_filter.empty() && site.find(s.site_filter) == std::string::npos) continue;
+    if (occ >= s.index && occ < s.index + s.repeat) {
+      faulted = true;
+      break;
+    }
+  }
+  if (!faulted && plan_.p_serve > 0.0 &&
+      draw(FaultKind::serve_fault, chk) < plan_.p_serve) {
+    faulted = true;
+  }
+  if (faulted) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "control-plane step %llu",
+                  static_cast<unsigned long long>(occ));
+    record(FaultKind::serve_fault, site, occ, buf);
+  }
+  return faulted;
 }
 
 void Injector::set_corruption_targets(std::vector<MemRegion> regions) {

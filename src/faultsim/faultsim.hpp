@@ -38,9 +38,10 @@ enum class FaultKind {
   msg_delay,     ///< link latency spike + degraded bandwidth for one message
   device_loss,   ///< whole simulated device lost; triggers failover
   node_loss,     ///< whole node group lost (all its devices at once)
+  serve_fault,   ///< serving-tier control-plane fault (admission, dispatch, probe)
 };
 
-inline constexpr std::size_t kNumFaultKinds = 10;
+inline constexpr std::size_t kNumFaultKinds = 11;
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -86,6 +87,7 @@ struct FaultPlan {
   double p_msg_delay = 0.0;
   double p_device_loss = 0.0;
   double p_node_loss = 0.0;
+  double p_serve = 0.0;
 
   AllocFailMode alloc_fail_mode = AllocFailMode::return_null;
 
@@ -187,6 +189,14 @@ class Injector {
   /// draw stream.  Losing a node loses every device in its group at once.
   [[nodiscard]] bool on_node_check(const std::string& site);
 
+  /// True when a serving-tier control-plane step fails at this consult.
+  /// Sites follow the `serve/*` grammar (docs/RESILIENCE.md): the admission
+  /// queue (`serve/queue …`), the dispatcher (`serve/dispatch …`) and
+  /// circuit-breaker probes (`serve/probe …`) each consult once per step,
+  /// with their own draw stream so a traffic scenario can storm the control
+  /// plane without perturbing kernel or wire draws.
+  [[nodiscard]] bool on_serve_check(const std::string& site);
+
   /// Register the byte extents eligible for bit-flip corruption.
   void set_corruption_targets(std::vector<MemRegion> regions);
 
@@ -217,6 +227,7 @@ class Injector {
   std::uint64_t message_counter_ = 0;  ///< all link messages (link draw stream)
   std::uint64_t device_counter_ = 0;   ///< all device-loss consults
   std::uint64_t node_counter_ = 0;     ///< all node-loss consults
+  std::uint64_t serve_counter_ = 0;    ///< all serve-tier consults
 
   // Per-kernel-site state (keyed by kernel name).
   struct SiteState {

@@ -70,7 +70,8 @@ std::string ShardedCgResult::summary() const {
                 cg.converged ? "converged" : "NOT converged", cg.iterations,
                 cg.relative_residual, cg.true_relative_residual, applies, recomputes,
                 checkpoints_taken, restarts, failovers_observed, final_grid.label().c_str(),
-                faults.size(), recovery_us, recovered_all ? "" : " | RECOVERY EXHAUSTED");
+                faults.size(), recovery_us,
+                cancelled ? " | CANCELLED" : (recovered_all ? "" : " | RECOVERY EXHAUSTED"));
   return buf;
 }
 
@@ -276,6 +277,22 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   failover_seen_ = false;
 
   while (!fatal && it < cfg_.cg.max_iterations && rr > target) {
+    // Deadline/cancellation gate, at iteration granularity: a scheduler's
+    // apply budget or cancel hook stops the solve cleanly — the iterate in x
+    // is still the best-so-far and the residual below is reported honestly.
+    if (cfg_.max_applies > 0 && res.applies >= cfg_.max_applies) {
+      res.cancelled = true;
+      res.events.push_back({it, "cancelled", "apply budget " +
+                                                 std::to_string(cfg_.max_applies) +
+                                                 " exhausted"});
+      break;
+    }
+    if (cfg_.cancel && cfg_.cancel(it, res.applies)) {
+      res.cancelled = true;
+      res.events.push_back({it, "cancelled", "cancelled by caller"});
+      break;
+    }
+
     // Checkpoint cadence: audit the recursion against the true residual,
     // then snapshot the audited state.
     if (cfg_.checkpoint_interval > 0 && it > 0 && it % cfg_.checkpoint_interval == 0 &&
@@ -388,8 +405,11 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   res.recovered_all = !fatal;
 
   // True residual through the guarded apply (falls back to the last value on
-  // a persistent failure rather than reporting garbage).
-  if (apply_checked(x, Ap)) {
+  // a persistent failure rather than reporting garbage).  A cancelled solve
+  // skips it: the caller stopped paying for applies.
+  if (res.cancelled) {
+    res.cg.true_relative_residual = res.cg.relative_residual;
+  } else if (apply_checked(x, Ap)) {
     ColorField tr = b;
     axpy(-1.0, Ap, tr);
     res.cg.true_relative_residual = std::sqrt(norm2(tr) / b2);

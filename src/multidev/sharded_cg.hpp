@@ -27,6 +27,7 @@
 // apply (asserted in tests/test_sharded_cg.cpp).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,19 @@ struct ShardedCgConfig {
   /// Checkpoint audit: the true residual may exceed the recursion residual
   /// by at most this factor before the state is declared corrupted.
   double residual_audit_factor = 1e3;
+
+  // --- deadline-aware execution (the serving tier, src/serve) --------------
+  /// Hard budget on operator applications for this solve (0 = unlimited).
+  /// A deadline scheduler converts its remaining simulated time into an
+  /// apply budget; when it runs out the solve stops cleanly at an iteration
+  /// boundary — the current iterate stays in `x`, `ShardedCgResult::cancelled`
+  /// is set, and the residual is reported honestly.
+  int max_applies = 0;
+  /// Cooperative cancellation, consulted once per CG iteration with
+  /// (iteration, applies so far).  Return true to abandon the solve.
+  /// Deterministic callers key this off the simulated clock or apply
+  /// counts — never the wall clock.
+  std::function<bool(int iteration, int applies)> cancel;
 };
 
 /// One solver-level recovery decision.
@@ -76,6 +90,7 @@ struct SolverEvent {
 struct ShardedCgResult {
   CgResult cg{};
   bool recovered_all = true;  ///< false: a recovery budget was exhausted
+  bool cancelled = false;     ///< solve stopped by max_applies or the cancel hook
   int applies = 0;            ///< sharded operator applications (incl. recomputes)
   int checkpoints_taken = 0;
   int restarts = 0;    ///< checkpoint restores (ABFT, audit or failover)

@@ -1,0 +1,66 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace milc::serve {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::closed: return "closed";
+    case BreakerState::open: return "open";
+    case BreakerState::half_open: return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::transition(double now, BreakerState to, const std::string& why) {
+  events_.push_back({now, resource_, state_, to, why});
+  state_ = to;
+}
+
+void CircuitBreaker::poll(double now) {
+  if (state_ == BreakerState::open && now >= open_until_) {
+    transition(now, BreakerState::half_open, "cooloff elapsed");
+    half_open_successes_ = 0;
+    probe_outstanding_ = false;
+  }
+}
+
+void CircuitBreaker::on_success(double now) {
+  if (state_ == BreakerState::half_open) {
+    probe_outstanding_ = false;
+    if (++half_open_successes_ >= cfg_.successes_to_close) {
+      transition(now, BreakerState::closed, "probe recovered");
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::on_failure(double now, const std::string& why) {
+  if (state_ == BreakerState::half_open) {
+    probe_outstanding_ = false;
+    ++trips_;
+    const double cooloff = std::min(
+        cfg_.max_cooloff_us,
+        cfg_.cooloff_us * std::pow(cfg_.cooloff_factor, static_cast<double>(trips_ - 1)));
+    open_until_ = now + cooloff;
+    transition(now, BreakerState::open, "probe failed: " + why);
+    return;
+  }
+  if (state_ == BreakerState::open) return;  // already routed around
+  if (++consecutive_failures_ >= cfg_.failure_threshold) {
+    ++trips_;
+    const double cooloff = std::min(
+        cfg_.max_cooloff_us,
+        cfg_.cooloff_us * std::pow(cfg_.cooloff_factor, static_cast<double>(trips_ - 1)));
+    open_until_ = now + cooloff;
+    transition(now, BreakerState::open,
+               std::to_string(consecutive_failures_) + " consecutive failures: " + why);
+    consecutive_failures_ = 0;
+  }
+}
+
+}  // namespace milc::serve

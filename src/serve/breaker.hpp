@@ -1,0 +1,94 @@
+// breaker.hpp — per-resource circuit breakers on the simulated clock.
+//
+// A device (or node) that keeps failing must stop receiving work: every
+// failed dispatch wastes its victims' deadline budget.  The breaker is the
+// classic three-state machine, driven entirely by the service's simulated
+// clock so chaos runs replay bit-for-bit:
+//
+//   closed ──failure_threshold consecutive failures──> open
+//     ^                                                  │ cooloff_us
+//     │                                                  v   (grows per trip)
+//     └──── probe success(es) ──────────────────── half-open
+//                        │ probe failure
+//                        └──> open (cooloff × cooloff_factor, capped)
+//
+// The breaker never consults the injector itself — the service reports
+// outcomes (solve results, `serve/probe` consults) into it.  Transitions are
+// explicit events so the SloReport can enumerate every trip and recovery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace milc::serve {
+
+enum class BreakerState { closed, open, half_open };
+
+[[nodiscard]] const char* to_string(BreakerState s);
+
+struct BreakerConfig {
+  int failure_threshold = 3;      ///< consecutive failures that trip a closed breaker
+  double cooloff_us = 2'000.0;    ///< open duration before the first half-open
+  double cooloff_factor = 2.0;    ///< cooloff growth per successive trip
+  double max_cooloff_us = 60'000.0;
+  int successes_to_close = 1;     ///< half-open probe successes needed to close
+};
+
+/// One state transition, timestamped on the simulated clock.
+struct BreakerEvent {
+  double at_us = 0.0;
+  std::string resource;
+  BreakerState from = BreakerState::closed;
+  BreakerState to = BreakerState::closed;
+  std::string why;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(std::string resource, BreakerConfig cfg)
+      : resource_(std::move(resource)), cfg_(cfg) {}
+
+  [[nodiscard]] const std::string& resource() const { return resource_; }
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] double open_until() const { return open_until_; }
+  [[nodiscard]] int trips() const { return trips_; }
+  [[nodiscard]] const std::vector<BreakerEvent>& events() const { return events_; }
+
+  /// Advance time: an open breaker whose cooloff elapsed becomes half-open.
+  /// Call at every scheduling point before reading state().
+  void poll(double now);
+
+  /// May this resource take ordinary work now?  Only when closed — half-open
+  /// capacity comes back exclusively through probes, so a recovering device
+  /// never takes real traffic before it proved itself.
+  [[nodiscard]] bool allow() const { return state_ == BreakerState::closed; }
+
+  /// May a probe be sent now?  Half-open, with no probe already outstanding
+  /// (the half-open race guard: concurrent dispatch cycles get one probe).
+  [[nodiscard]] bool probe_allowed() const {
+    return state_ == BreakerState::half_open && !probe_outstanding_;
+  }
+  void probe_started() { probe_outstanding_ = true; }
+
+  /// Report an outcome.  In closed state, failures count toward the trip
+  /// threshold and any success resets the count.  In half-open state the
+  /// outcome resolves the outstanding probe: success(es) close, failure
+  /// reopens with a grown cooloff.
+  void on_success(double now);
+  void on_failure(double now, const std::string& why);
+
+ private:
+  void transition(double now, BreakerState to, const std::string& why);
+
+  std::string resource_;
+  BreakerConfig cfg_;
+  BreakerState state_ = BreakerState::closed;
+  double open_until_ = 0.0;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int trips_ = 0;
+  bool probe_outstanding_ = false;
+  std::vector<BreakerEvent> events_;
+};
+
+}  // namespace milc::serve

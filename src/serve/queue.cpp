@@ -1,0 +1,143 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace milc::serve {
+
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::queue_full: return "queue-full";
+    case RejectReason::tenant_quota: return "tenant-quota";
+    case RejectReason::deadline_expired: return "deadline-expired";
+    case RejectReason::duplicate_id: return "duplicate-id";
+    case RejectReason::invalid_spec: return "invalid-spec";
+    case RejectReason::admission_fault: return "admission-fault";
+  }
+  return "unknown";
+}
+
+const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::deadline_expired_in_queue: return "deadline-expired-in-queue";
+    case ShedReason::deadline_unreachable: return "deadline-unreachable";
+    case ShedReason::deadline_budget_exhausted: return "deadline-budget-exhausted";
+    case ShedReason::dispatch_fault_budget: return "dispatch-fault-budget";
+    case ShedReason::recovery_exhausted: return "recovery-exhausted";
+    case ShedReason::no_convergence: return "no-convergence";
+    case ShedReason::cancelled_by_client: return "cancelled-by-client";
+    case ShedReason::no_capacity: return "no-capacity";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Dispatch order: priority desc, deadline asc, id asc.  A strict weak
+/// ordering, so the scan below picks a unique best element.
+bool better(const SolveRequest& a, const SolveRequest& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline_us != b.deadline_us) return a.deadline_us < b.deadline_us;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+AdmissionVerdict AdmissionQueue::admit(const SolveRequest& req, double now) {
+  if (req.deadline_us <= now) {
+    return {false, RejectReason::deadline_expired,
+            "deadline " + std::to_string(req.deadline_us) + " us at or before admission"};
+  }
+  const auto it = std::lower_bound(seen_ids_.begin(), seen_ids_.end(), req.id);
+  if (it != seen_ids_.end() && *it == req.id) {
+    return {false, RejectReason::duplicate_id, "id " + std::to_string(req.id)};
+  }
+  if (queued_for(req.tenant) >= cfg_.tenant_max_queued) {
+    return {false, RejectReason::tenant_quota,
+            "tenant '" + req.tenant + "' at " + std::to_string(cfg_.tenant_max_queued) +
+                " queued"};
+  }
+  if (static_cast<int>(queued_.size()) >= cfg_.capacity) {
+    return {false, RejectReason::queue_full,
+            "queue at capacity " + std::to_string(cfg_.capacity)};
+  }
+  seen_ids_.insert(it, req.id);
+  queued_.push_back(req);
+  return {true, RejectReason::queue_full, ""};
+}
+
+bool AdmissionQueue::pop(double now, SolveRequest& out) {
+  const SolveRequest* best = nullptr;
+  for (const SolveRequest& r : queued_) {
+    if (r.not_before_us > now) continue;
+    if (inflight_for(r.tenant) >= cfg_.tenant_max_inflight) continue;
+    if (best == nullptr || better(r, *best)) best = &r;
+  }
+  if (best == nullptr) return false;
+  out = *best;
+  queued_.erase(queued_.begin() + (best - queued_.data()));
+  return true;
+}
+
+void AdmissionQueue::requeue(SolveRequest req) { queued_.push_back(std::move(req)); }
+
+bool AdmissionQueue::cancel(std::uint64_t id, SolveRequest* out) {
+  for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+    if (it->id == id) {
+      if (out != nullptr) *out = *it;
+      queued_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SolveRequest> AdmissionQueue::sweep_expired(double now) {
+  std::vector<SolveRequest> expired;
+  for (auto it = queued_.begin(); it != queued_.end();) {
+    if (it->deadline_us <= now) {
+      expired.push_back(*it);
+      it = queued_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(expired.begin(), expired.end(),
+            [](const SolveRequest& a, const SolveRequest& b) { return a.id < b.id; });
+  return expired;
+}
+
+std::vector<SolveRequest> AdmissionQueue::drain() {
+  std::vector<SolveRequest> all = std::move(queued_);
+  queued_.clear();
+  std::sort(all.begin(), all.end(),
+            [](const SolveRequest& a, const SolveRequest& b) { return a.id < b.id; });
+  return all;
+}
+
+void AdmissionQueue::mark_inflight(const SolveRequest& req) { ++inflight_[req.tenant]; }
+
+void AdmissionQueue::mark_done(const SolveRequest& req) {
+  auto it = inflight_.find(req.tenant);
+  if (it != inflight_.end() && it->second > 0) --it->second;
+}
+
+int AdmissionQueue::queued_for(const std::string& tenant) const {
+  int n = 0;
+  for (const SolveRequest& r : queued_) n += r.tenant == tenant ? 1 : 0;
+  return n;
+}
+
+int AdmissionQueue::inflight_for(const std::string& tenant) const {
+  const auto it = inflight_.find(tenant);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+double AdmissionQueue::next_ready_us(double now) const {
+  double next = kNoDeadline;
+  for (const SolveRequest& r : queued_) {
+    if (r.not_before_us > now) next = std::min(next, r.not_before_us);
+  }
+  return next;
+}
+
+}  // namespace milc::serve

@@ -1,0 +1,95 @@
+// queue.hpp — bounded priority+deadline admission queue with per-tenant
+// quotas.
+//
+// The queue is the service's backpressure boundary: it never grows without
+// bound.  Over-capacity submissions are rejected at admission with a
+// structured reason (queue_full / tenant_quota / deadline_expired /
+// duplicate_id) instead of queueing work that can only rot.  Dispatch order
+// is priority first, then earliest deadline (EDF within a priority class),
+// then FIFO by id — a deterministic total order, so identical traffic
+// replays identically.
+//
+// The queue holds no clock of its own: every decision takes `now` (the
+// service's simulated clock) as an argument, which keeps it trivially
+// testable and keeps determinism in one place.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace milc::serve {
+
+struct QueueConfig {
+  int capacity = 64;            ///< queued requests across all tenants
+  int tenant_max_queued = 16;   ///< queued requests per tenant
+  int tenant_max_inflight = 2;  ///< dispatched-but-unfinished per tenant
+};
+
+struct AdmissionVerdict {
+  bool admitted = false;
+  RejectReason reason = RejectReason::queue_full;  ///< valid when !admitted
+  std::string detail;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(QueueConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const QueueConfig& config() const { return cfg_; }
+
+  /// Admit or reject one request at simulated time `now`.  Checks, in
+  /// order: catalog-independent validity (deadline already expired),
+  /// duplicate id (against everything ever admitted), per-tenant quota,
+  /// global capacity.
+  AdmissionVerdict admit(const SolveRequest& req, double now);
+
+  /// Remove and return the best eligible request: highest priority, then
+  /// earliest deadline, then lowest id — skipping requests still in their
+  /// requeue backoff (`not_before_us > now`) and tenants at their in-flight
+  /// quota.  Returns false when nothing is eligible.
+  bool pop(double now, SolveRequest& out);
+
+  /// Put a dispatched request back (failed dispatch / retry): keeps its
+  /// admission (no re-admission checks), applies the backoff via
+  /// `req.not_before_us`, and releases the in-flight slot.
+  void requeue(SolveRequest req);
+
+  /// Remove a *queued* request by id.  Returns true and fills `out` when it
+  /// was queued; false when unknown or already dispatched.
+  bool cancel(std::uint64_t id, SolveRequest* out = nullptr);
+
+  /// Remove and return every queued request whose deadline is at or before
+  /// `now` (ordered by id) — the shed-while-queued sweep.
+  std::vector<SolveRequest> sweep_expired(double now);
+
+  /// Remove and return everything still queued (ordered by id) — the
+  /// terminal shed when capacity is gone for good.
+  std::vector<SolveRequest> drain();
+
+  /// Account a dispatched request as in flight / finished for the tenant
+  /// in-flight quota.  `pop` does NOT mark automatically: the dispatcher may
+  /// still requeue without dispatching.
+  void mark_inflight(const SolveRequest& req);
+  void mark_done(const SolveRequest& req);
+
+  [[nodiscard]] std::size_t size() const { return queued_.size(); }
+  [[nodiscard]] bool empty() const { return queued_.empty(); }
+  [[nodiscard]] int queued_for(const std::string& tenant) const;
+  [[nodiscard]] int inflight_for(const std::string& tenant) const;
+
+  /// Earliest future `not_before_us` among queued requests (backoff wake-up
+  /// candidate for the event loop), or +inf when none is in backoff.
+  [[nodiscard]] double next_ready_us(double now) const;
+
+ private:
+  QueueConfig cfg_;
+  std::vector<SolveRequest> queued_;     ///< unordered; pop scans (bounded by capacity)
+  std::vector<std::uint64_t> seen_ids_;  ///< sorted; every id ever admitted
+  std::map<std::string, int> inflight_;  ///< per-tenant dispatched-not-finished
+};
+
+}  // namespace milc::serve

@@ -1,0 +1,92 @@
+// request.hpp — the unit of work of the serving tier.
+//
+// The MILC cluster-performance papers (DeTar et al., arXiv:1712.00143;
+// Gottlieb, hep-lat/0112038) win throughput by keeping the machine saturated
+// with many independent solves.  `SolveRequest` is one such work item: which
+// problem (a `ProblemSpec` catalog entry), how many right-hand sides, on
+// whose behalf (tenant), how urgent (priority + absolute deadline on the
+// simulated clock) and how much the service may spend retrying it.
+//
+// Requests reference problems by catalog index rather than carrying fields:
+// the service prices every (spec, device count) placement once at
+// construction — fault-free, before any chaos plan is installed — so
+// admission and deadline decisions never perturb the injector's draw
+// streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/strategy.hpp"
+#include "lattice/geometry.hpp"
+
+namespace milc::serve {
+
+/// "No deadline": any completion time qualifies.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// One catalog entry: a solvable problem class (lattice, gauge ensemble,
+/// mass, convergence contract).  Mixed sizes in one catalog are the point —
+/// the scheduler packs small single-device solves around large sharded ones.
+struct ProblemSpec {
+  std::string name = "spec";
+  Coords dims{4, 4, 4, 8};
+  std::uint64_t gauge_seed = 31;
+  double mass = 0.5;
+  double rel_tol = 1e-6;
+  int max_iterations = 200;
+  int checkpoint_interval = 8;
+};
+
+/// One independent solve request in the traffic stream.
+struct SolveRequest {
+  std::uint64_t id = 0;
+  std::string tenant = "default";
+  /// Higher runs first; ties go to the earlier deadline, then the lower id.
+  int priority = 1;
+  double submit_us = 0.0;            ///< arrival time on the simulated clock
+  double deadline_us = kNoDeadline;  ///< absolute; <= submit_us is dead on arrival
+  int spec = 0;                      ///< index into the service's catalog
+  int rhs = 1;                       ///< right-hand sides (sequential solves)
+  std::uint64_t source_seed = 77;    ///< rhs i fills its source from source_seed + i
+  Strategy strategy = Strategy::LP3_1;
+  int devices = 1;       ///< preferred device count (shrunk under degradation)
+  int retry_budget = 1;  ///< re-dispatch attempts after a failed dispatch/solve
+
+  // --- scheduler-owned state (not part of the client request) -------------
+  double not_before_us = 0.0;  ///< requeue backoff: ineligible before this time
+  int dispatch_attempts = 0;   ///< dispatches so far (drives backoff growth)
+  int fallback_rung = 0;       ///< strategy-ladder rung forced by degradation
+};
+
+/// Why admission refused a request.  Rejected requests were never admitted:
+/// the completes-or-shed invariant does not apply to them.
+enum class RejectReason {
+  queue_full,        ///< global admission-queue capacity reached (backpressure)
+  tenant_quota,      ///< per-tenant queued quota exhausted
+  deadline_expired,  ///< deadline at or before submission (zero/expired)
+  duplicate_id,      ///< id already known (queued, in flight, or finished)
+  invalid_spec,      ///< catalog index out of range
+  admission_fault,   ///< injected serve/queue control-plane fault
+};
+
+[[nodiscard]] const char* to_string(RejectReason r);
+
+/// Why the service dropped an *admitted* request.  Every shed is enumerated
+/// in the SloReport — the graceful-degradation contract is "finish
+/// bit-for-bit correct or say exactly why not".
+enum class ShedReason {
+  deadline_expired_in_queue,  ///< deadline passed while waiting for capacity
+  deadline_unreachable,       ///< too little time left for even a minimal solve
+  deadline_budget_exhausted,  ///< dispatched, but the apply budget ran out
+  dispatch_fault_budget,      ///< injected dispatcher faults ate the retry budget
+  recovery_exhausted,         ///< solver recovery ladder failed; retries spent
+  no_convergence,             ///< solver hit its iteration cap; retries spent
+  cancelled_by_client,        ///< explicit cancellation (queued or in flight)
+  no_capacity,                ///< every device lost; queued work cannot run
+};
+
+[[nodiscard]] const char* to_string(ShedReason r);
+
+}  // namespace milc::serve
