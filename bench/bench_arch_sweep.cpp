@@ -4,7 +4,19 @@
 // here we actually turn the knobs: DRAM bandwidth, register file size, SM
 // count and L2 capacity, and watch the 1LP / 3LP-1 / QUDA-style trade-offs
 // move.
+//
+// With --tune-cache <path> the sweep also runs the tuning-cache cycle per
+// machine variant: cold-tune each variant, merge every variant's entries
+// into one persisted cache, reload it, and warm-start each variant from the
+// shared file.  Because the tuning key leads with the architecture
+// fingerprint (docs/TUNING.md), the variants never share entries — each
+// warm replay must reproduce its own cold winner bit-for-bit.
 #include "bench_common.hpp"
+
+#include <set>
+
+#include "tune/session.hpp"
+#include "tune/tune_cache.hpp"
 
 using namespace milc;
 using namespace milc::bench;
@@ -58,6 +70,73 @@ int main(int argc, char** argv) {
     const RunResult lp31 = runner.run(problem, r3);
     std::printf("%-22s %10.1f %12.1f %11.2fx %13.1f%%\n", mv.name, lp1.gflops, lp31.gflops,
                 lp31.gflops / lp1.gflops, 100.0 * lp1.stats.occupancy.achieved);
+  }
+
+  if (!opt.tune_cache_path.empty()) {
+    // Per-variant cold tune -> merge -> persist -> reload -> per-variant
+    // warm replay.  Distinct machines get distinct arch fingerprints, so the
+    // merged cache holds one entry per (variant, strategy) and every warm
+    // replay hits exactly its own variant's entry.
+    const std::vector<Strategy> tuned = {Strategy::LP1, Strategy::LP3_1};
+    tune::TuneCache merged;
+    std::vector<tune::TuneEntry> cold_entries;
+    for (const MachineVariant& mv : variants()) {
+      DslashRunner runner(mv.model);
+      tune::ScopedTuneSession scoped({}, {"bench_arch_sweep", opt.seed, opt.stamp});
+      for (Strategy s : tuned) {
+        const TunedRunResult cold = runner.run_tuned(problem, s);
+        if (cold.from_cache) {
+          std::fprintf(stderr, "FAIL: cold tune of '%s' hit a fresh cache\n", mv.name);
+          return 1;
+        }
+        cold_entries.push_back(cold.entry);
+      }
+      merged.merge(scoped.session().cache());
+    }
+    std::set<std::string> keys;
+    for (const auto& [key, entry] : merged.entries()) keys.insert(key);
+    if (keys.size() != variants().size() * tuned.size()) {
+      std::fprintf(stderr, "FAIL: %zu distinct keys for %zu (variant, strategy) pairs — "
+                   "arch fingerprints collided\n",
+                   keys.size(), variants().size() * tuned.size());
+      return 1;
+    }
+
+    std::string err;
+    if (!merged.save(opt.tune_cache_path, &err)) {
+      std::fprintf(stderr, "FAIL: cannot save tuning cache: %s\n", err.c_str());
+      return 1;
+    }
+    tune::TuneCache reloaded;
+    const tune::TuneCache::LoadResult res = reloaded.load(opt.tune_cache_path);
+    if (!res.ok() || !(reloaded == merged)) {
+      std::fprintf(stderr, "FAIL: tuning-cache round trip: %s (%s)\n",
+                   to_string(res.status), res.diagnostic.c_str());
+      return 1;
+    }
+
+    std::size_t i = 0;
+    for (const MachineVariant& mv : variants()) {
+      DslashRunner runner(mv.model);
+      tune::ScopedTuneSession scoped(reloaded, {"bench_arch_sweep", opt.seed, opt.stamp});
+      for (Strategy s : tuned) {
+        const TunedRunResult warm = runner.run_tuned(problem, s);
+        if (!warm.from_cache || !(warm.entry == cold_entries[i])) {
+          std::fprintf(stderr,
+                       "FAIL: warm replay of '%s' %s diverged from the cold tune\n",
+                       mv.name, to_string(s));
+          return 1;
+        }
+        ++i;
+      }
+      if (scoped.session().stats().candidates_explored != 0) {
+        std::fprintf(stderr, "FAIL: warm start of '%s' re-explored candidates\n", mv.name);
+        return 1;
+      }
+    }
+    std::printf("\ntuning cache: %zu per-variant entries (distinct arch fingerprints)\n"
+                "cold -> persist -> warm replay verified bit-for-bit through %s\n",
+                merged.size(), opt.tune_cache_path.c_str());
   }
 
   if (opt.L < 24) {

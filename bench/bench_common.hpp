@@ -29,6 +29,8 @@ struct Options {
   bool faults = false;   ///< run under an installed FaultPlan + ResilientRunner
   std::uint64_t fault_seed = 2024;  ///< FaultPlan seed for --faults
   int nodes = 1;  ///< simulated node count; > 1 prices halos over the fabric tier
+  std::string tune_cache_path;  ///< when set, persist tuning-cache entries here
+  std::uint64_t stamp = 1;  ///< simulated provenance timestamp for recorded entries
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -51,10 +53,15 @@ inline Options parse_options(int argc, char** argv) {
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       o.nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tune-cache") == 0 && i + 1 < argc) {
+      o.tune_cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stamp") == 0 && i + 1 < argc) {
+      o.stamp = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--json <path>] "
-          "[--sanitize] [--dsan] [--faults <fault seed>] [--nodes <n>]\n",
+          "[--sanitize] [--dsan] [--faults <fault seed>] [--nodes <n>] "
+          "[--tune-cache <path>] [--stamp <n>]\n",
           argv[0]);
       std::exit(0);
     }
@@ -226,6 +233,24 @@ class JsonSink {
   }
   void end_row() {
     if (file_ != nullptr) std::fprintf(file_, "}");
+  }
+
+  /// One tuning-cache entry as a row: the canonical key plus the decision
+  /// fields (the same values TuneCache::serialize persists, minus the
+  /// authoritative bits field — the sink is for human/tool inspection, the
+  /// cache file is the replay source of truth).
+  void tune_row(const std::string& canonical_key, const tune::TuneEntry& e) {
+    if (file_ == nullptr) return;
+    begin_row();
+    field("key", canonical_key);
+    field("local_size", static_cast<std::int64_t>(e.local_size));
+    field("order", e.order);
+    field("grid", e.grid);
+    field("per_iter_us", e.per_iter_us);
+    field("bench", e.bench);
+    field("seed", e.seed);
+    field("stamp", e.stamp);
+    end_row();
   }
 
   /// The standard bench row — same columns as CsvSink.

@@ -3,7 +3,13 @@
 // k-major ahead in 31 of 36 cases, mostly within 3%, except 4LP-1 where it
 // wins by 7.2-8.5%, driven by memory coalescing (L1 tag requests) and shared
 // -memory bank conflicts.
+//
+// With --tune-cache <path> the per-strategy winner across every (order,
+// local size) pair priced here is persisted as a "dslash" tuning-cache
+// entry and round-trip-verified through TuneCache (docs/TUNING.md).
 #include "bench_common.hpp"
+
+#include "tune/tune_cache.hpp"
 
 using namespace milc;
 using namespace milc::bench;
@@ -14,6 +20,9 @@ int main(int argc, char** argv) {
   DslashRunner runner;
   print_header("Work-item index order: k-major vs i-major (IV-D7)", opt, problem.sites());
 
+  JsonSink json(opt.json_path, "bench_index_order");
+  tune::TuneCache cache;
+
   int k_wins = 0, total = 0;
   std::printf("\n%-9s %6s %12s %12s %9s %14s %14s\n", "strategy", "local", "first GF/s",
               "second GF/s", "delta%", "tags(1st)", "tags(2nd)");
@@ -21,6 +30,7 @@ int main(int argc, char** argv) {
   for (Strategy s :
        {Strategy::LP3_1, Strategy::LP3_2, Strategy::LP3_3, Strategy::LP4_1, Strategy::LP4_2}) {
     const auto orders = orders_of(s);  // [preferred, i-major]
+    tune::TuneEntry win;  // per-strategy winner across priced (order, size) pairs
     for (int ls : paper_local_sizes(s, orders[1], problem.sites())) {
       if (!is_valid_local_size(s, orders[0], ls, problem.sites())) continue;
       RunRequest a{.strategy = s, .order = orders[0], .local_size = ls, .variant = Variant::SYCL};
@@ -35,7 +45,45 @@ int main(int argc, char** argv) {
                   to_string(orders[0]), to_string(orders[1]));
       ++total;
       if (ra.gflops >= rb.gflops) ++k_wins;
+      // Strict < with first-priced-wins (the explorer's tie-break); the
+      // preferred order prices first at each size, matching run_tuned's
+      // enumeration order.
+      if (win.local_size == 0 || ra.per_iter_us < win.per_iter_us) {
+        win.local_size = ls;
+        win.order = to_string(orders[0]);
+        win.per_iter_us = ra.per_iter_us;
+      }
+      if (rb.per_iter_us < win.per_iter_us) {
+        win.local_size = ls;
+        win.order = to_string(orders[1]);
+        win.per_iter_us = rb.per_iter_us;
+      }
     }
+    if (win.local_size > 0) {
+      win.bench = "bench_index_order";
+      win.seed = opt.seed;
+      win.stamp = opt.stamp;
+      const tune::TuneKey key = runner.tune_key(problem, s);
+      cache.put(key, win);
+      json.tune_row(key.canonical(), win);
+    }
+  }
+
+  if (!opt.tune_cache_path.empty()) {
+    std::string err;
+    if (!cache.save(opt.tune_cache_path, &err)) {
+      std::fprintf(stderr, "FAIL: cannot save tuning cache: %s\n", err.c_str());
+      return 1;
+    }
+    tune::TuneCache reloaded;
+    const tune::TuneCache::LoadResult res = reloaded.load(opt.tune_cache_path);
+    if (!res.ok() || !(reloaded == cache)) {
+      std::fprintf(stderr, "FAIL: tuning-cache round trip: %s (%s)\n",
+                   to_string(res.status), res.diagnostic.c_str());
+      return 1;
+    }
+    std::printf("\ntuning cache: %zu entries round-tripped bit-for-bit through %s\n",
+                cache.size(), opt.tune_cache_path.c_str());
   }
 
   std::printf("\npreferred order wins %d of %d cases (paper: k-major wins 31 of 36)\n", k_wins,

@@ -2,7 +2,14 @@
 // strategy to the work-group size.  The paper reports minimal variance with
 // local size for most strategies (peak at 768 for 3LP-1), with optimal-vs-
 // suboptimal gaps from 1.6% to 34.2%.
+//
+// With --tune-cache <path> the per-strategy winners are also persisted as
+// tuning-cache entries under the "dslash" key grammar (docs/TUNING.md) and
+// round-trip-verified through TuneCache — the same entries DslashRunner::
+// run_tuned records on a cold sweep, so the file warm-starts later runs.
 #include "bench_common.hpp"
+
+#include "tune/tune_cache.hpp"
 
 using namespace milc;
 using namespace milc::bench;
@@ -13,11 +20,15 @@ int main(int argc, char** argv) {
   DslashRunner runner;
   print_header("Local-size sensitivity (IV-D9)", opt, problem.sites());
 
+  JsonSink json(opt.json_path, "bench_local_size");
+  tune::TuneCache cache;
+
   std::printf("\n%-22s", "strategy/order");
   for (int ls : {64, 96, 128, 192, 256, 384, 512, 768}) std::printf(" %8d", ls);
   std::printf("   spread%%\n");
 
   for (Strategy s : all_strategies()) {
+    tune::TuneEntry win;  // per-strategy winner across orders and sizes
     for (IndexOrder o : orders_of(s)) {
       std::printf("%-22s", (std::string(to_string(s)) + " " + to_string(o)).c_str());
       double best = 0.0, worst = 1e30;
@@ -31,10 +42,46 @@ int main(int argc, char** argv) {
         std::printf(" %8.1f", r.gflops);
         best = std::max(best, r.gflops);
         worst = std::min(worst, r.gflops);
+        // Strict < with first-priced-wins — the explorer's tie-break, so the
+        // recorded decision matches what a cold run_tuned sweep would pick.
+        if (win.local_size == 0 || r.per_iter_us < win.per_iter_us) {
+          win.local_size = ls;
+          win.order = to_string(o);
+          win.per_iter_us = r.per_iter_us;
+        }
       }
       std::printf("   %+6.1f\n", best > 0 ? 100.0 * (best / worst - 1.0) : 0.0);
     }
+    if (win.local_size > 0) {
+      win.bench = "bench_local_size";
+      win.seed = opt.seed;
+      win.stamp = opt.stamp;
+      const tune::TuneKey key = runner.tune_key(problem, s);
+      cache.put(key, win);
+      json.tune_row(key.canonical(), win);
+    }
   }
+
+  if (!opt.tune_cache_path.empty()) {
+    std::string err;
+    if (!cache.save(opt.tune_cache_path, &err)) {
+      std::fprintf(stderr, "FAIL: cannot save tuning cache: %s\n", err.c_str());
+      return 1;
+    }
+    // Round-trip honesty check: the persisted file must reload into a cache
+    // bit-for-bit equal to the one in memory (per_iter_us compared by IEEE
+    // bits through TuneEntry::operator==).
+    tune::TuneCache reloaded;
+    const tune::TuneCache::LoadResult res = reloaded.load(opt.tune_cache_path);
+    if (!res.ok() || !(reloaded == cache)) {
+      std::fprintf(stderr, "FAIL: tuning-cache round trip: %s (%s)\n",
+                   to_string(res.status), res.diagnostic.c_str());
+      return 1;
+    }
+    std::printf("\ntuning cache: %zu entries round-tripped bit-for-bit through %s\n",
+                cache.size(), opt.tune_cache_path.c_str());
+  }
+
   std::printf("\n(paper: optimal-vs-suboptimal local size differs by 1.6%%..34.2%%\n"
               " depending on strategy and order; peak at 768 for 3LP-1 variants)\n");
   return 0;

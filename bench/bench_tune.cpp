@@ -1,0 +1,304 @@
+// bench_tune — the tuning-cache lifecycle, end to end (docs/TUNING.md).
+//
+// Phase 1 (cold): install a fresh tune::TuneSession and tune every consumer
+// in the stack — DslashRunner::run_tuned, the QUDA-style staggered harness,
+// topology-aware grid selection, MultiDeviceRunner::run_tuned and
+// SolverService placement pricing — recording every winner into one cache.
+//
+// Phase 2 (persist): save the cache to disk and reload it; the round trip
+// must reproduce the in-memory cache bit-for-bit.
+//
+// Phase 3 (warm): install the *reloaded* cache and repeat every run.  Each
+// consumer must hit, replay the cached decision, and reproduce the cold
+// result bit-for-bit — per_iter_us compared by IEEE-754 bits, zero
+// candidates re-explored, serve grid scoring skipped entirely.  This is the
+// honesty rule made executable: the simulator is deterministic, so any
+// inequality means the cache lied (and the verify() path throws
+// tune::ReplayMismatch).
+//
+// Phase 4 (robustness): corrupt, truncated and wrong-schema cache files must
+// be rejected with a structured LoadResult; a seeded faultsim cache_fault on
+// load must fail the load gracefully so the caller falls back to a cold
+// tune whose winners are identical; and a forged cache entry must make the
+// warm replay throw ReplayMismatch rather than silently adopt it.
+//
+// Exit status is nonzero unless every check above passes.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "faultsim/faultsim.hpp"
+#include "gpusim/fabric.hpp"
+#include "multidev/runner.hpp"
+#include "qudaref/staggered_test.hpp"
+#include "serve/service.hpp"
+#include "tune/explorer.hpp"
+#include "tune/session.hpp"
+#include "tune/tune_cache.hpp"
+
+using namespace milc;
+using namespace milc::bench;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  %-58s %s\n", what, ok ? "ok" : "FAIL");
+  if (!ok) ++failures;
+}
+
+bool same_bits(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  return ba == bb;
+}
+
+/// Everything one cold (or warm) pass measures, for bit-for-bit comparison.
+struct PassResult {
+  TunedRunResult lp1;
+  TunedRunResult lp31;
+  qudaref::StaggeredResult st18;
+  qudaref::StaggeredResult st12;
+  multidev::PartitionGrid grid;
+  multidev::MultiDevTunedResult md;
+  std::vector<serve::SolverService::Placement> placements;
+  serve::SolverService::PricingStats pricing;
+};
+
+std::vector<serve::ProblemSpec> make_catalog() {
+  std::vector<serve::ProblemSpec> catalog(2);
+  catalog[0] = {"small-4x4x4x8", Coords{4, 4, 4, 8}, 31, 0.5, 1e-6, 250, 8};
+  catalog[1] = {"tall-4x4x4x16", Coords{4, 4, 4, 16}, 31, 0.5, 1e-6, 250, 8};
+  return catalog;
+}
+
+/// One full pass over every cache consumer.  A tune::TuneSession must be
+/// installed by the caller; whether the pass is cold or warm is purely a
+/// property of the installed cache's contents.
+PassResult run_pass(const Options& opt) {
+  PassResult p;
+  DslashProblem problem(opt.L, opt.seed);
+  DslashRunner runner;
+  p.lp1 = runner.run_tuned(problem, Strategy::LP1);
+  p.lp31 = runner.run_tuned(problem, Strategy::LP3_1);
+
+  qudaref::StaggeredDslashTest quda(problem);
+  p.st18 = quda.run(Reconstruct::k18);
+  p.st12 = quda.run(Reconstruct::k12);
+
+  const gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+  p.grid = multidev::choose_grid(problem.geom(), topo);
+
+  multidev::MultiDevRequest mreq;
+  mreq.grid = p.grid;
+  mreq.req = RunRequest{.strategy = Strategy::LP3_1, .order = IndexOrder::kMajor,
+                        .local_size = 768, .variant = Variant::SYCL};
+  mreq.topo = topo;
+  multidev::MultiDeviceRunner md_runner;
+  p.md = md_runner.run_tuned(problem, mreq);
+
+  serve::ServiceConfig scfg;
+  scfg.cluster = {2, 2};
+  serve::SolverService svc(make_catalog(), scfg);
+  for (std::size_t s = 0; s < make_catalog().size(); ++s)
+    for (const auto& pl : svc.placements(static_cast<int>(s))) p.placements.push_back(pl);
+  p.pricing = svc.pricing_stats();
+  return p;
+}
+
+bool same_placements(const std::vector<serve::SolverService::Placement>& a,
+                     const std::vector<serve::SolverService::Placement>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].devices != b[i].devices || a[i].grid.label() != b[i].grid.label() ||
+        !same_bits(a[i].per_iter_us, b[i].per_iter_us))
+      return false;
+  }
+  return true;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  DslashProblem header_problem(opt.L, opt.seed);
+  print_header("Tuning-cache lifecycle: cold -> persist -> warm (docs/TUNING.md)", opt,
+               header_problem.sites());
+  const std::string path =
+      opt.tune_cache_path.empty() ? "bench_tune_cache.json" : opt.tune_cache_path;
+  const tune::Provenance prov{"bench_tune", opt.seed, opt.stamp};
+
+  // --- phase 1: cold tune every consumer ----------------------------------
+  std::printf("\n-- phase 1: cold tune --\n");
+  PassResult cold;
+  tune::TuneCache tuned;
+  tune::TuneStats cold_stats;
+  {
+    tune::ScopedTuneSession scoped({}, prov);
+    cold = run_pass(opt);
+    tuned = scoped.session().cache();
+    cold_stats = scoped.session().stats();
+  }
+  check(!cold.lp1.from_cache && !cold.lp31.from_cache, "cold runs explored (no cache hits)");
+  check(cold_stats.stores >= 7, "every consumer recorded an entry");
+  check(cold_stats.candidates_explored > cold_stats.stores,
+        "cold exploration priced more candidates than winners");
+  check(cold.pricing.cache_misses > 0 && cold.pricing.cache_hits == 0,
+        "serve pricing was cold (misses only)");
+  check(cold.pricing.grids_scored > 0, "serve pricing scored candidate grids");
+  std::printf("  recorded %zu entries (%llu candidates priced)\n", tuned.size(),
+              static_cast<unsigned long long>(cold_stats.candidates_explored));
+
+  // --- phase 2: persist and reload -----------------------------------------
+  std::printf("\n-- phase 2: persist -> reload --\n");
+  std::string err;
+  check(tuned.save(path, &err), "cache saved");
+  tune::TuneCache reloaded;
+  const tune::TuneCache::LoadResult res = reloaded.load(path);
+  check(res.ok(), "cache reloaded");
+  check(reloaded == tuned, "round trip is bit-for-bit (per_iter_us by IEEE bits)");
+
+  // --- phase 3: warm-start every consumer ----------------------------------
+  std::printf("\n-- phase 3: warm start from %s --\n", path.c_str());
+  PassResult warm;
+  tune::TuneStats warm_stats;
+  {
+    tune::ScopedTuneSession scoped(reloaded, prov);
+    warm = run_pass(opt);
+    warm_stats = scoped.session().stats();
+  }
+  check(warm.lp1.from_cache && warm.lp31.from_cache, "dslash runs replayed from cache");
+  check(warm.lp1.entry == cold.lp1.entry && warm.lp31.entry == cold.lp31.entry,
+        "dslash entries identical cold vs warm");
+  check(same_bits(warm.lp1.result.per_iter_us, cold.lp1.result.per_iter_us) &&
+            same_bits(warm.lp31.result.per_iter_us, cold.lp31.result.per_iter_us),
+        "dslash replay times bit-for-bit");
+  check(warm.st18.local_size == cold.st18.local_size &&
+            warm.st12.local_size == cold.st12.local_size &&
+            same_bits(warm.st18.kernel_us, cold.st18.kernel_us) &&
+            same_bits(warm.st12.kernel_us, cold.st12.kernel_us),
+        "staggered (QUDA-style) replay bit-for-bit");
+  check(warm.grid.label() == cold.grid.label(), "choose_grid replayed the cached grid");
+  check(warm.md.from_cache && warm.md.entry == cold.md.entry &&
+            same_bits(warm.md.result.per_iter_us, cold.md.result.per_iter_us),
+        "multi-device replay bit-for-bit");
+  check(warm_stats.candidates_explored == 0, "warm start re-explored zero candidates");
+  check(warm_stats.replays_verified > 0, "every warm hit re-priced and verified");
+  check(warm.pricing.cache_hits > 0 && warm.pricing.grids_scored == 0,
+        "serve warm pricing skipped grid scoring entirely");
+  check(warm.pricing.placements_priced == cold.pricing.placements_priced,
+        "serve priced the same placement set");
+  check(same_placements(warm.placements, cold.placements),
+        "serve placements identical cold vs warm (times by bits)");
+  std::printf("  warm pricing: %d placements, %d grid scorings (cold: %d), %d cache hits\n",
+              warm.pricing.placements_priced, warm.pricing.grids_scored,
+              cold.pricing.grids_scored, warm.pricing.cache_hits);
+
+  // --- phase 4: robustness --------------------------------------------------
+  std::printf("\n-- phase 4: malformed caches and injected faults --\n");
+  const std::string good = read_file(path);
+
+  write_file(path + ".corrupt", "this is not { json");
+  tune::TuneCache c1;
+  const auto r1 = c1.load(path + ".corrupt");
+  check(r1.status == tune::TuneCache::LoadStatus::parse_error && !r1.diagnostic.empty(),
+        "corrupt file rejected with parse_error + diagnostic");
+
+  write_file(path + ".trunc", good.substr(0, good.size() / 2));
+  tune::TuneCache c2;
+  const auto r2 = c2.load(path + ".trunc");
+  check(!r2.ok() && !r2.diagnostic.empty(), "truncated file rejected with diagnostic");
+
+  std::string wrong = good;
+  const std::string vkey = "\"schema_version\": 1";
+  if (const auto pos = wrong.find(vkey); pos != std::string::npos)
+    wrong.replace(pos, vkey.size(), "\"schema_version\": 999");
+  write_file(path + ".schema", wrong);
+  tune::TuneCache c3;
+  const auto r3 = c3.load(path + ".schema");
+  check(r3.status == tune::TuneCache::LoadStatus::schema_mismatch,
+        "future schema_version rejected with schema_mismatch");
+
+  {
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.p_cache_fault = 1.0;
+    faultsim::ScopedFaultInjection inj(plan);
+    tune::TuneCache c4;
+    const auto r4 = c4.load(path);
+    check(r4.status == tune::TuneCache::LoadStatus::injected_fault,
+          "seeded cache_fault surfaces as injected_fault");
+  }
+  // Fallback contract: the failed load leaves the caller cold-tuning, and the
+  // cold tune is deterministic — its winners equal the persisted ones.
+  {
+    tune::ScopedTuneSession scoped({}, prov);
+    DslashProblem problem(opt.L, opt.seed);
+    DslashRunner runner;
+    const TunedRunResult again = runner.run_tuned(problem, Strategy::LP3_1);
+    check(!again.from_cache && again.entry == cold.lp31.entry,
+          "cold-tune fallback reproduces the persisted winner");
+  }
+
+  // Forged entry: flip the stored time's low mantissa bit; the warm replay
+  // must refuse it loudly.
+  {
+    tune::TuneCache forged = reloaded;
+    DslashProblem problem(opt.L, opt.seed);
+    DslashRunner runner;
+    const tune::TuneKey key = runner.tune_key(problem, Strategy::LP1);
+    const tune::TuneEntry* e = forged.find(key);
+    check(e != nullptr, "forged-entry setup: key present");
+    if (e != nullptr) {
+      tune::TuneEntry tampered = *e;
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &tampered.per_iter_us, sizeof bits);
+      bits ^= 1;
+      std::memcpy(&tampered.per_iter_us, &bits, sizeof bits);
+      forged.put(key, tampered);
+      tune::ScopedTuneSession scoped(forged, prov);
+      bool threw = false;
+      try {
+        (void)runner.run_tuned(problem, Strategy::LP1);
+      } catch (const tune::ReplayMismatch&) {
+        threw = true;
+      }
+      check(threw, "forged per_iter_us bits raise ReplayMismatch");
+    }
+  }
+
+  JsonSink json(opt.json_path, "bench_tune");
+  for (const auto& [key, entry] : tuned.entries()) json.tune_row(key, entry);
+  json.meta("entries", static_cast<std::int64_t>(tuned.size()));
+  json.meta("cold_candidates_explored", cold_stats.candidates_explored);
+  json.meta("warm_candidates_explored", warm_stats.candidates_explored);
+  json.meta("cold_grids_scored", static_cast<std::int64_t>(cold.pricing.grids_scored));
+  json.meta("warm_grids_scored", static_cast<std::int64_t>(warm.pricing.grids_scored));
+
+  std::printf("\n%s (%d failure%s)\n", failures == 0 ? "ALL CHECKS PASSED" : "FAILED",
+              failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "core/runner.hpp"
 
+#include <map>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -10,16 +11,36 @@ namespace milc {
 
 namespace {
 
+/// The launch's buffers in a fixed order (mirrors declare_dslash_regions),
+/// for the profiler's canonical address map: timing becomes a pure function
+/// of the launch, independent of where the heap put the fields — the
+/// tuning cache's bit-for-bit replay rule needs exactly this.
+std::vector<minisycl::AddressRegion> dslash_regions(const DslashArgs<dcomplex>& a) {
+  std::vector<minisycl::AddressRegion> regions;
+  const auto n = a.sites;
+  for (int l = 0; l < kNlinks; ++l) {
+    regions.push_back({a.links[l],
+                       n * kNdim * kColors * kColors *
+                           static_cast<std::int64_t>(sizeof(dcomplex))});
+  }
+  regions.push_back({a.b, n * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))});
+  regions.push_back({a.c_out, n * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))});
+  regions.push_back({a.neighbors,
+                     n * kNeighbors * static_cast<std::int64_t>(sizeof(std::int32_t))});
+  return regions;
+}
+
 template <typename Kernel>
-gpusim::KernelStats submit(minisycl::queue& q, const Kernel& kernel, std::int64_t sites,
-                           int items, int local_size, const VariantInfo* vi,
-                           std::string name) {
+gpusim::KernelStats submit(minisycl::queue& q, const Kernel& kernel,
+                           const DslashArgs<dcomplex>& args, int items, int local_size,
+                           const VariantInfo* vi, std::string name) {
   minisycl::LaunchSpec spec;
-  spec.global_size = sites * items;
+  spec.global_size = args.sites * items;
   spec.local_size = local_size;
   spec.shared_bytes = Kernel::shared_bytes(local_size);
   spec.num_phases = Kernel::kPhases;
   spec.traits = Kernel::traits();
+  spec.regions = dslash_regions(args);
   if (vi != nullptr) spec.traits.codegen_slowdown = vi->codegen_slowdown;
   if (name.empty()) name = spec.traits.name;
   return q.submit(spec, kernel, std::move(name));
@@ -42,10 +63,10 @@ auto with_kernel(DslashProblem& p, Strategy s, IndexOrder o, int local_size, boo
 gpusim::KernelStats dispatch(minisycl::queue& q, DslashProblem& p, Strategy s, IndexOrder o,
                              int local_size, bool use_syclcplx, const VariantInfo* vi,
                              const std::string& name) {
-  const std::int64_t n = p.sites();
   const int items = items_per_site(s);
+  const DslashArgs<dcomplex> args = p.args();
   return with_kernel(p, s, o, local_size, use_syclcplx, [&](const auto& kernel) {
-    return submit(q, kernel, n, items, local_size, vi, name);
+    return submit(q, kernel, args, items, local_size, vi, name);
   });
 }
 
@@ -86,6 +107,61 @@ RunResult DslashRunner::run_on(minisycl::queue& q, DslashProblem& problem,
   res.per_iter_us = res.stats.duration_us + q.launch_overhead_us();
   res.gflops = problem.flops() / (res.per_iter_us * 1e-6) / 1e9;
   return res;
+}
+
+tune::TuneKey DslashRunner::tune_key(const DslashProblem& problem, Strategy s,
+                                     Variant variant) const {
+  tune::TuneKey key;
+  key.arch = tune::arch_fingerprint(machine_);
+  const LatticeGeom& g = problem.geom();
+  key.geom = tune::geom_signature(g.extent(0), g.extent(1), g.extent(2), g.extent(3),
+                                  problem.target_parity() == Parity::Even);
+  key.kernel = "dslash";
+  key.config = std::string(to_string(s)) + " " + variant_info(variant).name;
+  return key;
+}
+
+TunedRunResult DslashRunner::run_tuned(DslashProblem& problem, Strategy s, Variant variant,
+                                       int iterations) const {
+  const tune::TuneKey key = tune_key(problem, s, variant);
+
+  std::vector<tune::Candidate> candidates;
+  for (IndexOrder o : orders_of(s)) {
+    for (int ls : paper_local_sizes(s, o, problem.sites())) {
+      tune::Candidate c;
+      c.local_size = ls;
+      c.order = to_string(o);
+      candidates.push_back(c);
+    }
+  }
+
+  // The pricer keeps every RunResult it produces so the winner's full
+  // profile (stats, GFLOP/s) survives the tuner's winner selection.
+  std::map<std::pair<std::string, int>, RunResult> priced;
+  const tune::PriceFn price = [&](const tune::Candidate& c) {
+    IndexOrder o = IndexOrder::kMajor;
+    if (!parse_index_order(c.order, o)) {
+      throw std::invalid_argument("run_tuned: unknown index order '" + c.order + "'");
+    }
+    RunRequest req;
+    req.strategy = s;
+    req.order = o;
+    req.local_size = c.local_size;
+    req.variant = variant;
+    req.iterations = iterations;
+    RunResult r = run(problem, req);
+    const double t = r.per_iter_us;
+    priced[{c.order, c.local_size}] = std::move(r);
+    return t;
+  };
+
+  const tune::TuneOutcome out = tune::tune_or_replay(key, candidates, price);
+  TunedRunResult tr;
+  tr.entry = out.entry;
+  tr.from_cache = out.from_cache;
+  tr.candidates_tried = out.candidates_tried;
+  tr.result = priced.at({out.entry.order, out.entry.local_size});
+  return tr;
 }
 
 void DslashRunner::run_functional(DslashProblem& problem, Strategy s, IndexOrder o,

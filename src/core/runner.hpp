@@ -17,6 +17,8 @@
 #include "gpusim/stats.hpp"
 #include "ksan/sanitizer.hpp"
 #include "minisycl/queue.hpp"
+#include "tune/explorer.hpp"
+#include "tune/tune_key.hpp"
 
 namespace milc {
 
@@ -42,6 +44,15 @@ struct RunResult {
   double gflops = 0.0;         ///< theoretical FLOPs / per_iter (paper convention)
 };
 
+/// Result of an autotuned run (run_tuned): the winning execution plus the
+/// tuning-cache entry it produced or replayed.
+struct TunedRunResult {
+  RunResult result;
+  tune::TuneEntry entry;
+  bool from_cache = false;    ///< true when a cache hit was replayed
+  int candidates_tried = 0;   ///< 1 on a hit; the sweep size on a miss
+};
+
 class DslashRunner {
  public:
   explicit DslashRunner(gpusim::MachineModel machine = gpusim::a100(),
@@ -63,6 +74,21 @@ class DslashRunner {
   /// launch overhead.
   [[nodiscard]] RunResult run_on(minisycl::queue& q, DslashProblem& problem,
                                  const RunRequest& req) const;
+
+  /// Autotuned run.  With a tune::TuneSession installed, consults the cache
+  /// under tune_key() first: a hit replays the cached configuration once and
+  /// verifies its simulated time bit-for-bit (tune::ReplayMismatch on any
+  /// difference — the honesty rule of docs/TUNING.md); a miss sweeps
+  /// orders_of(s) x paper_local_sizes and records the winner.  Without a
+  /// session it degrades to the plain exhaustive sweep.
+  [[nodiscard]] TunedRunResult run_tuned(DslashProblem& problem, Strategy s,
+                                         Variant variant = Variant::SYCL,
+                                         int iterations = 100) const;
+
+  /// The cache key run_tuned consults: this machine's fingerprint, the
+  /// problem geometry, kernel "dslash", config "<strategy> <variant>".
+  [[nodiscard]] tune::TuneKey tune_key(const DslashProblem& problem, Strategy s,
+                                       Variant variant = Variant::SYCL) const;
 
   /// Functional run (no simulation): executes the chosen kernel once so its
   /// output can be compared against dslash_reference.

@@ -111,6 +111,16 @@ std::string config_label(Strategy s, IndexOrder o, int local_size) {
   return label;
 }
 
+bool parse_index_order(const std::string& name, IndexOrder& out) {
+  for (IndexOrder o : {IndexOrder::kMajor, IndexOrder::iMajor, IndexOrder::lMajor}) {
+    if (name == to_string(o)) {
+      out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 const std::vector<Strategy>& all_strategies() {
   static const std::vector<Strategy> k = {Strategy::LP1,   Strategy::LP2,   Strategy::LP3_1,
                                           Strategy::LP3_2, Strategy::LP3_3, Strategy::LP4_1,

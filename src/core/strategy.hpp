@@ -44,6 +44,11 @@ enum class IndexOrder { kMajor, iMajor, lMajor };
 /// Human-readable configuration label, e.g. "3LP-1 k-major /768".
 [[nodiscard]] std::string config_label(Strategy s, IndexOrder o, int local_size);
 
+/// Inverse of to_string(IndexOrder); returns false for unknown names.  Used
+/// when replaying persisted tuning-cache entries, which store the order by
+/// its printed name.
+[[nodiscard]] bool parse_index_order(const std::string& name, IndexOrder& out);
+
 /// All strategies in the paper's presentation order.
 [[nodiscard]] const std::vector<Strategy>& all_strategies();
 

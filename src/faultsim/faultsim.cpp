@@ -47,6 +47,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::device_loss: return "device-loss";
     case FaultKind::node_loss: return "node-loss";
     case FaultKind::serve_fault: return "serve-fault";
+    case FaultKind::cache_fault: return "cache-fault";
   }
   return "unknown";
 }
@@ -372,6 +373,34 @@ bool Injector::on_serve_check(const std::string& site) {
     std::snprintf(buf, sizeof(buf), "control-plane step %llu",
                   static_cast<unsigned long long>(occ));
     record(FaultKind::serve_fault, site, occ, buf);
+  }
+  return faulted;
+}
+
+bool Injector::on_cache_check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& st = site_state(site);
+  const std::uint64_t occ = st.launches++;  // per-site consult occurrence
+  const std::uint64_t chk = cache_counter_++;
+
+  bool faulted = false;
+  for (const ScheduledFault& s : plan_.schedule) {
+    if (s.kind != FaultKind::cache_fault) continue;
+    if (!s.site_filter.empty() && site.find(s.site_filter) == std::string::npos) continue;
+    if (occ >= s.index && occ < s.index + s.repeat) {
+      faulted = true;
+      break;
+    }
+  }
+  if (!faulted && plan_.p_cache_fault > 0.0 &&
+      draw(FaultKind::cache_fault, chk) < plan_.p_cache_fault) {
+    faulted = true;
+  }
+  if (faulted) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "cache I/O step %llu",
+                  static_cast<unsigned long long>(occ));
+    record(FaultKind::cache_fault, site, occ, buf);
   }
   return faulted;
 }

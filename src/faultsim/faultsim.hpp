@@ -39,9 +39,10 @@ enum class FaultKind {
   device_loss,   ///< whole simulated device lost; triggers failover
   node_loss,     ///< whole node group lost (all its devices at once)
   serve_fault,   ///< serving-tier control-plane fault (admission, dispatch, probe)
+  cache_fault,   ///< tuning-cache I/O fault (load/store of the persisted cache)
 };
 
-inline constexpr std::size_t kNumFaultKinds = 11;
+inline constexpr std::size_t kNumFaultKinds = 12;
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -88,6 +89,7 @@ struct FaultPlan {
   double p_device_loss = 0.0;
   double p_node_loss = 0.0;
   double p_serve = 0.0;
+  double p_cache_fault = 0.0;
 
   AllocFailMode alloc_fail_mode = AllocFailMode::return_null;
 
@@ -197,6 +199,13 @@ class Injector {
   /// plane without perturbing kernel or wire draws.
   [[nodiscard]] bool on_serve_check(const std::string& site);
 
+  /// True when a tuning-cache I/O step fails at this consult.  Sites follow
+  /// the `tune/*` grammar (docs/TUNING.md): `tune/load <path>` and
+  /// `tune/save <path>` each consult once per attempt, with their own draw
+  /// stream so cache chaos never perturbs kernel, wire, or serve draws.  A
+  /// faulted load falls back to cold tuning — never to a crash.
+  [[nodiscard]] bool on_cache_check(const std::string& site);
+
   /// Register the byte extents eligible for bit-flip corruption.
   void set_corruption_targets(std::vector<MemRegion> regions);
 
@@ -228,6 +237,7 @@ class Injector {
   std::uint64_t device_counter_ = 0;   ///< all device-loss consults
   std::uint64_t node_counter_ = 0;     ///< all node-loss consults
   std::uint64_t serve_counter_ = 0;    ///< all serve-tier consults
+  std::uint64_t cache_counter_ = 0;    ///< all tuning-cache I/O consults
 
   // Per-kernel-site state (keyed by kernel name).
   struct SiteState {

@@ -15,10 +15,12 @@
 // group_barrier guarantees (DESIGN.md §5 "phase-split barriers").
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,13 @@
 
 namespace minisycl {
 
+/// One kernel-visible buffer, declared at launch time so the profiler can
+/// normalize its addresses (see LaunchSpec::regions).
+struct AddressRegion {
+  const void* base = nullptr;
+  std::int64_t bytes = 0;
+};
+
 /// A kernel launch: the SYCL nd_range plus local-memory request and phase
 /// count (barriers = num_phases - 1).
 struct LaunchSpec {
@@ -39,6 +48,16 @@ struct LaunchSpec {
   int shared_bytes = 0;
   int num_phases = 1;
   KernelTraits traits{};
+  /// Deterministic address normalization.  Global accesses are recorded with
+  /// real host pointer values; cache-set and DRAM-row modelling over raw
+  /// heap addresses would make simulated *time* depend on the process's
+  /// allocation history (and ASLR).  Declaring the launch's buffers here —
+  /// in a fixed, launch-derived order — remaps every access into a
+  /// canonical device address space laid out by declaration order, making
+  /// profiled timing a pure function of the launch.  The tuning cache's
+  /// bit-for-bit replay contract (docs/TUNING.md) depends on this.  Empty =
+  /// identity mapping (the pre-existing behaviour).
+  std::vector<AddressRegion> regions;
 };
 
 /// Kernel concept: callable as kernel(lane, phase) for both lane types.
@@ -67,11 +86,61 @@ void execute_functional(const LaunchSpec& spec, const Kernel& kernel) {
 
 namespace detail {
 
+/// Host-address -> canonical-device-address mapping built from a launch's
+/// declared regions.  Canonical bases are assigned by *declaration order*
+/// (a pure function of the launch), 256-byte aligned with a guard gap, so
+/// two buffers never share a cache line whatever the host heap did.
+/// Addresses outside every declared region pass through unchanged.
+class AddressMap {
+ public:
+  static constexpr std::uint64_t kCanonicalBase = 1ull << 40;
+  static constexpr std::uint64_t kRegionAlign = 256;
+
+  explicit AddressMap(const std::vector<AddressRegion>& regions) {
+    std::uint64_t next = kCanonicalBase;
+    for (const AddressRegion& r : regions) {
+      if (r.base == nullptr || r.bytes <= 0) continue;
+      const auto bytes = static_cast<std::uint64_t>(r.bytes);
+      entries_.push_back({reinterpret_cast<std::uint64_t>(r.base), bytes, next});
+      next += (bytes + 2 * kRegionAlign - 1) / kRegionAlign * kRegionAlign;
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.host < b.host; });
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  [[nodiscard]] std::uint64_t translate(std::uint64_t addr) const {
+    // Accesses cluster by buffer: try the last-hit region before searching.
+    if (last_ < entries_.size()) {
+      const Entry& e = entries_[last_];
+      if (addr >= e.host && addr - e.host < e.bytes) return e.canonical + (addr - e.host);
+    }
+    auto it = std::upper_bound(entries_.begin(), entries_.end(), addr,
+                               [](std::uint64_t a, const Entry& e) { return a < e.host; });
+    if (it == entries_.begin()) return addr;
+    --it;
+    if (addr - it->host >= it->bytes) return addr;
+    last_ = static_cast<std::size_t>(it - entries_.begin());
+    return it->canonical + (addr - it->host);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t host = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t canonical = 0;
+  };
+  std::vector<Entry> entries_;
+  mutable std::size_t last_ = 0;
+};
+
 /// Merge one event position of a warp into warp instructions and feed the
 /// pipeline.  Returns issue slots consumed at this position.
 inline int merge_position(gpusim::PerfPipeline& pipe, const gpusim::Calibration& cal, int sm,
                           const std::array<std::vector<LaneEvent>, 32>& ev, int lanes,
-                          std::size_t pos, double& control_slots) {
+                          std::size_t pos, double& control_slots,
+                          const AddressMap* amap = nullptr) {
   gpusim::TraceCounters& ctr = pipe.counters();
   const EventKind kind = ev[0][pos].kind;
 
@@ -147,6 +216,11 @@ inline int merge_position(gpusim::PerfPipeline& pipe, const gpusim::Calibration&
     }
     default: {
       // Memory instruction: one warp instruction per divergence path.
+      // Global addresses go through the launch's canonical address map
+      // (shared events carry byte offsets, already launch-deterministic).
+      const bool global_kind = kind == EventKind::LoadGlobal ||
+                               kind == EventKind::StoreGlobal ||
+                               kind == EventKind::AtomicGlobal;
       std::array<gpusim::LaneAccess, 32> acc{};
       for (int d = 0; d < std::max(1, n_paths); ++d) {
         int n = 0;
@@ -157,8 +231,10 @@ inline int merge_position(gpusim::PerfPipeline& pipe, const gpusim::Calibration&
             continue;
           }
           const LaneEvent& e = ev[static_cast<std::size_t>(l)][pos];
+          const std::uint64_t addr =
+              global_kind && amap != nullptr ? amap->translate(e.addr) : e.addr;
           acc[static_cast<std::size_t>(n++)] =
-              gpusim::LaneAccess{e.addr, e.size, static_cast<std::uint8_t>(l)};
+              gpusim::LaneAccess{addr, e.size, static_cast<std::uint8_t>(l)};
         }
         if (n == 0) continue;
         const std::span<const gpusim::LaneAccess> span(acc.data(), static_cast<std::size_t>(n));
@@ -211,6 +287,8 @@ gpusim::KernelStats execute_profiled(const gpusim::MachineModel& m,
   std::array<std::vector<LaneEvent>, 32> ev;
   for (auto& v : ev) v.reserve(512);
   double control_slots = 0.0;
+  const detail::AddressMap amap(spec.regions);
+  const detail::AddressMap* amap_ptr = amap.empty() ? nullptr : &amap;
 
   struct GroupState {
     int phase = 0;
@@ -250,7 +328,7 @@ gpusim::KernelStats execute_profiled(const gpusim::MachineModel& m,
                  "kernel lanes must record positionally aligned event streams");
         }
         for (std::size_t pos = 0; pos < n_events; ++pos) {
-          detail::merge_position(pipe, cal, sm, ev, lanes, pos, control_slots);
+          detail::merge_position(pipe, cal, sm, ev, lanes, pos, control_slots, amap_ptr);
         }
         if (st.phase == 0) ++ctr.warps;
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "tune/session.hpp"
+
 namespace milc::multidev {
 
 namespace {
@@ -80,6 +82,27 @@ std::string PartitionGrid::label() const {
     s += std::to_string(devices[static_cast<std::size_t>(d)]);
   }
   return s;
+}
+
+bool PartitionGrid::from_label(const std::string& label, PartitionGrid& out) {
+  Coords devs{};
+  int d = 0;
+  int value = -1;
+  for (const char ch : label) {
+    if (ch >= '0' && ch <= '9') {
+      value = (value < 0 ? 0 : value * 10) + (ch - '0');
+    } else if (ch == 'x') {
+      if (value <= 0 || d >= kNdim) return false;
+      devs[static_cast<std::size_t>(d++)] = value;
+      value = -1;
+    } else {
+      return false;
+    }
+  }
+  if (value <= 0 || d != kNdim - 1) return false;
+  devs[static_cast<std::size_t>(d)] = value;
+  out.devices = devs;
+  return true;
 }
 
 std::int64_t Shard::halo_bytes() const {
@@ -374,6 +397,20 @@ std::vector<PartitionGrid> enumerate_grids(const LatticeGeom& geom, int devices)
   return out;
 }
 
+tune::TuneKey grid_tune_key(const LatticeGeom& geom, const gpusim::NodeTopology& topo) {
+  tune::TuneKey key;
+  key.arch = tune::wire_fingerprint(topo);
+  // Grid cost counts face bytes, which are parity-independent; "/even" is
+  // the conventional signature for parity-free decisions.
+  key.geom = tune::geom_signature(geom.extent(0), geom.extent(1), geom.extent(2),
+                                  geom.extent(3), /*even_target=*/true);
+  key.kernel = "grid";
+  key.config = "cheapest";
+  key.devices = topo.total_devices();
+  key.topo = tune::topo_signature(topo.nodes, topo.devices_per_node);
+  return key;
+}
+
 PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& topo) {
   const std::vector<PartitionGrid> candidates = enumerate_grids(geom, topo.total_devices());
   if (candidates.empty()) {
@@ -381,6 +418,24 @@ PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& t
                                 std::to_string(topo.total_devices()) +
                                 " devices can partition this lattice");
   }
+
+  tune::TuneSession* sess = tune::TuneSession::current();
+  tune::TuneKey key;
+  if (sess != nullptr) {
+    key = grid_tune_key(geom, topo);
+    if (const tune::TuneEntry* hit = sess->lookup(key); hit != nullptr) {
+      PartitionGrid g;
+      if (!PartitionGrid::from_label(hit->grid, g) || !partition_error(geom, g).empty()) {
+        throw tune::ReplayMismatch(key.canonical() + " (grid '" + hit->grid + "')",
+                                   hit->per_iter_us, 0.0);
+      }
+      // Warm start: one re-score instead of the full enumeration sweep —
+      // and the honesty rule on its predicted cost.
+      sess->verify(key, *hit, score_grid(geom, g, topo).cost_us);
+      return g;
+    }
+  }
+
   // Strict < keeps the first of equal-cost candidates.  enumerate_grids
   // emits grids in ascending lexicographic order, so a symmetric tie (the
   // same arithmetic gives bit-identical costs) resolves to splitting the
@@ -393,6 +448,13 @@ PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& t
       best = &g;
       best_cost = cost;
     }
+  }
+  if (sess != nullptr) {
+    sess->note_explored(candidates.size());
+    tune::TuneEntry entry;
+    entry.grid = best->label();
+    entry.per_iter_us = best_cost;
+    sess->record(key, entry);
   }
   return *best;
 }

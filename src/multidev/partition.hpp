@@ -38,6 +38,7 @@
 #include "gpusim/fabric.hpp"
 #include "lattice/geometry.hpp"
 #include "su3/su3_vector.hpp"
+#include "tune/tune_key.hpp"
 
 namespace milc::multidev {
 
@@ -62,6 +63,9 @@ struct PartitionGrid {
   [[nodiscard]] static PartitionGrid along(int dim, int n);
   /// "2x1x2x2"-style label.
   [[nodiscard]] std::string label() const;
+  /// Inverse of label(); returns false on malformed input.  Tuning-cache
+  /// entries persist grids by their label.
+  [[nodiscard]] static bool from_label(const std::string& label, PartitionGrid& out);
 };
 
 /// One inbound ghost slab, as seen by the receiving rank.
@@ -181,12 +185,23 @@ struct GridScore {
 [[nodiscard]] std::vector<PartitionGrid> enumerate_grids(const LatticeGeom& geom,
                                                          int devices);
 
+/// The tuning-cache key choose_grid consults: kernel "grid", the topology's
+/// wire-rate fingerprint in the arch field (grid cost is pure wire
+/// arithmetic — SM coefficients never enter).
+[[nodiscard]] tune::TuneKey grid_tune_key(const LatticeGeom& geom,
+                                          const gpusim::NodeTopology& topo);
+
 /// The cheapest partitionable grid for this lattice on this topology —
 /// prefers cuts whose surfaces stay intra-node.  Cost ties go to the
 /// first-enumerated candidate; ascending lexicographic order makes that
 /// the one splitting later dimensions (t first, then z), matching the
 /// repo's existing split convention.  Throws std::invalid_argument when
 /// no grid can partition the lattice.
+///
+/// With a tune::TuneSession installed, consults grid_tune_key() first: a
+/// hit re-scores only the cached grid and verifies its predicted cost
+/// bit-for-bit (tune::ReplayMismatch otherwise) instead of scoring every
+/// candidate; a miss scores the full enumeration and records the winner.
 [[nodiscard]] PartitionGrid choose_grid(const LatticeGeom& geom,
                                         const gpusim::NodeTopology& topo);
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +13,8 @@
 #include "core/dispatch.hpp"
 #include "dsan/check.hpp"
 #include "multidev/halo_kernels.hpp"
+#include "tune/candidates.hpp"
+#include "tune/explorer.hpp"
 
 namespace milc::multidev {
 
@@ -79,11 +82,45 @@ DslashArgs<dcomplex> range_args(ShardFields& f, const Shard& sh, std::int64_t fi
   return a;
 }
 
+/// The shard launch's buffers in a fixed order, for the profiler's canonical
+/// address map (see minisycl::AddressRegion): shard timings become pure
+/// functions of the launch, which the tuning cache's bit-for-bit replay rule
+/// needs.  `src_elems` is the extended source extent — neighbor indices can
+/// reach any ghost slot, so the whole field is one region.
+std::vector<minisycl::AddressRegion> shard_regions(const DslashArgs<dcomplex>& a,
+                                                   std::int64_t src_elems) {
+  std::vector<minisycl::AddressRegion> regions;
+  for (int l = 0; l < kNlinks; ++l) {
+    regions.push_back({a.links[l], a.sites * kNdim * kColors * kColors *
+                                       static_cast<std::int64_t>(sizeof(dcomplex))});
+  }
+  regions.push_back({a.b, src_elems * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))});
+  regions.push_back(
+      {a.c_out, a.sites * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))});
+  regions.push_back({a.neighbors,
+                     a.sites * kNeighbors * static_cast<std::int64_t>(sizeof(std::int32_t))});
+  return regions;
+}
+
+std::vector<minisycl::AddressRegion> pack_regions(const HaloPackKernel& k,
+                                                  std::int64_t src_elems) {
+  return {{k.src, src_elems * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))},
+          {k.slots, k.count * static_cast<std::int64_t>(sizeof(std::int32_t))},
+          {k.wire, k.count * kColors * static_cast<std::int64_t>(sizeof(dcomplex))}};
+}
+
+std::vector<minisycl::AddressRegion> unpack_regions(const HaloUnpackKernel& k,
+                                                    std::int64_t field_elems) {
+  return {{k.wire, k.count * kColors * static_cast<std::int64_t>(sizeof(dcomplex))},
+          {k.field, field_elems * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))}};
+}
+
 /// Submit one Dslash kernel range on a shard queue; returns the raw stats
 /// (stats.fault names an injected failure — no side effects in that case).
 gpusim::KernelStats submit_dslash_raw(minisycl::queue& q, const DslashArgs<dcomplex>& a,
-                                      const RunRequest& req, const VariantInfo& vi,
-                                      int local_size, const std::string& name) {
+                                      std::int64_t src_elems, const RunRequest& req,
+                                      const VariantInfo& vi, int local_size,
+                                      const std::string& name) {
   return with_dslash_kernel(a, req.strategy, req.order, vi.use_syclcplx,
                             [&](const auto& kernel) {
                               using K = std::decay_t<decltype(kernel)>;
@@ -94,15 +131,17 @@ gpusim::KernelStats submit_dslash_raw(minisycl::queue& q, const DslashArgs<dcomp
                               spec.num_phases = K::kPhases;
                               spec.traits = K::traits();
                               spec.traits.codegen_slowdown = vi.codegen_slowdown;
+                              spec.regions = shard_regions(a, src_elems);
                               return q.submit(spec, kernel, name);
                             });
 }
 
 /// Submit one Dslash kernel range on a shard queue; returns duration +
 /// launch overhead (0 in functional mode).
-double submit_dslash(minisycl::queue& q, const DslashArgs<dcomplex>& a, const RunRequest& req,
-                     const VariantInfo& vi, int local_size, const std::string& name) {
-  const gpusim::KernelStats st = submit_dslash_raw(q, a, req, vi, local_size, name);
+double submit_dslash(minisycl::queue& q, const DslashArgs<dcomplex>& a,
+                     std::int64_t src_elems, const RunRequest& req, const VariantInfo& vi,
+                     int local_size, const std::string& name) {
+  const gpusim::KernelStats st = submit_dslash_raw(q, a, src_elems, req, vi, local_size, name);
   return st.duration_us + q.launch_overhead_us();
 }
 
@@ -243,29 +282,10 @@ gpusim::NodeTopology effective_topology(const gpusim::NodeTopology& topo, int de
 }
 
 int pick_local_size(Strategy s, IndexOrder o, int preferred, std::int64_t sites) {
-  if (sites <= 0) {
-    throw std::invalid_argument("pick_local_size: shard range has no sites");
-  }
-  if (is_valid_local_size(s, o, preferred, sites)) return preferred;
-  const std::vector<int> pool = paper_local_sizes(s, o, sites);
-  for (auto it = pool.rbegin(); it != pool.rend(); ++it) {
-    if (is_valid_local_size(s, o, *it, sites)) return *it;
-  }
-  const int m = local_size_multiple(s, o);
-  for (int ls = (1024 / m) * m; ls >= m; ls -= m) {
-    if (is_valid_local_size(s, o, ls, sites)) return ls;
-  }
-  // Last resort: drop the warp-32 alignment and keep only the strategy's
-  // algorithmic multiple.  Shard ranges like 1296 = 2^4 * 3^4 sites under
-  // 1LP admit no multiple-of-32 divisor at all; the executor runs partial
-  // warps correctly, this merely costs model efficiency on a small range.
-  const int algo = local_size_multiple(s, o, /*warp_size=*/1);
-  for (int ls = (1024 / algo) * algo; ls >= algo; ls -= algo) {
-    if (is_valid_local_size(s, o, ls, sites, /*warp_size=*/1)) return ls;
-  }
-  throw std::invalid_argument("pick_local_size: no valid local size for " +
-                              config_label(s, o, preferred) + " on " + std::to_string(sites) +
-                              " sites");
+  // The fallback ladder (paper pool, warp-aligned multiples, partial-warp
+  // algorithmic multiples) now lives in tune::local_size_ladder — the same
+  // enumeration the online tuner sweeps on a cache miss.
+  return tune::pick_local_size(s, o, preferred, sites);
 }
 
 MultiDevResult MultiDeviceRunner::run(DslashProblem& problem,
@@ -274,6 +294,54 @@ MultiDevResult MultiDeviceRunner::run(DslashProblem& problem,
   // same allocations, same submissions, bit-for-bit the fault-free timeline.
   if (faultsim::Injector::current() == nullptr) return run_plain(problem, mreq);
   return run_hardened(problem, mreq);
+}
+
+tune::TuneKey MultiDeviceRunner::tune_key(const DslashProblem& problem,
+                                          const MultiDevRequest& mreq) const {
+  tune::TuneKey key;
+  key.arch = tune::arch_fingerprint(machine_);
+  const LatticeGeom& g = problem.geom();
+  key.geom = tune::geom_signature(g.extent(0), g.extent(1), g.extent(2), g.extent(3),
+                                  problem.target_parity() == Parity::Even);
+  key.kernel = "mdslash";
+  key.config = std::string(to_string(mreq.req.strategy)) + " " +
+               to_string(mreq.req.order) + " " + variant_info(mreq.req.variant).name +
+               " grid " + mreq.grid.label();
+  key.devices = mreq.grid.total();
+  key.topo = tune::topo_signature(mreq.topo.nodes, mreq.topo.devices_per_node);
+  return key;
+}
+
+MultiDevTunedResult MultiDeviceRunner::run_tuned(DslashProblem& problem,
+                                                 const MultiDevRequest& mreq) const {
+  const tune::TuneKey key = tune_key(problem, mreq);
+
+  std::vector<tune::Candidate> candidates;
+  for (int ls : paper_local_sizes(mreq.req.strategy, mreq.req.order, problem.sites())) {
+    tune::Candidate c;
+    c.local_size = ls;
+    c.order = to_string(mreq.req.order);
+    c.grid = mreq.grid.label();
+    candidates.push_back(c);
+  }
+
+  std::map<int, MultiDevResult> priced;
+  const tune::PriceFn price = [&](const tune::Candidate& c) {
+    MultiDevRequest r = mreq;
+    r.req.local_size = c.local_size;
+    MultiDevResult res = run(problem, r);
+    const double t = res.per_iter_us;
+    priced[c.local_size] = std::move(res);
+    return t;
+  };
+
+  const tune::TuneOutcome out = tune::tune_or_replay(key, candidates, price);
+  MultiDevTunedResult tr;
+  tr.entry = out.entry;
+  tr.from_cache = out.from_cache;
+  tr.candidates_tried = out.candidates_tried;
+  tr.result = std::move(priced.at(out.entry.local_size));
+  return tr;
 }
 
 std::vector<ksan::SanitizerReport> MultiDeviceRunner::dsan_check(
@@ -368,9 +436,11 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
                             .wire = wire.data(),
                             .count = msg.count()};
         minisycl::queue& q = *queues[static_cast<std::size_t>(msg.peer)];
-        const gpusim::KernelStats st =
-            q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits()),
-                     pack, "halo-pack");
+        minisycl::LaunchSpec pspec =
+            halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits());
+        pspec.regions = pack_regions(
+            pack, shards[static_cast<std::size_t>(msg.peer)].extended_sources());
+        const gpusim::KernelStats st = q.submit(pspec, pack, "halo-pack");
         pack_us[static_cast<std::size_t>(msg.peer)] += st.duration_us + q.launch_overhead_us();
         if (rec != nullptr) {
           rec->annotate(
@@ -421,8 +491,9 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
         range_args(fields[static_cast<std::size_t>(sh.rank)], sh, 0, sh.n_interior);
     const int ls =
         pick_local_size(mreq.req.strategy, mreq.req.order, mreq.req.local_size, sh.n_interior);
-    interior_us[static_cast<std::size_t>(sh.rank)] = submit_dslash(
-        *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-interior");
+    interior_us[static_cast<std::size_t>(sh.rank)] =
+        submit_dslash(*queues[static_cast<std::size_t>(sh.rank)], a, sh.extended_sources(),
+                      mreq.req, vi, ls, "dslash-interior");
     if (rec != nullptr) {
       ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
       rec->annotate(sh.rank, "dslash-interior r" + std::to_string(sh.rank),
@@ -469,9 +540,10 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
                               .ghost_base = msg.ghost_base,
                               .count = msg.count()};
       minisycl::queue& q = *queues[static_cast<std::size_t>(sh.rank)];
-      const gpusim::KernelStats st =
-          q.submit(halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits()),
-                   unpack, "halo-unpack");
+      minisycl::LaunchSpec uspec =
+          halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits());
+      uspec.regions = unpack_regions(unpack, sh.extended_sources());
+      const gpusim::KernelStats st = q.submit(uspec, unpack, "halo-unpack");
       unpack_us[static_cast<std::size_t>(sh.rank)] += st.duration_us + q.launch_overhead_us();
       if (rec != nullptr) {
         const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
@@ -492,8 +564,9 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     const DslashArgs<dcomplex> a = range_args(f, sh, sh.n_interior, sh.n_boundary);
     const int ls =
         pick_local_size(mreq.req.strategy, mreq.req.order, mreq.req.local_size, sh.n_boundary);
-    boundary_us[static_cast<std::size_t>(sh.rank)] = submit_dslash(
-        *queues[static_cast<std::size_t>(sh.rank)], a, mreq.req, vi, ls, "dslash-boundary");
+    boundary_us[static_cast<std::size_t>(sh.rank)] =
+        submit_dslash(*queues[static_cast<std::size_t>(sh.rank)], a, sh.extended_sources(),
+                      mreq.req, vi, ls, "dslash-boundary");
     if (rec != nullptr) {
       rec->annotate(
           sh.rank, "dslash-boundary r" + std::to_string(sh.rank),
@@ -709,7 +782,8 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
       const VariantInfo& rvi = variant_info(r.variant);
       const int ls = pick_local_size(r.strategy, r.order, r.local_size, count);
       for (int a = 0; a < xc.max_kernel_attempts; ++a) {
-        const gpusim::KernelStats st = submit_dslash_raw(q, args, r, rvi, ls, name);
+        const gpusim::KernelStats st =
+            submit_dslash_raw(q, args, sh.extended_sources(), r, rvi, ls, name);
         if (st.fault.empty()) {
           us_acc += st.duration_us + q.launch_overhead_us();
           return true;
@@ -749,10 +823,13 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
                           .count = msg.count()};
       const std::string name = "halo-pack r" + std::to_string(msg.peer) + "->r" +
                                std::to_string(sh.rank);
-      if (!submit_halo_resilient(
-              *queues[static_cast<std::size_t>(msg.peer)],
-              halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits()), pack,
-              name, msg.peer, pack_us[static_cast<std::size_t>(msg.peer)])) {
+      minisycl::LaunchSpec pspec =
+          halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits());
+      pspec.regions = pack_regions(
+          pack, shards[static_cast<std::size_t>(msg.peer)].extended_sources());
+      if (!submit_halo_resilient(*queues[static_cast<std::size_t>(msg.peer)], pspec, pack,
+                                 name, msg.peer,
+                                 pack_us[static_cast<std::size_t>(msg.peer)])) {
         fail_reason = "pack kernel '" + name + "' exhausted its retries";
         return false;
       }
@@ -935,10 +1012,11 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
                             .count = msg.count()};
     const std::string name = "halo-unpack r" + std::to_string(msg.peer) + "->r" +
                              std::to_string(rank);
-    if (!submit_halo_resilient(
-            *queues[static_cast<std::size_t>(rank)],
-            halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits()), unpack,
-            name, rank, unpack_us[static_cast<std::size_t>(rank)])) {
+    minisycl::LaunchSpec uspec =
+        halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits());
+    uspec.regions = unpack_regions(unpack, sh.extended_sources());
+    if (!submit_halo_resilient(*queues[static_cast<std::size_t>(rank)], uspec, unpack, name,
+                               rank, unpack_us[static_cast<std::size_t>(rank)])) {
       fail_reason = "unpack kernel '" + name + "' exhausted its retries";
       return false;
     }
@@ -1078,7 +1156,8 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
     if (sh.n_interior == 0) continue;
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
     const int ls = pick_local_size(s, o, preferred_local_size, sh.n_interior);
-    submit_dslash(q, range_args(f, sh, 0, sh.n_interior), req, vi, ls, "dslash-interior");
+    submit_dslash(q, range_args(f, sh, 0, sh.n_interior), sh.extended_sources(), req, vi, ls,
+                  "dslash-interior");
     if (rec != nullptr) {
       rec->annotate(sh.rank, "dslash-interior r" + std::to_string(sh.rank),
                     {dsan::span_of(f.src.data(), static_cast<std::size_t>(sh.sources()))},
@@ -1111,8 +1190,8 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
     }
     if (sh.n_boundary > 0) {
       const int ls = pick_local_size(s, o, preferred_local_size, sh.n_boundary);
-      submit_dslash(q, range_args(f, sh, sh.n_interior, sh.n_boundary), req, vi, ls,
-                    "dslash-boundary");
+      submit_dslash(q, range_args(f, sh, sh.n_interior, sh.n_boundary), sh.extended_sources(),
+                    req, vi, ls, "dslash-boundary");
       if (rec != nullptr) {
         rec->annotate(
             sh.rank, "dslash-boundary r" + std::to_string(sh.rank),

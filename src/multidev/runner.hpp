@@ -185,11 +185,22 @@ struct MultiDevResult {
   std::vector<faultsim::FaultEvent> faults;
 };
 
+/// Result of a tuned multi-device run (run_tuned): the winning execution
+/// plus the tuning-cache entry it produced or replayed.
+struct MultiDevTunedResult {
+  MultiDevResult result;
+  tune::TuneEntry entry;
+  bool from_cache = false;    ///< true when a cache hit was replayed
+  int candidates_tried = 0;   ///< 1 on a hit; the sweep size on a miss
+};
+
 class MultiDeviceRunner {
  public:
   explicit MultiDeviceRunner(gpusim::MachineModel machine = gpusim::a100(),
                              gpusim::Calibration cal = gpusim::default_calibration())
       : machine_(machine), cal_(cal) {}
+
+  [[nodiscard]] const gpusim::MachineModel& machine() const { return machine_; }
 
   /// Profiled run.  The kernels execute for real (the output field is
   /// gathered into problem.c()), and the overlap timeline above is priced
@@ -197,6 +208,19 @@ class MultiDeviceRunner {
   /// delegates to DslashRunner::run so single-device numbers reproduce the
   /// existing benches exactly.
   [[nodiscard]] MultiDevResult run(DslashProblem& problem, const MultiDevRequest& mreq) const;
+
+  /// Autotuned profiled run: sweeps the paper pool of preferred local sizes
+  /// for mreq.req's strategy/order on mreq's grid (each shard still coerces
+  /// through pick_local_size), consulting the installed tune::TuneSession
+  /// under tune_key() first.  A hit re-prices the cached preferred size once
+  /// and verifies its per-iteration time bit-for-bit (docs/TUNING.md).
+  [[nodiscard]] MultiDevTunedResult run_tuned(DslashProblem& problem,
+                                              const MultiDevRequest& mreq) const;
+
+  /// The cache key run_tuned consults: kernel "mdslash"; strategy, order,
+  /// variant and grid label in the config field; the topology signature.
+  [[nodiscard]] tune::TuneKey tune_key(const DslashProblem& problem,
+                                       const MultiDevRequest& mreq) const;
 
   /// Functional run of the full halo protocol (pack -> exchange -> unpack ->
   /// interior + boundary kernels); output lands in problem.c().

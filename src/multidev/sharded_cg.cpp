@@ -6,6 +6,7 @@
 
 #include "core/dslash_ref.hpp"
 #include "dsan/check.hpp"
+#include "tune/session.hpp"
 
 namespace milc::multidev {
 
@@ -81,7 +82,20 @@ ShardedCgSolver::ShardedCgSolver(const Coords& dims, std::uint64_t gauge_seed, d
       grid_(grid),
       cfg_(std::move(cfg)),
       problem_o_(dims, gauge_seed, Parity::Odd),
-      problem_e_(dims, gauge_seed, Parity::Even) {}
+      problem_e_(dims, gauge_seed, Parity::Even) {
+  // Warm-start adoption (lookup-only; see the header).  The key matches
+  // what MultiDeviceRunner::run_tuned records for the even-parity problem.
+  if (tune::TuneSession* sess = tune::TuneSession::current(); sess != nullptr) {
+    MultiDevRequest mreq;
+    mreq.grid = grid_;
+    mreq.req.strategy = cfg_.strategy;
+    mreq.req.order = cfg_.order;
+    mreq.req.local_size = cfg_.local_size;
+    mreq.topo = cfg_.topo;
+    const tune::TuneEntry* hit = sess->lookup(runner_.tune_key(problem_e_, mreq));
+    if (hit != nullptr && hit->local_size > 0) cfg_.local_size = hit->local_size;
+  }
+}
 
 ShardedCgSolver::ShardedCgSolver(int L, std::uint64_t gauge_seed, double mass,
                                  PartitionGrid grid, ShardedCgConfig cfg)

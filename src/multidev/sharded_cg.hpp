@@ -109,6 +109,13 @@ struct ShardedCgResult {
 /// runs through MultiDeviceRunner over a partition grid.
 class ShardedCgSolver {
  public:
+  /// Construction consults the installed tune::TuneSession (if any) for a
+  /// cached "mdslash" decision matching this configuration and grid, and
+  /// adopts its local size as the preferred size for every D application.
+  /// Lookup-only: construction never explores, never runs kernels, never
+  /// perturbs fault draw streams — and the adoption changes timing only,
+  /// never solution values (local size is functionally inert; the
+  /// bit-for-bit identity tests hold under any adopted size).
   ShardedCgSolver(const Coords& dims, std::uint64_t gauge_seed, double mass,
                   PartitionGrid grid, ShardedCgConfig cfg = {});
   ShardedCgSolver(int L, std::uint64_t gauge_seed, double mass, PartitionGrid grid,

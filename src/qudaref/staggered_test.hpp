@@ -16,6 +16,7 @@
 #include "gpusim/stats.hpp"
 #include "ksan/sanitizer.hpp"
 #include "qudaref/quda_dslash.hpp"
+#include "tune/tune_key.hpp"
 
 namespace milc::qudaref {
 
@@ -34,7 +35,10 @@ class StaggeredDslashTest {
                                gpusim::MachineModel machine = gpusim::a100(),
                                gpusim::Calibration cal = gpusim::default_calibration());
 
-  /// Profiled, autotuned run for one reconstruction scheme.
+  /// Profiled, autotuned run for one reconstruction scheme.  With a
+  /// tune::TuneSession installed the sweep consults the cache under
+  /// tune_key(scheme) first; a hit replays the cached local size once and
+  /// verifies its kernel time bit-for-bit (docs/TUNING.md).
   [[nodiscard]] StaggeredResult run(Reconstruct scheme);
 
   /// Profiled run at a fixed local size (no tuning).
@@ -44,8 +48,13 @@ class StaggeredDslashTest {
   /// for correctness tests against dslash_reference.
   void run_functional(Reconstruct scheme);
 
-  /// Launch configurations the tuner sweeps.
+  /// Launch configurations the tuner sweeps (the shared QUDA-style pool,
+  /// tune::quda_tuning_candidates).
   [[nodiscard]] std::vector<int> tuning_candidates() const;
+
+  /// The tuning-cache key run() consults: kernel "staggered_quda", the
+  /// reconstruction scheme in the recon field.
+  [[nodiscard]] tune::TuneKey tune_key(Reconstruct scheme) const;
 
   /// Replay the kernel under ksan with the SoA field extents declared.
   [[nodiscard]] ksan::SanitizerReport sanitize(Reconstruct scheme, int local_size = 128,

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/problem.hpp"
+#include "tune/session.hpp"
 
 namespace milc::serve {
 
@@ -78,7 +79,9 @@ SolverService::SolverService(std::vector<ProblemSpec> catalog, ServiceConfig cfg
 
 void SolverService::price_catalog() {
   placements_.resize(catalog_.size());
+  pricing_ = {};
   const MultiDeviceRunner runner;
+  tune::TuneSession* sess = tune::TuneSession::current();
   for (std::size_t i = 0; i < catalog_.size(); ++i) {
     const ProblemSpec& sp = catalog_[i];
     DslashProblem prob(sp.dims, sp.gauge_seed);
@@ -86,9 +89,42 @@ void SolverService::price_catalog() {
       // The dispatcher places either within one node or on whole nodes.
       if (k > cfg_.cluster.devices_per_node && k % cfg_.cluster.devices_per_node != 0)
         continue;
+      const gpusim::NodeTopology etopo = multidev::effective_topology(topo_, k);
+
+      tune::TuneKey key;
+      if (sess != nullptr) {
+        key.arch = tune::arch_fingerprint(runner.machine());
+        key.geom = tune::geom_signature(sp.dims[0], sp.dims[1], sp.dims[2], sp.dims[3],
+                                        /*even_target=*/true);
+        key.kernel = "placement";
+        key.config = "seed" + std::to_string(sp.gauge_seed) + " " +
+                     tune::wire_fingerprint(etopo);
+        key.devices = k;
+        key.topo = tune::topo_signature(etopo.nodes, etopo.devices_per_node);
+        if (const tune::TuneEntry* hit = sess->lookup(key); hit != nullptr) {
+          // Warm start: adopt the cached grid without scoring any candidate,
+          // re-profile it once and hold the honesty rule on its cost.
+          PartitionGrid g;
+          if (!PartitionGrid::from_label(hit->grid, g) ||
+              !multidev::partition_error(prob.geom(), g).empty()) {
+            throw tune::ReplayMismatch(key.canonical() + " (grid '" + hit->grid + "')",
+                                       hit->per_iter_us, 0.0);
+          }
+          MultiDevRequest mreq;
+          mreq.grid = g;
+          mreq.req.iterations = 1;
+          mreq.topo = etopo;
+          const auto res = runner.run(prob, mreq);
+          sess->verify(key, *hit, res.per_iter_us);
+          placements_[i].push_back({k, g, res.per_iter_us});
+          ++pricing_.placements_priced;
+          ++pricing_.cache_hits;
+          continue;
+        }
+      }
+
       const auto grids = multidev::enumerate_grids(prob.geom(), k);
       if (grids.empty()) continue;
-      const gpusim::NodeTopology etopo = multidev::effective_topology(topo_, k);
       const PartitionGrid* best = nullptr;
       double best_cost = 0.0;
       for (const PartitionGrid& g : grids) {
@@ -98,12 +134,21 @@ void SolverService::price_catalog() {
           best_cost = cost;
         }
       }
+      pricing_.grids_scored += static_cast<int>(grids.size());
       MultiDevRequest mreq;
       mreq.grid = *best;
       mreq.req.iterations = 1;
       mreq.topo = etopo;
       const auto res = runner.run(prob, mreq);
       placements_[i].push_back({k, *best, res.per_iter_us});
+      ++pricing_.placements_priced;
+      if (sess != nullptr) {
+        ++pricing_.cache_misses;
+        tune::TuneEntry entry;
+        entry.grid = best->label();
+        entry.per_iter_us = res.per_iter_us;
+        sess->record(key, entry);
+      }
     }
   }
 }

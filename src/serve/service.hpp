@@ -87,8 +87,23 @@ class SolverService {
     double per_iter_us = 0.0;
   };
 
+  /// Construction-time pricing accounting.  A warm-started service (a
+  /// tune::TuneSession with the relevant "placement" entries installed)
+  /// adopts cached grid decisions instead of scoring every candidate grid:
+  /// cache_hits rises and grids_scored drops to zero while
+  /// placements_priced stays identical — the measurable skip that
+  /// bench_tune and the serve warm-start test assert (docs/TUNING.md).
+  struct PricingStats {
+    int placements_priced = 0;  ///< (spec, device count) placements profiled
+    int grids_scored = 0;       ///< candidate grids scored across all placements
+    int cache_hits = 0;         ///< placements replayed from the tuning cache
+    int cache_misses = 0;       ///< placements explored (and recorded) cold
+  };
+
   /// Prices every (spec, device count) placement fault-free.  Construct the
-  /// service BEFORE installing a fault plan.
+  /// service BEFORE installing a fault plan.  Each placement consults the
+  /// installed tune::TuneSession first; a hit replays the cached grid and
+  /// verifies the profiled per-iteration time bit-for-bit.
   explicit SolverService(std::vector<ProblemSpec> catalog, ServiceConfig cfg = {});
 
   [[nodiscard]] const std::vector<ProblemSpec>& catalog() const { return catalog_; }
@@ -98,6 +113,7 @@ class SolverService {
   [[nodiscard]] const std::vector<Placement>& placements(int spec) const {
     return placements_[static_cast<std::size_t>(spec)];
   }
+  [[nodiscard]] const PricingStats& pricing_stats() const { return pricing_; }
 
   /// Run one traffic scenario to completion on the simulated clock.  All
   /// mutable scheduler state (devices, breakers, queue) resets at entry, so
@@ -179,6 +195,7 @@ class SolverService {
   ServiceConfig cfg_;
   gpusim::NodeTopology topo_;
   std::vector<std::vector<Placement>> placements_;
+  PricingStats pricing_;
 
   // --- per-run state (reset by run()) --------------------------------------
   AdmissionQueue queue_;

@@ -1,0 +1,57 @@
+#include "tune/candidates.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace milc::tune {
+
+std::vector<int> local_size_ladder(Strategy s, IndexOrder o, std::int64_t sites) {
+  std::vector<int> out;
+  if (sites <= 0) return out;
+  const auto push_unique = [&out](int ls) {
+    if (std::find(out.begin(), out.end(), ls) == out.end()) out.push_back(ls);
+  };
+
+  // Rung 1: the paper pool, largest first (paper_local_sizes pre-filters).
+  const std::vector<int> pool = paper_local_sizes(s, o, sites);
+  for (auto it = pool.rbegin(); it != pool.rend(); ++it) push_unique(*it);
+
+  // Rung 2: warp-aligned multiples of the strategy divisor, descending.
+  const int m = local_size_multiple(s, o);
+  for (int ls = (1024 / m) * m; ls >= m; ls -= m) {
+    if (is_valid_local_size(s, o, ls, sites)) push_unique(ls);
+  }
+
+  // Rung 3: drop the warp-32 alignment, keep only the strategy's
+  // algorithmic multiple — the partial-warp rescue for shard ranges with no
+  // multiple-of-32 divisor.
+  const int algo = local_size_multiple(s, o, /*warp_size=*/1);
+  for (int ls = (1024 / algo) * algo; ls >= algo; ls -= algo) {
+    if (is_valid_local_size(s, o, ls, sites, /*warp_size=*/1)) push_unique(ls);
+  }
+  return out;
+}
+
+int pick_local_size(Strategy s, IndexOrder o, int preferred, std::int64_t sites) {
+  if (sites <= 0) {
+    throw std::invalid_argument("pick_local_size: shard range has no sites");
+  }
+  if (is_valid_local_size(s, o, preferred, sites)) return preferred;
+  const std::vector<int> ladder = local_size_ladder(s, o, sites);
+  if (ladder.empty()) {
+    throw std::invalid_argument("pick_local_size: no valid local size for " +
+                                config_label(s, o, preferred) + " on " +
+                                std::to_string(sites) + " sites");
+  }
+  return ladder.front();
+}
+
+std::vector<int> quda_tuning_candidates(std::int64_t sites) {
+  std::vector<int> out;
+  for (int ls : {64, 128, 256, 512, 1024}) {
+    if (sites > 0 && sites % ls == 0) out.push_back(ls);
+  }
+  return out;
+}
+
+}  // namespace milc::tune

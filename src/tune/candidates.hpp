@@ -1,0 +1,48 @@
+// candidates.hpp — the one launch-candidate enumeration.
+//
+// Before this header existed the repo had two independent copies of "which
+// local sizes can this launch use": `qudaref::StaggeredDslashTest::
+// tuning_candidates()` (QUDA's power-of-two sweep pool) and the `multidev`
+// `pick_local_size` fallback ladder (paper pool, then warp-aligned
+// multiples, then partial-warp algorithmic multiples for shard ranges with
+// no multiple-of-32 divisor).  Both call sites now delegate here; the
+// ladder below is the single definition of candidate preference order and
+// what the Explorer sweeps on a cache miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.hpp"
+
+namespace milc::tune {
+
+/// Every valid local size for (strategy, order) on a range of `sites`
+/// target sites, in descending preference order, deduplicated:
+///
+///   1. qualifying paper-pool entries, largest first (96/192/384/768, or
+///      64..512 for 1LP);
+///   2. qualifying warp-aligned multiples of the strategy divisor,
+///      descending from the largest <= 1024;
+///   3. (partial-warp rescue) qualifying multiples of the *algorithmic*
+///      divisor alone, descending — shard ranges like 1296 = 2^4 * 3^4
+///      sites admit no multiple-of-32 divisor at all; the executor runs the
+///      partial last warp correctly, this merely costs model efficiency.
+///
+/// Empty only when `sites <= 0` would make every candidate invalid — the
+/// caller decides whether that is an error (pick_local_size throws).
+[[nodiscard]] std::vector<int> local_size_ladder(Strategy s, IndexOrder o,
+                                                 std::int64_t sites);
+
+/// `preferred` when it qualifies, else the first ladder entry.  Exact
+/// semantics of the original multidev helper: throws std::invalid_argument
+/// for an empty range or when no candidate qualifies.
+[[nodiscard]] int pick_local_size(Strategy s, IndexOrder o, int preferred,
+                                  std::int64_t sites);
+
+/// The QUDA-style tuner sweep pool: powers of two from 64 to 1024 that
+/// divide the site count (one work-item per site, so the global range is
+/// `sites` itself).
+[[nodiscard]] std::vector<int> quda_tuning_candidates(std::int64_t sites);
+
+}  // namespace milc::tune

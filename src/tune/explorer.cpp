@@ -1,0 +1,61 @@
+#include "tune/explorer.hpp"
+
+#include <stdexcept>
+
+namespace milc::tune {
+
+ExploreResult explore(const std::vector<Candidate>& candidates, const PriceFn& price) {
+  ExploreResult res;
+  bool have_winner = false;
+  for (const Candidate& c : candidates) {
+    double t = 0.0;
+    try {
+      t = price(c);
+    } catch (const std::invalid_argument&) {
+      continue;  // infeasible configuration — the tuner skips it
+    }
+    ++res.candidates_tried;
+    if (!have_winner || t < res.per_iter_us) {
+      have_winner = true;
+      res.winner = c;
+      res.per_iter_us = t;
+    }
+  }
+  if (!have_winner) {
+    throw std::invalid_argument("tune::explore: no feasible candidate (of " +
+                                std::to_string(candidates.size()) + ")");
+  }
+  return res;
+}
+
+TuneOutcome tune_or_replay(const TuneKey& key, const std::vector<Candidate>& candidates,
+                           const PriceFn& price) {
+  TuneSession* sess = TuneSession::current();
+  if (sess != nullptr) {
+    if (const TuneEntry* hit = sess->lookup(key); hit != nullptr) {
+      Candidate cached;
+      cached.local_size = hit->local_size;
+      cached.order = hit->order;
+      cached.grid = hit->grid;
+      cached.applies_per_checkpoint = hit->applies_per_checkpoint;
+      const double measured = price(cached);
+      sess->verify(key, *hit, measured);
+      return {.entry = *hit, .from_cache = true, .candidates_tried = 1};
+    }
+  }
+  const ExploreResult ex = explore(candidates, price);
+  TuneEntry entry;
+  entry.local_size = ex.winner.local_size;
+  entry.order = ex.winner.order;
+  entry.grid = ex.winner.grid;
+  entry.applies_per_checkpoint = ex.winner.applies_per_checkpoint;
+  entry.per_iter_us = ex.per_iter_us;
+  if (sess != nullptr) {
+    sess->note_explored(static_cast<std::uint64_t>(ex.candidates_tried));
+    sess->record(key, entry);
+    entry = *sess->cache().find(key);  // pick up the session's provenance
+  }
+  return {.entry = entry, .from_cache = false, .candidates_tried = ex.candidates_tried};
+}
+
+}  // namespace milc::tune

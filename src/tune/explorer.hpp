@@ -1,0 +1,67 @@
+// explorer.hpp — the on-line sweep driver.
+//
+// `explore` prices every candidate configuration through a caller-supplied
+// pricing function (the existing gpusim profiler underneath, so "time" is
+// simulated time) and returns the winner.  Determinism contract: strict
+// less-than with first-enumerated-wins ties, and candidates are priced in
+// the order given — for a fixed seed and candidate list the winner is a
+// pure function of the inputs.  A candidate whose pricing throws
+// std::invalid_argument is skipped (the QUDA-tuner convention for
+// configurations that do not fit the device).
+//
+// `tune_or_replay` wraps the full cache protocol around it:
+//
+//   session installed, key hit   -> re-price the cached configuration once
+//                                   and verify bit-for-bit (honesty rule);
+//   session installed, key miss  -> explore, record the winner;
+//   no session                   -> explore (today's behaviour, untouched).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tune/session.hpp"
+
+namespace milc::tune {
+
+/// One candidate configuration.  Unused axes keep their "-"/0 defaults so a
+/// candidate maps 1:1 onto the decision fields of a TuneEntry.
+struct Candidate {
+  int local_size = 0;
+  std::string order = "-";
+  std::string grid = "-";
+  int applies_per_checkpoint = 0;
+};
+
+/// Simulated cost of one candidate, in microseconds.  Throw
+/// std::invalid_argument to declare the candidate infeasible.
+using PriceFn = std::function<double(const Candidate&)>;
+
+struct ExploreResult {
+  Candidate winner{};
+  double per_iter_us = 0.0;
+  int candidates_tried = 0;  ///< priced (not skipped) candidates
+};
+
+/// Price every candidate, return the argmin.  Throws std::invalid_argument
+/// when the list is empty or every candidate was infeasible.
+[[nodiscard]] ExploreResult explore(const std::vector<Candidate>& candidates,
+                                    const PriceFn& price);
+
+struct TuneOutcome {
+  TuneEntry entry{};
+  bool from_cache = false;
+  int candidates_tried = 0;  ///< 1 on a warm hit (the replay re-pricing)
+};
+
+/// The full consult-first protocol described above.  `price` is called once
+/// per explored candidate on a miss, and exactly once (on the cached
+/// configuration) on a hit.  Throws ReplayMismatch when a hit fails the
+/// bit-for-bit re-pricing check, std::invalid_argument when exploration
+/// finds no feasible candidate.
+[[nodiscard]] TuneOutcome tune_or_replay(const TuneKey& key,
+                                         const std::vector<Candidate>& candidates,
+                                         const PriceFn& price);
+
+}  // namespace milc::tune

@@ -1,0 +1,67 @@
+#include "tune/session.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace milc::tune {
+
+namespace {
+
+std::unique_ptr<TuneSession>& slot() {
+  static std::unique_ptr<TuneSession> s;
+  return s;
+}
+
+std::string format_us(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g us (bits %016llx)", v,
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+}  // namespace
+
+ReplayMismatch::ReplayMismatch(const std::string& key, double expected, double measured)
+    : std::runtime_error("tune: replay mismatch for " + key + ": cached " +
+                         format_us(expected) + " != re-priced " + format_us(measured)),
+      expected_us(expected),
+      measured_us(measured) {}
+
+TuneSession* TuneSession::current() { return slot().get(); }
+
+void TuneSession::install(TuneCache cache, Provenance prov) {
+  slot().reset(new TuneSession(std::move(cache), std::move(prov)));
+}
+
+void TuneSession::uninstall() { slot().reset(); }
+
+const TuneEntry* TuneSession::lookup(const TuneKey& key) {
+  const TuneEntry* e = cache_.find(key);
+  if (e != nullptr) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return e;
+}
+
+void TuneSession::record(const TuneKey& key, TuneEntry entry) {
+  entry.bench = prov_.bench;
+  entry.seed = prov_.seed;
+  entry.stamp = prov_.stamp;
+  cache_.put(key, std::move(entry));
+  ++stats_.stores;
+}
+
+void TuneSession::verify(const TuneKey& key, const TuneEntry& entry, double measured_us) {
+  std::uint64_t a = 0, b = 0;
+  std::memcpy(&a, &entry.per_iter_us, sizeof a);
+  std::memcpy(&b, &measured_us, sizeof b);
+  if (a != b) throw ReplayMismatch(key.canonical(), entry.per_iter_us, measured_us);
+  ++stats_.replays_verified;
+}
+
+}  // namespace milc::tune

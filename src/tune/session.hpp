@@ -1,0 +1,109 @@
+// session.hpp — the process-wide tuning session the rest of the stack
+// consults.
+//
+// Mirrors the install-to-enable pattern of faultsim::Injector and
+// dsan::Recorder: `TuneSession::current()` is nullptr unless a session is
+// installed, and every consult site starts with that null check — with no
+// session the pre-existing code paths run untouched, bit for bit.
+//
+// A session owns one TuneCache plus counters.  Consumers use three verbs:
+//
+//   lookup(key)          -> cached entry or nullptr (counts hits/misses);
+//   record(key, entry)   -> store a freshly explored winner (stamps the
+//                           session's provenance);
+//   verify(key, e, t_us) -> the honesty rule: a warm-started run re-priced
+//                           its cached configuration and measured `t_us`;
+//                           anything but bit-for-bit equality with the
+//                           stored time throws ReplayMismatch.
+//
+// tune_or_replay() in explorer.hpp packages the full miss-explore-record /
+// hit-replay-verify protocol on top of these.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "tune/tune_cache.hpp"
+
+namespace milc::tune {
+
+/// Who produced an entry: folded into every record()ed TuneEntry.  `stamp`
+/// is a caller-supplied simulated timestamp — never the wall clock — and is
+/// what the deterministic last-writer-wins merge orders by.
+struct Provenance {
+  std::string bench = "-";
+  std::uint64_t seed = 0;
+  std::uint64_t stamp = 0;
+};
+
+/// A cache hit failed to reproduce its stored simulated time bit-for-bit.
+/// The simulator is deterministic, so this is always a stale or forged
+/// cache (or a key grammar that under-describes the configuration) — a bug,
+/// not noise.
+class ReplayMismatch : public std::runtime_error {
+ public:
+  ReplayMismatch(const std::string& key, double expected_us, double measured_us);
+  double expected_us;
+  double measured_us;
+};
+
+struct TuneStats {
+  std::uint64_t hits = 0;              ///< lookup() found an entry
+  std::uint64_t misses = 0;            ///< lookup() found nothing
+  std::uint64_t stores = 0;            ///< record() calls
+  std::uint64_t replays_verified = 0;  ///< verify() calls that passed
+  std::uint64_t candidates_explored = 0;  ///< configurations priced on misses
+};
+
+class TuneSession {
+ public:
+  /// The installed session, or nullptr when tuning is off.  The only call
+  /// on the session-free fast path.
+  [[nodiscard]] static TuneSession* current();
+  static void install(TuneCache cache, Provenance prov = {});
+  static void uninstall();
+
+  [[nodiscard]] TuneCache& cache() { return cache_; }
+  [[nodiscard]] const TuneCache& cache() const { return cache_; }
+  [[nodiscard]] const Provenance& provenance() const { return prov_; }
+  [[nodiscard]] const TuneStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Cached entry or nullptr; counts a hit or a miss.
+  [[nodiscard]] const TuneEntry* lookup(const TuneKey& key);
+
+  /// Store an explored winner; the session's provenance overwrites the
+  /// entry's bench/seed/stamp fields.
+  void record(const TuneKey& key, TuneEntry entry);
+
+  /// The honesty rule: assert the re-priced time of a cache hit equals the
+  /// stored time bit-for-bit.  Throws ReplayMismatch otherwise.
+  void verify(const TuneKey& key, const TuneEntry& entry, double measured_us);
+
+  /// Count configurations priced during a miss exploration.
+  void note_explored(std::uint64_t n) { stats_.candidates_explored += n; }
+
+ private:
+  explicit TuneSession(TuneCache cache, Provenance prov)
+      : cache_(std::move(cache)), prov_(std::move(prov)) {}
+
+  TuneCache cache_;
+  Provenance prov_;
+  TuneStats stats_;
+};
+
+/// RAII install/uninstall for benches and tests.
+class ScopedTuneSession {
+ public:
+  explicit ScopedTuneSession(TuneCache cache = {}, Provenance prov = {}) {
+    TuneSession::install(std::move(cache), std::move(prov));
+  }
+  ~ScopedTuneSession() { TuneSession::uninstall(); }
+  ScopedTuneSession(const ScopedTuneSession&) = delete;
+  ScopedTuneSession& operator=(const ScopedTuneSession&) = delete;
+
+  [[nodiscard]] TuneSession& session() const { return *TuneSession::current(); }
+};
+
+}  // namespace milc::tune

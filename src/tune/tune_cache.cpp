@@ -1,0 +1,509 @@
+#include "tune/tune_cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "faultsim/faultsim.hpp"
+
+namespace milc::tune {
+
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double bits_double(std::uint64_t b) {
+  double v = 0.0;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+// --- a minimal JSON reader ---------------------------------------------------
+//
+// Only what the cache schema needs: objects, arrays, strings, numbers,
+// true/false/null.  Numbers keep their raw token so 64-bit integers (seeds,
+// stamps) survive without a round trip through double.
+
+struct JsonValue {
+  enum class Type { null, boolean, number, string, array, object };
+  Type type = Type::null;
+  bool b = false;
+  std::string raw;  ///< number token, verbatim
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  [[nodiscard]] const JsonValue* member(const char* name) const {
+    for (const auto& [k, v] : obj) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses one document; false (with error()/offset() set) on failure,
+  /// including trailing garbage after the root value.
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out.type = JsonValue::Type::string;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out, c == 't' ? "true" : "false");
+    if (c == 'n') return parse_keyword(out, "null");
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool parse_keyword(JsonValue& out, const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return fail("malformed keyword");
+    pos_ += n;
+    if (word[0] == 'n') {
+      out.type = JsonValue::Type::null;
+    } else {
+      out.type = JsonValue::Type::boolean;
+      out.b = word[0] == 't';
+    }
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("malformed number");
+    out.type = JsonValue::Type::number;
+    out.raw = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("malformed \\u escape");
+            }
+          }
+          // The schema only emits \u00xx control codes; anything wider is
+          // preserved lossily as '?' rather than rejected.
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool number_u64(const JsonValue& v, std::uint64_t& out) {
+  if (v.type != JsonValue::Type::number || v.raw.empty()) return false;
+  std::uint64_t acc = 0;
+  for (const char c : v.raw) {
+    if (c < '0' || c > '9') return false;  // negatives/floats are not u64
+    acc = acc * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = acc;
+  return true;
+}
+
+bool number_int(const JsonValue& v, int& out) {
+  std::uint64_t u = 0;
+  if (!number_u64(v, u) || u > 0x7fffffffull) return false;
+  out = static_cast<int>(u);
+  return true;
+}
+
+bool hex_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t acc = 0;
+  for (const char c : s) {
+    acc <<= 4;
+    if (c >= '0' && c <= '9') {
+      acc |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      acc |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = acc;
+  return true;
+}
+
+}  // namespace
+
+bool operator==(const TuneEntry& a, const TuneEntry& b) {
+  return a.local_size == b.local_size && a.order == b.order && a.grid == b.grid &&
+         a.applies_per_checkpoint == b.applies_per_checkpoint &&
+         double_bits(a.per_iter_us) == double_bits(b.per_iter_us) && a.bench == b.bench &&
+         a.seed == b.seed && a.stamp == b.stamp;
+}
+
+void TuneCache::put(const TuneKey& key, TuneEntry entry) {
+  entries_[key.canonical()] = std::move(entry);
+}
+
+const TuneEntry* TuneCache::find(const TuneKey& key) const {
+  const auto it = entries_.find(key.canonical());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// The entry's fields as a JSON fragment (no braces, no key).
+std::string serialize_entry(const TuneEntry& e) {
+  char num[64];
+  std::string out = "\"local_size\": " + std::to_string(e.local_size);
+  out += ", \"order\": \"" + escape(e.order) + "\"";
+  out += ", \"grid\": \"" + escape(e.grid) + "\"";
+  out += ", \"applies_per_checkpoint\": " + std::to_string(e.applies_per_checkpoint);
+  std::snprintf(num, sizeof num, "%.17g", e.per_iter_us);
+  out += ", \"per_iter_us\": " + std::string(num);
+  std::snprintf(num, sizeof num, "%016llx",
+                static_cast<unsigned long long>(double_bits(e.per_iter_us)));
+  out += ", \"per_iter_bits\": \"" + std::string(num) + "\"";
+  out += ", \"bench\": \"" + escape(e.bench) + "\"";
+  out += ", \"seed\": " + std::to_string(e.seed);
+  out += ", \"stamp\": " + std::to_string(e.stamp);
+  return out;
+}
+
+}  // namespace
+
+void TuneCache::merge(const TuneCache& other) {
+  for (const auto& [key, theirs] : other.entries_) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(key, theirs);
+      continue;
+    }
+    TuneEntry& ours = it->second;
+    if (theirs.stamp != ours.stamp) {
+      if (theirs.stamp > ours.stamp) ours = theirs;
+      continue;
+    }
+    // Stamp tie: order-independent deterministic winner by provenance, then
+    // by the full serialized entry (equal entries are a no-op either way).
+    const auto rank = [](const TuneEntry& e) {
+      return e.bench + "\x1f" + std::to_string(e.seed) + "\x1f" + serialize_entry(e);
+    };
+    if (rank(theirs) > rank(ours)) ours = theirs;
+  }
+}
+
+std::string TuneCache::serialize() const {
+  std::string out = "{\"tool\": \"milc-tune-cache\", \"schema_version\": " +
+                    std::to_string(kSchemaVersion) + ",\n\"entries\": [";
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += " {\"key\": \"" + escape(key) + "\", " + serialize_entry(e) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TuneCache::LoadResult TuneCache::deserialize(const std::string& text) {
+  LoadResult res;
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root)) {
+    res.status = LoadStatus::parse_error;
+    res.diagnostic = "JSON parse error at byte " + std::to_string(parser.offset()) + ": " +
+                     parser.error();
+    return res;
+  }
+  if (root.type != JsonValue::Type::object) {
+    res.status = LoadStatus::parse_error;
+    res.diagnostic = "document root is not an object";
+    return res;
+  }
+  const JsonValue* ver = root.member("schema_version");
+  int version = -1;
+  if (ver == nullptr || !number_int(*ver, version)) {
+    res.status = LoadStatus::schema_mismatch;
+    res.diagnostic = "schema_version is absent or not an integer";
+    return res;
+  }
+  if (version != kSchemaVersion) {
+    res.status = LoadStatus::schema_mismatch;
+    res.diagnostic = "schema_version " + std::to_string(version) + " != supported " +
+                     std::to_string(kSchemaVersion);
+    return res;
+  }
+  const JsonValue* entries = root.member("entries");
+  if (entries == nullptr || entries->type != JsonValue::Type::array) {
+    res.status = LoadStatus::bad_entry;
+    res.diagnostic = "\"entries\" is absent or not an array";
+    return res;
+  }
+
+  std::map<std::string, TuneEntry> loaded;
+  for (std::size_t i = 0; i < entries->arr.size(); ++i) {
+    const JsonValue& ev = entries->arr[i];
+    const std::string at = "entry " + std::to_string(i);
+    if (ev.type != JsonValue::Type::object) {
+      res.status = LoadStatus::bad_entry;
+      res.diagnostic = at + " is not an object";
+      return res;
+    }
+    const JsonValue* key = ev.member("key");
+    TuneKey parsed;
+    if (key == nullptr || key->type != JsonValue::Type::string ||
+        !TuneKey::parse(key->str, parsed)) {
+      res.status = LoadStatus::bad_entry;
+      res.diagnostic = at + ": \"key\" is absent or not a valid canonical key";
+      return res;
+    }
+    TuneEntry e;
+    const JsonValue* ls = ev.member("local_size");
+    if (ls == nullptr || !number_int(*ls, e.local_size)) {
+      res.status = LoadStatus::bad_entry;
+      res.diagnostic = at + " (" + key->str + "): missing or malformed \"local_size\"";
+      return res;
+    }
+    const JsonValue* bits = ev.member("per_iter_bits");
+    std::uint64_t b = 0;
+    if (bits == nullptr || bits->type != JsonValue::Type::string || !hex_u64(bits->str, b)) {
+      res.status = LoadStatus::bad_entry;
+      res.diagnostic = at + " (" + key->str + "): missing or malformed \"per_iter_bits\"";
+      return res;
+    }
+    e.per_iter_us = bits_double(b);
+    if (const JsonValue* v = ev.member("order"); v != nullptr) e.order = v->str;
+    if (const JsonValue* v = ev.member("grid"); v != nullptr) e.grid = v->str;
+    if (const JsonValue* v = ev.member("applies_per_checkpoint"); v != nullptr) {
+      (void)number_int(*v, e.applies_per_checkpoint);
+    }
+    if (const JsonValue* v = ev.member("bench"); v != nullptr) e.bench = v->str;
+    if (const JsonValue* v = ev.member("seed"); v != nullptr) (void)number_u64(*v, e.seed);
+    if (const JsonValue* v = ev.member("stamp"); v != nullptr) (void)number_u64(*v, e.stamp);
+    loaded[key->str] = std::move(e);
+  }
+  entries_ = std::move(loaded);
+  res.entries_loaded = entries_.size();
+  return res;
+}
+
+bool TuneCache::save(const std::string& path, std::string* error) const {
+  if (faultsim::Injector* inj = faultsim::Injector::current(); inj != nullptr) {
+    if (inj->on_cache_check("tune/save " + path)) {
+      if (error != nullptr) *error = "injected cache_fault at tune/save " + path;
+      return false;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string doc = serialize();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+TuneCache::LoadResult TuneCache::load(const std::string& path) {
+  LoadResult res;
+  if (faultsim::Injector* inj = faultsim::Injector::current(); inj != nullptr) {
+    if (inj->on_cache_check("tune/load " + path)) {
+      res.status = LoadStatus::injected_fault;
+      res.diagnostic = "injected cache_fault at tune/load " + path;
+      return res;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    res.status = LoadStatus::io_error;
+    res.diagnostic = "cannot open " + path;
+    return res;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return deserialize(text);
+}
+
+const char* to_string(TuneCache::LoadStatus s) {
+  switch (s) {
+    case TuneCache::LoadStatus::ok: return "ok";
+    case TuneCache::LoadStatus::io_error: return "io_error";
+    case TuneCache::LoadStatus::parse_error: return "parse_error";
+    case TuneCache::LoadStatus::schema_mismatch: return "schema_mismatch";
+    case TuneCache::LoadStatus::bad_entry: return "bad_entry";
+    case TuneCache::LoadStatus::injected_fault: return "injected_fault";
+  }
+  return "?";
+}
+
+}  // namespace milc::tune

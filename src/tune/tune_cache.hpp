@@ -1,0 +1,109 @@
+// tune_cache.hpp — the persisted, replay-verified tuning cache.
+//
+// Maps TuneKey canonical strings to winning launch configurations.  The
+// cache stores *decisions* — local size, index order, partition grid,
+// checkpoint cadence — plus the simulated time the decision was priced at.
+// That time is not trusted on reuse: a warm-started consumer re-prices the
+// cached configuration and asserts bit-for-bit equality (the honesty rule,
+// enforced through TuneSession::verify).  The simulator is deterministic,
+// so inequality means the cache is stale or forged, never "noise".
+//
+// Persistence is versioned JSON (docs/TUNING.md has the schema).  The
+// tuned time is stored twice: a human-readable decimal and the exact IEEE
+// bit pattern (`per_iter_bits`, hex) — the bit pattern is authoritative on
+// load, so a save/load round trip is bit-for-bit by construction.
+// Corrupt, truncated or version-mismatched files are rejected with a
+// structured LoadResult, not an exception; a seeded `cache_fault` from
+// faultsim on the load path reports `injected_fault` so callers fall back
+// to cold tuning.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tune/tune_key.hpp"
+
+namespace milc::tune {
+
+/// The winning configuration for one key, with provenance.  `stamp` is a
+/// simulated timestamp supplied by the producer (never the wall clock) and
+/// drives the deterministic last-writer-wins merge.
+struct TuneEntry {
+  int local_size = 0;
+  std::string order = "-";  ///< index order ("k-major"/"i-major"/"l-major" or "-")
+  std::string grid = "-";   ///< partition-grid label ("2x1x1x2") or "-"
+  int applies_per_checkpoint = 0;  ///< checkpoint cadence decision (0 = n/a)
+  double per_iter_us = 0.0;        ///< tuned simulated time (replay target)
+
+  std::string bench = "-";  ///< producer name (bench or subsystem)
+  std::uint64_t seed = 0;   ///< producer's RNG seed
+  std::uint64_t stamp = 0;  ///< producer-supplied simulated timestamp
+
+  friend bool operator==(const TuneEntry& a, const TuneEntry& b);
+};
+
+class TuneCache {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Insert or overwrite.
+  void put(const TuneKey& key, TuneEntry entry);
+  /// nullptr on miss.  The pointer is invalidated by the next mutation.
+  [[nodiscard]] const TuneEntry* find(const TuneKey& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// Canonical-key order (deterministic iteration and serialization).
+  [[nodiscard]] const std::map<std::string, TuneEntry>& entries() const { return entries_; }
+
+  /// Deterministic last-writer-wins merge: for a shared key the entry with
+  /// the larger `stamp` survives; stamp ties go to the lexicographically
+  /// larger (bench, seed, serialized entry) so the outcome is independent
+  /// of merge order.
+  void merge(const TuneCache& other);
+
+  friend bool operator==(const TuneCache& a, const TuneCache& b) {
+    return a.entries_ == b.entries_;
+  }
+
+  // --- persistence ---------------------------------------------------------
+
+  enum class LoadStatus {
+    ok,
+    io_error,         ///< file missing or unreadable
+    parse_error,      ///< not valid JSON (corrupt or truncated)
+    schema_mismatch,  ///< schema_version is absent or not kSchemaVersion
+    bad_entry,        ///< an entry is missing required fields or malformed
+    injected_fault,   ///< faultsim cache_fault fired on the load path
+  };
+
+  /// Structured load verdict — a rejected cache is a diagnostic, not a crash.
+  struct LoadResult {
+    LoadStatus status = LoadStatus::ok;
+    std::string diagnostic;     ///< empty when ok
+    std::size_t entries_loaded = 0;
+    [[nodiscard]] bool ok() const { return status == LoadStatus::ok; }
+  };
+
+  /// Serialize to the versioned JSON document.
+  [[nodiscard]] std::string serialize() const;
+  /// Parse a document produced by serialize().  On any failure `*this` is
+  /// left untouched.
+  [[nodiscard]] LoadResult deserialize(const std::string& text);
+
+  /// Write serialize() to `path`; false (with `*error` set) on I/O failure.
+  [[nodiscard]] bool save(const std::string& path, std::string* error = nullptr) const;
+  /// Read + deserialize `path`.  Consults faultsim at site "tune/load <path>"
+  /// first — an injected cache_fault returns LoadStatus::injected_fault so
+  /// the caller falls back to cold tuning.  On any failure `*this` is left
+  /// untouched.
+  [[nodiscard]] LoadResult load(const std::string& path);
+
+ private:
+  std::map<std::string, TuneEntry> entries_;
+};
+
+[[nodiscard]] const char* to_string(TuneCache::LoadStatus s);
+
+}  // namespace milc::tune
