@@ -31,6 +31,8 @@ struct Options {
   int nodes = 1;  ///< simulated node count; > 1 prices halos over the fabric tier
   std::string tune_cache_path;  ///< when set, persist tuning-cache entries here
   std::uint64_t stamp = 1;  ///< simulated provenance timestamp for recorded entries
+  int spares = 0;  ///< hot-spare devices per node: lost shards re-replicate
+                   ///< onto standbys instead of shrinking the grid
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -57,11 +59,13 @@ inline Options parse_options(int argc, char** argv) {
       o.tune_cache_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stamp") == 0 && i + 1 < argc) {
       o.stamp = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--spares") == 0 && i + 1 < argc) {
+      o.spares = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--json <path>] "
           "[--sanitize] [--dsan] [--faults <fault seed>] [--nodes <n>] "
-          "[--tune-cache <path>] [--stamp <n>]\n",
+          "[--tune-cache <path>] [--stamp <n>] [--spares <n>]\n",
           argv[0]);
       std::exit(0);
     }
@@ -145,16 +149,19 @@ class CsvSink {
 };
 
 /// Machine-readable JSON sink: one document per bench run,
-///   {"bench": "<name>", "schema_version": 2, "rows": [...], "meta": {...}}
+///   {"bench": "<name>", "schema_version": 3, "rows": [...], "meta": {...}}
 /// Rows are either the standard RunResult columns (mirroring CsvSink) or
 /// free-form key/value objects built with begin_row()/field()/end_row() —
 /// the scaling bench uses the latter for its overlap metrics.  `meta` holds
 /// run-level facts accumulated with meta(): the fault seed and recovery
 /// summary of a --faults run, for instance.  Version history: 1 = bench +
-/// rows only; 2 = adds schema_version and the meta object.
+/// rows only; 2 = adds schema_version and the meta object; 3 = elastic
+/// recovery metrics in meta (recovery_time_us, rereplicated_bytes,
+/// capacity_restored_devices, spares / spares_consumed / rejoins) emitted by
+/// the chaos benches when a fault plan with spares or heals is active.
 class JsonSink {
  public:
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   JsonSink(const std::string& path, const std::string& bench) {
     if (path.empty()) return;

@@ -180,6 +180,11 @@ ChaosOutcome run_chaos_grid(const char* name, const Options& opt, const Partitio
   json.field("rounds", static_cast<std::int64_t>(xr.rounds));
   json.field("failovers", static_cast<std::int64_t>(out.res.failovers.size()));
   json.field("recovery_us", out.res.recovery_us);
+  json.field("spares_consumed", static_cast<std::int64_t>(out.res.spares_consumed));
+  json.field("rejoins", static_cast<std::int64_t>(out.res.rejoins));
+  json.field("capacity_restored", static_cast<std::int64_t>(out.res.capacity_restored));
+  json.field("rereplicated_bytes", out.res.rereplicated_bytes);
+  json.field("rereplication_us", out.res.rereplication_us);
   json.end_row();
   return out;
 }
@@ -268,6 +273,88 @@ int run_chaos(const Options& opt, int max_devices, const RunRequest& req) {
     }
   }
 
+  // -- elastic recovery: hot spares and live rejoin --------------------------
+  // With a spare inventory the hardened runner re-replicates a lost shard
+  // onto a standby instead of shrinking; with a scheduled heal a stickily
+  // lost device returns and the run rejoins the abandoned grid.  Either way
+  // the final grid must be at full capacity and the output bit-for-bit.
+  std::int64_t total_rereplicated = 0;
+  int total_spares = 0, total_rejoins = 0, total_capacity = 0;
+  double total_recovery_us = 0.0, total_rereplication_us = 0.0;
+  const auto tally = [&](const MultiDevResult& r) {
+    total_rereplicated += r.rereplicated_bytes;
+    total_spares += r.spares_consumed;
+    total_rejoins += r.rejoins;
+    total_capacity += r.capacity_restored;
+    total_recovery_us += r.recovery_us;
+    total_rereplication_us += r.rereplication_us;
+  };
+  if (opt.spares > 0 && max_devices >= 2) {
+    // Hot-spare re-replication: the shard of the lost device moves to a
+    // standby over the priced link model; the grid never shrinks.
+    gpusim::NodeTopology topo;
+    topo.spares.devices_per_node = opt.spares;
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.schedule.push_back(
+        faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 0, 1, "device r1"});
+    const ChaosOutcome out =
+        run_chaos_grid("hot-spare-2dev", opt, strong_grid(2), plan, req, json, topo);
+    ok &= out.ok;
+    tally(out.res);
+    if (out.res.spares_consumed < 1 ||
+        out.res.final_grid.label() != strong_grid(2).label()) {
+      std::printf("  hot-spare-2dev: expected a spare adoption at full capacity "
+                  "(consumed %d, final %s)\n",
+                  out.res.spares_consumed, out.res.final_grid.label().c_str());
+      ok = false;
+    }
+    ++scenarios;
+  }
+  if (max_devices >= 2) {
+    // Kill-then-heal: no spares, so the loss shrinks the grid — then the
+    // scheduled heal returns the device and the run rejoins the full grid.
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.schedule.push_back(
+        faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 0, 1, "device r1"});
+    plan.schedule.push_back(
+        faultsim::ScheduledFault{faultsim::FaultKind::heal, 0, 1, "heal/device r1"});
+    const ChaosOutcome out =
+        run_chaos_grid("kill-heal-2dev", opt, strong_grid(2), plan, req, json);
+    ok &= out.ok;
+    tally(out.res);
+    if (out.res.rejoins < 1 || out.res.final_grid.label() != strong_grid(2).label()) {
+      std::printf("  kill-heal-2dev: expected a rejoin back to full capacity "
+                  "(rejoins %d, final %s)\n",
+                  out.res.rejoins, out.res.final_grid.label().c_str());
+      ok = false;
+    }
+    ++scenarios;
+  }
+  if (opt.spares > 0 && opt.nodes >= 2 && max_devices >= 4) {
+    // Node loss with a standby node: every shard of the lost node group
+    // re-replicates across the fabric; capacity survives whole-node failure.
+    gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+    topo.spares.nodes = 1;
+    faultsim::FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.schedule.push_back(
+        faultsim::ScheduledFault{faultsim::FaultKind::node_loss, 0, 1, "node n1"});
+    const ChaosOutcome out =
+        run_chaos_grid("node-spare-2x2", opt, strong_grid(4), plan, req, json, topo);
+    ok &= out.ok;
+    tally(out.res);
+    if (out.res.spares_consumed < 1 ||
+        out.res.final_grid.label() != strong_grid(4).label()) {
+      std::printf("  node-spare-2x2: expected standby-node adoption at full capacity "
+                  "(consumed %d, final %s)\n",
+                  out.res.spares_consumed, out.res.final_grid.label().c_str());
+      ok = false;
+    }
+    ++scenarios;
+  }
+
   // -- device loss during a sharded CG solve ---------------------------------
   {
     const Coords dims{8, 8, 8, 12};
@@ -321,7 +408,114 @@ int run_chaos(const Options& opt, int max_devices, const RunRequest& req) {
     json.meta("cg_iterations", static_cast<std::int64_t>(res.cg.iterations));
     json.meta("cg_restarts", static_cast<std::int64_t>(res.restarts));
     json.meta("cg_failovers", static_cast<std::int64_t>(res.failovers_observed));
+
+    // -- kill-then-heal inside the solve, under async checkpointing ----------
+    // The loss shrinks the grid mid-solve; the heal consult on the very next
+    // apply rejoins the abandoned grid.  Async mode means the restore that
+    // follows each failover comes from a durable, audited snapshot — the
+    // solution must still be bit-for-bit the fault-free one, and the solve
+    // must end back at full capacity.
+    {
+      ShardedCgConfig acfg = cfg;
+      acfg.async_checkpoint = true;
+      ShardedCgSolver hsolver(dims, opt.seed, mass, PartitionGrid::along(3, 2), acfg);
+      ColorField xh(hsolver.geom(), Parity::Even);
+      faultsim::FaultPlan plan2;
+      plan2.seed = opt.fault_seed;
+      plan2.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 30, 1, "device r"});
+      plan2.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::heal, 0, 1, "heal/device r"});
+      ShardedCgResult hres;
+      {
+        faultsim::ScopedFaultInjection fi(plan2);
+        hres = hsolver.solve(b, xh);
+      }
+      const double hdiff = max_abs_diff(xh, x_clean);
+      const bool heal_ok = hres.cg.converged && hres.recovered_all && hres.rejoins >= 1 &&
+                           hres.capacity_restored >= 1 && hres.restarts >= 1 &&
+                           hres.final_grid.label() == PartitionGrid::along(3, 2).label() &&
+                           hdiff == 0.0;
+      std::printf("  %-22s %s\n", "cg-kill-heal-async", hres.summary().c_str());
+      std::printf("  %-22s rejoins %d (+%d devices) | solution max|diff| = %.3g (%s)\n",
+                  "", hres.rejoins, hres.capacity_restored, hdiff,
+                  hdiff == 0.0 ? "bit-for-bit" : "MISMATCH");
+      print_faults(hres.faults);
+      ok &= heal_ok;
+      total_rejoins += hres.rejoins;
+      total_capacity += hres.capacity_restored;
+      total_spares += hres.spares_consumed;
+      total_rereplicated += hres.rereplicated_bytes;
+      total_recovery_us += hres.recovery_us;
+      total_rereplication_us += hres.rereplication_us;
+      ++scenarios;
+
+      json.begin_row();
+      json.field("scenario", std::string("cg-kill-heal-async"));
+      json.field("devices", static_cast<std::int64_t>(2));
+      json.field("final_grid", hres.final_grid.label());
+      json.field("recovered", static_cast<std::int64_t>(heal_ok ? 1 : 0));
+      json.field("max_abs_diff", hdiff);
+      json.field("rejoins", static_cast<std::int64_t>(hres.rejoins));
+      json.field("capacity_restored", static_cast<std::int64_t>(hres.capacity_restored));
+      json.field("restarts", static_cast<std::int64_t>(hres.restarts));
+      json.field("snapshots_staged", static_cast<std::int64_t>(hres.snapshots_staged));
+      json.field("snapshots_promoted", static_cast<std::int64_t>(hres.snapshots_promoted));
+      json.end_row();
+    }
+
+    // -- async vs synchronous checkpoint overhead (fault-free) ---------------
+    // Same cadence, same problem: the async path stages copies and hides the
+    // audit apply inside the next iteration's apply window, so its critical
+    // path carries measurably fewer operator applications — with an
+    // identical, bit-for-bit solution.
+    {
+      ShardedCgConfig scfg = cfg;  // synchronous (async_checkpoint = false)
+      ShardedCgConfig acfg = cfg;
+      acfg.async_checkpoint = true;
+      ShardedCgSolver ssolver(dims, opt.seed, mass, PartitionGrid::along(3, 2), scfg);
+      ShardedCgSolver asolver(dims, opt.seed, mass, PartitionGrid::along(3, 2), acfg);
+      ColorField xs(ssolver.geom(), Parity::Even);
+      ColorField xa(asolver.geom(), Parity::Even);
+      const ShardedCgResult sres = ssolver.solve(b, xs);
+      const ShardedCgResult ares = asolver.solve(b, xa);
+      const int sync_critical = sres.applies;
+      const int async_critical = ares.applies - ares.hidden_applies;
+      const double adiff = max_abs_diff(xa, xs);
+      const bool async_ok = sres.cg.converged && ares.cg.converged && adiff == 0.0 &&
+                            ares.hidden_applies > 0 && async_critical < sync_critical &&
+                            ares.snapshots_promoted > 0;
+      std::printf("  %-22s sync %d critical applies vs async %d (%d hidden, "
+                  "%d staged -> %d promoted)  max|diff| = %.3g  %s\n",
+                  "cg-async-overhead", sync_critical, async_critical, ares.hidden_applies,
+                  ares.snapshots_staged, ares.snapshots_promoted, adiff,
+                  async_ok ? "async cheaper, bit-for-bit" : "ASYNC OVERHEAD CHECK FAILED");
+      ok &= async_ok;
+      ++scenarios;
+
+      json.begin_row();
+      json.field("scenario", std::string("cg-async-overhead"));
+      json.field("sync_critical_applies", static_cast<std::int64_t>(sync_critical));
+      json.field("async_critical_applies", static_cast<std::int64_t>(async_critical));
+      json.field("hidden_applies", static_cast<std::int64_t>(ares.hidden_applies));
+      json.field("snapshots_staged", static_cast<std::int64_t>(ares.snapshots_staged));
+      json.field("snapshots_promoted", static_cast<std::int64_t>(ares.snapshots_promoted));
+      json.field("max_abs_diff", adiff);
+      json.end_row();
+      json.meta("sync_critical_applies", static_cast<std::int64_t>(sync_critical));
+      json.meta("async_critical_applies", static_cast<std::int64_t>(async_critical));
+      json.meta("hidden_applies", static_cast<std::int64_t>(ares.hidden_applies));
+    }
   }
+
+  // Elastic-recovery roll-up (schema v3 meta keys).
+  json.meta("spares", static_cast<std::int64_t>(opt.spares));
+  json.meta("spares_consumed", static_cast<std::int64_t>(total_spares));
+  json.meta("rejoins", static_cast<std::int64_t>(total_rejoins));
+  json.meta("capacity_restored_devices", static_cast<std::int64_t>(total_capacity));
+  json.meta("rereplicated_bytes", total_rereplicated);
+  json.meta("rereplication_us", total_rereplication_us);
+  json.meta("recovery_time_us", total_recovery_us);
 
   json.meta("mode", std::string("chaos"));
   json.meta("fault_seed", opt.fault_seed);
@@ -422,6 +616,26 @@ int run_dsan(const Options& opt, int max_devices, const RunRequest& req) {
           faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 0, 1, "device r3"});
       check_grid("device-loss failover run", strong_grid(4), gpusim::NodeTopology{}, &loss);
     }
+    {
+      // Elastic recovery traces: the re-replication transfer (Send/Recv/
+      // Checksum onto the spare) and the rejoin handshake (Rejoin before
+      // Resync) must satisfy the new dsan protocol checks.
+      gpusim::NodeTopology spare_topo;
+      spare_topo.spares.devices_per_node = 1;
+      faultsim::FaultPlan loss;
+      loss.seed = opt.fault_seed;
+      loss.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 0, 1, "device r1"});
+      check_grid("hot-spare re-replication run", strong_grid(2), spare_topo, &loss);
+
+      faultsim::FaultPlan heal;
+      heal.seed = opt.fault_seed;
+      heal.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::device_loss, 0, 1, "device r1"});
+      heal.schedule.push_back(
+          faultsim::ScheduledFault{faultsim::FaultKind::heal, 0, 1, "heal/device r1"});
+      check_grid("kill-heal rejoin run", strong_grid(2), gpusim::NodeTopology{}, &heal);
+    }
   }
   {
     std::printf("\nsharded-cg short solve (grid %s)\n",
@@ -429,6 +643,24 @@ int run_dsan(const Options& opt, int max_devices, const RunRequest& req) {
     ShardedCgConfig cfg;
     cfg.cg.max_iterations = 6;
     cfg.checkpoint_interval = 2;
+    ShardedCgSolver solver(Coords{8, 8, 8, 12}, opt.seed, 0.5, PartitionGrid::along(3, 2),
+                           cfg);
+    ColorField b(solver.geom(), Parity::Even);
+    b.fill_random(opt.seed ^ 0x5a5aULL);
+    ColorField x(solver.geom(), Parity::Even);
+    for (const ksan::SanitizerReport& rep : solver.dsan_check(b, x)) {
+      all_clean &= print_sanitize_row(rep);
+    }
+  }
+  {
+    // Async checkpointing emits SnapshotAudit/SnapshotPromote events — the
+    // promote-before-audit protocol check runs over this trace.
+    std::printf("\nsharded-cg async-checkpoint solve (grid %s)\n",
+                PartitionGrid::along(3, 2).label().c_str());
+    ShardedCgConfig cfg;
+    cfg.cg.max_iterations = 6;
+    cfg.checkpoint_interval = 2;
+    cfg.async_checkpoint = true;
     ShardedCgSolver solver(Coords{8, 8, 8, 12}, opt.seed, 0.5, PartitionGrid::along(3, 2),
                            cfg);
     ColorField b(solver.geom(), Parity::Even);

@@ -57,6 +57,7 @@ struct Scenario {
   bool replay_check = false;    ///< run twice, require identical canonical()
   bool expect_trip = false;     ///< at least one breaker must open
   bool expect_recovery = false; ///< ...and at least one must reach half-open
+  bool use_spares = false;      ///< run against the hot-spare service instance
   int min_completed = 0;
   /// Scenario-specific extra assertion (fairness rows, degradation kinds...).
   bool (*extra)(const SloReport&) = nullptr;
@@ -298,6 +299,67 @@ Scenario storm_node() {
   return sc;
 }
 
+Scenario rejoin_device() {
+  Scenario sc;
+  sc.name = "rejoin-device";
+  sc.install_plan = true;
+  sc.replay_check = true;
+  sc.min_completed = 8;
+  sc.plan.seed = 13;
+  // d3 dies at its 2nd serve-tier consult, then heals at the 4th heal
+  // consult: the service must put it back in rotation through a half-open
+  // probation probe (never straight into traffic), account the outage in
+  // recovery_time_us, and carry the later 2-device requests at full width.
+  sc.plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 1, 1, "serve/device d3"});
+  sc.plan.schedule.push_back(ScheduledFault{FaultKind::heal, 3, 1, "heal/device d3"});
+  for (std::uint64_t i = 0; i < 10; ++i)
+    sc.traffic.push_back(mk(700 + i, i % 2 == 0 ? "a" : "b", 1,
+                            3000.0 * static_cast<double>(i), kNoDeadline, kWide, 2, 1, 2));
+  sc.extra = [](const SloReport& r) {
+    bool lost = false, rejoined = false, probed_ok = false;
+    for (const DegradationEvent& d : r.degradations) {
+      lost = lost || d.kind == "device-lost";
+      rejoined = rejoined || d.kind == "device-rejoined";
+      probed_ok = probed_ok || (d.kind == "probe" && d.detail == "d3 probe ok");
+    }
+    // The rejoin goes through probation: d3's breaker must reach half-open
+    // (begin_probation) and then close on its probe, never trip-free-closed.
+    bool probation = false, closed_after = false;
+    for (const BreakerEvent& e : r.breaker_events) {
+      if (e.resource != "d3") continue;
+      if (e.to == BreakerState::half_open) probation = true;
+      if (probation && e.to == BreakerState::closed) closed_after = true;
+    }
+    return lost && rejoined && probed_ok && probation && closed_after &&
+           r.devices_rejoined >= 1 && r.recovery_time_us > 0.0;
+  };
+  return sc;
+}
+
+Scenario storm_spare() {
+  Scenario sc;
+  sc.name = "storm-spare";
+  sc.install_plan = true;
+  sc.replay_check = true;
+  sc.use_spares = true;
+  sc.min_completed = 6;
+  sc.plan.seed = 7;
+  // The same rank-1 storm as storm-device, but the service advertises one
+  // hot spare per node: every lost shard re-replicates onto the spare and
+  // the solves finish at full grid width instead of shrinking.
+  sc.plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1'000'000, "device r1 @"});
+  for (std::uint64_t i = 0; i < 8; ++i)
+    sc.traffic.push_back(mk(800 + i, i % 2 == 0 ? "a" : "b", 1,
+                            3000.0 * static_cast<double>(i), kNoDeadline, kWide, 2, 1, 2));
+  sc.extra = [](const SloReport& r) {
+    bool rereplicated = false;
+    for (const DegradationEvent& d : r.degradations)
+      rereplicated = rereplicated || d.kind == "re-replication";
+    return rereplicated && r.spares_consumed >= 1 && r.rereplicated_bytes > 0;
+  };
+  return sc;
+}
+
 Scenario chaos(std::uint64_t seed) {
   Scenario sc;
   sc.name = "chaos-" + std::to_string(seed);
@@ -347,7 +409,14 @@ int serve_main(int argc, char** argv) {
   scfg.queue.tenant_max_queued = 6;
   scfg.queue.tenant_max_inflight = 2;
 
-  SolverService svc(std::move(catalog), scfg);
+  // A second service instance advertising one hot spare per node — the
+  // storm-spare scenario runs here so lost shards re-replicate instead of
+  // shrinking, while every other scenario keeps the spare-free baseline.
+  ServiceConfig spcfg = scfg;
+  spcfg.spares.devices_per_node = 1;
+
+  SolverService svc(catalog, scfg);
+  SolverService svc_spares(std::move(catalog), spcfg);
   for (int s = 0; s < 3; ++s) {
     std::printf("  catalog[%d] %-14s priced:", s, svc.catalog()[static_cast<std::size_t>(s)].name.c_str());
     for (const auto& p : svc.placements(s))
@@ -359,16 +428,18 @@ int serve_main(int argc, char** argv) {
   JsonSink json(opt.json_path, "bench_serve");
   json.meta("chaos_seed", chaos_seed);
 
-  std::vector<Scenario> scenarios = {steady(),     bursty(),     hot_tenant(),
-                                     storm_device(), storm_node(), chaos(chaos_seed)};
+  std::vector<Scenario> scenarios = {steady(),       bursty(),      hot_tenant(),
+                                     storm_device(), storm_node(),  rejoin_device(),
+                                     storm_spare(),  chaos(chaos_seed)};
   for (const Scenario& sc : scenarios) {
     std::printf("\n-- scenario %s --\n", sc.name.c_str());
-    const SloReport rep = run_scenario(svc, sc);
+    SolverService& target = sc.use_spares ? svc_spares : svc;
+    const SloReport rep = run_scenario(target, sc);
     std::printf("%s", rep.summary().c_str());
     verify(sc, rep, refs);
 
     if (sc.replay_check) {
-      const SloReport replay = run_scenario(svc, sc);
+      const SloReport replay = run_scenario(target, sc);
       check(rep.canonical() == replay.canonical(), sc.name.c_str(),
             "same-seed replay must reproduce an identical SloReport");
     }
@@ -388,6 +459,12 @@ int serve_main(int argc, char** argv) {
     json.field("faults_injected", static_cast<std::int64_t>(rep.faults_injected));
     json.field("degradations", static_cast<std::int64_t>(rep.degradations.size()));
     json.field("breaker_events", static_cast<std::int64_t>(rep.breaker_events.size()));
+    json.field("spares_consumed", static_cast<std::int64_t>(rep.spares_consumed));
+    json.field("rejoins", static_cast<std::int64_t>(rep.rejoins));
+    json.field("devices_rejoined", static_cast<std::int64_t>(rep.devices_rejoined));
+    json.field("nodes_rejoined", static_cast<std::int64_t>(rep.nodes_rejoined));
+    json.field("recovery_time_us", rep.recovery_time_us);
+    json.field("rereplicated_bytes", rep.rereplicated_bytes);
     json.field("canonical_fnv",
                static_cast<std::uint64_t>(fnv1a(rep.canonical().data(), rep.canonical().size())));
     json.end_row();

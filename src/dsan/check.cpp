@@ -14,7 +14,8 @@ bool is_boundary_kernel(const Event& e) {
 }
 
 bool is_sync(const Event& e) {
-  return e.kind == EventKind::Barrier || e.kind == EventKind::Failover;
+  return e.kind == EventKind::Barrier || e.kind == EventKind::Failover ||
+         e.kind == EventKind::Resync;
 }
 
 /// Per-event vector clocks, barrier epochs and message indices — shared by
@@ -413,6 +414,78 @@ ksan::SanitizerReport check_protocol(const Trace& trace, const std::string& labe
                     "site '" + e.site + "': launched before face '" + r.site + "' was unpacked",
                     static_cast<std::int64_t>(ri));
         }
+      }
+    }
+
+    // RejoinBeforeResync: a rank that rejoins the grid holds a stale (or
+    // empty) replica until its resync declares the re-replicated state
+    // consistent — any participation in between computes on garbage.
+    if (e.kind == EventKind::Rejoin) {
+      ++rb.rep.checked_global;
+      std::size_t resync_at = trace.events.size();
+      for (std::size_t j = i + 1; j < trace.events.size(); ++j) {
+        const Event& s = trace.events[j];
+        if (s.kind == EventKind::Resync && s.actor == e.actor) {
+          resync_at = j;
+          break;
+        }
+      }
+      if (resync_at == trace.events.size()) {
+        rb.offend(ksan::Category::RejoinBeforeResync, ksan::AccessKind::Load, 0, 0,
+                  p.epoch[i], i,
+                  "rejoin of actor r" + std::to_string(e.actor) + " has no resync on record");
+      }
+      for (std::size_t j = i + 1; j < resync_at; ++j) {
+        const Event& s = trace.events[j];
+        if (s.actor != e.actor) continue;
+        if (s.kind != EventKind::Kernel && s.kind != EventKind::Pack &&
+            s.kind != EventKind::Unpack && s.kind != EventKind::Send) {
+          continue;
+        }
+        rb.offend(ksan::Category::RejoinBeforeResync, ksan::AccessKind::Load, 0, 0,
+                  p.epoch[j], j,
+                  "site '" + s.site + "': rejoined actor r" + std::to_string(e.actor) +
+                      " participated before its resync",
+                  static_cast<std::int64_t>(i));
+      }
+    }
+
+    // StaleReplicaRead: a resync carrying a re-replication transfer uid must
+    // see that transfer's passing checksum verdict first — marking the
+    // replica live on an unverified payload is reading a stale shard.
+    if (e.kind == EventKind::Resync && e.msg != 0) {
+      ++rb.rep.checked_global;
+      bool verified = false;
+      if (auto it = p.verdicts_of.find(e.msg); it != p.verdicts_of.end()) {
+        for (const std::size_t vi : it->second) {
+          verified |= vi < i && trace.events[vi].checksum_ok;
+        }
+      }
+      if (!verified) {
+        rb.offend(ksan::Category::StaleReplicaRead, ksan::AccessKind::Load, 0, 0, p.epoch[i],
+                  i,
+                  "resync of actor r" + std::to_string(e.actor) +
+                      " before its re-replication transfer verified");
+      }
+    }
+
+    // SnapshotPromotedBeforeAudit: async checkpointing may only promote a
+    // staged snapshot into the durable slot after the deferred audit of the
+    // same iteration passed — promoting first makes a corrupted staging copy
+    // the restore target.
+    if (e.kind == EventKind::SnapshotPromote) {
+      ++rb.rep.checked_global;
+      bool audited = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        const Event& a = trace.events[j];
+        audited |= a.kind == EventKind::SnapshotAudit && a.iteration == e.iteration;
+      }
+      if (!audited) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "iteration %d", e.iteration);
+        rb.offend(ksan::Category::SnapshotPromotedBeforeAudit, ksan::AccessKind::Store, 0, 0,
+                  p.epoch[i], i,
+                  std::string("staged snapshot promoted with no passing audit at ") + buf);
       }
     }
 

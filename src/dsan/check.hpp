@@ -32,7 +32,13 @@
 //   * BoundaryBeforeUnpack   a boundary launch not ordered after the unpack
 //                            of every face delivered to it this epoch;
 //   * CheckpointInWindow     a solver checkpoint taken while a transmission
-//                            of its epoch was still unresolved.
+//                            of its epoch was still unresolved;
+//   * RejoinBeforeResync     a healed rank participating in the protocol
+//                            before its re-replicated shard resynced;
+//   * StaleReplicaRead       a replica declared live (resync) before its
+//                            re-replication transfer's checksum verified;
+//   * SnapshotPromotedBeforeAudit  an async-staged snapshot promoted to the
+//                            durable slot with no passing audit on record.
 //
 // Findings are ksan::SanitizerReport records (one report per checker) so
 // the existing dedup/format pipeline, print_sanitize_row and the `sanitizer`
@@ -60,7 +66,8 @@ namespace dsan {
 /// ScheduleDeadlock.  Kernel = "dsan:schedule @ <label>".
 [[nodiscard]] ksan::SanitizerReport check_schedule(const Trace& trace, const std::string& label);
 
-/// The four protocol lints.  Kernel = "dsan:protocol @ <label>".
+/// The protocol lints (checksum/aggregation/ordering plus the elastic
+/// recovery checks).  Kernel = "dsan:protocol @ <label>".
 [[nodiscard]] ksan::SanitizerReport check_protocol(const Trace& trace, const std::string& label);
 
 /// All four checkers over one trace, in the order above.

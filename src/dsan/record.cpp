@@ -15,6 +15,10 @@ const char* to_string(EventKind k) {
     case EventKind::Restore: return "restore";
     case EventKind::Failover: return "failover";
     case EventKind::Barrier: return "barrier";
+    case EventKind::Rejoin: return "rejoin";
+    case EventKind::Resync: return "resync";
+    case EventKind::SnapshotAudit: return "snapshot-audit";
+    case EventKind::SnapshotPromote: return "snapshot-promote";
   }
   return "event";
 }
@@ -135,6 +139,43 @@ void Recorder::failover(std::string detail) {
   Event e;
   e.kind = EventKind::Failover;
   e.site = "failover";
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::rejoin(int actor, std::string detail) {
+  Event e;
+  e.kind = EventKind::Rejoin;
+  e.actor = actor;
+  e.site = "rejoin";
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::resync(int actor, std::uint64_t msg, std::string detail) {
+  Event e;
+  e.kind = EventKind::Resync;
+  e.actor = actor;
+  e.site = "resync";
+  e.msg = msg;
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::snapshot_audit(int iteration, std::string detail) {
+  Event e;
+  e.kind = EventKind::SnapshotAudit;
+  e.site = "snapshot-audit";
+  e.iteration = iteration;
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+void Recorder::snapshot_promote(int iteration, std::string detail) {
+  Event e;
+  e.kind = EventKind::SnapshotPromote;
+  e.site = "snapshot-promote";
+  e.iteration = iteration;
   e.detail = std::move(detail);
   trace_.events.push_back(std::move(e));
 }

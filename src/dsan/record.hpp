@@ -40,10 +40,15 @@ enum class EventKind : std::uint8_t {
   Recv,          ///< that transmission arriving at the destination shard
   ChecksumVerdict,  ///< integrity verdict for one delivery
   WireSchedule,  ///< one greedy NIC/switch scheduling decision (gpusim)
-  Checkpoint,    ///< solver snapshot taken
+  Checkpoint,    ///< solver snapshot taken (synchronous, or async staging)
   Restore,       ///< solver snapshot restored
   Failover,      ///< grid re-partitioning after device/node loss (a barrier)
   Barrier,       ///< global synchronisation point (attempt/apply boundary)
+  Rejoin,        ///< a healed device/node returns to the grid mid-solve
+  Resync,        ///< the rejoined/spare rank's replica declared consistent
+                 ///< (re-replication transfer verified; a barrier)
+  SnapshotAudit,   ///< async-checkpoint audit of a staged snapshot passed
+  SnapshotPromote, ///< staged snapshot promoted to the durable slot
 };
 
 [[nodiscard]] const char* to_string(EventKind k);
@@ -143,6 +148,21 @@ class Recorder {
   /// Failover joins every actor's clock (the re-partition re-synchronises
   /// the cluster), like barrier().
   void failover(std::string detail);
+  /// A healed device/node returning to the grid (elastic recovery).  The
+  /// rejoined actor must not compute before its resync() — the
+  /// RejoinBeforeResync protocol check enforces exactly that ordering.
+  void rejoin(int actor, std::string detail = {});
+  /// The rejoined or spare rank's replica is declared consistent.  `msg` is
+  /// the uid of the re-replication transfer that rebuilt it (0 for a local
+  /// snapshot replay); a resync whose transfer has no passing checksum
+  /// verdict on record is a StaleReplicaRead.  Joins every actor's clock
+  /// like failover() — the cluster re-synchronises around the new member.
+  void resync(int actor, std::uint64_t msg = 0, std::string detail = {});
+  /// Async checkpointing: the deferred audit of a staged snapshot passed.
+  void snapshot_audit(int iteration, std::string detail = {});
+  /// Async checkpointing: the staged snapshot became the durable one.  Must
+  /// be preceded by a matching snapshot_audit (SnapshotPromotedBeforeAudit).
+  void snapshot_promote(int iteration, std::string detail = {});
   /// Global synchronisation: every event after it is ordered after every
   /// event before it.  Recorded at attempt/apply boundaries so recycled
   /// buffer addresses never alias across epochs.

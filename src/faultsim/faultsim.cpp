@@ -48,6 +48,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::node_loss: return "node-loss";
     case FaultKind::serve_fault: return "serve-fault";
     case FaultKind::cache_fault: return "cache-fault";
+    case FaultKind::heal: return "heal";
   }
   return "unknown";
 }
@@ -403,6 +404,33 @@ bool Injector::on_cache_check(const std::string& site) {
     record(FaultKind::cache_fault, site, occ, buf);
   }
   return faulted;
+}
+
+bool Injector::on_heal_check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& st = site_state(site);
+  const std::uint64_t occ = st.launches++;  // per-site consult occurrence
+  const std::uint64_t chk = heal_counter_++;
+
+  bool healed = false;
+  for (const ScheduledFault& s : plan_.schedule) {
+    if (s.kind != FaultKind::heal) continue;
+    if (!s.site_filter.empty() && site.find(s.site_filter) == std::string::npos) continue;
+    if (occ >= s.index && occ < s.index + s.repeat) {
+      healed = true;
+      break;
+    }
+  }
+  if (!healed && plan_.p_heal > 0.0 && draw(FaultKind::heal, chk) < plan_.p_heal) {
+    healed = true;
+  }
+  if (healed) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "device return %llu",
+                  static_cast<unsigned long long>(occ));
+    record(FaultKind::heal, site, occ, buf);
+  }
+  return healed;
 }
 
 void Injector::set_corruption_targets(std::vector<MemRegion> regions) {

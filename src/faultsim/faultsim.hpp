@@ -40,9 +40,10 @@ enum class FaultKind {
   node_loss,     ///< whole node group lost (all its devices at once)
   serve_fault,   ///< serving-tier control-plane fault (admission, dispatch, probe)
   cache_fault,   ///< tuning-cache I/O fault (load/store of the persisted cache)
+  heal,          ///< a stickily-lost device/node returns to service (device_return)
 };
 
-inline constexpr std::size_t kNumFaultKinds = 12;
+inline constexpr std::size_t kNumFaultKinds = 13;
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -90,6 +91,7 @@ struct FaultPlan {
   double p_node_loss = 0.0;
   double p_serve = 0.0;
   double p_cache_fault = 0.0;
+  double p_heal = 0.0;
 
   AllocFailMode alloc_fail_mode = AllocFailMode::return_null;
 
@@ -206,6 +208,21 @@ class Injector {
   /// faulted load falls back to cold tuning — never to a crash.
   [[nodiscard]] bool on_cache_check(const std::string& site);
 
+  /// True when the resource named by `site` *returns to service* at this
+  /// consult — the inverse of on_device_check/on_node_check.  Sticky
+  /// device_loss/node_loss faults today only clear implicitly (a new attempt
+  /// re-consults); heal makes the return an explicit, schedulable event, so
+  /// a chaos scenario can kill a device at tick N and bring it back at tick
+  /// M.  Sites follow the `heal/*` grammar (docs/RESILIENCE.md):
+  /// `heal/device r<k> @ <grid>` from the hardened runner,
+  /// `heal/device d<k>` / `heal/node n<j>` from the serve tier.  Occurrence
+  /// counters are per site, so `ScheduledFault{heal, index, repeat,
+  /// "heal/device r1"}` fires on exactly the index-th consult of that
+  /// resource; the dedicated `heal_counter_` draw stream means heal chaos
+  /// never perturbs loss, wire, or serve draws (seeded-replay determinism is
+  /// tested in tests/test_faultsim.cpp).
+  [[nodiscard]] bool on_heal_check(const std::string& site);
+
   /// Register the byte extents eligible for bit-flip corruption.
   void set_corruption_targets(std::vector<MemRegion> regions);
 
@@ -238,6 +255,7 @@ class Injector {
   std::uint64_t node_counter_ = 0;     ///< all node-loss consults
   std::uint64_t serve_counter_ = 0;    ///< all serve-tier consults
   std::uint64_t cache_counter_ = 0;    ///< all tuning-cache I/O consults
+  std::uint64_t heal_counter_ = 0;     ///< all heal (device-return) consults
 
   // Per-kernel-site state (keyed by kernel name).
   struct SiteState {

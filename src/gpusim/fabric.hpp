@@ -69,6 +69,20 @@ struct FabricModel {
 /// One HDR InfiniBand fabric (the DGX-A100 SuperPOD class).
 [[nodiscard]] inline FabricModel hdr_fabric() { return FabricModel{}; }
 
+/// Hot-spare capacity held in reserve alongside the active devices: idle
+/// devices inside each node (warm spares on the same NVLink island) and
+/// whole standby nodes behind the fabric.  Spares are *capacity accounting*,
+/// not extra ranks — the partition grid never includes them until a
+/// recovery consumes one, at which point the lost shard's slabs are
+/// re-replicated onto the spare over the priced interconnect instead of
+/// shrinking the grid (docs/RESILIENCE.md, "Recovery taxonomy").
+struct SpareInventory {
+  int devices_per_node = 0;  ///< idle same-island devices available per node
+  int nodes = 0;             ///< whole standby nodes behind the fabric
+
+  [[nodiscard]] bool any() const { return devices_per_node > 0 || nodes > 0; }
+};
+
 /// Two-level interconnect: `nodes` groups of `devices_per_node` devices,
 /// NVLink inside a group, the fabric between groups.  Device ranks are
 /// grouped contiguously: node_of(r) = r / devices_per_node.
@@ -77,6 +91,7 @@ struct NodeTopology {
   int devices_per_node = 8;
   LinkModel intra = dgx_a100_links();
   FabricModel fabric{};
+  SpareInventory spares{};  ///< hot-spare pool for re-replication failover
 
   [[nodiscard]] int total_devices() const { return nodes * devices_per_node; }
   [[nodiscard]] int node_of(int device) const { return device / devices_per_node; }

@@ -27,6 +27,9 @@ const char* to_string(Category c) {
     case Category::UnaggregatedFrames: return "lint-unaggregated-frames";
     case Category::BoundaryBeforeUnpack: return "lint-boundary-before-unpack";
     case Category::CheckpointInWindow: return "lint-checkpoint-in-window";
+    case Category::RejoinBeforeResync: return "lint-rejoin-before-resync";
+    case Category::SnapshotPromotedBeforeAudit: return "lint-promote-before-audit";
+    case Category::StaleReplicaRead: return "lint-stale-replica-read";
   }
   return "unknown";
 }

@@ -40,9 +40,12 @@ enum class Category : std::uint8_t {
   UnaggregatedFrames,  ///< fabric-crossing transmission not riding an aggregated frame
   BoundaryBeforeUnpack,///< boundary launch not ordered after every delivered face
   CheckpointInWindow,  ///< checkpoint taken while a transmission was still in flight
+  RejoinBeforeResync,  ///< rejoined rank participated before its replica resynced
+  SnapshotPromotedBeforeAudit, ///< staged snapshot promoted with no passing audit
+  StaleReplicaRead,    ///< replica declared live before its transfer verified
 };
 
-inline constexpr int kNumCategories = 19;
+inline constexpr int kNumCategories = 22;
 
 [[nodiscard]] const char* to_string(Category c);
 

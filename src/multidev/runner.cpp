@@ -7,6 +7,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -623,6 +624,73 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
   return res;
 }
 
+std::int64_t shard_slab_bytes(const Partitioner& part, int rank) {
+  const Shard& sh = part.shard(rank);
+  const std::int64_t gauge =
+      sh.targets() * kNlinks * kNdim *
+      static_cast<std::int64_t>(kColors * kColors * sizeof(dcomplex));
+  const std::int64_t spinor =
+      sh.extended_sources() * static_cast<std::int64_t>(kColors * 2 * sizeof(double));
+  return gauge + spinor;
+}
+
+namespace {
+
+/// One grid abandoned by a shrink failover, kept so a later heal of the
+/// stickily-lost resource can rejoin it (newest on top of the stack).
+struct RejoinTarget {
+  PartitionGrid grid{};
+  std::string what;  ///< heal-site grammar: "device r<k>" | "node n<j>"
+};
+
+/// Priced, checksummed, retransmitting wire transfer of one shard's slabs
+/// onto a spare or rejoining device.  Mirrors the hardened halo path: one
+/// injector consult per round, dsan send/recv/checksum per transmission,
+/// exponential backoff between rounds, every microsecond charged to the
+/// elastic accounting on `res`.  Returns the dsan uid of the verified
+/// delivery (0 without a recorder), or nothing when the round budget is
+/// spent — the caller then falls back to shrinking the grid.
+std::optional<std::uint64_t> transfer_slab(faultsim::Injector* inj,
+                                           const gpusim::NodeTopology& topo, int src, int dst,
+                                           const std::string& site, std::int64_t bytes,
+                                           const ExchangeConfig& xc, MultiDevResult& res) {
+  dsan::Recorder* rec = dsan::Recorder::current();
+  const bool cross = topo.multi_node() && !topo.same_node(src, dst);
+  double spent = 0.0;
+  std::optional<std::uint64_t> verified;
+  for (int round = 1; round <= xc.max_rounds; ++round) {
+    const faultsim::LinkVerdict v =
+        inj->on_message(site, static_cast<std::uint64_t>(bytes));
+    double wire = cross ? gpusim::fabric_wire_time_us(topo.fabric, bytes)
+                        : gpusim::wire_time_us(topo.intra, src % topo.devices_per_node,
+                                               dst % topo.devices_per_node, bytes);
+    if (v.delayed) wire = wire * v.bw_factor + v.extra_latency_us;
+    spent += wire;
+    res.rereplicated_bytes += bytes;
+    std::uint64_t uid = 0;
+    if (rec != nullptr) {
+      uid = rec->send(src, dst, site, round,
+                      dsan::MemSpan{0, static_cast<std::uint64_t>(bytes)}, v.dropped, cross,
+                      topo.multi_node() ? topo.node_of(src) : 0,
+                      topo.multi_node() ? topo.node_of(dst) : 0);
+      if (!v.dropped) {
+        rec->recv(uid, /*delivered=*/!v.corrupted);
+        rec->checksum(uid, !v.corrupted);
+      }
+    }
+    if (!v.dropped && !v.corrupted) {
+      verified = uid;
+      break;
+    }
+    spent += xc.backoff_base_us * std::pow(xc.backoff_factor, round - 1);
+  }
+  res.rereplication_us += spent;
+  res.recovery_us += spent;
+  return verified;
+}
+
+}  // namespace
+
 MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
                                                const MultiDevRequest& mreq) const {
   faultsim::Injector* inj = faultsim::Injector::current();
@@ -630,9 +698,59 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
 
   MultiDevResult res;
   PartitionGrid grid = mreq.grid;
+  // Hot-spare pool (elastic recovery): device spares per node group of the
+  // *requested* topology, plus whole standby nodes behind the fabric.
+  int device_spares = mreq.topo.spares.devices_per_node * std::max(1, mreq.topo.nodes);
+  int node_spares = mreq.topo.spares.nodes;
+  // Grids abandoned by shrink failovers, newest last; a heal of the lost
+  // resource pops one and rejoins.  Seeded from the request when a previous
+  // run (e.g. an earlier CG apply) already shrank.
+  std::vector<RejoinTarget> rejoinable;
+  if (mreq.rejoin_grid.total() > grid.total() && !mreq.rejoin_what.empty()) {
+    rejoinable.push_back(RejoinTarget{mreq.rejoin_grid, mreq.rejoin_what});
+  }
   for (int attempt = 0;; ++attempt) {
     const int ndev = grid.total();
     const gpusim::NodeTopology topo = effective_topology(mreq.topo, ndev);
+
+    // Live rejoin: when capacity was shrunk away, ask the heal stream
+    // whether the stickily-lost resource returned to service; if so,
+    // re-replicate shard state onto the re-admitted ranks (priced over the
+    // wire, checksummed) and continue on the larger grid.  The rejoined
+    // ranks compute nothing before their resync — the RejoinBeforeResync
+    // protocol check enforces exactly that window.
+    if (!rejoinable.empty() &&
+        inj->on_heal_check("heal/" + rejoinable.back().what + " @ " + grid.label())) {
+      const RejoinTarget tgt = rejoinable.back();
+      const gpusim::NodeTopology big_topo = effective_topology(mreq.topo, tgt.grid.total());
+      const Partitioner part(problem.geom(), tgt.grid, problem.target_parity());
+      dsan::Recorder* rec = dsan::Recorder::current();
+      bool resynced = true;
+      for (int r = ndev; r < tgt.grid.total(); ++r) {
+        const int src = r % ndev;  // a survivor re-sends the slabs it holds
+        const std::string site =
+            "rereplicate r" + std::to_string(r) + " @ " + tgt.grid.label();
+        const std::optional<std::uint64_t> msg = transfer_slab(
+            inj, big_topo, src, r, site, shard_slab_bytes(part, r), mreq.xcfg, res);
+        if (!msg.has_value()) {
+          resynced = false;  // transfer budget spent: stay on the small grid
+          break;
+        }
+        if (rec != nullptr) {
+          rec->rejoin(r, tgt.what + " healed; rank r" + std::to_string(r) + " re-admitted");
+          rec->resync(r, *msg, "replica verified on " + tgt.grid.label());
+        }
+      }
+      if (resynced) {
+        ++res.rejoins;
+        res.capacity_restored += tgt.grid.total() - ndev;
+        res.failovers.push_back(FailoverEvent{
+            grid, tgt.grid, tgt.what + " healed; rejoined " + tgt.grid.label(), attempt});
+        rejoinable.pop_back();
+        grid = tgt.grid;
+        continue;
+      }
+    }
 
     // Node health: one consult per node group per attempt, before the
     // per-device checks — losing a node loses all its devices at once, so
@@ -647,6 +765,39 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
       }
     }
     if (lost_node >= 0) {
+      // A standby node adopts every lost shard over the fabric instead of
+      // shrinking below the survivor count.
+      if (node_spares > 0) {
+        const Partitioner part(problem.geom(), grid, problem.target_parity());
+        dsan::Recorder* rec = dsan::Recorder::current();
+        bool adopted = true;
+        for (int d = 0; d < topo.devices_per_node; ++d) {
+          const int r = lost_node * topo.devices_per_node + d;
+          const int src = (r + topo.devices_per_node) % ndev;  // surviving node peer
+          const std::string site =
+              "rereplicate r" + std::to_string(r) + " @ " + grid.label();
+          const std::optional<std::uint64_t> msg = transfer_slab(
+              inj, topo, src, r, site, shard_slab_bytes(part, r), mreq.xcfg, res);
+          if (!msg.has_value()) {
+            adopted = false;
+            break;
+          }
+          if (rec != nullptr) {
+            rec->rejoin(r, "standby node adopts rank r" + std::to_string(r));
+            rec->resync(r, *msg, "replica verified on standby node");
+          }
+        }
+        if (adopted) {
+          --node_spares;
+          ++res.spares_consumed;
+          res.failovers.push_back(FailoverEvent{
+              grid, grid,
+              "node n" + std::to_string(lost_node) +
+                  " lost; re-replicated onto standby node",
+              attempt});
+          continue;
+        }
+      }
       const int survivors = ndev - topo.devices_per_node;
       PartitionGrid next = grid;
       while (next.total() > survivors && next.total() > 1) next = fallback_grid(next);
@@ -658,6 +809,7 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
       if (dsan::Recorder* rec = dsan::Recorder::current()) {
         rec->failover(res.failovers.back().reason);
       }
+      rejoinable.push_back(RejoinTarget{grid, "node n" + std::to_string(lost_node)});
       grid = next;
       continue;
     }
@@ -675,12 +827,37 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
       }
     }
     if (lost >= 0) {
+      // A hot spare on the island adopts the lost shard and the grid keeps
+      // its full width; only when no spare (or no transfer budget) is left
+      // does the shrink failover below run.
+      if (device_spares > 0) {
+        const Partitioner part(problem.geom(), grid, problem.target_parity());
+        const int src = (lost + 1) % ndev;
+        const std::string site =
+            "rereplicate r" + std::to_string(lost) + " @ " + grid.label();
+        const std::optional<std::uint64_t> msg = transfer_slab(
+            inj, topo, src, lost, site, shard_slab_bytes(part, lost), mreq.xcfg, res);
+        if (msg.has_value()) {
+          --device_spares;
+          ++res.spares_consumed;
+          res.failovers.push_back(FailoverEvent{
+              grid, grid,
+              "device r" + std::to_string(lost) + " lost; shard re-replicated onto hot spare",
+              attempt});
+          if (dsan::Recorder* rec = dsan::Recorder::current()) {
+            rec->rejoin(lost, "hot spare adopts rank r" + std::to_string(lost));
+            rec->resync(lost, *msg, "replica verified on spare");
+          }
+          continue;
+        }
+      }
       const PartitionGrid next = fallback_grid(grid);
       res.failovers.push_back(FailoverEvent{
           grid, next, "device r" + std::to_string(lost) + " lost", attempt});
       if (dsan::Recorder* rec = dsan::Recorder::current()) {
         rec->failover(res.failovers.back().reason);
       }
+      rejoinable.push_back(RejoinTarget{grid, "device r" + std::to_string(lost)});
       grid = next;
       continue;
     }

@@ -28,8 +28,13 @@
 // exponential backoff on the simulated clock under a per-exchange watchdog,
 // per-shard kernel faults ride the retry + strategy-fallback ladder, and an
 // unrecoverable device loss triggers failover onto a smaller partition grid.
-// With no plan installed the pre-existing code path runs untouched, so the
-// fault-free timeline and output stay bit-for-bit identical.
+// Elastic recovery (docs/RESILIENCE.md "Recovery taxonomy") layers on top:
+// when the topology declares hot spares, a lost shard is re-replicated onto
+// a spare over the priced interconnect instead of shrinking, and when the
+// fault plan heals a stickily-lost resource the abandoned grid is rejoined
+// live — both paths checksummed, retransmitting and charged simulated wire
+// time.  With no plan installed the pre-existing code path runs untouched,
+// so the fault-free timeline and output stay bit-for-bit identical.
 #pragma once
 
 #include <string>
@@ -75,6 +80,14 @@ struct MultiDevRequest {
   gpusim::NodeTopology topo{};
   int pack_local_size = 96;  ///< work-group size of the pack/unpack kernels
   ExchangeConfig xcfg{};     ///< hardened-path parameters (fault plan installed)
+  /// Live-rejoin target (elastic recovery).  When `rejoin_grid.total() >
+  /// grid.total()`, a previous run abandoned that larger grid in a shrink
+  /// failover; each hardened attempt consults `heal/<rejoin_what> @ <grid>`
+  /// and on a heal re-replicates shard state onto the re-admitted ranks and
+  /// continues on `rejoin_grid`.  The sharded CG solver threads its
+  /// pre-failover grid through here so capacity returns mid-solve.
+  PartitionGrid rejoin_grid{};
+  std::string rejoin_what;  ///< heal-site grammar: "device r<k>" | "node n<j>"
   /// Execution mode of the hardened path's queues; the sharded CG solver
   /// runs functional applies through the same recovery machinery.  The
   /// fault-free path ignores this (profiled by definition of run()).
@@ -181,6 +194,14 @@ struct MultiDevResult {
   ExchangeReport exchange;      ///< clean()/succeeded==false when fault-free
   std::vector<FailoverEvent> failovers;
   std::vector<ShardRecovery> shard_recoveries;
+
+  // --- elastic recovery accounting (hot spares and live rejoin) -----------
+  int spares_consumed = 0;    ///< hot spares drafted to adopt lost shards
+  int rejoins = 0;            ///< healed resources re-admitted mid-run
+  int capacity_restored = 0;  ///< devices of capacity regained by rejoins
+  std::int64_t rereplicated_bytes = 0;  ///< slab wire bytes incl. retransmits
+  /// Wire + backoff time of re-replication transfers (also in recovery_us).
+  double rereplication_us = 0.0;
   /// Injector log entries observed during this run (fault enumeration).
   std::vector<faultsim::FaultEvent> faults;
 };
@@ -280,6 +301,11 @@ class MultiDeviceRunner {
 /// as few nodes as possible; a remnant smaller than a node is all-NVLink).
 [[nodiscard]] gpusim::NodeTopology effective_topology(const gpusim::NodeTopology& topo,
                                                      int devices);
+
+/// Bytes a spare or rejoining device must receive to adopt rank `rank` of
+/// the partitioner's grid: the gathered gauge slab plus the extended source
+/// spinor (owned + ghost slots) — the state build_fields materialises.
+[[nodiscard]] std::int64_t shard_slab_bytes(const Partitioner& part, int rank);
 
 /// Local size for a shard launch of `sites` sites: `preferred` when it
 /// qualifies, else the largest qualifying paper pool entry, else the

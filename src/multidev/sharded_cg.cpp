@@ -117,9 +117,16 @@ bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
   mreq.topo = cfg_.topo;
   mreq.xcfg = cfg_.xcfg;
   mreq.mode = minisycl::ExecMode::functional;
+  mreq.rejoin_grid = rejoin_grid_;
+  mreq.rejoin_what = rejoin_what_;
   const MultiDevResult mres = runner_.run(problem, mreq);
   if (res != nullptr) {
     res->recovery_us += mres.recovery_us;
+    res->spares_consumed += mres.spares_consumed;
+    res->rejoins += mres.rejoins;
+    res->capacity_restored += mres.capacity_restored;
+    res->rereplicated_bytes += mres.rereplicated_bytes;
+    res->rereplication_us += mres.rereplication_us;
     if (!mres.failovers.empty()) {
       res->failovers_observed += static_cast<int>(mres.failovers.size());
       for (const FailoverEvent& f : mres.failovers) {
@@ -131,8 +138,26 @@ bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
   if (!mres.failovers.empty()) {
     // Adopt the surviving grid for every subsequent apply; the caller
     // restores the last snapshot and replays on it.
+    const PartitionGrid before = grid_;
     grid_ = mres.final_grid;
     failover_seen_ = true;
+    if (rejoin_grid_.total() > 1 && grid_.total() >= rejoin_grid_.total()) {
+      // A live rejoin restored the abandoned capacity mid-solve.
+      rejoin_grid_ = PartitionGrid{};
+      rejoin_what_.clear();
+    } else if (grid_.total() < before.total() && rejoin_grid_.total() <= 1) {
+      // First shrink of this solve: aim the heal consults of every
+      // subsequent apply back at the grid this apply started on.  Only
+      // sticky resource losses ("<what> lost") are healable; attempt-failure
+      // shrinks leave no resource to wait for.
+      for (const FailoverEvent& f : mres.failovers) {
+        const std::size_t pos = f.reason.find(" lost");
+        if (pos == std::string::npos) continue;
+        rejoin_grid_ = before;
+        rejoin_what_ = f.reason.substr(0, pos);
+        break;
+      }
+    }
   }
   return mres.recovered;
 }
@@ -236,6 +261,10 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   const double target = cfg_.cg.rel_tol * cfg_.cg.rel_tol * b2;
 
   Snapshot snap;
+  // Async checkpointing: states staged off the critical path, promoted into
+  // `snap` (the durable slot restores use) only after the deferred
+  // true-residual audit passes.  Restores discard any unaudited staging.
+  Snapshot staged;
   double rr = 0.0;
   int it = 0;
   bool fatal = false;
@@ -259,6 +288,7 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   auto restore = [&](const char* why) -> bool {
     if (res.restarts >= cfg_.max_restarts) return false;
     ++res.restarts;
+    staged.valid = false;  // an unaudited staging never survives a restore
     if (snap.intact()) {
       x = snap.x;
       r = snap.r;
@@ -307,11 +337,75 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       break;
     }
 
-    // Checkpoint cadence: audit the recursion against the true residual,
-    // then snapshot the audited state.
+    // Deferred audit of a staged snapshot (async mode), one iteration after
+    // the staging: the true-residual apply runs inside this iteration's
+    // operator-application window on the simulated clock, so its cost is
+    // accounted off the critical path (hidden_applies) — at equal cadence
+    // the async mode pays no per-checkpoint apply latency.  Only an audited
+    // staged state is promoted into the durable slot restores use.
+    if (cfg_.async_checkpoint && staged.valid && staged.iter != it) {
+      const int audit_mark = res.applies;
+      const bool audit_ok = apply_checked(staged.x, Ap);
+      res.checkpoint_applies += res.applies - audit_mark;
+      res.hidden_applies += res.applies - audit_mark;
+      if (!audit_ok) {
+        if (!restore("async audit apply failed")) {
+          fatal = true;
+          break;
+        }
+        continue;
+      }
+      ColorField tr = b;
+      axpy(-1.0, Ap, tr);
+      const double tr2 = norm2(tr);
+      if (std::sqrt(tr2) > cfg_.residual_audit_factor * std::sqrt(staged.rr) +
+                               cfg_.cg.rel_tol * std::sqrt(b2)) {
+        char detail[128];
+        std::snprintf(detail, sizeof detail, "staged true res %.3e vs recursion %.3e",
+                      std::sqrt(tr2 / b2), std::sqrt(staged.rr / b2));
+        res.events.push_back({staged.iter, "audit-discard", detail});
+        // The staging is a copy of the live recursion, so the live state is
+        // suspect too: fall back to the last durable snapshot and replay.
+        if (!restore("async residual audit failed")) {
+          fatal = true;
+          break;
+        }
+        continue;
+      }
+      snap = staged;
+      staged.valid = false;
+      last_audit_restore_iter = -1;
+      ++res.checkpoints_taken;
+      ++res.snapshots_promoted;
+      res.events.push_back({snap.iter, "checkpoint", "promoted (async audit passed)"});
+      if (rec != nullptr) {
+        rec->snapshot_audit(snap.iter, "true-residual audit passed");
+        rec->snapshot_promote(snap.iter, "staged -> durable");
+      }
+    }
+
+    // Checkpoint cadence.  Synchronous mode audits the recursion against the
+    // true residual on the critical path, then snapshots the audited state;
+    // async mode only stages a host-side copy here — its audit runs above,
+    // during the next iteration's apply window.
     if (cfg_.checkpoint_interval > 0 && it > 0 && it % cfg_.checkpoint_interval == 0 &&
-        snap.iter != it) {
-      if (!apply_checked(x, Ap)) {
+        snap.iter != it && cfg_.async_checkpoint) {
+      if (!staged.valid || staged.iter != it) {
+        staged.take(x, r, pvec, rr, it);
+        ++res.snapshots_staged;
+        res.events.push_back({it, "checkpoint-staged",
+                              "rel res " + std::to_string(std::sqrt(rr / b2))});
+        if (rec != nullptr) {
+          rec->checkpoint(it, "staged (async) rel res " +
+                                  std::to_string(std::sqrt(rr / b2)));
+        }
+      }
+    } else if (cfg_.checkpoint_interval > 0 && it > 0 &&
+               it % cfg_.checkpoint_interval == 0 && snap.iter != it) {
+      const int audit_mark = res.applies;
+      const bool audit_ok = apply_checked(x, Ap);
+      res.checkpoint_applies += res.applies - audit_mark;
+      if (!audit_ok) {
         if (!restore("audit apply failed")) {
           fatal = true;
           break;

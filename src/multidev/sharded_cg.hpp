@@ -51,8 +51,18 @@ struct ShardedCgConfig {
 
   /// Iterations between solver-state snapshots (0 disables checkpointing;
   /// the initial state is always snapshotted).  Each checkpoint pays one
-  /// extra operator application for the true-residual audit.
+  /// extra operator application for the true-residual audit — on the
+  /// critical path in synchronous mode, overlapped with the next iteration's
+  /// apply when `async_checkpoint` is set.
   int checkpoint_interval = 10;
+  /// Asynchronous checkpointing: at the cadence the state is *staged* (a
+  /// pure host-side copy, no operator application), the true-residual audit
+  /// runs during the next iteration's apply window (accounted off the
+  /// critical path, ShardedCgResult::hidden_applies), and only an audited
+  /// staged state is promoted to the durable snapshot restores use —
+  /// restores therefore stay bit-for-bit exact, they just may reach one
+  /// cadence further back.  Default off: the synchronous path is untouched.
+  bool async_checkpoint = false;
 
   bool abft = true;
   std::uint64_t abft_seed = 0x5eed;
@@ -98,6 +108,19 @@ struct ShardedCgResult {
   int failovers_observed = 0;
   PartitionGrid final_grid{};
   double recovery_us = 0.0;  ///< simulated time lost to faults across all applies
+
+  // --- checkpoint overhead split (async vs synchronous) --------------------
+  int checkpoint_applies = 0;  ///< audit applies paid for checkpointing
+  int hidden_applies = 0;      ///< of those, overlapped off the critical path
+  int snapshots_staged = 0;    ///< async mode: states staged pending audit
+  int snapshots_promoted = 0;  ///< async mode: staged states promoted durable
+
+  // --- elastic recovery accounting, summed over all applies ----------------
+  int spares_consumed = 0;    ///< hot spares drafted by re-replication
+  int rejoins = 0;            ///< healed resources re-admitted mid-solve
+  int capacity_restored = 0;  ///< devices of capacity regained by rejoins
+  std::int64_t rereplicated_bytes = 0;  ///< slab wire bytes moved to spares
+  double rereplication_us = 0.0;        ///< wire + backoff time of those moves
   std::vector<SolverEvent> events;
   /// Every injected fault observed during the solve (replayable enumeration).
   std::vector<faultsim::FaultEvent> faults;
@@ -162,6 +185,12 @@ class ShardedCgSolver {
   DslashProblem problem_e_;  ///< target Even: c = D_eo b (b odd)
   MultiDeviceRunner runner_;
   bool failover_seen_ = false;
+  /// Live-rejoin target threaded into every hardened apply: the grid the
+  /// solve abandoned in its first shrink failover (total() <= 1 when the
+  /// solve runs at full capacity) and the heal-site name of the lost
+  /// resource.  Cleared when a rejoin restores the capacity.
+  PartitionGrid rejoin_grid_{};
+  std::string rejoin_what_;
 };
 
 }  // namespace milc::multidev

@@ -24,16 +24,48 @@ void CircuitBreaker::poll(double now) {
     transition(now, BreakerState::half_open, "cooloff elapsed");
     half_open_successes_ = 0;
     probe_outstanding_ = false;
+    live_probe_token_ = 0;
   }
+}
+
+void CircuitBreaker::reopen(double now, const std::string& why) {
+  ++trips_;
+  const double cooloff = std::min(
+      cfg_.max_cooloff_us,
+      cfg_.cooloff_us * std::pow(cfg_.cooloff_factor, static_cast<double>(trips_ - 1)));
+  open_until_ = now + cooloff;
+  transition(now, BreakerState::open, why);
+  // Leaving half-open invalidates any in-flight probe: its outcome, however
+  // late it lands, must not resolve against the new open/half-open cycle.
+  probe_outstanding_ = false;
+  live_probe_token_ = 0;
+  half_open_successes_ = 0;
+}
+
+void CircuitBreaker::on_probe_success(double now, int token) {
+  if (state_ != BreakerState::half_open || token == 0 || token != live_probe_token_) {
+    return;  // stale probe: the breaker moved on since this probe departed
+  }
+  probe_outstanding_ = false;
+  live_probe_token_ = 0;
+  if (++half_open_successes_ >= cfg_.successes_to_close) {
+    transition(now, BreakerState::closed, "probe recovered");
+    consecutive_failures_ = 0;
+  }
+}
+
+void CircuitBreaker::on_probe_failure(double now, const std::string& why, int token) {
+  if (state_ != BreakerState::half_open || token == 0 || token != live_probe_token_) {
+    return;  // stale probe
+  }
+  reopen(now, "probe failed: " + why);
 }
 
 void CircuitBreaker::on_success(double now) {
   if (state_ == BreakerState::half_open) {
-    probe_outstanding_ = false;
-    if (++half_open_successes_ >= cfg_.successes_to_close) {
-      transition(now, BreakerState::closed, "probe recovered");
-      consecutive_failures_ = 0;
-    }
+    // A work success while half-open is a solve dispatched before the trip;
+    // it proves nothing about the resource now and never closes the breaker
+    // in place of the probe (the half-open ordering race).
     return;
   }
   consecutive_failures_ = 0;
@@ -41,13 +73,7 @@ void CircuitBreaker::on_success(double now) {
 
 void CircuitBreaker::on_failure(double now, const std::string& why) {
   if (state_ == BreakerState::half_open) {
-    probe_outstanding_ = false;
-    ++trips_;
-    const double cooloff = std::min(
-        cfg_.max_cooloff_us,
-        cfg_.cooloff_us * std::pow(cfg_.cooloff_factor, static_cast<double>(trips_ - 1)));
-    open_until_ = now + cooloff;
-    transition(now, BreakerState::open, "probe failed: " + why);
+    reopen(now, "failure while half-open: " + why);
     return;
   }
   if (state_ == BreakerState::open) return;  // already routed around
@@ -61,6 +87,16 @@ void CircuitBreaker::on_failure(double now, const std::string& why) {
                std::to_string(consecutive_failures_) + " consecutive failures: " + why);
     consecutive_failures_ = 0;
   }
+}
+
+void CircuitBreaker::begin_probation(double now, const std::string& why) {
+  if (state_ == BreakerState::half_open) return;
+  open_until_ = now;
+  transition(now, BreakerState::half_open, why);
+  half_open_successes_ = 0;
+  probe_outstanding_ = false;
+  live_probe_token_ = 0;
+  consecutive_failures_ = 0;
 }
 
 }  // namespace milc::serve

@@ -15,6 +15,11 @@
 // The breaker never consults the injector itself — the service reports
 // outcomes (solve results, `serve/probe` consults) into it.  Transitions are
 // explicit events so the SloReport can enumerate every trip and recovery.
+//
+// Probe identity: probes carry a token (probe_started()) and only the
+// matching on_probe_success/on_probe_failure resolves them.  A work success
+// completing while half-open, or a probe outcome arriving after a concurrent
+// failure reopened the breaker, can therefore never close it out of order.
 #pragma once
 
 #include <string>
@@ -68,17 +73,41 @@ class CircuitBreaker {
   [[nodiscard]] bool probe_allowed() const {
     return state_ == BreakerState::half_open && !probe_outstanding_;
   }
-  void probe_started() { probe_outstanding_ = true; }
+  /// Start a probe and get its identity token.  Only the outcome carrying
+  /// this token can resolve the probe (on_probe_success / on_probe_failure);
+  /// any transition out of half-open invalidates it, so a probe outcome that
+  /// arrives after a concurrent failure reopened the breaker is ignored
+  /// instead of closing it out of order.
+  [[nodiscard]] int probe_started() {
+    probe_outstanding_ = true;
+    live_probe_token_ = ++next_probe_token_;
+    return live_probe_token_;
+  }
 
-  /// Report an outcome.  In closed state, failures count toward the trip
-  /// threshold and any success resets the count.  In half-open state the
-  /// outcome resolves the outstanding probe: success(es) close, failure
-  /// reopens with a grown cooloff.
+  /// Resolve the probe identified by `token`.  Stale tokens (the breaker
+  /// left half-open since the probe departed, or a newer probe replaced it)
+  /// are ignored.  Success counts toward successes_to_close; failure reopens
+  /// with a grown cooloff.
+  void on_probe_success(double now, int token);
+  void on_probe_failure(double now, const std::string& why, int token);
+
+  /// Report an *ordinary work* outcome.  In closed state, failures count
+  /// toward the trip threshold and any success resets the count.  In
+  /// half-open state a work failure reopens the breaker (and invalidates any
+  /// in-flight probe), while a work success is deliberately ignored — a
+  /// solve that was dispatched before the trip proves nothing about the
+  /// resource now, and must never close the breaker in place of the probe.
   void on_success(double now);
   void on_failure(double now, const std::string& why);
 
+  /// Force probation (elastic rejoin): a resource returning to service is
+  /// placed half-open regardless of current state, so its capacity comes
+  /// back through a probe rather than straight into traffic.
+  void begin_probation(double now, const std::string& why);
+
  private:
   void transition(double now, BreakerState to, const std::string& why);
+  void reopen(double now, const std::string& why);
 
   std::string resource_;
   BreakerConfig cfg_;
@@ -88,6 +117,8 @@ class CircuitBreaker {
   int half_open_successes_ = 0;
   int trips_ = 0;
   bool probe_outstanding_ = false;
+  int next_probe_token_ = 0;  ///< monotonic probe identity source
+  int live_probe_token_ = 0;  ///< token of the outstanding probe (0: none)
   std::vector<BreakerEvent> events_;
 };
 

@@ -29,13 +29,15 @@ std::uint64_t fnv1a(const void* data, std::size_t bytes) {
 namespace {
 
 ShardedCgConfig solver_config(const ProblemSpec& sp, Strategy strategy,
-                              const gpusim::NodeTopology& topo) {
+                              const gpusim::NodeTopology& topo,
+                              bool async_checkpoint = false) {
   ShardedCgConfig c;
   c.cg.rel_tol = sp.rel_tol;
   c.cg.max_iterations = sp.max_iterations;
   c.checkpoint_interval = sp.checkpoint_interval;
   c.strategy = strategy;
   c.topo = topo;
+  c.async_checkpoint = async_checkpoint;
   return c;
 }
 
@@ -73,6 +75,10 @@ SolverService::SolverService(std::vector<ProblemSpec> catalog, ServiceConfig cfg
       cfg_(cfg),
       topo_(gpusim::cluster(cfg.cluster.nodes, cfg.cluster.devices_per_node)),
       queue_(cfg.queue) {
+  // Hot-spare inventory rides on the topology: effective_topology() copies it
+  // into every dispatched solve, so the hardened runner re-replicates lost
+  // shards onto standbys instead of shrinking the placement's grid.
+  topo_.spares = cfg_.spares;
   price_catalog();
   reset_runtime_state();
 }
@@ -365,6 +371,7 @@ void SolverService::health_checks(SloReport& rep, double now) {
     if (!d.alive || d.busy_until > now) continue;
     if (inj->on_device_check("serve/device d" + std::to_string(d.id))) {
       d.alive = false;
+      d.down_since = now;
       degrade(rep, now, 0, "device-lost", "d" + std::to_string(d.id) + " lost (serve-tier check)");
     }
   }
@@ -377,10 +384,53 @@ void SolverService::health_checks(SloReport& rep, double now) {
     if (!all_idle) continue;
     if (inj->on_node_check("serve/node n" + std::to_string(n.id))) {
       n.alive = false;
-      for (int k = n.id * dpn; k < (n.id + 1) * dpn; ++k)
-        devices_[static_cast<std::size_t>(k)].alive = false;
+      n.down_since = now;
+      for (int k = n.id * dpn; k < (n.id + 1) * dpn; ++k) {
+        DeviceState& d = devices_[static_cast<std::size_t>(k)];
+        d.alive = false;
+        d.down_since = now;
+      }
       degrade(rep, now, 0, "node-lost",
               "n" + std::to_string(n.id) + " lost with all its devices (serve-tier check)");
+    }
+  }
+
+  // Heal checks — the elastic-recovery return path.  A healed resource never
+  // goes straight back into traffic: its breaker is forced into half-open
+  // probation, so capacity returns through a rejoin probe (run_probes) that
+  // must succeed first.  Heal draws come from the injector's dedicated heal
+  // stream, so consulting them never perturbs the loss draws above.
+  const auto rejoin_device = [&](DeviceState& d) {
+    d.alive = true;
+    d.breaker.begin_probation(now, "rejoined after heal; probing before traffic");
+    if (d.down_since >= 0.0) rep.recovery_time_us += now - d.down_since;
+    d.down_since = -1.0;
+    ++rep.devices_rejoined;
+  };
+  for (DeviceState& d : devices_) {
+    // A device that died with its node returns with its node, not alone.
+    if (d.alive || d.down_since >= now) continue;
+    if (!nodes_[static_cast<std::size_t>(d.node)].alive) continue;
+    if (inj->on_heal_check("heal/device d" + std::to_string(d.id))) {
+      rejoin_device(d);
+      degrade(rep, now, 0, "device-rejoined",
+              "d" + std::to_string(d.id) + " healed; half-open probation");
+    }
+  }
+  for (NodeState& n : nodes_) {
+    if (n.alive || n.down_since >= now) continue;
+    if (inj->on_heal_check("heal/node n" + std::to_string(n.id))) {
+      n.alive = true;
+      n.breaker.begin_probation(now, "rejoined after heal; probing before traffic");
+      if (n.down_since >= 0.0) rep.recovery_time_us += now - n.down_since;
+      n.down_since = -1.0;
+      ++rep.nodes_rejoined;
+      for (int k = n.id * dpn; k < (n.id + 1) * dpn; ++k) {
+        DeviceState& d = devices_[static_cast<std::size_t>(k)];
+        if (!d.alive) rejoin_device(d);
+      }
+      degrade(rep, now, 0, "node-rejoined",
+              "n" + std::to_string(n.id) + " healed with its devices; half-open probation");
     }
   }
 }
@@ -389,14 +439,14 @@ void SolverService::run_probes(SloReport& rep, double now) {
   faultsim::Injector* inj = faultsim::Injector::current();
   const auto probe = [&](CircuitBreaker& b, const std::string& name) {
     if (!b.probe_allowed()) return;
-    b.probe_started();
+    const int token = b.probe_started();
     const bool failed =
         inj != nullptr && inj->on_serve_check("serve/probe " + name);
     if (failed) {
-      b.on_failure(now, "injected probe fault");
+      b.on_probe_failure(now, "injected probe fault", token);
       degrade(rep, now, 0, "probe", name + " probe failed");
     } else {
-      b.on_success(now);
+      b.on_probe_success(now, token);
       degrade(rep, now, 0, "probe", name + " probe ok");
     }
   };
@@ -565,7 +615,7 @@ void SolverService::execute(SloReport& rep, Inflight& f, const Placement& placem
   const gpusim::NodeTopology etopo = multidev::effective_topology(topo_, placement.devices);
 
   int applies_total = 0;
-  ShardedCgConfig scfg = solver_config(sp, strat, etopo);
+  ShardedCgConfig scfg = solver_config(sp, strat, etopo, cfg_.async_checkpoint);
   if (apply_budget > 0) {
     scfg.cancel = [&applies_total, apply_budget](int, int applies) {
       return applies_total + applies >= apply_budget;
@@ -600,7 +650,10 @@ void SolverService::execute(SloReport& rep, Inflight& f, const Placement& placem
     const ShardedCgResult sres = solver.solve(b, x);
 
     applies_total += sres.applies;
-    solve_us += sres.applies * 2.0 * placement.per_iter_us + sres.recovery_us;
+    // Hidden applies (async checkpoint audits) overlap the next iteration's
+    // apply window: they cost devices nothing on the critical path.
+    solve_us += (sres.applies - sres.hidden_applies) * 2.0 * placement.per_iter_us +
+                sres.recovery_us;
     f.outcome.iterations += sres.cg.iterations;
     f.outcome.applies += sres.applies;
     f.outcome.restarts += sres.restarts;
@@ -608,7 +661,13 @@ void SolverService::execute(SloReport& rep, Inflight& f, const Placement& placem
     f.outcome.faults_observed += sres.faults.size();
     f.outcome.worst_true_residual =
         std::max(f.outcome.worst_true_residual, sres.cg.true_relative_residual);
+    f.outcome.spares_consumed += sres.spares_consumed;
+    f.outcome.rejoins += sres.rejoins;
+    f.outcome.capacity_restored += sres.capacity_restored;
+    f.outcome.rereplicated_bytes += sres.rereplicated_bytes;
+    f.outcome.rereplication_us += sres.rereplication_us;
     for (const faultsim::FaultEvent& e : sres.faults) {
+      if (e.kind == faultsim::FaultKind::heal) continue;  // a return, not a fault
       if (e.kind == faultsim::FaultKind::node_loss) {
         const int jn = parse_indexed(e.site, 'n');
         if (jn >= 0) ++f.node_faults[jn];
@@ -621,6 +680,16 @@ void SolverService::execute(SloReport& rep, Inflight& f, const Placement& placem
       degrade(rep, now, f.req.id, "failover",
               "grid " + placement.grid.label() + " -> " + sres.final_grid.label() +
                   " during rhs " + std::to_string(r));
+    if (sres.spares_consumed > 0)
+      degrade(rep, now, f.req.id, "re-replication",
+              std::to_string(sres.spares_consumed) + " shard(s) re-replicated onto spares (" +
+                  std::to_string(sres.rereplicated_bytes) + " bytes) during rhs " +
+                  std::to_string(r));
+    if (sres.rejoins > 0)
+      degrade(rep, now, f.req.id, "rejoin",
+              std::to_string(sres.rejoins) + " rejoin(s) restored " +
+                  std::to_string(sres.capacity_restored) + " device(s) of capacity during rhs " +
+                  std::to_string(r));
 
     if (sres.cancelled) {
       all_ok = false;
@@ -757,6 +826,21 @@ double SolverService::next_event_time(double now, std::size_t next_arrival,
       if (!n.alive) continue;
       if (n.breaker.state() == BreakerState::open && n.breaker.open_until() > now)
         next = std::min(next, n.breaker.open_until());
+    }
+    if (next == kNoDeadline) {
+      // Queued work with nothing left to wake the scheduler would normally
+      // shed terminally — but when the fault plan can heal resources and a
+      // dead one exists, keep polling so a scheduled heal can rejoin it.
+      const faultsim::Injector* inj = faultsim::Injector::current();
+      bool can_heal = false;
+      if (inj != nullptr) {
+        can_heal = inj->plan().p_heal > 0.0;
+        for (const faultsim::ScheduledFault& sf : inj->plan().schedule)
+          can_heal = can_heal || sf.kind == faultsim::FaultKind::heal;
+      }
+      bool any_dead = false;
+      for (const DeviceState& d : devices_) any_dead = any_dead || !d.alive;
+      if (can_heal && any_dead) next = now + 1'000.0;  // heal-poll tick
     }
   }
   if (next <= now) next = now + 1.0;  // monotonic-clock backstop

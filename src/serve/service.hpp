@@ -62,6 +62,15 @@ struct ServiceConfig {
   BreakerConfig device_breaker{};
   BreakerConfig node_breaker{};
 
+  /// Hot-spare inventory advertised to every dispatched solve: with spares
+  /// the hardened runner re-replicates a lost shard onto a standby instead
+  /// of shrinking the grid, so placement capacity survives device loss.
+  gpusim::SpareInventory spares{};
+  /// Run dispatched solves with asynchronous checkpointing (staging off the
+  /// critical path, audit overlapped with the next apply).  Solve time then
+  /// charges only `applies - hidden_applies` operator applications.
+  bool async_checkpoint = false;
+
   double dispatch_overhead_us = 25.0;  ///< control-plane cost per dispatch
   double retry_backoff_us = 500.0;     ///< requeue backoff = base * factor^(attempt-1)
   double retry_backoff_factor = 2.0;
@@ -139,11 +148,13 @@ class SolverService {
     bool alive = true;
     double busy_until = 0.0;
     CircuitBreaker breaker;
+    double down_since = -1.0;  ///< clock at loss; -1 when alive (recovery time)
   };
   struct NodeState {
     int id = 0;
     bool alive = true;
     CircuitBreaker breaker;
+    double down_since = -1.0;
   };
   /// A dispatched request: the solve executed eagerly at dispatch (the
   /// kernels are real), its *simulated* completion lands at `complete_us`.

@@ -34,6 +34,9 @@ void SloReport::finalize() {
   submitted = static_cast<int>(outcomes.size());
   admitted = rejected = completed = shed = cancelled = 0;
   deadline_met = deadline_missed = 0;
+  spares_consumed = rejoins = capacity_restored = 0;
+  rereplicated_bytes = 0;
+  rereplication_us = 0.0;
 
   std::map<std::string, TenantSlo> by_tenant;
   std::map<std::string, std::vector<double>> tenant_lat;
@@ -43,6 +46,11 @@ void SloReport::finalize() {
     TenantSlo& t = by_tenant[o.req.tenant];
     t.tenant = o.req.tenant;
     ++t.submitted;
+    spares_consumed += o.spares_consumed;
+    rejoins += o.rejoins;
+    capacity_restored += o.capacity_restored;
+    rereplicated_bytes += o.rereplicated_bytes;
+    rereplication_us += o.rereplication_us;
     switch (o.status) {
       case RequestOutcome::Status::rejected:
         ++rejected;
@@ -110,6 +118,17 @@ std::string SloReport::summary() const {
                 p50_latency_us, p99_latency_us, makespan_us, faults_injected,
                 degradations.size(), breaker_events.size());
   s += buf;
+  if (spares_consumed > 0 || rejoins > 0 || devices_rejoined > 0 || nodes_rejoined > 0 ||
+      rereplicated_bytes > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  recovery: %d spares | %d solver rejoins (+%d devices) | "
+                  "%d device / %d node serve rejoins | %lld bytes re-replicated "
+                  "(%.1f us) | %.1f us down-time recovered\n",
+                  spares_consumed, rejoins, capacity_restored, devices_rejoined,
+                  nodes_rejoined, static_cast<long long>(rereplicated_bytes),
+                  rereplication_us, recovery_time_us);
+    s += buf;
+  }
   for (const TenantSlo& t : tenants) {
     std::snprintf(buf, sizeof buf,
                   "  tenant %-10s sub %3d adm %3d rej %3d done %3d shed %3d cxl %3d | "
@@ -124,18 +143,21 @@ std::string SloReport::summary() const {
 
 std::string SloReport::canonical() const {
   std::string s = summary();
-  char buf[512];
+  char buf[768];
   for (const RequestOutcome& o : outcomes) {
     std::snprintf(buf, sizeof buf,
                   "req %llu tenant=%s prio=%d %s reason='%s' dispatch=%.3f done=%.3f "
                   "lat=%.3f met=%d dev=%s grid=%s strat=%s rhs=%d/%d iters=%d applies=%d "
-                  "restarts=%d failovers=%d faults=%zu abft=%d res=%.6e fnv=",
+                  "restarts=%d failovers=%d faults=%zu abft=%d res=%.6e "
+                  "spares=%d rejoins=%d cap=%d rerep=%lld fnv=",
                   static_cast<unsigned long long>(o.req.id), o.req.tenant.c_str(),
                   o.req.priority, o.status_str(), o.reason.c_str(), o.dispatch_us,
                   o.complete_us, o.latency_us, o.deadline_met ? 1 : 0, o.devices.c_str(),
                   o.grid.c_str(), to_string(o.strategy_used), o.rhs_done, o.req.rhs,
                   o.iterations, o.applies, o.restarts, o.failovers, o.faults_observed,
-                  o.abft_certified ? 1 : 0, o.worst_true_residual);
+                  o.abft_certified ? 1 : 0, o.worst_true_residual, o.spares_consumed,
+                  o.rejoins, o.capacity_restored,
+                  static_cast<long long>(o.rereplicated_bytes));
     s += buf;
     for (const std::uint64_t f : o.solution_fnv) {
       std::snprintf(buf, sizeof buf, "%016llx.", static_cast<unsigned long long>(f));

@@ -43,6 +43,12 @@ struct RequestOutcome {
   std::size_t faults_observed = 0;  ///< injected faults logged during the solves
   bool abft_certified = false;      ///< every apply ran under the ABFT identity
   double worst_true_residual = 0.0;
+  // Elastic recovery inside the solves (summed over RHS):
+  int spares_consumed = 0;              ///< hot spares drafted by re-replication
+  int rejoins = 0;                      ///< healed resources re-admitted mid-solve
+  int capacity_restored = 0;            ///< devices of capacity regained by rejoins
+  std::int64_t rereplicated_bytes = 0;  ///< slab bytes re-replicated to spares
+  double rereplication_us = 0.0;        ///< wire + backoff time of those moves
   /// FNV-1a checksum of each RHS solution's raw bytes — the bit-for-bit
   /// verification handle (compared against fault-free reference solves).
   std::vector<std::uint64_t> solution_fnv;
@@ -79,6 +85,19 @@ struct SloReport {
   int completed = 0, shed = 0, cancelled = 0;
   int deadline_met = 0, deadline_missed = 0;
   double p50_latency_us = 0.0, p99_latency_us = 0.0, max_latency_us = 0.0;
+
+  // Elastic recovery accounting.  The solver-level counters are summed over
+  // outcomes by finalize(); the serve-tier counters (resources healed by the
+  // service's own heal checks, and their cumulative outage time) are filled
+  // by the service as heals land.
+  int spares_consumed = 0;
+  int rejoins = 0;
+  int capacity_restored = 0;
+  std::int64_t rereplicated_bytes = 0;
+  double rereplication_us = 0.0;
+  int devices_rejoined = 0;       ///< serve-tier device heals (probation via breaker)
+  int nodes_rejoined = 0;         ///< serve-tier node heals
+  double recovery_time_us = 0.0;  ///< summed loss-to-heal outage of rejoined resources
 
   std::vector<RequestOutcome> outcomes;  ///< sorted by request id
   std::vector<TenantSlo> tenants;        ///< sorted by tenant name

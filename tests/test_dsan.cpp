@@ -379,5 +379,86 @@ TEST(DsanBugZoo, CheckpointWithAMessageInFlightIsCheckpointInWindow) {
   EXPECT_TRUE(dsan::check_messages(sr.rec.trace(), "zoo").clean());
 }
 
+TEST(DsanBugZoo, ParticipationBetweenRejoinAndResyncFlags) {
+  // A rejoined rank computes on a stale (or empty) replica until its resync
+  // declares the re-replicated state consistent — any pack/kernel/send in
+  // between is the RejoinBeforeResync defect.  A rejoin with no resync at
+  // all flags too.
+  dsan::ScopedRecorder sr;
+  sr.rec.rejoin(1, "device r1 healed");
+  sr.rec.kernel(1, "dslash-interior r1");
+  sr.rec.resync(1, /*msg=*/0, "snapshot replay");
+  sr.rec.rejoin(2, "device r2 healed");  // never resynced
+
+  const ksan::SanitizerReport rep = dsan::check_protocol(sr.rec.trace(), "zoo");
+  EXPECT_GE(rep.count(ksan::Category::RejoinBeforeResync), 2u) << rep.summary();
+  EXPECT_TRUE(note_contains(
+      rep, "site 'dslash-interior r1': rejoined actor r1 participated before its resync"))
+      << rep.summary();
+  EXPECT_TRUE(note_contains(rep, "rejoin of actor r2 has no resync on record"))
+      << rep.summary();
+}
+
+TEST(DsanBugZoo, ResyncOnAnUnverifiedTransferIsAStaleReplicaRead) {
+  // A resync that names its re-replication transfer must see that transfer's
+  // *passing* checksum verdict first — marking the replica live on an
+  // unverified (here: failed) payload reads a stale shard.
+  dsan::ScopedRecorder sr;
+  std::vector<double> slab(32);
+  const std::uint64_t msg =
+      sr.rec.send(0, 1, "rereplicate r0->r1", /*round=*/1,
+                  dsan::span_of(slab.data(), slab.size()),
+                  /*dropped=*/false, /*aggregated=*/false);
+  sr.rec.checksum(msg, /*ok=*/false);
+  sr.rec.recv(msg, /*delivered=*/false);
+  sr.rec.rejoin(1, "spare adopted");
+  sr.rec.resync(1, msg, "transfer complete");
+
+  const ksan::SanitizerReport rep = dsan::check_protocol(sr.rec.trace(), "zoo");
+  EXPECT_GT(rep.count(ksan::Category::StaleReplicaRead), 0u) << rep.summary();
+  EXPECT_TRUE(note_contains(
+      rep, "resync of actor r1 before its re-replication transfer verified"))
+      << rep.summary();
+}
+
+TEST(DsanBugZoo, PromotionWithoutItsAuditIsSnapshotPromotedBeforeAudit) {
+  // Async checkpointing may only promote a staged snapshot after the
+  // deferred audit of the *same iteration* passed.  An audit of a different
+  // iteration does not cover it.
+  dsan::ScopedRecorder sr;
+  sr.rec.checkpoint(/*iteration=*/4, "staged");
+  sr.rec.snapshot_audit(4, "true residual ok");
+  sr.rec.snapshot_promote(4, "durable");   // properly audited: no finding
+  sr.rec.checkpoint(/*iteration=*/8, "staged");
+  sr.rec.snapshot_promote(8, "durable");   // promoted with no audit: flags
+
+  const ksan::SanitizerReport rep = dsan::check_protocol(sr.rec.trace(), "zoo");
+  EXPECT_EQ(rep.count(ksan::Category::SnapshotPromotedBeforeAudit), 1u) << rep.summary();
+  EXPECT_TRUE(note_contains(rep, "staged snapshot promoted with no passing audit at iteration 8"))
+      << rep.summary();
+}
+
+TEST(DsanClean, FullElasticRecoverySequenceChecksClean) {
+  // The legit protocol order — re-replication transfer sent, checksummed,
+  // delivered; rejoin; resync naming the verified transfer; staged snapshot
+  // audited then promoted — must satisfy the protocol and pairing checkers.
+  dsan::ScopedRecorder sr;
+  std::vector<double> slab(32);
+  const std::uint64_t msg =
+      sr.rec.send(0, 1, "rereplicate r0->r1", /*round=*/1,
+                  dsan::span_of(slab.data(), slab.size()),
+                  /*dropped=*/false, /*aggregated=*/false);
+  sr.rec.checksum(msg, /*ok=*/true);
+  sr.rec.recv(msg, /*delivered=*/true);
+  sr.rec.rejoin(1, "device r1 healed");
+  sr.rec.resync(1, msg, "replica verified");
+  sr.rec.checkpoint(/*iteration=*/6, "staged");
+  sr.rec.snapshot_audit(6, "true residual ok");
+  sr.rec.snapshot_promote(6, "durable");
+
+  EXPECT_TRUE(dsan::check_protocol(sr.rec.trace(), "elastic").clean());
+  EXPECT_TRUE(dsan::check_messages(sr.rec.trace(), "elastic").clean());
+}
+
 }  // namespace
 }  // namespace milc::multidev

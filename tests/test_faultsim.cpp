@@ -424,6 +424,85 @@ TEST(FaultSim, DeviceLossFiresOnItsScheduledOccurrence) {
   EXPECT_EQ(fi.injector().injected(FaultKind::device_loss), 1u);
 }
 
+TEST(FaultSim, HealFiresOnItsScheduledOccurrence) {
+  // heal is the inverse of device_loss: a scheduled entry brings a named
+  // resource back on exactly the index-th consult of its `heal/*` site.
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::heal, 1, 1, "heal/device r1"});
+  ScopedFaultInjection fi(plan);
+
+  EXPECT_FALSE(fi.injector().on_heal_check("heal/device r1 @ 1x1x1x2"));
+  EXPECT_TRUE(fi.injector().on_heal_check("heal/device r1 @ 1x1x1x2"));
+  EXPECT_FALSE(fi.injector().on_heal_check("heal/device r1 @ 1x1x1x2"))
+      << "repeat=1 covers exactly one occurrence";
+  EXPECT_EQ(fi.injector().injected(FaultKind::heal), 1u);
+}
+
+TEST(FaultSim, HealSiteGrammarDistinguishesDevicesAndNodes) {
+  // The `heal/*` grammar addresses one resource per site: a device filter
+  // must not return a node (or a different device), and each site keeps its
+  // own occurrence counter.
+  FaultPlan plan;
+  plan.schedule.push_back(ScheduledFault{FaultKind::heal, 0, 1, "heal/device d3"});
+  plan.schedule.push_back(ScheduledFault{FaultKind::heal, 0, 1, "heal/node n1"});
+  ScopedFaultInjection fi(plan);
+
+  EXPECT_FALSE(fi.injector().on_heal_check("heal/device d0"));
+  EXPECT_FALSE(fi.injector().on_heal_check("heal/node n0"));
+  EXPECT_TRUE(fi.injector().on_heal_check("heal/device d3"));
+  EXPECT_TRUE(fi.injector().on_heal_check("heal/node n1"));
+  EXPECT_EQ(fi.injector().injected(FaultKind::heal), 2u);
+}
+
+TEST(FaultSim, HealDrawsAreDeterministicAcrossRuns) {
+  auto run = [] {
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.p_heal = 0.3;
+    ScopedFaultInjection fi(plan);
+    for (int i = 0; i < 50; ++i) {
+      (void)fi.injector().on_heal_check("heal/device r0 @ 1x1x1x2");
+    }
+    return fi.injector().log();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a.empty()) << "p_heal=0.3 over 50 consults must fire";
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].site, b[i].site);
+    EXPECT_EQ(a[i].occurrence, b[i].occurrence);
+    EXPECT_EQ(a[i].detail, b[i].detail);
+  }
+}
+
+TEST(FaultSim, HealConsultsDoNotPerturbLossDraws) {
+  // heal has its own draw stream (heal_counter_): a replay that adds heal
+  // consults — e.g. a rejoin probe loop — must see the *same* device-loss
+  // verdicts as a replay without them, or kill-then-heal scenarios would not
+  // reproduce from their seed.
+  auto losses = [](bool interleave_heals) {
+    FaultPlan plan;
+    plan.seed = 2024;
+    plan.p_device_loss = 0.2;
+    plan.p_heal = 0.5;
+    ScopedFaultInjection fi(plan);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 40; ++i) {
+      if (interleave_heals) (void)fi.injector().on_heal_check("heal/device r1");
+      verdicts.push_back(fi.injector().on_device_check("device r1 @ 1x1x1x2"));
+    }
+    return verdicts;
+  };
+  const auto without = losses(false);
+  const auto with = losses(true);
+  ASSERT_EQ(without.size(), with.size());
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(without[i], with[i]) << "loss draw " << i << " shifted by heal consults";
+  }
+}
+
 TEST(FaultSim, WaitDoesNotProcessAsyncErrors) {
   FaultPlan plan;
   plan.schedule.push_back(ScheduledFault{FaultKind::launch_fail, 0, 1, {}});

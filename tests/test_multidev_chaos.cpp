@@ -489,6 +489,122 @@ TEST(MultidevChaos, NodeLossStormStillConvergesBitForBit) {
   EXPECT_TRUE(node_lost);
 }
 
+// --- elastic recovery: hot spares and live rejoin ---------------------------
+
+TEST(MultidevChaos, HotSpareReReplicationKeepsTheGridAndExactOutput) {
+  // With a hot spare declared, a lost device's shard is re-replicated onto
+  // the spare over the priced interconnect instead of shrinking the grid —
+  // the run finishes at full capacity with the exact field.
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  gpusim::NodeTopology topo;
+  topo.spares.devices_per_node = 1;
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1, "device r1 @ 1x1x1x2"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened_topo(problem, PartitionGrid::along(3, 2), topo);
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_EQ(res.spares_consumed, 1);
+  EXPECT_EQ(res.final_grid.label(), "1x1x1x2") << "re-replication must not shrink";
+  EXPECT_EQ(res.devices, 2);
+  EXPECT_GT(res.rereplicated_bytes, 0);
+  EXPECT_GT(res.rereplication_us, 0.0);
+  EXPECT_GT(res.recovery_us, 0.0);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0)
+      << "the adopted replica must carry the exact shard state";
+  ASSERT_GE(res.failovers.size(), 1u);
+  EXPECT_NE(res.failovers[0].reason.find("re-replicated onto hot spare"), std::string::npos)
+      << res.failovers[0].reason;
+}
+
+TEST(MultidevChaos, KillThenHealRejoinsTheAbandonedGridExactly) {
+  // No spares: the loss shrinks 1x1x1x2 -> 1x1x1x1 and parks the abandoned
+  // grid as a rejoin target.  A scheduled heal of the lost device then
+  // re-admits it — shard state re-replicated, grid restored — and the run
+  // finishes at full capacity with the exact field.
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 0, 1, "device r1 @ 1x1x1x2"});
+  plan.schedule.push_back(ScheduledFault{FaultKind::heal, 0, 1, "heal/device r1"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_GE(res.rejoins, 1);
+  EXPECT_GE(res.capacity_restored, 1);
+  EXPECT_EQ(res.final_grid.label(), "1x1x1x2") << "the heal must restore full capacity";
+  EXPECT_GT(res.rereplicated_bytes, 0);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  bool shrank = false, rejoined = false;
+  for (const FailoverEvent& f : res.failovers) {
+    shrank = shrank || f.to.total() < f.from.total();
+    rejoined = rejoined || f.reason.find("healed; rejoined") != std::string::npos;
+  }
+  EXPECT_TRUE(shrank) << "the loss must first shrink (no spares declared)";
+  EXPECT_TRUE(rejoined);
+  bool healed = false;
+  for (const faultsim::FaultEvent& ev : res.faults) {
+    healed = healed || ev.kind == FaultKind::heal;
+  }
+  EXPECT_TRUE(healed) << "the heal must be enumerated alongside the faults";
+}
+
+TEST(MultidevChaos, StandbyNodeAdoptsALostNodeAtFullCapacity) {
+  // Node n1 of a 2x2 cluster dies with a standby node declared: the whole
+  // node group is re-replicated across the fabric instead of shrinking the
+  // grid below the survivor count.
+  const ColorField expected = clean_output(/*seed=*/17);
+  DslashProblem problem(kL, /*seed=*/17);
+  gpusim::NodeTopology topo = gpusim::cluster(2, 2);
+  topo.spares.nodes = 1;
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.schedule.push_back(ScheduledFault{FaultKind::node_loss, 0, 1, "node n1 @ 1x1x2x2"});
+  ScopedFaultInjection fi(plan);
+  const MultiDevResult res =
+      run_hardened_topo(problem, PartitionGrid{.devices = {1, 1, 2, 2}}, topo);
+
+  EXPECT_TRUE(res.recovered);
+  EXPECT_EQ(res.spares_consumed, 1);
+  EXPECT_EQ(res.final_grid.label(), "1x1x2x2");
+  EXPECT_EQ(res.devices, 4);
+  EXPECT_GT(res.rereplicated_bytes, 0);
+  EXPECT_EQ(max_abs_diff(expected, problem.c()), 0.0);
+  ASSERT_GE(res.failovers.size(), 1u);
+  EXPECT_NE(res.failovers[0].reason.find("re-replicated onto standby node"), std::string::npos)
+      << res.failovers[0].reason;
+}
+
+TEST(MultidevChaos, ElasticRecoveryReplaysBitForBitFromItsSeed) {
+  // The full kill-then-heal cycle is part of the deterministic replay
+  // contract: same seed, same rejoins, same re-replication accounting, same
+  // output bits.
+  auto run_once = [] {
+    DslashProblem problem(kL, /*seed=*/17);
+    FaultPlan plan;
+    plan.seed = 6;
+    plan.schedule.push_back(
+        ScheduledFault{FaultKind::device_loss, 0, 1, "device r1 @ 1x1x1x2"});
+    plan.schedule.push_back(ScheduledFault{FaultKind::heal, 0, 1, "heal/device r1"});
+    ScopedFaultInjection fi(plan);
+    MultiDevResult res = run_hardened(problem, PartitionGrid::along(3, 2));
+    return std::make_pair(std::move(res), problem.c());
+  };
+  const auto [r1, c1] = run_once();
+  const auto [r2, c2] = run_once();
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+  EXPECT_EQ(r1.rejoins, r2.rejoins);
+  EXPECT_EQ(r1.capacity_restored, r2.capacity_restored);
+  EXPECT_EQ(r1.rereplicated_bytes, r2.rereplicated_bytes);
+  EXPECT_EQ(r1.rereplication_us, r2.rereplication_us);
+  EXPECT_EQ(r1.recovery_us, r2.recovery_us);
+  ASSERT_EQ(r1.faults.size(), r2.faults.size());
+}
+
 TEST(MultidevChaos, FallbackGridHalvesTheLowestSplitDimension) {
   EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {2, 2, 2, 1}}).label(), "1x2x2x1");
   EXPECT_EQ(fallback_grid(PartitionGrid{.devices = {1, 1, 1, 4}}).label(), "1x1x1x2");

@@ -172,10 +172,15 @@ TEST(CircuitBreaker, HalfOpenProbeRaceGuardAndRecovery) {
   ASSERT_EQ(b.state(), BreakerState::half_open);
   EXPECT_FALSE(b.allow());  // half-open never takes ordinary work
   ASSERT_TRUE(b.probe_allowed());
-  b.probe_started();
+  const int token = b.probe_started();
   // The race guard: a second concurrent dispatch cycle gets no probe.
   EXPECT_FALSE(b.probe_allowed());
+  // A *work* success landing while half-open (a solve dispatched before the
+  // trip) must never close the breaker in place of the probe.
   b.on_success(cfg.cooloff_us + 1.0);
+  EXPECT_EQ(b.state(), BreakerState::half_open);
+  // Only the probe's own outcome closes it.
+  b.on_probe_success(cfg.cooloff_us + 2.0, token);
   EXPECT_EQ(b.state(), BreakerState::closed);
   EXPECT_TRUE(b.allow());
   // The full trajectory is enumerated.
@@ -183,6 +188,64 @@ TEST(CircuitBreaker, HalfOpenProbeRaceGuardAndRecovery) {
   EXPECT_EQ(b.events()[0].to, BreakerState::open);
   EXPECT_EQ(b.events()[1].to, BreakerState::half_open);
   EXPECT_EQ(b.events()[2].to, BreakerState::closed);
+}
+
+// Regression: a probe outcome that lands after a concurrent failure reopened
+// the breaker carries a stale token and must be ignored — previously it could
+// close a breaker that had just re-tripped, closing it out of order.
+TEST(CircuitBreaker, StaleProbeSuccessAfterConcurrentFailureIsIgnored) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooloff_us = 100.0;
+  CircuitBreaker b("d2", cfg);
+  b.on_failure(0.0, "x");
+  b.poll(100.0);
+  ASSERT_EQ(b.state(), BreakerState::half_open);
+  const int token = b.probe_started();
+  // A concurrent in-flight solve fails while the probe is out: reopen.
+  b.on_failure(101.0, "late solve failure");
+  ASSERT_EQ(b.state(), BreakerState::open);
+  EXPECT_EQ(b.trips(), 2);
+  // The probe's success now arrives — stale, must NOT close the breaker.
+  b.on_probe_success(102.0, token);
+  EXPECT_EQ(b.state(), BreakerState::open);
+  EXPECT_FALSE(b.allow());
+  // Same for a stale probe failure: no double trip.
+  b.on_probe_failure(103.0, "stale", token);
+  EXPECT_EQ(b.trips(), 2);
+  // The next half-open cycle issues a fresh token that does resolve.
+  b.poll(b.open_until());
+  ASSERT_EQ(b.state(), BreakerState::half_open);
+  const int token2 = b.probe_started();
+  EXPECT_NE(token2, token);
+  b.on_probe_success(b.open_until() + 1.0, token2);
+  EXPECT_EQ(b.state(), BreakerState::closed);
+}
+
+// A probe failure reopens with a grown cooloff; a rejoined resource enters
+// probation (half-open) regardless of prior state so capacity returns only
+// through a successful probe.
+TEST(CircuitBreaker, ProbeFailureReopensAndProbationForcesHalfOpen) {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooloff_us = 100.0;
+  cfg.cooloff_factor = 2.0;
+  CircuitBreaker b("d3", cfg);
+  b.on_failure(0.0, "x");
+  b.poll(100.0);
+  const int token = b.probe_started();
+  b.on_probe_failure(100.0, "still broken", token);
+  EXPECT_EQ(b.state(), BreakerState::open);
+  EXPECT_EQ(b.open_until(), 300.0);  // 100 + 100 * 2^1
+  // Elastic rejoin: force probation from open.
+  b.begin_probation(150.0, "healed; rejoining");
+  EXPECT_EQ(b.state(), BreakerState::half_open);
+  EXPECT_FALSE(b.allow());  // no traffic before a probe passes
+  ASSERT_TRUE(b.probe_allowed());
+  const int token2 = b.probe_started();
+  b.on_probe_success(151.0, token2);
+  EXPECT_EQ(b.state(), BreakerState::closed);
+  EXPECT_TRUE(b.allow());
 }
 
 // --- deadline hooks on the sharded CG solver --------------------------------
@@ -347,6 +410,42 @@ TEST(SolverService, BreakerTripsAndRecoversUnderDeviceStorm) {
                                                         o.req.source_seed, o.strategy_used));
     }
   }
+}
+
+TEST(SolverService, ShedsWithRecoveryExhaustedWhenTheLadderFails) {
+  // A fault no recovery tier can outrun — every Dslash launch sticks
+  // forever, so retries, fallbacks and failovers all fail on every grid —
+  // must surface as a *shed* with ShedReason::recovery_exhausted, carrying
+  // the solver's structured detail.  Never a hang, never a certified wrong
+  // answer.
+  SolverService svc(catalog(), service_config());
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.schedule.push_back(
+      ScheduledFault{FaultKind::sticky_fault, 0, 100'000'000, "dslash-"});
+  auto r = req(1, "a", 1);
+  r.retry_budget = 0;  // shed on the first exhaustion instead of re-dispatching
+  SloReport rep;
+  {
+    ScopedFaultInjection fi(plan);
+    rep = svc.run("unit-exhaust", {r});
+  }
+  ASSERT_EQ(rep.outcomes.size(), 1u);
+  const RequestOutcome& o = rep.outcomes[0];
+  EXPECT_EQ(o.status, RequestOutcome::Status::shed);
+  EXPECT_EQ(o.reason, std::string(to_string(ShedReason::recovery_exhausted)));
+  EXPECT_TRUE(o.solution_fnv.empty()) << "a shed request certifies nothing";
+  EXPECT_FALSE(o.abft_certified);
+  bool exhausted_detail = false;
+  for (const DegradationEvent& d : rep.degradations) {
+    if (d.kind == "shed" &&
+        d.detail.find("recovery ladder exhausted") != std::string::npos) {
+      exhausted_detail = true;
+    }
+  }
+  EXPECT_TRUE(exhausted_detail);
+  EXPECT_EQ(rep.shed, 1);
+  EXPECT_EQ(rep.completed, 0);
 }
 
 TEST(SolverService, SameSeedReplayProducesIdenticalSloReport) {

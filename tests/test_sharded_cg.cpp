@@ -309,6 +309,99 @@ TEST(ShardedCg, StormSolveReplaysBitForBitFromItsSeed) {
   }
 }
 
+TEST(ShardedCg, RestartExhaustionReportsStructuredFailure) {
+  // A fault the recovery ladder cannot outrun — every kernel launch sticks
+  // forever, so retries, strategy fallbacks and failovers all fail on every
+  // grid — must exhaust the restart budget and surface a *structured*
+  // failure: recovered_all=false, converged=false, and the summary names
+  // the exhaustion.  Never a crash, never a silent wrong answer.
+  ShardedCgConfig cfg = quick_config();
+  cfg.max_restarts = 2;
+  ShardedCgSolver solver(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2), cfg);
+  const ColorField b = make_source(solver.geom());
+  ColorField x(solver.geom(), Parity::Even);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.schedule.push_back(
+      ScheduledFault{FaultKind::sticky_fault, 0, 100'000'000, "dslash-"});
+  ScopedFaultInjection fi(plan);
+  const ShardedCgResult res = solver.solve(b, x);
+
+  EXPECT_FALSE(res.recovered_all);
+  EXPECT_FALSE(res.cg.converged);
+  EXPECT_FALSE(res.cancelled) << "exhaustion is a failure, not a cancellation";
+  EXPECT_LE(res.restarts, cfg.max_restarts);
+  EXPECT_FALSE(res.faults.empty());
+  EXPECT_NE(res.summary().find("RECOVERY EXHAUSTED"), std::string::npos)
+      << res.summary();
+}
+
+TEST(ShardedCg, AsyncCheckpointFaultFreeSolveIsBitForBitTheSyncSolve) {
+  // Async checkpointing moves the audit apply off the critical path; it must
+  // not move the *trajectory*.  Fault-free, the async solve produces the
+  // same iterates and the same solution bits as the synchronous solve, with
+  // the audit applies accounted as hidden (overlapped) work.
+  ShardedCgSolver sync_solver(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2),
+                              quick_config());
+  const ColorField b = make_source(sync_solver.geom());
+  ColorField x_sync(sync_solver.geom(), Parity::Even);
+  const ShardedCgResult sync_res = sync_solver.solve(b, x_sync);
+  ASSERT_TRUE(sync_res.cg.converged);
+
+  ShardedCgConfig acfg = quick_config();
+  acfg.async_checkpoint = true;
+  ShardedCgSolver async_solver(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2),
+                               acfg);
+  ColorField x_async(async_solver.geom(), Parity::Even);
+  const ShardedCgResult async_res = async_solver.solve(b, x_async);
+
+  ASSERT_TRUE(async_res.cg.converged) << async_res.summary();
+  EXPECT_EQ(async_res.cg.iterations, sync_res.cg.iterations);
+  EXPECT_EQ(max_abs_diff(x_async, x_sync), 0.0);
+
+  // The overhead split: same audit cadence, but the async audits are hidden.
+  EXPECT_GT(async_res.hidden_applies, 0);
+  EXPECT_EQ(async_res.hidden_applies, async_res.checkpoint_applies);
+  EXPECT_GT(async_res.snapshots_promoted, 0);
+  EXPECT_LE(async_res.snapshots_staged - async_res.snapshots_promoted, 1)
+      << "fault-free, every audited staging promotes; at most the final one "
+         "can still be pending when the solve converges";
+  EXPECT_EQ(sync_res.hidden_applies, 0) << "sync audits stay on the critical path";
+  EXPECT_LT(async_res.applies - async_res.hidden_applies, sync_res.applies)
+      << "the critical path must shorten at equal cadence";
+}
+
+TEST(ShardedCg, AsyncCheckpointDeviceLossRestoresBitForBit) {
+  // The promotion rule under test: only an *audited* staged state becomes
+  // the durable snapshot, so a mid-window failover restores a consistent
+  // state (possibly one cadence further back) and the replayed trajectory is
+  // still bit-identical to the clean solve.
+  ShardedCgConfig acfg = quick_config();
+  acfg.async_checkpoint = true;
+  ShardedCgSolver clean(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2), acfg);
+  const ColorField b = make_source(clean.geom());
+  ColorField x_clean(clean.geom(), Parity::Even);
+  const ShardedCgResult clean_res = clean.solve(b, x_clean);
+  ASSERT_TRUE(clean_res.cg.converged);
+
+  ShardedCgSolver solver(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2), acfg);
+  ColorField x(solver.geom(), Parity::Even);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.schedule.push_back(ScheduledFault{FaultKind::device_loss, 40, 1, "device r"});
+  ScopedFaultInjection fi(plan);
+  const ShardedCgResult res = solver.solve(b, x);
+
+  ASSERT_TRUE(res.cg.converged) << res.summary();
+  EXPECT_TRUE(res.recovered_all);
+  EXPECT_GE(res.failovers_observed, 1);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_GE(res.snapshots_promoted, 1)
+      << "the restore must have had an audited snapshot to land on";
+  EXPECT_EQ(res.final_grid.total(), 1);
+  EXPECT_EQ(max_abs_diff(x, x_clean), 0.0);
+}
+
 TEST(ShardedCg, ZeroSourceShortCircuits) {
   ShardedCgSolver solver(kDims, kGaugeSeed, kMass, PartitionGrid::along(3, 2),
                          quick_config());
