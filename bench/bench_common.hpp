@@ -33,6 +33,10 @@ struct Options {
   std::uint64_t stamp = 1;  ///< simulated provenance timestamp for recorded entries
   int spares = 0;  ///< hot-spare devices per node: lost shards re-replicate
                    ///< onto standbys instead of shrinking the grid
+  /// Halo wire format, "<fp64|fp32|fp16>[+r<18|12|9>]" (docs/WIRE.md §1).
+  /// Empty = not requested; bench_scaling's --wire mode certifies the
+  /// format against the exact fp64 wire and exits nonzero on any failure.
+  std::string wire;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -61,11 +65,14 @@ inline Options parse_options(int argc, char** argv) {
       o.stamp = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--spares") == 0 && i + 1 < argc) {
       o.spares = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--wire") == 0 && i + 1 < argc) {
+      o.wire = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--L <extent>] [--seed <n>] [--csv <path>] [--json <path>] "
           "[--sanitize] [--dsan] [--faults <fault seed>] [--nodes <n>] "
-          "[--tune-cache <path>] [--stamp <n>] [--spares <n>]\n",
+          "[--tune-cache <path>] [--stamp <n>] [--spares <n>] "
+          "[--wire <fp64|fp32|fp16>[+r<18|12|9>]]\n",
           argv[0]);
       std::exit(0);
     }
@@ -149,7 +156,7 @@ class CsvSink {
 };
 
 /// Machine-readable JSON sink: one document per bench run,
-///   {"bench": "<name>", "schema_version": 3, "rows": [...], "meta": {...}}
+///   {"bench": "<name>", "schema_version": 4, "rows": [...], "meta": {...}}
 /// Rows are either the standard RunResult columns (mirroring CsvSink) or
 /// free-form key/value objects built with begin_row()/field()/end_row() —
 /// the scaling bench uses the latter for its overlap metrics.  `meta` holds
@@ -158,10 +165,13 @@ class CsvSink {
 /// rows only; 2 = adds schema_version and the meta object; 3 = elastic
 /// recovery metrics in meta (recovery_time_us, rereplicated_bytes,
 /// capacity_restored_devices, spares / spares_consumed / rejoins) emitted by
-/// the chaos benches when a fault plan with spares or heals is active.
+/// the chaos benches when a fault plan with spares or heals is active;
+/// 4 = halo wire-format meta (wire_format, spinor_site_bytes,
+/// gauge_link_bytes — see wire_meta() and docs/WIRE.md) emitted by the
+/// benches that select a wire format.
 class JsonSink {
  public:
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
 
   JsonSink(const std::string& path, const std::string& bench) {
     if (path.empty()) return;
@@ -202,6 +212,16 @@ class JsonSink {
   }
   void meta(const char* key, const std::string& v) {
     meta_.emplace_back("\"" + std::string(key) + "\": \"" + json_escape(v) + "\"");
+  }
+
+  /// Run-level halo wire-format facts (schema_version >= 4): the format
+  /// label ("fp64", "fp32+r12", ...) plus the encoded per-site spinor and
+  /// per-link gauge byte counts of docs/WIRE.md's tables.
+  void wire_meta(const std::string& format, std::int64_t spinor_site_bytes,
+                 std::int64_t gauge_link_bytes) {
+    meta("wire_format", format);
+    meta("spinor_site_bytes", spinor_site_bytes);
+    meta("gauge_link_bytes", gauge_link_bytes);
   }
 
   /// Run-level interconnect topology facts for multi-node benches: node

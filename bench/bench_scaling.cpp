@@ -32,6 +32,7 @@
 // and every injected fault enumerated in the report, or the bench exits
 // non-zero.  The JSON document carries the fault seed and a recovery
 // summary under "meta".
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
@@ -807,6 +808,218 @@ int run_nodes(const Options& opt, int max_devices, const RunRequest& req) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Wire-format mode (--wire <fp64|fp32|fp16>[+r<18|12|9>]): certify a halo
+// wire format against the exact fp64 wire (docs/WIRE.md).  The checks are
+// the acceptance criteria of the wire contract:
+//   1. the fp64 wire is bit-for-bit the default run (always, as a guard);
+//   2. a reduced spinor wire cuts the encoded halo payload by the exact
+//      bytes-per-site ratio (>= 2x for fp32, 4x for fp16), and with --nodes
+//      the priced inter-node fabric bytes shrink accordingly;
+//   3. the reduced-wire Dslash output stays within the format's error floor
+//      of the exact output (the wire only perturbs ghost values);
+//   4. a sharded CG solve on the reduced wire is *certified*: the
+//      reliable-update outer loop converges it to the same answer as the
+//      fault-free fp64 solve, verified through an exact-wire true residual.
+// Any failed check exits non-zero.
+// ---------------------------------------------------------------------------
+
+/// Acceptable |multi(reduced wire) - single(exact)| for one Dslash, relative
+/// to the data magnitude (matches the ABFT floors in sharded_cg.cpp).
+double wire_error_floor(SpinorWire w) {
+  switch (w) {
+    case SpinorWire::fp64: return 0.0;
+    case SpinorWire::fp32: return 1e-5;
+    case SpinorWire::fp16: return 5e-2;
+  }
+  return 0.0;
+}
+
+int run_wire(const Options& opt, int max_devices, const RunRequest& req) {
+  WireFormat fmt;
+  if (!parse_wire_format(opt.wire, fmt)) {
+    std::fprintf(stderr,
+                 "bad --wire '%s' (grammar: <fp64|fp32|fp16>[+r<18|12|9>], "
+                 "e.g. fp32+r12 — see docs/WIRE.md)\n",
+                 opt.wire.c_str());
+    return 2;
+  }
+
+  DslashProblem p0(opt.L, opt.seed);
+  print_header("Halo wire-format certification", opt, p0.sites());
+  std::printf("wire %s: %lld B/site spinor halos, %lld B/link gauge frames "
+              "(fp64 baseline: 48 B/site, 144 B/link)\n",
+              to_string(fmt).c_str(),
+              static_cast<long long>(spinor_site_bytes(fmt.spinor)),
+              static_cast<long long>(gauge_link_bytes(fmt.gauge)));
+
+  JsonSink json(opt.json_path, "scaling-wire");
+  json.wire_meta(to_string(fmt), spinor_site_bytes(fmt.spinor), gauge_link_bytes(fmt.gauge));
+  bool ok = true;
+
+  // Pick the exchange shape: >= 2 devices so halos actually move; with
+  // --nodes the same grid is priced over the fabric tier.
+  int n = max_devices >= 4 ? 4 : 2;
+  if (opt.nodes > 1) {
+    while (n % opt.nodes != 0 && n <= max_devices) n *= 2;
+    if (n > max_devices || n % opt.nodes != 0) {
+      std::fprintf(stderr, "no device count <= %d divides into %d nodes\n", max_devices,
+                   opt.nodes);
+      return 2;
+    }
+  }
+  const PartitionGrid grid = strong_grid(n);
+  const gpusim::NodeTopology topo = opt.nodes > 1
+                                        ? gpusim::cluster(opt.nodes, n / opt.nodes)
+                                        : gpusim::NodeTopology{};
+  const MultiDeviceRunner multi;
+
+  const auto run_with = [&](DslashProblem& problem, const WireFormat& w) {
+    MultiDevRequest mreq;
+    mreq.grid = grid;
+    mreq.req = req;
+    mreq.topo = topo;
+    mreq.wire = w;
+    return multi.run(problem, mreq);
+  };
+
+  // The exact single-device output every run is compared against.
+  const DslashRunner single;
+  DslashProblem exact(opt.L, opt.seed);
+  single.run_functional(exact, req.strategy, req.order, req.local_size);
+
+  // -- check 1: the fp64 wire is the default run, bit-for-bit ---------------
+  DslashProblem p_default(opt.L, opt.seed);
+  MultiDevRequest dreq;
+  dreq.grid = grid;
+  dreq.req = req;
+  dreq.topo = topo;
+  const MultiDevResult base = multi.run(p_default, dreq);
+  DslashProblem p_fp64(opt.L, opt.seed);
+  const MultiDevResult fp64_res = run_with(p_fp64, WireFormat{});
+  const double fp64_diff = max_abs_diff(p_default.c(), p_fp64.c());
+  const bool fp64_ok = fp64_diff == 0.0 && fp64_res.halo_bytes == base.halo_bytes;
+  std::printf("\n  fp64 wire vs default run (%s, %d dev): %s\n", grid.label().c_str(), n,
+              fp64_ok ? "bit-for-bit, same bytes" : "MISMATCH");
+  ok &= fp64_ok;
+
+  // -- check 2 + 3: payload reduction and output accuracy -------------------
+  DslashProblem p_wire(opt.L, opt.seed);
+  const MultiDevResult wr = run_with(p_wire, fmt);
+  const double spinor_ratio =
+      wr.halo_bytes > 0 ? static_cast<double>(base.halo_bytes) / wr.halo_bytes : 0.0;
+  const double inter_ratio = wr.inter_node_bytes > 0
+                                 ? static_cast<double>(base.inter_node_bytes) /
+                                       static_cast<double>(wr.inter_node_bytes)
+                                 : 0.0;
+  const double expected_ratio =
+      static_cast<double>(spinor_site_bytes(SpinorWire::fp64)) /
+      static_cast<double>(spinor_site_bytes(fmt.spinor));
+  const double diff = max_abs_diff(exact.c(), p_wire.c());
+  const double floor = wire_error_floor(fmt.spinor);
+
+  std::printf("  halo payload: %lld B -> %lld B per iteration (%.2fx, expected %.0fx)\n",
+              static_cast<long long>(base.halo_bytes),
+              static_cast<long long>(wr.halo_bytes), spinor_ratio, expected_ratio);
+  if (opt.nodes > 1) {
+    std::printf("  inter-node fabric bytes: %lld -> %lld (%.2fx incl. frame headers)\n",
+                static_cast<long long>(base.inter_node_bytes),
+                static_cast<long long>(wr.inter_node_bytes), inter_ratio);
+  }
+  std::printf("  Dslash output vs exact single-device: max|diff| = %.3g (floor %.0e)\n",
+              diff, floor);
+
+  if (fmt.reduced()) {
+    // The encoded payload shrinks by exactly the bytes-per-site ratio; the
+    // fabric bytes carry 32 B of framing per aggregated message, so they sit
+    // just under the payload ratio.
+    ok &= spinor_ratio >= expected_ratio - 1e-9 && expected_ratio >= 2.0;
+    if (opt.nodes > 1) ok &= inter_ratio >= 0.95 * expected_ratio && inter_ratio >= 1.9;
+    ok &= diff > 0.0 ? diff <= floor : true;  // a reduced wire may still be exact
+  } else {
+    ok &= wr.halo_bytes == base.halo_bytes && diff == 0.0;
+  }
+
+  json.begin_row();
+  json.field("kind", std::string("dslash"));
+  json.field("grid", grid.label());
+  json.field("devices", static_cast<std::int64_t>(n));
+  json.field("nodes", static_cast<std::int64_t>(wr.nodes));
+  json.field("halo_bytes_fp64", base.halo_bytes);
+  json.field("halo_bytes_wire", wr.halo_bytes);
+  json.field("spinor_reduction", spinor_ratio);
+  json.field("inter_node_bytes_fp64", base.inter_node_bytes);
+  json.field("inter_node_bytes_wire", wr.inter_node_bytes);
+  json.field("inter_node_reduction", inter_ratio);
+  json.field("max_abs_diff", diff);
+  json.field("fp64_bit_for_bit", static_cast<std::int64_t>(fp64_ok ? 1 : 0));
+  json.end_row();
+
+  // -- check 4: certified sharded CG on the reduced wire --------------------
+  const Coords dims{8, 8, 8, 12};
+  const double mass = 0.5;
+  ShardedCgConfig cfg;
+  cfg.cg.rel_tol = 1e-8;
+  cfg.cg.max_iterations = 800;
+
+  ShardedCgSolver ref_solver(dims, opt.seed, mass, PartitionGrid::along(3, 2), cfg);
+  ColorField b(ref_solver.geom(), Parity::Even);
+  b.fill_random(opt.seed ^ 0x5a5a5a5aULL);
+  ColorField x_ref(ref_solver.geom(), Parity::Even);
+  const ShardedCgResult ref = ref_solver.solve(b, x_ref);
+
+  ShardedCgConfig wcfg = cfg;
+  wcfg.wire = fmt;
+  ShardedCgSolver wire_solver(dims, opt.seed, mass, PartitionGrid::along(3, 2), wcfg);
+  ColorField x_wire(wire_solver.geom(), Parity::Even);
+  const ShardedCgResult wres = wire_solver.solve(b, x_wire);
+
+  const double cg_diff = max_abs_diff(x_ref, x_wire);
+  double x_scale = 0.0;
+  for (std::int64_t s = 0; s < x_ref.size(); ++s) {
+    for (int ci = 0; ci < kColors; ++ci) {
+      x_scale = std::max({x_scale, std::abs(x_ref[s][ci].re), std::abs(x_ref[s][ci].im)});
+    }
+  }
+  const double cg_rel = x_scale > 0.0 ? cg_diff / x_scale : cg_diff;
+  // Certification pins the *true* residual (exact fp64 apply) under rel_tol,
+  // so the solution error is O(cond * rel_tol) regardless of the wire.
+  const bool cg_ok = ref.cg.converged && wres.cg.converged && wres.certified &&
+                     (fmt.reduced() ? cg_rel <= 1e-4 : cg_diff == 0.0);
+  std::printf("\n  sharded CG on the %s wire (grid %s):\n", to_string(fmt).c_str(),
+              PartitionGrid::along(3, 2).label().c_str());
+  std::printf("    fp64 : %s\n", ref.summary().c_str());
+  std::printf("    %s: %s\n", to_string(fmt).c_str(), wres.summary().c_str());
+  std::printf("    solution vs fp64 solve: max|diff| = %.3g (rel %.3g) %s\n", cg_diff,
+              cg_rel, cg_ok ? (cg_diff == 0.0 ? "bit-for-bit" : "certified exact")
+                            : "NOT CERTIFIED");
+  ok &= cg_ok;
+
+  json.begin_row();
+  json.field("kind", std::string("sharded-cg"));
+  json.field("grid", PartitionGrid::along(3, 2).label());
+  json.field("iterations_fp64", static_cast<std::int64_t>(ref.cg.iterations));
+  json.field("iterations_wire", static_cast<std::int64_t>(wres.cg.iterations));
+  json.field("reliable_updates", static_cast<std::int64_t>(wres.reliable_updates));
+  json.field("certified", static_cast<std::int64_t>(wres.certified ? 1 : 0));
+  json.field("true_relative_residual", wres.cg.true_relative_residual);
+  json.field("max_abs_diff", cg_diff);
+  json.field("rel_diff", cg_rel);
+  json.end_row();
+
+  json.meta("mode", std::string("wire"));
+  json.meta("nodes", static_cast<std::int64_t>(opt.nodes));
+  json.meta("spinor_reduction", spinor_ratio);
+  json.meta("inter_node_reduction", inter_ratio);
+  json.meta("cg_certified", static_cast<std::int64_t>(wres.certified ? 1 : 0));
+  json.meta("all_certified", static_cast<std::int64_t>(ok ? 1 : 0));
+
+  std::printf("\nwire verdict: %s\n",
+              ok ? "format certified against the exact fp64 wire"
+                 : "WIRE CERTIFICATION FAILURE");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -822,6 +1035,7 @@ int main(int argc, char** argv) {
                        .order = IndexOrder::kMajor,
                        .local_size = 768,
                        .variant = Variant::SYCL};
+  if (!opt.wire.empty()) return run_wire(opt, max_devices, req);
   if (opt.dsan) return run_dsan(opt, max_devices, req);
   if (opt.sanitize) return run_sanitize(opt, max_devices);
   if (opt.faults) return run_chaos(opt, max_devices, req);

@@ -84,6 +84,14 @@ void LaunchContext::check_cell(std::unordered_map<std::uint64_t, CellState>& cel
   const std::int64_t item = ids.global_id;
   const std::int64_t group = ids.group_id;
 
+  // Byte mask of this access within the cell: conflicts require overlapping
+  // bytes, not just a shared cell (sub-word wire-codec stores are 4 B).
+  const std::uint64_t base = cell << 3;
+  const std::uint64_t lo = addr > base ? addr - base : 0;
+  const std::uint64_t hi = std::min<std::uint64_t>(8, addr + size - base);
+  const std::uint8_t mask = static_cast<std::uint8_t>(
+      (hi >= 8 ? 0xffu : (1u << hi) - 1u) & ~((1u << lo) - 1u));
+
   // Happens-before: accesses of the same work-item are program-ordered; a
   // barrier (phase boundary) orders work-items of the same group; nothing
   // orders different groups.
@@ -128,58 +136,80 @@ void LaunchContext::check_cell(std::unordered_map<std::uint64_t, CellState>& cel
 
   switch (kind) {
     case AccessKind::Load:
-      if (unordered(c.w_item, c.w_group, c.w_phase)) {
+      if ((mask & c.w_mask) != 0 && unordered(c.w_item, c.w_group, c.w_phase)) {
         conflict(AccessKind::Store, c.w_item, c.w_phase, note_for(c.w_group));
-      } else if (unordered(c.a_item, c.a_group, c.a_phase)) {
+      } else if ((mask & c.a_mask) != 0 && unordered(c.a_item, c.a_group, c.a_phase)) {
         conflict(AccessKind::Atomic, c.a_item, c.a_phase, note_for(c.a_group));
       }
       break;
     case AccessKind::Store:
     case AccessKind::Atomic:
-      if (unordered(c.w_item, c.w_group, c.w_phase)) {
+      if ((mask & c.w_mask) != 0 && unordered(c.w_item, c.w_group, c.w_phase)) {
         conflict(AccessKind::Store, c.w_item, c.w_phase, note_for(c.w_group));
-      } else if (kind == AccessKind::Store &&
+      } else if (kind == AccessKind::Store && (mask & c.a_mask) != 0 &&
                  unordered(c.a_item, c.a_group, c.a_phase)) {
         conflict(AccessKind::Atomic, c.a_item, c.a_phase, note_for(c.a_group));
       } else {
         for (int i = 0; i < c.r_count; ++i) {
-          if (unordered(c.r_item[i], c.r_group[i], c.r_phase)) {
+          if ((mask & c.r_mask[i]) != 0 &&
+              unordered(c.r_item[i], c.r_group[i], c.r_phase)) {
             conflict(AccessKind::Load, c.r_item[i], c.r_phase, note_for(c.r_group[i]));
             break;
           }
         }
         // >= 3 distinct readers in the epoch: at least one differs from us.
-        if (!reported && c.r_many && (shared ? c.r_phase == phase : true)) {
+        if (!reported && c.r_many && (mask & c.r_many_mask) != 0 &&
+            (shared ? c.r_phase == phase : true)) {
           conflict(AccessKind::Load, -1, c.r_phase, "multiple unordered readers of this cell");
         }
       }
       break;
   }
 
-  // Update the shadow cell.
+  // Update the shadow cell.  Repeat accesses by the recorded item widen its
+  // byte mask (program order covers them); a different item replaces the
+  // entry, exactly like the pre-mask shadow did.
   if (kind == AccessKind::Load) {
     if (c.r_phase != phase) {
       c.r_phase = phase;
       c.r_count = 0;
       c.r_many = false;
+      c.r_many_mask = 0;
     }
     bool seen = false;
-    for (int i = 0; i < c.r_count; ++i) seen = seen || c.r_item[i] == item;
+    for (int i = 0; i < c.r_count; ++i) {
+      if (c.r_item[i] == item) {
+        c.r_mask[i] |= mask;
+        seen = true;
+      }
+    }
     if (!seen) {
       if (c.r_count < 2) {
         c.r_item[c.r_count] = item;
         c.r_group[c.r_count] = group;
+        c.r_mask[c.r_count] = mask;
         ++c.r_count;
       } else {
         c.r_many = true;
+        c.r_many_mask |= mask;
       }
     }
   } else if (kind == AccessKind::Store) {
-    c.w_item = item;
+    if (c.w_item == item) {
+      c.w_mask |= mask;
+    } else {
+      c.w_item = item;
+      c.w_mask = mask;
+    }
     c.w_group = group;
     c.w_phase = phase;
   } else {
-    c.a_item = item;
+    if (c.a_item == item) {
+      c.a_mask |= mask;
+    } else {
+      c.a_item = item;
+      c.a_mask = mask;
+    }
     c.a_group = group;
     c.a_phase = phase;
   }

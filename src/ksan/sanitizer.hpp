@@ -100,18 +100,26 @@ class LaunchContext {
  private:
   /// Shadow state of one 8-byte memory cell: the most recent non-atomic
   /// write, the most recent atomic, and the readers of the newest epoch.
+  /// Each entry carries a byte mask of the bytes it actually touched, so
+  /// sub-word accesses (the fp32/fp16 wire codecs store 8- and 4-byte
+  /// elements) only conflict when their byte ranges genuinely overlap —
+  /// adjacent elements sharing a cell are not a race.
   struct CellState {
     std::int64_t w_item = -1;
     std::int64_t w_group = -1;
     int w_phase = -1;
+    std::uint8_t w_mask = 0;
     std::int64_t a_item = -1;
     std::int64_t a_group = -1;
     int a_phase = -1;
+    std::uint8_t a_mask = 0;
     int r_phase = -1;
     int r_count = 0;
     bool r_many = false;
+    std::uint8_t r_many_mask = 0;
     std::int64_t r_item[2] = {-1, -1};
     std::int64_t r_group[2] = {-1, -1};
+    std::uint8_t r_mask[2] = {0, 0};
   };
 
   /// One warp instruction being reassembled from lane events (per group).

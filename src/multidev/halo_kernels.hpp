@@ -7,9 +7,19 @@
 //
 // Index order is k-major in the paper's sense: one work-item per complex
 // component with the colour index fastest, so adjacent work-items touch
-// adjacent 16-byte wire elements — the pack's stores and the unpack's loads
-// and stores are all fully coalesced; only the pack's gather loads are
+// adjacent wire elements — the pack's stores and the unpack's loads and
+// stores are all fully coalesced; only the pack's gather loads are
 // scattered (inherently, they follow the face's site layout).
+//
+// The kernels are additionally templated over the wire element `W`
+// (dcomplex / scomplex / hcomplex — the fp64 / fp32 / fp16 wire formats of
+// `wire_format.hpp`): the precision convert is *fused* into the gather and
+// scatter through WireCodec<W>, so a reduced-format wire never exists at
+// fp64 width anywhere — pack writes encoded bytes directly, unpack decodes
+// straight into the ghost slots.  The work decomposition (one work-item
+// per complex component) is identical for every W; only the store/load
+// width changes, and WireCodec<dcomplex> is the identity, so the fp64
+// instantiations are bit-for-bit the pre-wire-format kernels.
 //
 // Wire counts are not multiples of any work-group size, so the global size
 // is padded up and tail work-items predicate themselves off against the
@@ -22,19 +32,23 @@
 
 #include "complexlib/dcomplex.hpp"
 #include "minisycl/traits.hpp"
+#include "multidev/wire_format.hpp"
 #include "su3/su3_vector.hpp"
 
 namespace milc::multidev {
 
 /// Gather `count` boundary source vectors (via `slots`) into the
-/// contiguous wire buffer of one outbound halo message.
-struct HaloPackKernel {
+/// contiguous wire buffer of one outbound halo message, encoding each
+/// complex component into the wire element format on the fly.
+template <typename W>
+struct HaloPackKernelT {
   static constexpr int kPhases = 1;
 
   const SU3Vector<dcomplex>* src = nullptr;  ///< sender's owned source field
   const std::int32_t* slots = nullptr;       ///< owned slot per wire site
-  dcomplex* wire = nullptr;                  ///< outbound buffer, count*3 elements
+  W* wire = nullptr;                         ///< outbound buffer, count*3 elements
   std::int64_t count = 0;                    ///< sites on the wire
+  double scale = 1.0;                        ///< fp16 range scale (1.0 otherwise)
 
   static minisycl::KernelTraits traits() {
     return {.name = "halo-pack", .regs_per_thread = 24, .codegen_slowdown = 1.0};
@@ -52,20 +66,26 @@ struct HaloPackKernel {
     const int comp = static_cast<int>(gid % kColors);
     const std::int32_t s = lane.load(&slots[site]);
     const dcomplex v = lane.load(&src[s].c[comp]);
-    lane.store(&wire[site * kColors + comp], v);
+    lane.store(&wire[site * kColors + comp], WireCodec<W>::encode(v, scale));
     lane.set_masked(false);
   }
 };
 
+/// The exact fp64 wire — the historical pack kernel, unchanged.
+using HaloPackKernel = HaloPackKernelT<dcomplex>;
+
 /// Scatter one received wire buffer into the ghost tail of the receiver's
-/// extended source field (slots [ghost_base, ghost_base + count)).
-struct HaloUnpackKernel {
+/// extended source field (slots [ghost_base, ghost_base + count)), decoding
+/// each wire element back to fp64 on the fly.
+template <typename W>
+struct HaloUnpackKernelT {
   static constexpr int kPhases = 1;
 
-  const dcomplex* wire = nullptr;            ///< inbound buffer, count*3 elements
+  const W* wire = nullptr;                   ///< inbound buffer, count*3 elements
   SU3Vector<dcomplex>* field = nullptr;      ///< extended source field base
   std::int64_t ghost_base = 0;               ///< first ghost slot of this message
   std::int64_t count = 0;
+  double inv_scale = 1.0;                    ///< fp16 range scale (1.0 otherwise)
 
   static minisycl::KernelTraits traits() {
     return {.name = "halo-unpack", .regs_per_thread = 16, .codegen_slowdown = 1.0};
@@ -81,13 +101,18 @@ struct HaloUnpackKernel {
     if (tail) gid = limit - 1;
     const std::int64_t site = gid / kColors;
     const int comp = static_cast<int>(gid % kColors);
-    const dcomplex v = lane.load(&wire[gid]);
-    lane.store(&field[ghost_base + site].c[comp], v);
+    const W v = lane.load(&wire[gid]);
+    lane.store(&field[ghost_base + site].c[comp], WireCodec<W>::decode(v, inv_scale));
     lane.set_masked(false);
   }
 };
 
+/// The exact fp64 wire — the historical unpack kernel, unchanged.
+using HaloUnpackKernel = HaloUnpackKernelT<dcomplex>;
+
 /// Padded global size for a wire of `count` sites at the given local size.
+/// Format-independent: every wire element format keeps one work-item per
+/// complex component.
 [[nodiscard]] inline std::int64_t halo_global_size(std::int64_t count, int local_size) {
   const std::int64_t items = count * kColors;
   const std::int64_t groups = (items + local_size - 1) / local_size;

@@ -111,6 +111,12 @@ std::int64_t Shard::halo_bytes() const {
   return b;
 }
 
+std::int64_t Shard::halo_wire_bytes(SpinorWire w) const {
+  std::int64_t b = 0;
+  for (const HaloMsg& m : halo) b += m.wire_bytes(w);
+  return b;
+}
+
 std::string partition_error(const LatticeGeom& geom, const PartitionGrid& grid) {
   for (int d = 0; d < kNdim; ++d) {
     const int nd = grid.devices[static_cast<std::size_t>(d)];
@@ -282,7 +288,7 @@ std::int64_t Partitioner::total_ghosts() const {
 }
 
 GridScore score_grid(const LatticeGeom& geom, const PartitionGrid& grid,
-                     const gpusim::NodeTopology& topo) {
+                     const gpusim::NodeTopology& topo, const WireFormat& wire) {
   if (grid.total() > topo.total_devices()) {
     throw std::invalid_argument("score_grid: grid needs " + std::to_string(grid.total()) +
                                 " devices but the topology has " +
@@ -304,12 +310,13 @@ GridScore score_grid(const LatticeGeom& geom, const PartitionGrid& grid,
   }
 
   // One directed slab per (rank, split dim, side): 3 planes, source-parity
-  // half of the face cross-section, one colour vector (48 B) per site —
-  // exactly what the Partitioner enumerates, computed without building it.
+  // half of the face cross-section, one colour vector per site at the wire
+  // format's encoded width (48 / 24 / 12 B — docs/WIRE.md §2) — exactly
+  // what the Partitioner enumerates, computed without building it.
   const auto slab_bytes = [&](int d) {
     const std::int64_t cross = local_volume / local[static_cast<std::size_t>(d)];
-    return static_cast<std::int64_t>(kHaloPlanes.size()) * (cross / 2) * kColors * 2 *
-           static_cast<std::int64_t>(sizeof(double));
+    return static_cast<std::int64_t>(kHaloPlanes.size()) * (cross / 2) *
+           spinor_site_bytes(wire.spinor);
   };
 
   const int nranks = grid.total();
@@ -397,7 +404,8 @@ std::vector<PartitionGrid> enumerate_grids(const LatticeGeom& geom, int devices)
   return out;
 }
 
-tune::TuneKey grid_tune_key(const LatticeGeom& geom, const gpusim::NodeTopology& topo) {
+tune::TuneKey grid_tune_key(const LatticeGeom& geom, const gpusim::NodeTopology& topo,
+                            const WireFormat& wire) {
   tune::TuneKey key;
   key.arch = tune::wire_fingerprint(topo);
   // Grid cost counts face bytes, which are parity-independent; "/even" is
@@ -406,12 +414,18 @@ tune::TuneKey grid_tune_key(const LatticeGeom& geom, const gpusim::NodeTopology&
                                   geom.extent(3), /*even_target=*/true);
   key.kernel = "grid";
   key.config = "cheapest";
+  // The wire format rides the grammar's existing prec/recon fields; the
+  // fp64/recon-18 default maps to the field defaults ("fp64", "-") so every
+  // pre-wire-format cache entry keeps its canonical string.
+  key.prec = wire_prec_field(wire);
+  key.recon = wire_recon_field(wire);
   key.devices = topo.total_devices();
   key.topo = tune::topo_signature(topo.nodes, topo.devices_per_node);
   return key;
 }
 
-PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& topo) {
+PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& topo,
+                          const WireFormat& wire) {
   const std::vector<PartitionGrid> candidates = enumerate_grids(geom, topo.total_devices());
   if (candidates.empty()) {
     throw std::invalid_argument("choose_grid: no grid of " +
@@ -422,7 +436,7 @@ PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& t
   tune::TuneSession* sess = tune::TuneSession::current();
   tune::TuneKey key;
   if (sess != nullptr) {
-    key = grid_tune_key(geom, topo);
+    key = grid_tune_key(geom, topo, wire);
     if (const tune::TuneEntry* hit = sess->lookup(key); hit != nullptr) {
       PartitionGrid g;
       if (!PartitionGrid::from_label(hit->grid, g) || !partition_error(geom, g).empty()) {
@@ -431,7 +445,7 @@ PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& t
       }
       // Warm start: one re-score instead of the full enumeration sweep —
       // and the honesty rule on its predicted cost.
-      sess->verify(key, *hit, score_grid(geom, g, topo).cost_us);
+      sess->verify(key, *hit, score_grid(geom, g, topo, wire).cost_us);
       return g;
     }
   }
@@ -443,7 +457,7 @@ PartitionGrid choose_grid(const LatticeGeom& geom, const gpusim::NodeTopology& t
   const PartitionGrid* best = nullptr;
   double best_cost = 0.0;
   for (const PartitionGrid& g : candidates) {
-    const double cost = score_grid(geom, g, topo).cost_us;
+    const double cost = score_grid(geom, g, topo, wire).cost_us;
     if (best == nullptr || cost < best_cost) {
       best = &g;
       best_cost = cost;

@@ -37,6 +37,7 @@
 
 #include "gpusim/fabric.hpp"
 #include "lattice/geometry.hpp"
+#include "multidev/wire_format.hpp"
 #include "su3/su3_vector.hpp"
 #include "tune/tune_key.hpp"
 
@@ -80,9 +81,16 @@ struct HaloMsg {
   [[nodiscard]] std::int64_t count() const {
     return static_cast<std::int64_t>(site_eo.size());
   }
-  /// Wire bytes: one SU(3) colour vector (3 x 16 B) per site.
+  /// Wire bytes on the exact fp64 wire: one SU(3) colour vector
+  /// (3 x 16 B) per site.  Identical to wire_bytes(SpinorWire::fp64).
   [[nodiscard]] std::int64_t bytes() const {
     return count() * kColors * 2 * static_cast<std::int64_t>(sizeof(double));
+  }
+  /// Encoded wire bytes under a spinor wire format (docs/WIRE.md §2):
+  /// 48 / 24 / 12 B per site for fp64 / fp32 / fp16.  Checksums,
+  /// corruption, pricing and retransmission all operate on this count.
+  [[nodiscard]] std::int64_t wire_bytes(SpinorWire w) const {
+    return count() * spinor_site_bytes(w);
   }
 };
 
@@ -117,6 +125,8 @@ struct Shard {
   }
   [[nodiscard]] std::int64_t extended_sources() const { return sources() + n_ghosts; }
   [[nodiscard]] std::int64_t halo_bytes() const;
+  /// Inbound wire bytes under a spinor wire format.
+  [[nodiscard]] std::int64_t halo_wire_bytes(SpinorWire w) const;
 };
 
 /// Splits a lattice over a device grid and builds every shard up front.
@@ -177,8 +187,11 @@ struct GridScore {
 
 /// Score one candidate grid on one topology (grid.total() devices must fit
 /// the topology).  Pure arithmetic over face surfaces — no shards built.
+/// Slab payloads are priced at the wire format's encoded size (fp64 when
+/// defaulted), so a reduced wire genuinely changes which grid is cheapest.
 [[nodiscard]] GridScore score_grid(const LatticeGeom& geom, const PartitionGrid& grid,
-                                   const gpusim::NodeTopology& topo);
+                                   const gpusim::NodeTopology& topo,
+                                   const WireFormat& wire = {});
 
 /// Every partitionable device grid with exactly `devices` ranks, in
 /// ascending lexicographic (d0, d1, d2, d3) order.
@@ -189,7 +202,8 @@ struct GridScore {
 /// wire-rate fingerprint in the arch field (grid cost is pure wire
 /// arithmetic — SM coefficients never enter).
 [[nodiscard]] tune::TuneKey grid_tune_key(const LatticeGeom& geom,
-                                          const gpusim::NodeTopology& topo);
+                                          const gpusim::NodeTopology& topo,
+                                          const WireFormat& wire = {});
 
 /// The cheapest partitionable grid for this lattice on this topology —
 /// prefers cuts whose surfaces stay intra-node.  Cost ties go to the
@@ -203,6 +217,7 @@ struct GridScore {
 /// bit-for-bit (tune::ReplayMismatch otherwise) instead of scoring every
 /// candidate; a miss scores the full enumeration and records the winner.
 [[nodiscard]] PartitionGrid choose_grid(const LatticeGeom& geom,
-                                        const gpusim::NodeTopology& topo);
+                                        const gpusim::NodeTopology& topo,
+                                        const WireFormat& wire = {});
 
 }  // namespace milc::multidev

@@ -103,17 +103,49 @@ std::vector<minisycl::AddressRegion> shard_regions(const DslashArgs<dcomplex>& a
   return regions;
 }
 
-std::vector<minisycl::AddressRegion> pack_regions(const HaloPackKernel& k,
+template <typename W>
+std::vector<minisycl::AddressRegion> pack_regions(const HaloPackKernelT<W>& k,
                                                   std::int64_t src_elems) {
   return {{k.src, src_elems * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))},
           {k.slots, k.count * static_cast<std::int64_t>(sizeof(std::int32_t))},
-          {k.wire, k.count * kColors * static_cast<std::int64_t>(sizeof(dcomplex))}};
+          {k.wire, k.count * kColors * static_cast<std::int64_t>(sizeof(W))}};
 }
 
-std::vector<minisycl::AddressRegion> unpack_regions(const HaloUnpackKernel& k,
+template <typename W>
+std::vector<minisycl::AddressRegion> unpack_regions(const HaloUnpackKernelT<W>& k,
                                                     std::int64_t field_elems) {
-  return {{k.wire, k.count * kColors * static_cast<std::int64_t>(sizeof(dcomplex))},
+  return {{k.wire, k.count * kColors * static_cast<std::int64_t>(sizeof(W))},
           {k.field, field_elems * static_cast<std::int64_t>(sizeof(SU3Vector<dcomplex>))}};
+}
+
+/// Dispatch a wire-format-generic callable over the spinor format's wire
+/// element type.  `fn` receives a WireCodec-compatible element as a type
+/// tag: fn(dcomplex{}) / fn(scomplex{}) / fn(hcomplex{}).
+template <typename Fn>
+decltype(auto) with_wire_element(SpinorWire w, Fn&& fn) {
+  switch (w) {
+    case SpinorWire::fp64: return fn(dcomplex{});
+    case SpinorWire::fp32: return fn(scomplex{});
+    case SpinorWire::fp16: return fn(hcomplex{});
+  }
+  return fn(dcomplex{});
+}
+
+/// The fp16 wire's per-message range scale: 1 / max|component| over the
+/// values about to be packed (1.0 for empty or all-zero payloads, and on
+/// every other format).  Computed on the sender from the same slots the
+/// pack kernel gathers, so both ends agree by construction — the scale
+/// rides the message header, not the payload bytes (docs/WIRE.md §2).
+double message_scale(SpinorWire w, const SU3Vector<dcomplex>* src, const HaloMsg& hm) {
+  if (w != SpinorWire::fp16) return 1.0;
+  double peak = 0.0;
+  for (const std::int32_t s : hm.send_slots) {
+    for (int c = 0; c < kColors; ++c) {
+      peak = std::max(peak, std::abs(src[s].c[c].re));
+      peak = std::max(peak, std::abs(src[s].c[c].im));
+    }
+  }
+  return peak > 0.0 ? 1.0 / peak : 1.0;
 }
 
 /// Submit one Dslash kernel range on a shard queue; returns the raw stats
@@ -308,6 +340,10 @@ tune::TuneKey MultiDeviceRunner::tune_key(const DslashProblem& problem,
   key.config = std::string(to_string(mreq.req.strategy)) + " " +
                to_string(mreq.req.order) + " " + variant_info(mreq.req.variant).name +
                " grid " + mreq.grid.label();
+  // Wire format rides the grammar's prec/recon fields; the fp64/recon-18
+  // default maps to the field defaults so pre-wire-format entries replay.
+  key.prec = wire_prec_field(mreq.wire);
+  key.recon = wire_recon_field(mreq.wire);
   key.devices = mreq.grid.total();
   key.topo = tune::topo_signature(mreq.topo.nodes, mreq.topo.devices_per_node);
   return key;
@@ -373,6 +409,7 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     t.iter_us = rr.per_iter_us;
     res.per_device.push_back(t);
     res.final_grid = mreq.grid;
+    res.wire = mreq.wire;
     return res;
   }
 
@@ -418,9 +455,14 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
   // bound slabs pack first so their aggregates hit the slow pipe at
   // fabric_pack_us while the NVLink slabs are still packing — the two-phase
   // schedule.  Single-node runs have no pass-0 slabs: identical schedule.
-  std::vector<std::vector<std::vector<dcomplex>>> wires(static_cast<std::size_t>(ndev));
+  // Wire buffers hold *encoded* bytes (msg.wire_bytes of the format): the
+  // pack kernels write the wire element type directly — no staging copy.
+  const SpinorWire sw = mreq.wire.spinor;
+  std::vector<std::vector<std::vector<std::byte>>> wires(static_cast<std::size_t>(ndev));
+  std::vector<std::vector<double>> scales(static_cast<std::size_t>(ndev));
   for (const Shard& sh : shards) {
     wires[static_cast<std::size_t>(sh.rank)].resize(sh.halo.size());
+    scales[static_cast<std::size_t>(sh.rank)].assign(sh.halo.size(), 1.0);
   }
   std::vector<gpusim::LinkMessage> messages;
   std::vector<double> pack_us(static_cast<std::size_t>(ndev), 0.0);
@@ -431,18 +473,26 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
         const HaloMsg& msg = sh.halo[mi];
         if ((pass == 0) != crosses_fabric(msg.peer, sh.rank)) continue;
         auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
-        wire.resize(static_cast<std::size_t>(msg.count() * kColors));
-        HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
-                            .slots = msg.send_slots.data(),
-                            .wire = wire.data(),
-                            .count = msg.count()};
+        wire.resize(static_cast<std::size_t>(msg.wire_bytes(sw)));
+        const double scale =
+            message_scale(sw, fields[static_cast<std::size_t>(msg.peer)].src.data(), msg);
+        scales[static_cast<std::size_t>(sh.rank)][mi] = scale;
         minisycl::queue& q = *queues[static_cast<std::size_t>(msg.peer)];
-        minisycl::LaunchSpec pspec =
-            halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits());
-        pspec.regions = pack_regions(
-            pack, shards[static_cast<std::size_t>(msg.peer)].extended_sources());
-        const gpusim::KernelStats st = q.submit(pspec, pack, "halo-pack");
-        pack_us[static_cast<std::size_t>(msg.peer)] += st.duration_us + q.launch_overhead_us();
+        with_wire_element(sw, [&](auto tag) {
+          using W = decltype(tag);
+          HaloPackKernelT<W> pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                                  .slots = msg.send_slots.data(),
+                                  .wire = reinterpret_cast<W*>(wire.data()),
+                                  .count = msg.count(),
+                                  .scale = scale};
+          minisycl::LaunchSpec pspec =
+              halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernelT<W>::traits());
+          pspec.regions = pack_regions(
+              pack, shards[static_cast<std::size_t>(msg.peer)].extended_sources());
+          const gpusim::KernelStats st = q.submit(pspec, pack, "halo-pack");
+          pack_us[static_cast<std::size_t>(msg.peer)] +=
+              st.duration_us + q.launch_overhead_us();
+        });
         if (rec != nullptr) {
           rec->annotate(
               msg.peer, pack_site(msg.peer, sh.rank),
@@ -466,7 +516,7 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
       const bool fabric = crosses_fabric(msg.peer, sh.rank);
       messages.push_back({.src = msg.peer,
                           .dst = sh.rank,
-                          .bytes = msg.bytes(),
+                          .bytes = msg.wire_bytes(sw),
                           .depart_us = fabric
                                            ? fabric_pack_us[static_cast<std::size_t>(msg.peer)]
                                            : pack_us[static_cast<std::size_t>(msg.peer)],
@@ -536,16 +586,24 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
     for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
       const HaloMsg& msg = sh.halo[mi];
-      HaloUnpackKernel unpack{.wire = wires[static_cast<std::size_t>(sh.rank)][mi].data(),
-                              .field = f.src.data(),
-                              .ghost_base = msg.ghost_base,
-                              .count = msg.count()};
       minisycl::queue& q = *queues[static_cast<std::size_t>(sh.rank)];
-      minisycl::LaunchSpec uspec =
-          halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits());
-      uspec.regions = unpack_regions(unpack, sh.extended_sources());
-      const gpusim::KernelStats st = q.submit(uspec, unpack, "halo-unpack");
-      unpack_us[static_cast<std::size_t>(sh.rank)] += st.duration_us + q.launch_overhead_us();
+      const double scale = scales[static_cast<std::size_t>(sh.rank)][mi];
+      with_wire_element(sw, [&](auto tag) {
+        using W = decltype(tag);
+        HaloUnpackKernelT<W> unpack{
+            .wire = reinterpret_cast<const W*>(
+                wires[static_cast<std::size_t>(sh.rank)][mi].data()),
+            .field = f.src.data(),
+            .ghost_base = msg.ghost_base,
+            .count = msg.count(),
+            .inv_scale = 1.0 / scale};
+        minisycl::LaunchSpec uspec =
+            halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernelT<W>::traits());
+        uspec.regions = unpack_regions(unpack, sh.extended_sources());
+        const gpusim::KernelStats st = q.submit(uspec, unpack, "halo-unpack");
+        unpack_us[static_cast<std::size_t>(sh.rank)] +=
+            st.duration_us + q.launch_overhead_us();
+      });
       if (rec != nullptr) {
         const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
         rec->annotate(sh.rank, unpack_site(msg.peer, sh.rank),
@@ -596,7 +654,7 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
     DeviceTimeline& t = res.per_device[di];
     t.interior_sites = sh.n_interior;
     t.boundary_sites = sh.n_boundary;
-    t.halo_bytes_in = sh.halo_bytes();
+    t.halo_bytes_in = sh.halo_wire_bytes(sw);
     t.pack_us = pack_us[di];
     t.interior_us = interior_us[di];
     t.arrival_us = arrival_us[di];
@@ -620,17 +678,23 @@ MultiDevResult MultiDeviceRunner::run_plain(DslashProblem& problem,
       static_cast<double>(boundary_total) / static_cast<double>(problem.sites());
   res.gflops = problem.flops() / (res.per_iter_us * 1e-6) / 1e9;
   res.final_grid = mreq.grid;
+  res.wire = mreq.wire;
   if (!multi_node) res.intra_node_bytes = res.halo_bytes;
   return res;
 }
 
 std::int64_t shard_slab_bytes(const Partitioner& part, int rank) {
+  return shard_slab_bytes(part, rank, WireFormat{});
+}
+
+std::int64_t shard_slab_bytes(const Partitioner& part, int rank, const WireFormat& wire) {
   const Shard& sh = part.shard(rank);
+  // Gauge links ride the wire in the recon frame (docs/WIRE.md §3); spinors
+  // in the spinor wire format.  k18 + fp64 reproduces the historical
+  // 144 B/link + 48 B/site numbers bit-for-bit.
   const std::int64_t gauge =
-      sh.targets() * kNlinks * kNdim *
-      static_cast<std::int64_t>(kColors * kColors * sizeof(dcomplex));
-  const std::int64_t spinor =
-      sh.extended_sources() * static_cast<std::int64_t>(kColors * 2 * sizeof(double));
+      sh.targets() * kNlinks * kNdim * gauge_link_bytes(wire.gauge);
+  const std::int64_t spinor = sh.extended_sources() * spinor_site_bytes(wire.spinor);
   return gauge + spinor;
 }
 
@@ -730,8 +794,9 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
         const int src = r % ndev;  // a survivor re-sends the slabs it holds
         const std::string site =
             "rereplicate r" + std::to_string(r) + " @ " + tgt.grid.label();
-        const std::optional<std::uint64_t> msg = transfer_slab(
-            inj, big_topo, src, r, site, shard_slab_bytes(part, r), mreq.xcfg, res);
+        const std::optional<std::uint64_t> msg =
+            transfer_slab(inj, big_topo, src, r, site,
+                          shard_slab_bytes(part, r, mreq.wire), mreq.xcfg, res);
         if (!msg.has_value()) {
           resynced = false;  // transfer budget spent: stay on the small grid
           break;
@@ -776,8 +841,9 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
           const int src = (r + topo.devices_per_node) % ndev;  // surviving node peer
           const std::string site =
               "rereplicate r" + std::to_string(r) + " @ " + grid.label();
-          const std::optional<std::uint64_t> msg = transfer_slab(
-              inj, topo, src, r, site, shard_slab_bytes(part, r), mreq.xcfg, res);
+          const std::optional<std::uint64_t> msg =
+              transfer_slab(inj, topo, src, r, site,
+                            shard_slab_bytes(part, r, mreq.wire), mreq.xcfg, res);
           if (!msg.has_value()) {
             adopted = false;
             break;
@@ -835,8 +901,9 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
         const int src = (lost + 1) % ndev;
         const std::string site =
             "rereplicate r" + std::to_string(lost) + " @ " + grid.label();
-        const std::optional<std::uint64_t> msg = transfer_slab(
-            inj, topo, src, lost, site, shard_slab_bytes(part, lost), mreq.xcfg, res);
+        const std::optional<std::uint64_t> msg =
+            transfer_slab(inj, topo, src, lost, site,
+                          shard_slab_bytes(part, lost, mreq.wire), mreq.xcfg, res);
         if (msg.has_value()) {
           --device_spares;
           ++res.spares_consumed;
@@ -884,6 +951,7 @@ MultiDevResult MultiDeviceRunner::run_hardened(DslashProblem& problem,
   }
 
   res.final_grid = grid;
+  res.wire = mreq.wire;
   res.devices = grid.total();
   res.nodes = effective_topology(mreq.topo, grid.total()).nodes;
   res.faults = inj->log_since(log_mark);
@@ -985,28 +1053,41 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
     int dst = 0;
     std::size_t mi = 0;
   };
-  std::vector<std::vector<std::vector<dcomplex>>> wires(static_cast<std::size_t>(ndev));
+  // Wire buffers hold *encoded* payload bytes in the request's wire format.
+  // Checksums, corruption, retransmission and pricing below all operate on
+  // these encoded bytes — never on a decoded staging copy.
+  const SpinorWire sw = mreq.wire.spinor;
+  std::vector<std::vector<std::vector<std::byte>>> wires(static_cast<std::size_t>(ndev));
   std::vector<double> pack_us(static_cast<std::size_t>(ndev), 0.0);
   std::vector<MsgRef> order;
   std::vector<std::uint64_t> checksums;
+  std::vector<double> msg_scales;
   for (const Shard& sh : shards) {
     auto& shard_wires = wires[static_cast<std::size_t>(sh.rank)];
     for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
       const HaloMsg& msg = sh.halo[mi];
-      shard_wires.emplace_back(static_cast<std::size_t>(msg.count() * kColors));
-      HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
-                          .slots = msg.send_slots.data(),
-                          .wire = shard_wires.back().data(),
-                          .count = msg.count()};
+      shard_wires.emplace_back(static_cast<std::size_t>(msg.wire_bytes(sw)));
+      const double scale =
+          message_scale(sw, fields[static_cast<std::size_t>(msg.peer)].src.data(), msg);
       const std::string name = "halo-pack r" + std::to_string(msg.peer) + "->r" +
                                std::to_string(sh.rank);
-      minisycl::LaunchSpec pspec =
-          halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernel::traits());
-      pspec.regions = pack_regions(
-          pack, shards[static_cast<std::size_t>(msg.peer)].extended_sources());
-      if (!submit_halo_resilient(*queues[static_cast<std::size_t>(msg.peer)], pspec, pack,
-                                 name, msg.peer,
-                                 pack_us[static_cast<std::size_t>(msg.peer)])) {
+      bool ok = true;
+      with_wire_element(sw, [&](auto tag) {
+        using W = decltype(tag);
+        HaloPackKernelT<W> pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                                .slots = msg.send_slots.data(),
+                                .wire = reinterpret_cast<W*>(shard_wires.back().data()),
+                                .count = msg.count(),
+                                .scale = scale};
+        minisycl::LaunchSpec pspec =
+            halo_spec(msg.count(), mreq.pack_local_size, HaloPackKernelT<W>::traits());
+        pspec.regions = pack_regions(
+            pack, shards[static_cast<std::size_t>(msg.peer)].extended_sources());
+        ok = submit_halo_resilient(*queues[static_cast<std::size_t>(msg.peer)], pspec, pack,
+                                   name, msg.peer,
+                                   pack_us[static_cast<std::size_t>(msg.peer)]);
+      });
+      if (!ok) {
         fail_reason = "pack kernel '" + name + "' exhausted its retries";
         return false;
       }
@@ -1020,8 +1101,8 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
             {dsan::span_of(shard_wires.back().data(), shard_wires.back().size())});
       }
       order.push_back(MsgRef{sh.rank, mi});
-      checksums.push_back(
-          fnv1a(shard_wires.back().data(), static_cast<std::size_t>(msg.bytes())));
+      msg_scales.push_back(scale);
+      checksums.push_back(fnv1a(shard_wires.back().data(), shard_wires.back().size()));
     }
   }
 
@@ -1051,7 +1132,7 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
   // source and a verified payload is unpacked exactly once.
   ExchangeReport& xr = res.exchange;
   xr.messages += static_cast<int>(order.size());
-  std::vector<std::vector<dcomplex>> rx(order.size());
+  std::vector<std::vector<std::byte>> rx(order.size());
   std::vector<char> delivered(order.size(), 0);
   std::vector<std::uint64_t> last_tx(order.size(), 0);
   std::vector<double> arrival(static_cast<std::size_t>(ndev), 0.0);
@@ -1077,7 +1158,7 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
       const HaloMsg& hm = shards[static_cast<std::size_t>(order[i].dst)].halo[order[i].mi];
       msgs.push_back({.src = hm.peer,
                       .dst = order[i].dst,
-                      .bytes = hm.bytes(),
+                      .bytes = hm.wire_bytes(sw),
                       .depart_us =
                           std::max(pack_us[static_cast<std::size_t>(hm.peer)], wire_clock),
                       .site = exchange_site(hm.peer, order[i].dst)});
@@ -1135,11 +1216,14 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
       if (!lm.dropped) {
         rx[i] = wires[static_cast<std::size_t>(lm.dst)][order[i].mi];
         if (lm.corrupted) {
-          faultsim::flip_bit(rx[i].data(), static_cast<std::size_t>(hm.bytes()),
+          // The bit flip lands in the *encoded* wire bytes — on a reduced
+          // format that is the compressed payload, so the checksum below
+          // (also over encoded bytes) catches it before any decode runs.
+          faultsim::flip_bit(rx[i].data(),
+                             static_cast<std::size_t>(hm.wire_bytes(sw)),
                              lm.corrupt_key);
         }
-        ev.checksum_ok =
-            fnv1a(rx[i].data(), static_cast<std::size_t>(hm.bytes())) == checksums[i];
+        ev.checksum_ok = fnv1a(rx[i].data(), rx[i].size()) == checksums[i];
         if (rec != nullptr) {
           const auto& wire = wires[static_cast<std::size_t>(lm.dst)][order[i].mi];
           rec->recv(round_tx[j], ev.checksum_ok,
@@ -1183,17 +1267,24 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
     const int rank = order[i].dst;
     const Shard& sh = shards[static_cast<std::size_t>(rank)];
     const HaloMsg& msg = sh.halo[order[i].mi];
-    HaloUnpackKernel unpack{.wire = rx[i].data(),
-                            .field = fields[static_cast<std::size_t>(rank)].src.data(),
-                            .ghost_base = msg.ghost_base,
-                            .count = msg.count()};
     const std::string name = "halo-unpack r" + std::to_string(msg.peer) + "->r" +
                              std::to_string(rank);
-    minisycl::LaunchSpec uspec =
-        halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernel::traits());
-    uspec.regions = unpack_regions(unpack, sh.extended_sources());
-    if (!submit_halo_resilient(*queues[static_cast<std::size_t>(rank)], uspec, unpack, name,
-                               rank, unpack_us[static_cast<std::size_t>(rank)])) {
+    bool ok = true;
+    with_wire_element(sw, [&](auto tag) {
+      using W = decltype(tag);
+      HaloUnpackKernelT<W> unpack{
+          .wire = reinterpret_cast<const W*>(rx[i].data()),
+          .field = fields[static_cast<std::size_t>(rank)].src.data(),
+          .ghost_base = msg.ghost_base,
+          .count = msg.count(),
+          .inv_scale = 1.0 / msg_scales[i]};
+      minisycl::LaunchSpec uspec =
+          halo_spec(msg.count(), mreq.pack_local_size, HaloUnpackKernelT<W>::traits());
+      uspec.regions = unpack_regions(unpack, sh.extended_sources());
+      ok = submit_halo_resilient(*queues[static_cast<std::size_t>(rank)], uspec, unpack,
+                                 name, rank, unpack_us[static_cast<std::size_t>(rank)]);
+    });
+    if (!ok) {
       fail_reason = "unpack kernel '" + name + "' exhausted its retries";
       return false;
     }
@@ -1245,7 +1336,7 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
     DeviceTimeline& t = res.per_device[di];
     t.interior_sites = sh.n_interior;
     t.boundary_sites = sh.n_boundary;
-    t.halo_bytes_in = sh.halo_bytes();
+    t.halo_bytes_in = sh.halo_wire_bytes(sw);
     t.pack_us = pack_us[di];
     t.interior_us = interior_us[di];
     t.arrival_us = arrival[di];
@@ -1277,8 +1368,8 @@ bool MultiDeviceRunner::run_attempt(DslashProblem& problem, const MultiDevReques
 }
 
 void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGrid& grid,
-                                       Strategy s, IndexOrder o,
-                                       int preferred_local_size) const {
+                                       Strategy s, IndexOrder o, int preferred_local_size,
+                                       const WireFormat& wire_fmt) const {
   const Partitioner part(problem.geom(), grid, problem.target_parity());
   minisycl::queue q(minisycl::ExecMode::functional, minisycl::QueueOrder::in_order, machine_,
                     cal_);
@@ -1299,17 +1390,27 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
   for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
 
   // pack -> (wire) -> interior (ghosts still poisoned) -> unpack -> boundary
-  std::vector<std::vector<std::vector<dcomplex>>> wires(part.shards().size());
+  const SpinorWire sw = wire_fmt.spinor;
+  std::vector<std::vector<std::vector<std::byte>>> wires(part.shards().size());
+  std::vector<std::vector<double>> scales(part.shards().size());
   std::vector<std::vector<std::uint64_t>> tx(part.shards().size());
   for (const Shard& sh : part.shards()) {
     auto& shard_wires = wires[static_cast<std::size_t>(sh.rank)];
+    auto& shard_scales = scales[static_cast<std::size_t>(sh.rank)];
     for (const HaloMsg& msg : sh.halo) {
-      shard_wires.emplace_back(static_cast<std::size_t>(msg.count() * kColors));
-      HaloPackKernel pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
-                          .slots = msg.send_slots.data(),
-                          .wire = shard_wires.back().data(),
-                          .count = msg.count()};
-      q.submit(halo_spec(msg.count(), kPackLocal, HaloPackKernel::traits()), pack);
+      shard_wires.emplace_back(static_cast<std::size_t>(msg.wire_bytes(sw)));
+      const double scale =
+          message_scale(sw, fields[static_cast<std::size_t>(msg.peer)].src.data(), msg);
+      shard_scales.push_back(scale);
+      with_wire_element(sw, [&](auto tag) {
+        using W = decltype(tag);
+        HaloPackKernelT<W> pack{.src = fields[static_cast<std::size_t>(msg.peer)].src.data(),
+                                .slots = msg.send_slots.data(),
+                                .wire = reinterpret_cast<W*>(shard_wires.back().data()),
+                                .count = msg.count(),
+                                .scale = scale};
+        q.submit(halo_spec(msg.count(), kPackLocal, HaloPackKernelT<W>::traits()), pack);
+      });
       if (rec != nullptr) {
         rec->annotate(
             msg.peer, pack_site(msg.peer, sh.rank),
@@ -1346,16 +1447,22 @@ void MultiDeviceRunner::run_functional(DslashProblem& problem, const PartitionGr
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
     for (std::size_t mi = 0; mi < sh.halo.size(); ++mi) {
       const HaloMsg& msg = sh.halo[mi];
-      HaloUnpackKernel unpack{.wire = wires[static_cast<std::size_t>(sh.rank)][mi].data(),
-                              .field = f.src.data(),
-                              .ghost_base = msg.ghost_base,
-                              .count = msg.count()};
       if (rec != nullptr) {
         const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
         rec->recv(tx[static_cast<std::size_t>(sh.rank)][mi], /*delivered=*/true,
                   {dsan::span_of(wire.data(), wire.size())});
       }
-      q.submit(halo_spec(msg.count(), kPackLocal, HaloUnpackKernel::traits()), unpack);
+      with_wire_element(sw, [&](auto tag) {
+        using W = decltype(tag);
+        HaloUnpackKernelT<W> unpack{
+            .wire = reinterpret_cast<const W*>(
+                wires[static_cast<std::size_t>(sh.rank)][mi].data()),
+            .field = f.src.data(),
+            .ghost_base = msg.ghost_base,
+            .count = msg.count(),
+            .inv_scale = 1.0 / scales[static_cast<std::size_t>(sh.rank)][mi]};
+        q.submit(halo_spec(msg.count(), kPackLocal, HaloUnpackKernelT<W>::traits()), unpack);
+      });
       if (rec != nullptr) {
         const auto& wire = wires[static_cast<std::size_t>(sh.rank)][mi];
         rec->annotate(sh.rank, unpack_site(msg.peer, sh.rank),
@@ -1438,65 +1545,77 @@ void MultiDeviceRunner::run_reference(DslashProblem& problem, const PartitionGri
 }
 
 std::vector<ksan::SanitizerReport> MultiDeviceRunner::sanitize_halo(
-    DslashProblem& problem, const PartitionGrid& grid, int pack_local_size) const {
+    DslashProblem& problem, const PartitionGrid& grid, int pack_local_size,
+    const WireFormat& wire_fmt) const {
   const Partitioner part(problem.geom(), grid, problem.target_parity());
   std::vector<ShardFields> fields;
   fields.reserve(part.shards().size());
   for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
 
+  const SpinorWire sw = wire_fmt.spinor;
   std::vector<ksan::SanitizerReport> reports;
   for (const Shard& sh : part.shards()) {
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
     for (const HaloMsg& msg : sh.halo) {
-      std::vector<dcomplex> wire(static_cast<std::size_t>(msg.count() * kColors));
+      std::vector<std::byte> wire(static_cast<std::size_t>(msg.wire_bytes(sw)));
       const Shard& peer_sh = part.shard(msg.peer);
       ShardFields& peer = fields[static_cast<std::size_t>(msg.peer)];
       const std::string suffix = " r" + std::to_string(msg.peer) + "->r" +
                                  std::to_string(sh.rank) + " dim" + std::to_string(msg.dim) +
                                  (msg.side == 0 ? "-" : "+");
+      const double scale = message_scale(sw, peer.src.data(), msg);
 
-      // Pack: reads must stay inside the sender's *owned* sources (reading
-      // a ghost slot would be an ordering bug), writes inside the wire.
-      HaloPackKernel pack{.src = peer.src.data(),
-                         .slots = msg.send_slots.data(),
-                         .wire = wire.data(),
-                         .count = msg.count()};
-      ksan::SanitizeConfig pack_cfg;
-      pack_cfg.regions.push_back(
-          ksan::region_of(peer.src.data(), static_cast<std::size_t>(peer_sh.sources())));
-      pack_cfg.regions.push_back(
-          ksan::region_of(msg.send_slots.data(), msg.send_slots.size()));
-      pack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
-      reports.push_back(
-          ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, pack.traits()), pack,
-                                std::move(pack_cfg), "halo-pack" + suffix));
+      with_wire_element(sw, [&](auto tag) {
+        using W = decltype(tag);
+        // Pack: reads must stay inside the sender's *owned* sources (reading
+        // a ghost slot would be an ordering bug), writes inside the wire.
+        // The fused convert-pack kernel is sanitized at the requested
+        // format, so its accesses are checked against the *encoded* buffer.
+        HaloPackKernelT<W> pack{.src = peer.src.data(),
+                                .slots = msg.send_slots.data(),
+                                .wire = reinterpret_cast<W*>(wire.data()),
+                                .count = msg.count(),
+                                .scale = scale};
+        ksan::SanitizeConfig pack_cfg;
+        pack_cfg.regions.push_back(
+            ksan::region_of(peer.src.data(), static_cast<std::size_t>(peer_sh.sources())));
+        pack_cfg.regions.push_back(
+            ksan::region_of(msg.send_slots.data(), msg.send_slots.size()));
+        pack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+        reports.push_back(
+            ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, pack.traits()),
+                                  pack, std::move(pack_cfg), "halo-pack" + suffix));
 
-      // Unpack: reads inside the wire, writes *only* into this message's
-      // ghost span — declaring exactly that span turns any stray write
-      // (owned sites, another message's ghosts) into a reported OOB.
-      HaloUnpackKernel unpack{.wire = wire.data(),
-                              .field = f.src.data(),
-                              .ghost_base = msg.ghost_base,
-                              .count = msg.count()};
-      ksan::SanitizeConfig unpack_cfg;
-      unpack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
-      unpack_cfg.regions.push_back(ksan::region_of(f.src.data() + msg.ghost_base,
-                                                   static_cast<std::size_t>(msg.count())));
-      reports.push_back(
-          ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, unpack.traits()),
-                                unpack, std::move(unpack_cfg), "halo-unpack" + suffix));
+        // Unpack: reads inside the wire, writes *only* into this message's
+        // ghost span — declaring exactly that span turns any stray write
+        // (owned sites, another message's ghosts) into a reported OOB.
+        HaloUnpackKernelT<W> unpack{.wire = reinterpret_cast<const W*>(wire.data()),
+                                    .field = f.src.data(),
+                                    .ghost_base = msg.ghost_base,
+                                    .count = msg.count(),
+                                    .inv_scale = 1.0 / scale};
+        ksan::SanitizeConfig unpack_cfg;
+        unpack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+        unpack_cfg.regions.push_back(ksan::region_of(f.src.data() + msg.ghost_base,
+                                                     static_cast<std::size_t>(msg.count())));
+        reports.push_back(
+            ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, unpack.traits()),
+                                  unpack, std::move(unpack_cfg), "halo-unpack" + suffix));
+      });
     }
   }
   return reports;
 }
 
 std::vector<ksan::SanitizerReport> MultiDeviceRunner::sanitize_exchange(
-    DslashProblem& problem, const PartitionGrid& grid, int pack_local_size) const {
+    DslashProblem& problem, const PartitionGrid& grid, int pack_local_size,
+    const WireFormat& wire_fmt) const {
   const Partitioner part(problem.geom(), grid, problem.target_parity());
   std::vector<ShardFields> fields;
   fields.reserve(part.shards().size());
   for (const Shard& sh : part.shards()) fields.push_back(build_fields(problem, sh));
 
+  const SpinorWire sw = wire_fmt.spinor;
   std::vector<ksan::SanitizerReport> reports;
   for (const Shard& sh : part.shards()) {
     ShardFields& f = fields[static_cast<std::size_t>(sh.rank)];
@@ -1507,45 +1626,52 @@ std::vector<ksan::SanitizerReport> MultiDeviceRunner::sanitize_exchange(
       const std::string suffix = " r" + std::to_string(msg.peer) + "->r" +
                                  std::to_string(sh.rank) + " dim" + std::to_string(msg.dim) +
                                  (msg.side == 0 ? "-" : "+");
+      const double scale = message_scale(sw, peer.src.data(), msg);
 
-      // Pack into the sender-side wire buffer (same contract as sanitize_halo).
-      std::vector<dcomplex> wire(static_cast<std::size_t>(msg.count() * kColors));
-      HaloPackKernel pack{.src = peer.src.data(),
-                         .slots = msg.send_slots.data(),
-                         .wire = wire.data(),
-                         .count = msg.count()};
-      ksan::SanitizeConfig pack_cfg;
-      pack_cfg.regions.push_back(
-          ksan::region_of(peer.src.data(), static_cast<std::size_t>(peer_sh.sources())));
-      pack_cfg.regions.push_back(
-          ksan::region_of(msg.send_slots.data(), msg.send_slots.size()));
-      pack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
-      reports.push_back(
-          ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, pack.traits()), pack,
-                                std::move(pack_cfg), "halo-pack" + suffix));
+      with_wire_element(sw, [&](auto tag) {
+        using W = decltype(tag);
+        // Pack into the sender-side wire buffer (same contract as
+        // sanitize_halo), in the requested wire format.
+        std::vector<std::byte> wire(static_cast<std::size_t>(msg.wire_bytes(sw)));
+        HaloPackKernelT<W> pack{.src = peer.src.data(),
+                                .slots = msg.send_slots.data(),
+                                .wire = reinterpret_cast<W*>(wire.data()),
+                                .count = msg.count(),
+                                .scale = scale};
+        ksan::SanitizeConfig pack_cfg;
+        pack_cfg.regions.push_back(
+            ksan::region_of(peer.src.data(), static_cast<std::size_t>(peer_sh.sources())));
+        pack_cfg.regions.push_back(
+            ksan::region_of(msg.send_slots.data(), msg.send_slots.size()));
+        pack_cfg.regions.push_back(ksan::region_of(wire.data(), wire.size()));
+        reports.push_back(
+            ksan::sanitize_launch(halo_spec(msg.count(), pack_local_size, pack.traits()),
+                                  pack, std::move(pack_cfg), "halo-pack" + suffix));
 
-      // Hardened data flow: the delivery lands on a receiver-side copy (the
-      // sender buffer stays pristine for retransmission) and the unpack
-      // reads the copy.  The first message of each shard is redelivered and
-      // re-unpacked in a *separate* launch — a retransmission whose repeated
-      // ghost writes are ordered by the launch boundary, hence clean.
-      std::vector<dcomplex> rx = wire;
-      const int deliveries = (mi == 0) ? 2 : 1;
-      for (int delivery = 0; delivery < deliveries; ++delivery) {
-        rx.assign(wire.begin(), wire.end());
-        HaloUnpackKernel unpack{.wire = rx.data(),
-                                .field = f.src.data(),
-                                .ghost_base = msg.ghost_base,
-                                .count = msg.count()};
-        ksan::SanitizeConfig unpack_cfg;
-        unpack_cfg.regions.push_back(ksan::region_of(rx.data(), rx.size()));
-        unpack_cfg.regions.push_back(ksan::region_of(f.src.data() + msg.ghost_base,
-                                                     static_cast<std::size_t>(msg.count())));
-        reports.push_back(ksan::sanitize_launch(
-            halo_spec(msg.count(), pack_local_size, unpack.traits()), unpack,
-            std::move(unpack_cfg),
-            "halo-unpack" + suffix + (delivery > 0 ? " retry" : "")));
-      }
+        // Hardened data flow: the delivery lands on a receiver-side copy (the
+        // sender buffer stays pristine for retransmission) and the unpack
+        // reads the copy.  The first message of each shard is redelivered and
+        // re-unpacked in a *separate* launch — a retransmission whose repeated
+        // ghost writes are ordered by the launch boundary, hence clean.
+        std::vector<std::byte> rx = wire;
+        const int deliveries = (mi == 0) ? 2 : 1;
+        for (int delivery = 0; delivery < deliveries; ++delivery) {
+          rx.assign(wire.begin(), wire.end());
+          HaloUnpackKernelT<W> unpack{.wire = reinterpret_cast<const W*>(rx.data()),
+                                      .field = f.src.data(),
+                                      .ghost_base = msg.ghost_base,
+                                      .count = msg.count(),
+                                      .inv_scale = 1.0 / scale};
+          ksan::SanitizeConfig unpack_cfg;
+          unpack_cfg.regions.push_back(ksan::region_of(rx.data(), rx.size()));
+          unpack_cfg.regions.push_back(ksan::region_of(
+              f.src.data() + msg.ghost_base, static_cast<std::size_t>(msg.count())));
+          reports.push_back(ksan::sanitize_launch(
+              halo_spec(msg.count(), pack_local_size, unpack.traits()), unpack,
+              std::move(unpack_cfg),
+              "halo-unpack" + suffix + (delivery > 0 ? " retry" : "")));
+        }
+      });
     }
   }
   return reports;

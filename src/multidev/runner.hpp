@@ -78,6 +78,12 @@ struct MultiDevRequest {
   /// simulate_topology_exchange.  The *output field* is identical either
   /// way — placement changes time, never values.
   gpusim::NodeTopology topo{};
+  /// Halo wire format (docs/WIRE.md).  The fp64/recon-18 default is the
+  /// exact wire: output, timeline and checksums are bit-for-bit the
+  /// pre-wire-format behaviour.  Reduced formats shrink every priced wire
+  /// byte (checksums, aggregation frames, corruption and retransmission all
+  /// operate on the encoded size); the convert is fused into pack/unpack.
+  WireFormat wire{};
   int pack_local_size = 96;  ///< work-group size of the pack/unpack kernels
   ExchangeConfig xcfg{};     ///< hardened-path parameters (fault plan installed)
   /// Live-rejoin target (elastic recovery).  When `rejoin_grid.total() >
@@ -176,7 +182,8 @@ struct MultiDevResult {
   /// Boundary targets / all targets (the surface-to-volume ratio that
   /// decides strong-scaling behaviour).
   double surface_fraction = 0.0;
-  std::int64_t halo_bytes = 0;  ///< wire bytes per iteration, all devices
+  std::int64_t halo_bytes = 0;  ///< encoded wire bytes per iteration, all devices
+  WireFormat wire{};            ///< wire format the run used (docs/WIRE.md)
   std::vector<DeviceTimeline> per_device;
 
   // --- topology accounting (single-node runs: nodes == 1, inter == 0) -----
@@ -244,9 +251,12 @@ class MultiDeviceRunner {
                                        const MultiDevRequest& mreq) const;
 
   /// Functional run of the full halo protocol (pack -> exchange -> unpack ->
-  /// interior + boundary kernels); output lands in problem.c().
+  /// interior + boundary kernels); output lands in problem.c().  On the
+  /// default fp64 wire the output is bit-for-bit the single-device result;
+  /// a reduced wire rounds ghost values only (docs/WIRE.md §5).
   void run_functional(DslashProblem& problem, const PartitionGrid& grid, Strategy s,
-                      IndexOrder o, int preferred_local_size) const;
+                      IndexOrder o, int preferred_local_size,
+                      const WireFormat& wire = {}) const;
 
   /// Serial per-shard evaluation in dslash_reference's exact loop order,
   /// through the same partition/halo data — bit-for-bit equal to the global
@@ -256,7 +266,8 @@ class MultiDeviceRunner {
   /// ksan entry: replay every pack and unpack launch of one exchange under
   /// the sanitizer with exact region declarations (ghost-region OOB, races).
   [[nodiscard]] std::vector<ksan::SanitizerReport> sanitize_halo(
-      DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96) const;
+      DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96,
+      const WireFormat& wire = {}) const;
 
   /// ksan entry for the *hardened* exchange data flow: pack -> receiver-side
   /// copy -> unpack-from-copy, with the first message of every shard
@@ -265,7 +276,8 @@ class MultiDeviceRunner {
   /// unpacks into one launch is a cross-group write-write race; the test
   /// suite demonstrates ksan catching exactly that.)
   [[nodiscard]] std::vector<ksan::SanitizerReport> sanitize_exchange(
-      DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96) const;
+      DslashProblem& problem, const PartitionGrid& grid, int pack_local_size = 96,
+      const WireFormat& wire = {}) const;
 
   /// dsan entry: record one full run — fault-free or hardened, whichever the
   /// installed fault plan selects — as a cluster-wide event graph (kernel
@@ -305,7 +317,12 @@ class MultiDeviceRunner {
 /// Bytes a spare or rejoining device must receive to adopt rank `rank` of
 /// the partitioner's grid: the gathered gauge slab plus the extended source
 /// spinor (owned + ghost slots) — the state build_fields materialises.
+/// The fp64/recon-18 overload is the historical exact count; the wire-format
+/// overload prices the gauge slab at the recon scheme's encoded link size
+/// and the spinor at the spinor format's site size (docs/WIRE.md §3).
 [[nodiscard]] std::int64_t shard_slab_bytes(const Partitioner& part, int rank);
+[[nodiscard]] std::int64_t shard_slab_bytes(const Partitioner& part, int rank,
+                                            const WireFormat& wire);
 
 /// Local size for a shard launch of `sites` sites: `preferred` when it
 /// qualifies, else the largest qualifying paper pool entry, else the

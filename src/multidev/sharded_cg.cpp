@@ -60,16 +60,30 @@ faultsim::MemRegion region_of(const ColorField& f) {
   return {reinterpret_cast<std::uint64_t>(f.data()), f.bytes()};
 }
 
+/// ABFT tolerance floor per wire format: a reduced wire rounds ghost-site
+/// values on every apply, so the Hermiticity identity holds only up to the
+/// wire epsilon (times the boundary fraction) instead of fp64 roundoff.
+/// The fp64 floor is 0, leaving the configured tolerance untouched.
+double wire_abft_floor(SpinorWire w) {
+  switch (w) {
+    case SpinorWire::fp64: return 0.0;
+    case SpinorWire::fp32: return 1e-5;
+    case SpinorWire::fp16: return 5e-2;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 std::string ShardedCgResult::summary() const {
   char buf[512];
   std::snprintf(buf, sizeof buf,
-                "sharded-cg: %s in %d iters (rel %.3e true %.3e) | applies %d "
-                "(recomputes %d) checkpoints %d restarts %d failovers %d | grid %s | "
-                "faults %zu recovery %.1f us%s",
-                cg.converged ? "converged" : "NOT converged", cg.iterations,
-                cg.relative_residual, cg.true_relative_residual, applies, recomputes,
+                "sharded-cg: %s%s in %d iters (rel %.3e true %.3e) | applies %d "
+                "(recomputes %d, reliable %d) checkpoints %d restarts %d failovers %d | "
+                "grid %s | faults %zu recovery %.1f us%s",
+                cg.converged ? "converged" : "NOT converged",
+                certified ? " (certified)" : "", cg.iterations, cg.relative_residual,
+                cg.true_relative_residual, applies, recomputes, reliable_updates,
                 checkpoints_taken, restarts, failovers_observed, final_grid.label().c_str(),
                 faults.size(), recovery_us,
                 cancelled ? " | CANCELLED" : (recovered_all ? "" : " | RECOVERY EXHAUSTED"));
@@ -92,6 +106,7 @@ ShardedCgSolver::ShardedCgSolver(const Coords& dims, std::uint64_t gauge_seed, d
     mreq.req.order = cfg_.order;
     mreq.req.local_size = cfg_.local_size;
     mreq.topo = cfg_.topo;
+    mreq.wire = cfg_.wire;
     const tune::TuneEntry* hit = sess->lookup(runner_.tune_key(problem_e_, mreq));
     if (hit != nullptr && hit->local_size > 0) cfg_.local_size = hit->local_size;
   }
@@ -101,11 +116,13 @@ ShardedCgSolver::ShardedCgSolver(int L, std::uint64_t gauge_seed, double mass,
                                  PartitionGrid grid, ShardedCgConfig cfg)
     : ShardedCgSolver(Coords{L, L, L, L}, gauge_seed, mass, grid, std::move(cfg)) {}
 
-bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
+bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res,
+                                 const WireFormat& wire) {
   if (faultsim::Injector::current() == nullptr) {
     // Fault-free: the plain functional protocol, bit-for-bit the exactness-
     // tested path (and bit-for-bit what the identity test's lambda runs).
-    runner_.run_functional(problem, grid_, cfg_.strategy, cfg_.order, cfg_.local_size);
+    runner_.run_functional(problem, grid_, cfg_.strategy, cfg_.order, cfg_.local_size,
+                           wire);
     return true;
   }
   MultiDevRequest mreq;
@@ -115,6 +132,7 @@ bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
   mreq.req.local_size = cfg_.local_size;
   mreq.link = cfg_.link;
   mreq.topo = cfg_.topo;
+  mreq.wire = wire;
   mreq.xcfg = cfg_.xcfg;
   mreq.mode = minisycl::ExecMode::functional;
   mreq.rejoin_grid = rejoin_grid_;
@@ -162,13 +180,13 @@ bool ShardedCgSolver::run_dslash(DslashProblem& problem, ShardedCgResult* res) {
   return mres.recovered;
 }
 
-bool ShardedCgSolver::apply_raw(const ColorField& in, ColorField& out,
-                                ShardedCgResult* res) {
+bool ShardedCgSolver::apply_raw(const ColorField& in, ColorField& out, ShardedCgResult* res,
+                                const WireFormat& wire) {
   // out = m^2 in - D_eo D_oe in, both hops through the sharded halo protocol.
   problem_o_.b() = in;
-  if (!run_dslash(problem_o_, res)) return false;
+  if (!run_dslash(problem_o_, res, wire)) return false;
   problem_e_.b() = problem_o_.c();
-  if (!run_dslash(problem_e_, res)) return false;
+  if (!run_dslash(problem_e_, res, wire)) return false;
   out = in;
   scale(mass_ * mass_, out);
   axpy(-1.0, problem_e_.c(), out);
@@ -176,7 +194,7 @@ bool ShardedCgSolver::apply_raw(const ColorField& in, ColorField& out,
 }
 
 void ShardedCgSolver::apply_normal(const ColorField& in, ColorField& out) {
-  (void)apply_raw(in, out, nullptr);
+  (void)apply_raw(in, out, nullptr, cfg_.wire);
 }
 
 void ShardedCgSolver::apply_reference(const ColorField& in, ColorField& out) const {
@@ -226,10 +244,16 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
 
   // One guarded operator application: recompute (bounded) until the ABFT
   // identity holds.  Returns false on an unrecoverable apply or a persistent
-  // mismatch — the solve loop then restores a snapshot.
-  auto apply_checked = [&](const ColorField& in, ColorField& out) -> bool {
+  // mismatch — the solve loop then restores a snapshot.  `exact` forces the
+  // fp64 wire regardless of the configured format (reliable updates and the
+  // final certification); the ABFT tolerance floor tracks the wire actually
+  // used, since a reduced wire legitimately perturbs the identity.
+  auto apply_checked = [&](const ColorField& in, ColorField& out,
+                           bool exact = false) -> bool {
+    const WireFormat wire = exact ? WireFormat{} : cfg_.wire;
+    const double rel_tol = std::max(cfg_.abft_rel_tol, wire_abft_floor(wire.spinor));
     for (int attempt = 0;; ++attempt) {
-      if (!apply_raw(in, out, &res)) return false;
+      if (!apply_raw(in, out, &res, wire)) return false;
       ++res.applies;
       if (!cfg_.abft) return true;
       const dcomplex lhs = dot(r_abft, out);
@@ -237,7 +261,7 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       const double err = std::hypot(lhs.re - rhs.re, lhs.im - rhs.im);
       const double scale_lr = std::sqrt(abft_norm_r * norm2(out));
       const double scale_zx = std::sqrt(abft_norm_z * norm2(in));
-      const double tol = cfg_.abft_rel_tol * (1.0 + scale_lr + scale_zx);
+      const double tol = rel_tol * (1.0 + scale_lr + scale_zx);
       if (err <= tol) return true;
       if (attempt >= cfg_.max_recomputes) return false;
       ++res.recomputes;
@@ -259,6 +283,13 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
     return res;
   }
   const double target = cfg_.cg.rel_tol * cfg_.cg.rel_tol * b2;
+  // Checkpoint-audit slack: on a reduced wire the recursion residual and a
+  // recomputed residual legitimately drift apart by the wire's rounding
+  // floor relative to ||b|| — once the recursion residual sinks below that
+  // floor, only drift beyond the floor itself indicates corruption.  Exact
+  // wire: the floor is 0 and the audit is unchanged.
+  const double audit_slack =
+      (cfg_.cg.rel_tol + wire_abft_floor(cfg_.wire.spinor)) * std::sqrt(b2);
 
   Snapshot snap;
   // Async checkpointing: states staged off the critical path, promoted into
@@ -276,12 +307,36 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   int last_audit_restore_iter = -1;
 
   // (Re)initialise the recursion from the current x: r = b - A x, p = r.
+  // The apply goes through the exact fp64 wire — on the default format
+  // that is bit-for-bit the configured wire; on a reduced format it makes
+  // every (re)built residual a *true* residual, which is what the
+  // reliable-update exactness argument rests on (docs/WIRE.md §5).
   auto init_state = [&]() -> bool {
-    if (!apply_checked(x, Ap)) return false;
+    if (!apply_checked(x, Ap, /*exact=*/true)) return false;
     r = b;
     axpy(-1.0, Ap, r);
     pvec = r;
     rr = norm2(r);
+    return true;
+  };
+
+  // Reliable update (reduced wire only): replace the recursion residual by
+  // the exact-wire true residual and restart the search direction.  The
+  // reduced wire only ever perturbs *ghost* values of the inner applies, by
+  // a relative epsilon of the data on the wire — so between replacements the
+  // true residual tracks the recursion residual to O(eps_wire), and each
+  // replacement resets the accumulated drift.  Convergence is declared only
+  // on an exact residual.
+  const bool reduced = cfg_.wire.reduced();
+  int last_reliable = 0;
+  auto reliable_update = [&](const char* why) -> bool {
+    if (!init_state()) return false;
+    last_reliable = it;
+    ++res.reliable_updates;
+    char detail[128];
+    std::snprintf(detail, sizeof detail, "%s; exact rel res %.3e", why,
+                  std::sqrt(rr / b2));
+    res.events.push_back({it, "reliable-update", detail});
     return true;
   };
 
@@ -320,7 +375,24 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   // grid inside the runner, so the freshly snapshotted state is consistent.
   failover_seen_ = false;
 
-  while (!fatal && it < cfg_.cg.max_iterations && rr > target) {
+  while (!fatal && it < cfg_.cg.max_iterations) {
+    if (rr <= target) {
+      // Exact wire: the recursion residual is trustworthy — converged.
+      if (!reduced) break;
+      // Reduced wire: the recursion believes it converged, but its residual
+      // drifted from the truth by the accumulated wire rounding.  Replace it
+      // through the exact fp64 wire and exit only when *that* residual
+      // clears the target (docs/WIRE.md §5).
+      if (!reliable_update("convergence gate")) {
+        if (!restore("reliable update failed")) {
+          fatal = true;
+          break;
+        }
+        continue;
+      }
+      if (rr <= target) break;
+      continue;
+    }
     // Deadline/cancellation gate, at iteration granularity: a scheduler's
     // apply budget or cancel hook stops the solve cleanly — the iterate in x
     // is still the best-so-far and the residual below is reported honestly.
@@ -335,6 +407,19 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       res.cancelled = true;
       res.events.push_back({it, "cancelled", "cancelled by caller"});
       break;
+    }
+
+    // Periodic reliable update: bound the residual drift a reduced wire can
+    // accumulate between replacements (never fires on the exact wire).
+    if (reduced && cfg_.reliable_interval > 0 &&
+        it - last_reliable >= cfg_.reliable_interval) {
+      if (!reliable_update("periodic")) {
+        if (!restore("reliable update failed")) {
+          fatal = true;
+          break;
+        }
+        continue;
+      }
     }
 
     // Deferred audit of a staged snapshot (async mode), one iteration after
@@ -358,8 +443,7 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       ColorField tr = b;
       axpy(-1.0, Ap, tr);
       const double tr2 = norm2(tr);
-      if (std::sqrt(tr2) > cfg_.residual_audit_factor * std::sqrt(staged.rr) +
-                               cfg_.cg.rel_tol * std::sqrt(b2)) {
+      if (std::sqrt(tr2) > cfg_.residual_audit_factor * std::sqrt(staged.rr) + audit_slack) {
         char detail[128];
         std::snprintf(detail, sizeof detail, "staged true res %.3e vs recursion %.3e",
                       std::sqrt(tr2 / b2), std::sqrt(staged.rr / b2));
@@ -415,8 +499,7 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
       ColorField tr = b;
       axpy(-1.0, Ap, tr);
       const double tr2 = norm2(tr);
-      if (std::sqrt(tr2) >
-          cfg_.residual_audit_factor * std::sqrt(rr) + cfg_.cg.rel_tol * std::sqrt(b2)) {
+      if (std::sqrt(tr2) > cfg_.residual_audit_factor * std::sqrt(rr) + audit_slack) {
         char detail[128];
         std::snprintf(detail, sizeof detail, "true res %.3e vs recursion %.3e",
                       std::sqrt(tr2 / b2), std::sqrt(rr / b2));
@@ -512,15 +595,18 @@ ShardedCgResult ShardedCgSolver::solve(const ColorField& b, ColorField& x) {
   res.cg.converged = !fatal && rr <= target;
   res.recovered_all = !fatal;
 
-  // True residual through the guarded apply (falls back to the last value on
-  // a persistent failure rather than reporting garbage).  A cancelled solve
-  // skips it: the caller stopped paying for applies.
+  // True residual through the guarded apply — always on the exact fp64 wire,
+  // so a reduced-wire solve is certified against the same answer an exact
+  // solve must reach (falls back to the last value on a persistent failure
+  // rather than reporting garbage).  A cancelled solve skips it: the caller
+  // stopped paying for applies.
   if (res.cancelled) {
     res.cg.true_relative_residual = res.cg.relative_residual;
-  } else if (apply_checked(x, Ap)) {
+  } else if (apply_checked(x, Ap, /*exact=*/true)) {
     ColorField tr = b;
     axpy(-1.0, Ap, tr);
     res.cg.true_relative_residual = std::sqrt(norm2(tr) / b2);
+    res.certified = res.cg.converged && res.cg.true_relative_residual <= cfg_.cg.rel_tol;
   } else {
     res.cg.true_relative_residual = res.cg.relative_residual;
     res.recovered_all = false;

@@ -49,6 +49,19 @@ struct ShardedCgConfig {
   gpusim::NodeTopology topo{};
   ExchangeConfig xcfg{};
 
+  /// Halo wire format of the *inner* CG applies (docs/WIRE.md).  The exact
+  /// fp64 default leaves the solve bit-for-bit unchanged.  A reduced format
+  /// shrinks every halo payload; exactness is then preserved by the
+  /// reliable-update outer loop: the recursion runs on the reduced wire,
+  /// the residual is periodically replaced by r = b - A x through the exact
+  /// fp64 wire (with a p-restart), and convergence is only declared when an
+  /// exact-wire true residual clears the tolerance (docs/WIRE.md §5).
+  WireFormat wire{};
+  /// Iterations between forced exact-wire residual replacements on a
+  /// reduced wire (0 disables the periodic trigger; the convergence-gate
+  /// replacement always runs).  Ignored on the exact wire.
+  int reliable_interval = 25;
+
   /// Iterations between solver-state snapshots (0 disables checkpointing;
   /// the initial state is always snapshotted).  Each checkpoint pays one
   /// extra operator application for the true-residual audit — on the
@@ -105,6 +118,12 @@ struct ShardedCgResult {
   int checkpoints_taken = 0;
   int restarts = 0;    ///< checkpoint restores (ABFT, audit or failover)
   int recomputes = 0;  ///< applies discarded by the ABFT check
+  int reliable_updates = 0;  ///< exact-wire residual replacements (reduced wire)
+  /// The reliable-update certificate: the final true residual, computed
+  /// through the exact fp64 wire, cleared the tolerance.  On the exact wire
+  /// this coincides with `cg.converged`; on a reduced wire it is the claim
+  /// that reduced-precision halos did not change the answer (docs/WIRE.md §5).
+  bool certified = false;
   int failovers_observed = 0;
   PartitionGrid final_grid{};
   double recovery_us = 0.0;  ///< simulated time lost to faults across all applies
@@ -172,11 +191,13 @@ class ShardedCgSolver {
   void apply_reference(const ColorField& in, ColorField& out) const;
 
  private:
-  /// Run one Dslash (problem.c() = D problem.b()) through the sharded path;
-  /// returns false when the hardened runner exhausted recovery.  Adopts the
-  /// post-failover grid and flags `failover_seen_`.
-  bool run_dslash(DslashProblem& problem, ShardedCgResult* res);
-  bool apply_raw(const ColorField& in, ColorField& out, ShardedCgResult* res);
+  /// Run one Dslash (problem.c() = D problem.b()) through the sharded path
+  /// on the given halo wire format; returns false when the hardened runner
+  /// exhausted recovery.  Adopts the post-failover grid and flags
+  /// `failover_seen_`.
+  bool run_dslash(DslashProblem& problem, ShardedCgResult* res, const WireFormat& wire);
+  bool apply_raw(const ColorField& in, ColorField& out, ShardedCgResult* res,
+                 const WireFormat& wire);
 
   double mass_;
   PartitionGrid grid_;

@@ -167,4 +167,20 @@ SU3Matrix<dcomplex> unpack_link(Reconstruct scheme, std::span<const double> in) 
   return {};
 }
 
+void pack_links(Reconstruct scheme, std::span<const SU3Matrix<dcomplex>> links,
+                std::span<double> out) {
+  const auto n = static_cast<std::size_t>(reals_per_link(scheme));
+  assert(out.size() >= links.size() * n);
+  for (std::size_t i = 0; i < links.size(); ++i)
+    pack_link(scheme, links[i], out.subspan(i * n, n));
+}
+
+void unpack_links(Reconstruct scheme, std::span<const double> in,
+                  std::span<SU3Matrix<dcomplex>> links) {
+  const auto n = static_cast<std::size_t>(reals_per_link(scheme));
+  assert(in.size() >= links.size() * n);
+  for (std::size_t i = 0; i < links.size(); ++i)
+    links[i] = unpack_link(scheme, in.subspan(i * n, n));
+}
+
 }  // namespace milc

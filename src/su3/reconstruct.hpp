@@ -54,6 +54,16 @@ void pack_link(Reconstruct scheme, const SU3Matrix<dcomplex>& u, std::span<doubl
 /// the performance model exactly as it does on hardware.
 [[nodiscard]] SU3Matrix<dcomplex> unpack_link(Reconstruct scheme, std::span<const double> in);
 
+/// Encode a contiguous slab of links (reals_per_link doubles each) — the
+/// frame layout of gauge wire payloads (docs/WIRE.md §3).  `out` must hold
+/// links.size() * reals_per_link(scheme) doubles.
+void pack_links(Reconstruct scheme, std::span<const SU3Matrix<dcomplex>> links,
+                std::span<double> out);
+
+/// Inverse of pack_links: decode a slab frame back into links.
+void unpack_links(Reconstruct scheme, std::span<const double> in,
+                  std::span<SU3Matrix<dcomplex>> links);
+
 /// FLOPs the reconstruction adds per link (counted once, used by the
 /// performance model of the QUDA-like kernel).
 [[nodiscard]] constexpr double reconstruct_flops(Reconstruct r) {
